@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction.
+#
+# `make install` prefers the standard editable install and falls back to
+# the legacy path on offline environments that lack the `wheel` package.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples all clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.experiments.runner
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script > /dev/null || exit 1; done
+
+all: test bench report
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache src/repro.egg-info

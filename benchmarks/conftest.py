@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive fixture (universe, catalog, pool, generation over all 252
+modules, repository, matching) is built once per session; each bench then
+measures the regeneration of one table/figure from it.
+"""
+
+import pytest
+
+from repro.experiments.setup import default_setup
+
+
+@pytest.fixture(scope="session")
+def setup():
+    fixture = default_setup()
+    # Force the lazy pieces so figure-8 benches measure steady-state work.
+    fixture.matches
+    fixture.repairs
+    return fixture

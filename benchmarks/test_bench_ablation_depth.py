@@ -1,0 +1,13 @@
+"""Ablation A2: partitioning-depth cap.
+
+Capping the ontology descent below the annotation concept removes
+partitions; coverage and completeness grow monotonically with depth."""
+
+from repro.experiments.ablations import run_depth_ablation
+
+
+def test_bench_depth_ablation(benchmark, setup):
+    result = benchmark(run_depth_ablation, setup)
+    series = result.completeness_series()
+    assert series == sorted(series)
+    assert result.by_depth["None"][0] == 1.0

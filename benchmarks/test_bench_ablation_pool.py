@@ -1,0 +1,13 @@
+"""Ablation A3: instance-pool size sensitivity.
+
+Subsampling the pool removes realizations of some partitions; the number
+of unrealized input partitions shrinks monotonically as the pool grows."""
+
+from repro.experiments.ablations import run_pool_ablation
+
+
+def test_bench_pool_ablation(benchmark, setup):
+    result = benchmark(run_pool_ablation, setup)
+    counts = [result.by_fraction[f] for f in (0.25, 0.5, 1.0)]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] == 0

@@ -1,0 +1,12 @@
+"""Ablation A4 (§8 future work): redundancy-detection threshold sweep."""
+
+from repro.experiments.ablations import run_redundancy_ablation
+
+
+def test_bench_redundancy_ablation(benchmark, setup):
+    result = benchmark(run_redundancy_ablation, setup)
+    recalls = [result.by_threshold[t][1] for t in sorted(result.by_threshold)]
+    assert recalls == sorted(recalls, reverse=True)
+    precision, recall = result.by_threshold[0.5]
+    assert precision > 0.75
+    assert recall > 0.9

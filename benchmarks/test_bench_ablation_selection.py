@@ -1,0 +1,15 @@
+"""Ablation A1: partition-based vs random example selection.
+
+The paper's heuristic selects one realization per ontology partition; the
+baseline draws the same number of values uniformly from the pool without
+partition structure.  Partitioning dominates on completeness and input
+coverage."""
+
+from repro.experiments.ablations import run_selection_ablation
+
+
+def test_bench_selection_ablation(benchmark, setup):
+    result = benchmark(run_selection_ablation, setup)
+    assert result.partition_completeness >= result.random_completeness
+    assert result.partition_input_coverage == 1.0
+    assert result.random_input_coverage < 1.0

@@ -1,0 +1,22 @@
+"""Bench: data-example-guided composition (§8 future work)."""
+
+from repro.core.composition import CompositionAdvisor
+
+
+def test_bench_suggest_successors(benchmark, setup):
+    advisor = CompositionAdvisor(setup.ctx, setup.catalog, setup.pool)
+    producer = next(
+        m for m in setup.catalog if m.module_id == "ret.get_uniprot_record"
+    )
+    examples = setup.reports[producer.module_id].examples
+
+    suggestions = benchmark(advisor.suggest_successors, producer, examples)
+    assert suggestions
+
+
+def test_bench_consumers_of_value(benchmark, setup):
+    advisor = CompositionAdvisor(setup.ctx, setup.catalog, setup.pool)
+    value = setup.pool.get_instance("UniProtAccession")
+
+    consumers = benchmark(advisor.consumers_of_value, value)
+    assert len(consumers) >= 10

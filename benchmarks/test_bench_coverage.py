@@ -1,0 +1,9 @@
+"""Bench: regenerating the §4.3 coverage result (233/252, 19 exceptions)."""
+
+from repro.experiments.coverage import run_coverage
+
+
+def test_bench_coverage(benchmark, setup):
+    result = benchmark(run_coverage, setup)
+    assert result.n_full_input_coverage == 252
+    assert result.n_output_shortfall == 19

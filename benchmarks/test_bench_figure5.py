@@ -1,0 +1,10 @@
+"""Bench: regenerating Figure 5 (the two-phase understanding study)."""
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_bench_figure5(benchmark, setup):
+    result = benchmark(run_figure5, setup)
+    series = result.series()
+    assert series[0] == ("user1", 47, 169)
+    assert len(series) == 3

@@ -1,0 +1,15 @@
+"""Bench: full-world rebuild under a fresh seed (seed robustness)."""
+
+from repro.experiments.robustness import run_for_seed, run_robustness
+
+
+def test_bench_shape_check(benchmark, setup):
+    result = benchmark(run_robustness, setup)
+    assert result.same_shape_as_paper()
+
+
+def test_bench_fresh_seed_world(benchmark):
+    """Measures the end-to-end cost of the whole reproduction: universe,
+    catalog, pool, generation, evaluation, decay, matching — from scratch."""
+    result = benchmark.pedantic(run_for_seed, args=(313,), rounds=1, iterations=1)
+    assert result.same_shape_as_paper()

@@ -1,0 +1,17 @@
+"""Bench: §4 pipeline cost as a function of universe size.
+
+Metrics are invariant (asserted); wall-clock grows with database size
+because homology searches and cross-reference scans touch every entity.
+"""
+
+import pytest
+
+from repro.experiments.scaling import measure_at_scale
+
+
+@pytest.mark.parametrize("n_proteins", [30, 120, 480])
+def test_bench_pipeline_at_scale(benchmark, n_proteins):
+    point = benchmark.pedantic(
+        measure_at_scale, args=(n_proteins,), rounds=2, iterations=1
+    )
+    assert point.completeness_hist[1.0] == 234

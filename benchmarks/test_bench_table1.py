@@ -1,0 +1,23 @@
+"""Bench: regenerating Table 1 (completeness histogram)."""
+
+from repro.core.metrics import evaluate_module
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark, setup):
+    result = benchmark(run_table1, setup)
+    assert result.as_dict() == {1.0: 234, 0.75: 8, 0.625: 4, 0.6: 4, 0.5: 2}
+
+
+def test_bench_evaluate_all_modules(benchmark, setup):
+    """The evaluation pass feeding Tables 1 and 2: classify every example
+    against ground truth and compute all metrics for all 252 modules."""
+
+    def run():
+        return [
+            evaluate_module(setup.ctx, module, setup.reports[module.module_id].examples)
+            for module in setup.catalog
+        ]
+
+    evaluations = benchmark(run)
+    assert len(evaluations) == 252

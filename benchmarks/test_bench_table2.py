@@ -1,0 +1,10 @@
+"""Bench: regenerating Table 2 (conciseness histogram)."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2(benchmark, setup):
+    result = benchmark(run_table2, setup)
+    assert result.as_dict() == {
+        1.0: 192, 0.5: 32, 0.45: 7, 0.4: 4, 0.33: 4, 0.2: 8, 0.17: 4, 0.1: 1,
+    }

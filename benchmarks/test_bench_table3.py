@@ -1,0 +1,8 @@
+"""Bench: regenerating Table 3 (module-kind census)."""
+
+from repro.experiments.table3 import PAPER_TABLE3, run_table3
+
+
+def test_bench_table3(benchmark, setup):
+    result = benchmark(run_table3, setup)
+    assert result.counts == PAPER_TABLE3

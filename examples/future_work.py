@@ -1,0 +1,63 @@
+"""The paper's §8 future-work items, implemented.
+
+1. **Redundancy detection** — record-linkage-style clustering of data
+   examples estimates each module's behavior classes without ground
+   truth, flagging the over-partitioned modules of Table 2 and letting a
+   curator prune redundant examples.
+2. **Composition guidance** — data examples drive workflow composition:
+   candidate successors are verified by feeding them the actual example
+   output values, admitting value-level connections that annotation
+   subsumption rejects.
+
+Run:  python examples/future_work.py
+"""
+
+from repro import (
+    ExampleGenerator,
+    InstancePool,
+    build_mygrid_ontology,
+    default_catalog,
+    default_context,
+    default_factory,
+)
+from repro.core.composition import CompositionAdvisor
+from repro.core.redundancy import RedundancyDetector
+
+
+def main() -> None:
+    ctx = default_context()
+    catalog = list(default_catalog())
+    pool = InstancePool.bootstrap(default_factory(), build_mygrid_ontology())
+    generator = ExampleGenerator(ctx, pool)
+    modules = {m.module_id: m for m in catalog}
+
+    print("1. Redundancy detection (record linkage over data examples)")
+    print("-" * 64)
+    detector = RedundancyDetector(threshold=0.5)
+    for module_id in ("ret.get_protein_record", "an.sequence_length",
+                      "map.link", "an.translate_dna"):
+        examples = generator.generate(modules[module_id]).examples
+        report = detector.detect(module_id, examples)
+        pruned = detector.prune(module_id, examples)
+        print(f"{modules[module_id].name:<24} {report.n_examples:>2} examples "
+              f"-> {len(report.clusters)} estimated classes "
+              f"({report.estimated_redundant} redundant, keep {len(pruned)})")
+
+    print()
+    print("2. Composition guidance (verified by invocation)")
+    print("-" * 64)
+    advisor = CompositionAdvisor(ctx, catalog, pool)
+    for module_id in ("ret.get_uniprot_record", "xf.fasta_rewrap"):
+        producer = modules[module_id]
+        examples = generator.generate(producer).examples
+        suggestions = advisor.suggest_successors(producer, examples)
+        print(f"{producer.name}: {len(suggestions)} verified successors")
+        for suggestion in suggestions[:5]:
+            marker = "" if suggestion.annotation_compatible else "  [value-level only]"
+            print(f"   {suggestion.output} -> "
+                  f"{modules[suggestion.consumer_id].name}.{suggestion.input}{marker}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

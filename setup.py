@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so PEP 660
+editable installs fail; `pip install -e . --no-use-pep517` uses this instead."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — a full reproduction of "Annotating the Behavior of Scientific
+Modules Using Data Examples: A Practical Approach" (Belhajjame, EDBT 2014).
+
+The package builds, end to end, the system the paper describes:
+
+* a myGrid-style annotation ontology (:mod:`repro.ontology`);
+* a synthetic, cross-referenced biological data universe
+  (:mod:`repro.biodb`) and 252 + 72 executable black-box scientific
+  modules over it (:mod:`repro.modules`);
+* the data-example generation heuristic, evaluation metrics, behavior
+  matcher and workflow repairer (:mod:`repro.core`);
+* workflow enactment with provenance, a myExperiment-style repository
+  and the decay model (:mod:`repro.workflow`);
+* the simulated two-phase user study (:mod:`repro.study`);
+* one experiment runner per table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import quick_generate
+    report, evaluation = quick_generate("ret.get_uniprot_record")
+    print(report.examples[0].render())
+"""
+
+from repro.core.examples import DataExample
+from repro.core.generation import ExampleGenerator
+from repro.core.matching import MatchKind, best_match, find_matches
+from repro.core.metrics import evaluate_module
+from repro.modules.catalog import build_catalog, default_catalog, default_context
+from repro.modules.model import Category, InterfaceKind, Module, ModuleContext, Parameter
+from repro.ontology import Ontology, build_mygrid_ontology
+from repro.pool import InstancePool, RealizationFactory, default_factory
+from repro.registry import ModuleRegistry
+from repro.values import TypedValue
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DataExample",
+    "ExampleGenerator",
+    "evaluate_module",
+    "MatchKind",
+    "find_matches",
+    "best_match",
+    "Module",
+    "ModuleContext",
+    "Parameter",
+    "Category",
+    "InterfaceKind",
+    "build_catalog",
+    "default_catalog",
+    "default_context",
+    "Ontology",
+    "build_mygrid_ontology",
+    "InstancePool",
+    "RealizationFactory",
+    "default_factory",
+    "ModuleRegistry",
+    "TypedValue",
+    "quick_generate",
+]
+
+
+def quick_generate(module_id: str, seed: int = 2014):
+    """Generate and evaluate data examples for one catalog module.
+
+    A convenience one-liner for the README quickstart.
+
+    Returns:
+        ``(GenerationReport, ModuleEvaluation)``.
+
+    Raises:
+        KeyError: If ``module_id`` is not in the catalog.
+    """
+    ctx = default_context(seed)
+    module = {m.module_id: m for m in default_catalog()}[module_id]
+    pool = InstancePool.bootstrap(default_factory(seed), ctx.ontology)
+    generator = ExampleGenerator(ctx, pool)
+    report = generator.generate(module)
+    return report, evaluate_module(ctx, module, report.examples)

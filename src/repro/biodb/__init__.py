@@ -1,0 +1,22 @@
+"""Synthetic biological data universe: accessions, sequences, entities,
+cross-referenced databases, flat-file formats."""
+
+from repro.biodb.accessions import (
+    AccessionScheme,
+    classify_accession,
+    scheme_for,
+    species_code,
+    species_name,
+)
+from repro.biodb.universe import BioUniverse, UnknownAccessionError, default_universe
+
+__all__ = [
+    "AccessionScheme",
+    "scheme_for",
+    "classify_accession",
+    "species_code",
+    "species_name",
+    "BioUniverse",
+    "UnknownAccessionError",
+    "default_universe",
+]

@@ -1,0 +1,124 @@
+"""Entity model of the synthetic biological universe.
+
+Entities are plain frozen dataclasses; all cross-references are by ordinal
+so a universe can be regenerated deterministically from a seed and entities
+can be compared structurally in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Protein:
+    """A protein with accessions in two schemes and rich cross-references."""
+
+    ordinal: int
+    uniprot: str
+    pir: str
+    name: str
+    organism_ordinal: int
+    sequence: str
+    gene_ordinal: int
+    go_term_ordinals: tuple[int, ...] = ()
+    pathway_ordinals: tuple[int, ...] = ()
+    structure_ordinal: int | None = None
+    ec_ordinal: int | None = None
+    keywords: tuple[str, ...] = ()
+    publication_ordinals: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Gene:
+    """A protein-coding gene with identifiers in three gene-id schemes and
+    nucleotide accessions in three nucleotide schemes."""
+
+    ordinal: int
+    kegg_id: str
+    entrez_id: str
+    ensembl_id: str
+    embl: str
+    genbank: str
+    refseq: str
+    name: str
+    organism_ordinal: int
+    dna_sequence: str
+    protein_ordinal: int
+    pathway_ordinals: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Pathway:
+    ordinal: int
+    kegg_id: str
+    reactome_id: str
+    name: str
+    organism_ordinal: int
+    gene_ordinals: tuple[int, ...] = ()
+    compound_ordinals: tuple[int, ...] = ()
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Enzyme:
+    ordinal: int
+    ec_number: str
+    name: str
+    gene_ordinals: tuple[int, ...] = ()
+    compound_ordinals: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Compound:
+    ordinal: int
+    kegg_id: str
+    chebi_id: str
+    name: str
+    formula: str
+    mass: float
+
+
+@dataclass(frozen=True)
+class Structure:
+    ordinal: int
+    pdb_id: str
+    protein_ordinal: int
+    title: str
+    resolution: float
+
+
+@dataclass(frozen=True)
+class Glycan:
+    ordinal: int
+    glycan_id: str
+    name: str
+    composition: str
+
+
+@dataclass(frozen=True)
+class Ligand:
+    ordinal: int
+    ligand_id: str
+    name: str
+    compound_ordinal: int
+
+
+@dataclass(frozen=True)
+class GOTerm:
+    ordinal: int
+    go_id: str
+    name: str
+    namespace: str
+    parent_ordinal: int | None = None
+
+
+@dataclass(frozen=True)
+class Publication:
+    ordinal: int
+    pubmed_id: str
+    doi: str
+    title: str
+    abstract: str
+    protein_ordinals: tuple[int, ...] = ()
+    pathway_ordinals: tuple[int, ...] = ()

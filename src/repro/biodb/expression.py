@@ -1,0 +1,80 @@
+"""Synthetic gene-expression data: microarrays and expression matrices.
+
+Provides the tabular payloads behind the ``MicroarrayData`` and
+``ExpressionMatrix`` concepts, plus the normalization and differential
+analysis the expression-analysis modules wrap.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def make_microarray(gene_names: "list[str]", n_samples: int = 4, seed: int = 7) -> str:
+    """A deterministic raw microarray table: probe rows, intensity columns."""
+    lines = ["probe\t" + "\t".join(f"sample{j + 1}" for j in range(n_samples))]
+    for index, name in enumerate(gene_names):
+        intensities = [
+            100 + ((seed * 37 + index * 13 + j * 17) % 900) for j in range(n_samples)
+        ]
+        lines.append(name + "\t" + "\t".join(str(v) for v in intensities))
+    return "\n".join(lines) + "\n"
+
+
+def parse_expression_table(text: str) -> tuple[list[str], list[str], list[list[float]]]:
+    """Parse a tabular expression table into (genes, samples, values).
+
+    Raises:
+        ValueError: When the table is malformed or ragged.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or "\t" not in lines[0]:
+        raise ValueError("not an expression table")
+    header = lines[0].split("\t")
+    samples = header[1:]
+    genes: list[str] = []
+    values: list[list[float]] = []
+    for line in lines[1:]:
+        cells = line.split("\t")
+        if len(cells) != len(header):
+            raise ValueError(f"ragged expression row: {line!r}")
+        genes.append(cells[0])
+        values.append([float(cell) for cell in cells[1:]])
+    return genes, samples, values
+
+
+def render_expression_table(
+    genes: "list[str]", samples: "list[str]", values: "list[list[float]]"
+) -> str:
+    """Render (genes, samples, values) back to a tabular table."""
+    lines = ["probe\t" + "\t".join(samples)]
+    for gene, row in zip(genes, values):
+        lines.append(gene + "\t" + "\t".join(f"{v:.3f}" for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def normalize_expression(text: str) -> str:
+    """Log2-transform and median-center a raw microarray table."""
+    genes, samples, values = parse_expression_table(text)
+    logged = [[math.log2(max(v, 1.0)) for v in row] for row in values]
+    for column in range(len(samples)):
+        column_values = sorted(row[column] for row in logged)
+        median = column_values[len(column_values) // 2]
+        for row in logged:
+            row[column] -= median
+    return render_expression_table(genes, samples, logged)
+
+
+def differential_report(text: str, threshold: float) -> str:
+    """A differential-expression report: genes whose first-vs-second-half
+    mean intensity difference exceeds ``threshold``."""
+    genes, samples, values = parse_expression_table(text)
+    half = max(1, len(samples) // 2)
+    lines = ["gene\tdelta"]
+    for gene, row in zip(genes, values):
+        first = sum(row[:half]) / half
+        second = sum(row[half:]) / max(1, len(row) - half)
+        delta = first - second
+        if abs(delta) >= threshold:
+            lines.append(f"{gene}\t{delta:.3f}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,369 @@
+"""Renderers and parsers for the flat-file formats of the universe.
+
+Format-transformation modules (Table 3's largest Shim category) are built
+as *parse source format -> field dict -> render target format* pipelines,
+so every renderer here is paired with a parser able to round-trip the
+fields the transformations need.
+
+All formats operate on plain ``dict[str, str]`` field maps; the canonical
+field maps for universe entities are produced by :mod:`repro.biodb.records`.
+"""
+
+from __future__ import annotations
+
+import json
+from xml.etree import ElementTree
+
+
+class FormatError(ValueError):
+    """Raised when text cannot be parsed in the expected format."""
+
+
+# ----------------------------------------------------------------------
+# FASTA
+# ----------------------------------------------------------------------
+def render_fasta(fields: dict[str, str]) -> str:
+    """Render a sequence record as FASTA.
+
+    Expects ``accession``, ``description`` and ``sequence`` fields.
+    """
+    header = f">{fields['accession']} {fields.get('description', '')}".rstrip()
+    sequence = fields["sequence"]
+    lines = [sequence[i : i + 60] for i in range(0, len(sequence), 60)]
+    return "\n".join([header] + lines) + "\n"
+
+
+def parse_fasta(text: str) -> dict[str, str]:
+    """Parse a single-record FASTA file back into fields."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or not lines[0].startswith(">"):
+        raise FormatError("not FASTA: missing '>' header")
+    header = lines[0][1:].split(None, 1)
+    return {
+        "accession": header[0],
+        "description": header[1] if len(header) > 1 else "",
+        "sequence": "".join(lines[1:]),
+    }
+
+
+# ----------------------------------------------------------------------
+# UniProt-style flat file
+# ----------------------------------------------------------------------
+def render_uniprot_flat(fields: dict[str, str]) -> str:
+    """Render a protein record as a UniProtKB-style flat file."""
+    sequence = fields["sequence"]
+    lines = [
+        f"ID   {fields.get('entry_name', fields['accession'])}  Reviewed; {len(sequence)} AA.",
+        f"AC   {fields['accession']};",
+        f"DE   RecName: Full={fields.get('description', '')};",
+        f"OS   {fields.get('organism', '')}.",
+        f"GN   Name={fields.get('gene_name', '')};",
+    ]
+    for xref in fields.get("xrefs", "").split("|"):
+        if xref:
+            lines.append(f"DR   {xref}.")
+    if fields.get("keywords"):
+        lines.append(f"KW   {fields['keywords']}.")
+    lines.append(f"SQ   SEQUENCE {len(sequence)} AA;")
+    for i in range(0, len(sequence), 60):
+        lines.append("     " + sequence[i : i + 60])
+    lines.append("//")
+    return "\n".join(lines) + "\n"
+
+
+def parse_uniprot_flat(text: str) -> dict[str, str]:
+    """Parse the fields back out of a UniProt-style flat file."""
+    if "AC   " not in text:
+        raise FormatError("not UniProt flat: missing AC line")
+    fields: dict[str, str] = {"xrefs": "", "sequence": ""}
+    xrefs = []
+    in_sequence = False
+    for line in text.splitlines():
+        if line.startswith("AC   "):
+            fields["accession"] = line[5:].strip().rstrip(";")
+        elif line.startswith("DE   "):
+            fields["description"] = (
+                line[5:].replace("RecName: Full=", "").strip().rstrip(";")
+            )
+        elif line.startswith("OS   "):
+            fields["organism"] = line[5:].strip().rstrip(".")
+        elif line.startswith("GN   "):
+            fields["gene_name"] = line[5:].replace("Name=", "").strip().rstrip(";")
+        elif line.startswith("DR   "):
+            xrefs.append(line[5:].strip().rstrip("."))
+        elif line.startswith("KW   "):
+            fields["keywords"] = line[5:].strip().rstrip(".")
+        elif line.startswith("SQ   "):
+            in_sequence = True
+        elif line.startswith("//"):
+            in_sequence = False
+        elif in_sequence:
+            fields["sequence"] += line.strip()
+    fields["xrefs"] = "|".join(xrefs)
+    if "accession" not in fields:
+        raise FormatError("not UniProt flat: no accession parsed")
+    return fields
+
+
+# ----------------------------------------------------------------------
+# EMBL-style flat file
+# ----------------------------------------------------------------------
+def render_embl_flat(fields: dict[str, str]) -> str:
+    """Render a nucleotide record as an EMBL-style flat file."""
+    sequence = fields["sequence"]
+    lines = [
+        f"ID   {fields['accession']}; SV 1; linear; DNA; SYN; {len(sequence)} BP.",
+        f"AC   {fields['accession']};",
+        f"DE   {fields.get('description', '')}",
+        f"OS   {fields.get('organism', '')}",
+        f"SQ   Sequence {len(sequence)} BP;",
+    ]
+    for i in range(0, len(sequence), 60):
+        lines.append("     " + sequence[i : i + 60].lower())
+    lines.append("//")
+    return "\n".join(lines) + "\n"
+
+
+def parse_embl_flat(text: str) -> dict[str, str]:
+    """Parse an EMBL-style flat file into fields."""
+    if not text.startswith("ID   "):
+        raise FormatError("not EMBL flat: missing ID line")
+    fields: dict[str, str] = {"sequence": ""}
+    in_sequence = False
+    for line in text.splitlines():
+        if line.startswith("AC   "):
+            fields["accession"] = line[5:].strip().rstrip(";")
+        elif line.startswith("DE   "):
+            fields["description"] = line[5:].strip()
+        elif line.startswith("OS   "):
+            fields["organism"] = line[5:].strip()
+        elif line.startswith("SQ   "):
+            in_sequence = True
+        elif line.startswith("//"):
+            in_sequence = False
+        elif in_sequence:
+            fields["sequence"] += line.strip().upper()
+    if "accession" not in fields:
+        raise FormatError("not EMBL flat: no accession parsed")
+    return fields
+
+
+# ----------------------------------------------------------------------
+# GenBank-style flat file
+# ----------------------------------------------------------------------
+def render_genbank_flat(fields: dict[str, str]) -> str:
+    """Render a nucleotide record as a GenBank-style flat file."""
+    sequence = fields["sequence"]
+    lines = [
+        f"LOCUS       {fields['accession']} {len(sequence)} bp DNA linear SYN",
+        f"DEFINITION  {fields.get('description', '')}",
+        f"ACCESSION   {fields['accession']}",
+        f"SOURCE      {fields.get('organism', '')}",
+        "ORIGIN",
+    ]
+    for i in range(0, len(sequence), 60):
+        lines.append(f"{i + 1:>9} {sequence[i:i + 60].lower()}")
+    lines.append("//")
+    return "\n".join(lines) + "\n"
+
+
+def parse_genbank_flat(text: str) -> dict[str, str]:
+    """Parse a GenBank-style flat file into fields."""
+    if not text.startswith("LOCUS"):
+        raise FormatError("not GenBank: missing LOCUS line")
+    fields: dict[str, str] = {"sequence": ""}
+    in_origin = False
+    for line in text.splitlines():
+        if line.startswith("DEFINITION"):
+            fields["description"] = line[len("DEFINITION") :].strip()
+        elif line.startswith("ACCESSION"):
+            fields["accession"] = line[len("ACCESSION") :].strip()
+        elif line.startswith("SOURCE"):
+            fields["organism"] = line[len("SOURCE") :].strip()
+        elif line.startswith("ORIGIN"):
+            in_origin = True
+        elif line.startswith("//"):
+            in_origin = False
+        elif in_origin:
+            fields["sequence"] += "".join(line.split()[1:]).upper()
+    if "accession" not in fields:
+        raise FormatError("not GenBank: no accession parsed")
+    return fields
+
+
+# ----------------------------------------------------------------------
+# KEGG-style flat file (genes, pathways, enzymes, compounds, glycans)
+# ----------------------------------------------------------------------
+def render_kegg_flat(fields: dict[str, str]) -> str:
+    """Render a KEGG-style flat record; field order is deterministic."""
+    lines = [f"ENTRY       {fields['accession']}"]
+    for key in ("name", "description", "organism", "formula", "mass",
+                "composition", "genes", "compounds", "pathways"):
+        if fields.get(key):
+            lines.append(f"{key.upper():<12}{fields[key]}")
+    lines.append("///")
+    return "\n".join(lines) + "\n"
+
+
+def parse_kegg_flat(text: str) -> dict[str, str]:
+    """Parse a KEGG-style flat record into fields."""
+    if not text.startswith("ENTRY"):
+        raise FormatError("not KEGG flat: missing ENTRY line")
+    fields: dict[str, str] = {}
+    for line in text.splitlines():
+        if line.startswith("///") or not line.strip():
+            continue
+        key = line[:12].strip().lower()
+        value = line[12:].strip()
+        if key == "entry":
+            fields["accession"] = value
+        elif key:
+            fields[key] = value
+    if "accession" not in fields:
+        raise FormatError("not KEGG flat: no ENTRY parsed")
+    return fields
+
+
+# ----------------------------------------------------------------------
+# PDB-style text
+# ----------------------------------------------------------------------
+def render_pdb_text(fields: dict[str, str]) -> str:
+    """Render a structure record as minimal PDB-style text."""
+    return (
+        f"HEADER    SYNTHETIC STRUCTURE            {fields['accession']}\n"
+        f"TITLE     {fields.get('description', '')}\n"
+        f"REMARK   2 RESOLUTION. {fields.get('resolution', '?')} ANGSTROMS.\n"
+        f"SEQRES    {fields.get('sequence', '')}\n"
+        "END\n"
+    )
+
+
+def parse_pdb_text(text: str) -> dict[str, str]:
+    """Parse minimal PDB-style text into fields."""
+    if not text.startswith("HEADER"):
+        raise FormatError("not PDB: missing HEADER")
+    fields: dict[str, str] = {}
+    for line in text.splitlines():
+        if line.startswith("HEADER"):
+            fields["accession"] = line.split()[-1]
+        elif line.startswith("TITLE"):
+            fields["description"] = line[len("TITLE") :].strip()
+        elif line.startswith("REMARK   2 RESOLUTION."):
+            fields["resolution"] = line.split()[3]
+        elif line.startswith("SEQRES"):
+            fields["sequence"] = line[len("SEQRES") :].strip()
+    return fields
+
+
+# ----------------------------------------------------------------------
+# OBO stanza (GO terms)
+# ----------------------------------------------------------------------
+def render_obo_stanza(fields: dict[str, str]) -> str:
+    """Render a GO term as an OBO stanza."""
+    lines = ["[Term]", f"id: {fields['accession']}", f"name: {fields.get('name', '')}"]
+    if fields.get("namespace"):
+        lines.append(f"namespace: {fields['namespace']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_obo_stanza(text: str) -> dict[str, str]:
+    """Parse an OBO stanza into fields."""
+    if "[Term]" not in text:
+        raise FormatError("not OBO: missing [Term] stanza")
+    fields: dict[str, str] = {}
+    for line in text.splitlines():
+        if ":" in line and not line.startswith("["):
+            key, value = line.split(":", 1)
+            key = key.strip()
+            value = value.strip()
+            if key == "id":
+                fields["accession"] = value
+            else:
+                fields[key] = value
+    return fields
+
+
+# ----------------------------------------------------------------------
+# Generic structured formats
+# ----------------------------------------------------------------------
+def render_tabular(fields: dict[str, str]) -> str:
+    """Render fields as two-column tab-separated ``key\\tvalue`` lines."""
+    return "\n".join(f"{key}\t{value}" for key, value in sorted(fields.items())) + "\n"
+
+
+def parse_tabular(text: str) -> dict[str, str]:
+    """Parse two-column tab-separated text into fields."""
+    fields: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if "\t" not in line:
+            raise FormatError(f"not tabular: {line!r}")
+        key, value = line.split("\t", 1)
+        fields[key] = value
+    return fields
+
+
+def render_csv(fields: dict[str, str]) -> str:
+    """Render fields as a two-row CSV (header row + value row)."""
+    keys = sorted(fields)
+    quote = lambda v: '"' + str(v).replace('"', '""') + '"'  # noqa: E731
+    return ",".join(keys) + "\n" + ",".join(quote(fields[k]) for k in keys) + "\n"
+
+
+def render_xml(fields: dict[str, str], root_tag: str = "record") -> str:
+    """Render fields as a flat XML document."""
+    root = ElementTree.Element(root_tag)
+    for key, value in sorted(fields.items()):
+        child = ElementTree.SubElement(root, key)
+        child.text = str(value)
+    return ElementTree.tostring(root, encoding="unicode") + "\n"
+
+
+def parse_xml(text: str) -> dict[str, str]:
+    """Parse flat XML produced by :func:`render_xml` into fields."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise FormatError(f"not XML: {exc}") from exc
+    return {child.tag: child.text or "" for child in root}
+
+
+def render_json(fields: dict[str, str]) -> str:
+    """Render fields as a JSON object with sorted keys."""
+    return json.dumps(fields, sort_keys=True) + "\n"
+
+
+def parse_json(text: str) -> dict[str, str]:
+    """Parse a JSON object into fields."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"not JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise FormatError("not a JSON object")
+    return {str(k): str(v) for k, v in data.items()}
+
+
+def render_medline(fields: dict[str, str]) -> str:
+    """Render a publication as a MEDLINE-style record."""
+    return (
+        f"PMID- {fields['accession']}\n"
+        f"TI  - {fields.get('title', '')}\n"
+        f"AB  - {fields.get('abstract', '')}\n"
+        f"LID - {fields.get('doi', '')}\n"
+    )
+
+
+def parse_medline(text: str) -> dict[str, str]:
+    """Parse a MEDLINE-style record into fields."""
+    if not text.startswith("PMID- "):
+        raise FormatError("not MEDLINE: missing PMID")
+    fields: dict[str, str] = {}
+    mapping = {"PMID": "accession", "TI  ": "title", "AB  ": "abstract", "LID ": "doi"}
+    for line in text.splitlines():
+        if len(line) > 6 and line[4:6] == "- ":
+            key = mapping.get(line[:4])
+            if key:
+                fields[key] = line[6:].strip()
+    return fields

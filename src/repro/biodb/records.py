@@ -1,0 +1,154 @@
+"""Canonical record field maps for universe entities.
+
+These builders produce the ``dict[str, str]`` field maps the format
+renderers (:mod:`repro.biodb.formats`) consume.  Retrieval modules compose
+``resolve accession -> build fields -> render format``; transformation
+modules compose ``parse format -> render other format``.
+"""
+
+from __future__ import annotations
+
+from repro.biodb.accessions import species_name
+from repro.biodb.entities import (
+    Compound,
+    Enzyme,
+    Gene,
+    Glycan,
+    GOTerm,
+    Ligand,
+    Pathway,
+    Protein,
+    Publication,
+    Structure,
+)
+from repro.biodb.universe import BioUniverse
+
+
+def protein_fields(universe: BioUniverse, protein: Protein) -> dict[str, str]:
+    """Canonical fields of a protein (UniProt-style) record."""
+    gene = universe.gene_for_protein(protein)
+    xrefs = [f"KEGG; {gene.kegg_id}", f"EMBL; {gene.embl}"]
+    xrefs.extend(
+        f"GO; {universe.go_terms[o].go_id}" for o in protein.go_term_ordinals
+    )
+    if protein.structure_ordinal is not None:
+        xrefs.append(f"PDB; {universe.structures[protein.structure_ordinal].pdb_id}")
+    return {
+        "accession": protein.uniprot,
+        "entry_name": f"{gene.name.upper()}_{species_name(protein.organism_ordinal).split()[0][:5].upper()}",
+        "description": protein.name,
+        "organism": species_name(protein.organism_ordinal),
+        "gene_name": gene.name,
+        "sequence": protein.sequence,
+        "keywords": "; ".join(protein.keywords),
+        "xrefs": "|".join(xrefs),
+    }
+
+
+def gene_fields(universe: BioUniverse, gene: Gene) -> dict[str, str]:
+    """Canonical fields of a nucleotide (EMBL/GenBank-style) record."""
+    protein = universe.protein_for_gene(gene)
+    return {
+        "accession": gene.embl,
+        "description": f"{species_name(gene.organism_ordinal)} {gene.name} gene for {protein.name}",
+        "organism": species_name(gene.organism_ordinal),
+        "sequence": gene.dna_sequence,
+    }
+
+
+def kegg_gene_fields(universe: BioUniverse, gene: Gene) -> dict[str, str]:
+    """Canonical fields of a KEGG GENES record."""
+    return {
+        "accession": gene.kegg_id,
+        "name": gene.name,
+        "description": universe.protein_for_gene(gene).name,
+        "organism": species_name(gene.organism_ordinal),
+        "pathways": " ".join(
+            universe.pathways[o].kegg_id for o in gene.pathway_ordinals
+        ),
+    }
+
+
+def pathway_fields(universe: BioUniverse, pathway: Pathway) -> dict[str, str]:
+    """Canonical fields of a KEGG PATHWAY record."""
+    return {
+        "accession": pathway.kegg_id,
+        "name": pathway.name,
+        "description": pathway.description,
+        "organism": species_name(pathway.organism_ordinal),
+        "genes": " ".join(universe.genes[o].kegg_id for o in pathway.gene_ordinals),
+        "compounds": " ".join(
+            universe.compounds[o].kegg_id for o in pathway.compound_ordinals
+        ),
+    }
+
+
+def enzyme_fields(universe: BioUniverse, enzyme: Enzyme) -> dict[str, str]:
+    """Canonical fields of an enzyme record."""
+    return {
+        "accession": enzyme.ec_number,
+        "name": enzyme.name,
+        "genes": " ".join(universe.genes[o].kegg_id for o in enzyme.gene_ordinals),
+        "compounds": " ".join(
+            universe.compounds[o].kegg_id for o in enzyme.compound_ordinals
+        ),
+    }
+
+
+def compound_fields(universe: BioUniverse, compound: Compound) -> dict[str, str]:
+    """Canonical fields of a compound record."""
+    return {
+        "accession": compound.kegg_id,
+        "name": compound.name,
+        "formula": compound.formula,
+        "mass": f"{compound.mass:.2f}",
+    }
+
+
+def structure_fields(universe: BioUniverse, structure: Structure) -> dict[str, str]:
+    """Canonical fields of a PDB structure record."""
+    protein = universe.proteins[structure.protein_ordinal]
+    return {
+        "accession": structure.pdb_id,
+        "description": structure.title,
+        "resolution": f"{structure.resolution:.2f}",
+        "sequence": protein.sequence,
+    }
+
+
+def glycan_fields(universe: BioUniverse, glycan: Glycan) -> dict[str, str]:
+    """Canonical fields of a KEGG GLYCAN record."""
+    return {
+        "accession": glycan.glycan_id,
+        "name": glycan.name,
+        "composition": glycan.composition,
+    }
+
+
+def ligand_fields(universe: BioUniverse, ligand: Ligand) -> dict[str, str]:
+    """Canonical fields of a ligand record."""
+    compound = universe.compounds[ligand.compound_ordinal]
+    return {
+        "accession": ligand.ligand_id,
+        "name": ligand.name,
+        "compounds": compound.kegg_id,
+    }
+
+
+def go_term_fields(universe: BioUniverse, term: GOTerm) -> dict[str, str]:
+    """Canonical fields of a GO term record."""
+    return {
+        "accession": term.go_id,
+        "name": term.name,
+        "namespace": term.namespace,
+    }
+
+
+def publication_fields(universe: BioUniverse, publication: Publication) -> dict[str, str]:
+    """Canonical fields of a literature record."""
+    return {
+        "accession": publication.pubmed_id,
+        "title": publication.title,
+        "abstract": publication.abstract,
+        "doi": publication.doi,
+    }

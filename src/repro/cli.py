@@ -1,0 +1,262 @@
+"""Command-line interface to the reproduction.
+
+Subcommands::
+
+    repro-cli list [--category C] [--interface I]   browse the catalog
+    repro-cli show MODULE_ID                        signature + partitions
+    repro-cli annotate MODULE_ID [--max N]          generate data examples
+    repro-cli match MODULE_ID                       match a decayed module
+    repro-cli suggest MODULE_ID [--limit N]         composition suggestions
+    repro-cli redundancy MODULE_ID [--threshold T]  estimate redundancy
+    repro-cli describe MODULE_ID                    guess the task from examples
+    repro-cli validate WORKFLOW_FILE                statically check a workflow
+    repro-cli report [--seed S]                     full paper-vs-measured report
+
+All state is rebuilt deterministically from the seed; nothing is cached
+on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.composition import CompositionAdvisor
+from repro.core.generation import ExampleGenerator
+from repro.core.matching import find_matches
+from repro.core.metrics import evaluate_module
+from repro.core.partitioning import module_partitions
+from repro.core.description import BehaviorDescriber
+from repro.core.redundancy import RedundancyDetector
+from repro.modules.catalog import (
+    DECAYED_PROVIDERS,
+    build_decayed_modules,
+    default_catalog,
+    default_context,
+)
+from repro.ontology import build_mygrid_ontology
+from repro.pool import InstancePool, default_factory
+from repro.workflow import shut_down_providers
+
+
+def _world(seed: int = 2014):
+    ctx = default_context(seed)
+    catalog = list(default_catalog())
+    pool = InstancePool.bootstrap(default_factory(seed), build_mygrid_ontology())
+    return ctx, catalog, pool
+
+
+def _find_module(module_id: str, modules) -> "object":
+    for module in modules:
+        if module.module_id == module_id:
+            return module
+    raise SystemExit(f"error: no module {module_id!r} (try `repro-cli list`)")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_list(args: argparse.Namespace) -> int:
+    _ctx, catalog, _pool = _world(args.seed)
+    for module in catalog:
+        if args.category and args.category not in module.category.value:
+            continue
+        if args.interface and args.interface not in module.interface.value:
+            continue
+        print(
+            f"{module.module_id:<32} {module.name:<28} "
+            f"{module.category.value:<22} {module.interface.value}"
+        )
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    ctx, catalog, _pool = _world(args.seed)
+    module = _find_module(args.module_id, catalog)
+    print(f"{module.name} ({module.module_id})")
+    print(f"  category:  {module.category.value}")
+    print(f"  interface: {module.interface.value}")
+    print(f"  provider:  {module.provider}")
+    print(f"  classes of behavior: {module.behavior.n_classes}")
+    partitions = module_partitions(ctx.ontology, module)
+    for parameter in module.inputs:
+        parts = partitions[f"in:{parameter.name}"]
+        print(f"  in  {parameter.name}: {parameter.structural} / {parameter.concept}"
+              f"  [{len(parts)} partitions]")
+    for parameter in module.outputs:
+        parts = partitions[f"out:{parameter.name}"]
+        print(f"  out {parameter.name}: {parameter.structural} / {parameter.concept}"
+              f"  [{len(parts)} partitions]")
+    return 0
+
+
+def cmd_annotate(args: argparse.Namespace) -> int:
+    ctx, catalog, pool = _world(args.seed)
+    module = _find_module(args.module_id, catalog)
+    report = ExampleGenerator(ctx, pool).generate(module)
+    evaluation = evaluate_module(ctx, module, report.examples)
+    print(f"generated {report.n_examples} data examples "
+          f"({report.invalid_combinations} invalid combinations)")
+    print(f"coverage={evaluation.coverage:.2f} "
+          f"completeness={evaluation.completeness:.2f} "
+          f"conciseness={evaluation.conciseness:.2f}")
+    for example in report.examples[: args.max]:
+        print()
+        print(example.render())
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    ctx, catalog, pool = _world(args.seed)
+    decayed = build_decayed_modules()
+    module = _find_module(args.module_id, decayed)
+    examples = ExampleGenerator(ctx, pool).generate(module).examples
+    shut_down_providers(decayed, DECAYED_PROVIDERS)
+    reports = find_matches(ctx, module, examples, catalog)
+    if not reports:
+        print("no candidate shares a compatible signature")
+        return 1
+    for report in reports:
+        print(f"{report.kind.value:<12} {report.candidate_id:<34} "
+              f"agreed {report.n_agreeing}/{report.n_examples}")
+    return 0
+
+
+def cmd_suggest(args: argparse.Namespace) -> int:
+    ctx, catalog, pool = _world(args.seed)
+    module = _find_module(args.module_id, catalog)
+    examples = ExampleGenerator(ctx, pool).generate(module).examples
+    advisor = CompositionAdvisor(ctx, catalog, pool)
+    suggestions = advisor.suggest_successors(module, examples, limit=args.limit)
+    for suggestion in suggestions:
+        marker = "" if suggestion.annotation_compatible else "  [value-level only]"
+        print(f"{suggestion.output} -> {suggestion.consumer_id}.{suggestion.input}"
+              f"{marker}")
+    return 0
+
+
+def cmd_redundancy(args: argparse.Namespace) -> int:
+    ctx, catalog, pool = _world(args.seed)
+    module = _find_module(args.module_id, catalog)
+    examples = ExampleGenerator(ctx, pool).generate(module).examples
+    report = RedundancyDetector(args.threshold).detect(module.module_id, examples)
+    print(f"{report.n_examples} examples -> {len(report.clusters)} estimated classes "
+          f"({report.estimated_redundant} redundant)")
+    for index, cluster in enumerate(report.clusters):
+        print(f"  class {index + 1}: examples {list(cluster)}")
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    ctx, catalog, pool = _world(args.seed)
+    module = _find_module(args.module_id, catalog)
+    examples = ExampleGenerator(ctx, pool).generate(module).examples
+    description = BehaviorDescriber().describe(module.module_id, examples)
+    guessed = (
+        description.guessed_category.value
+        if description.guessed_category
+        else "(not identifiable from the examples)"
+    )
+    confidence = "confident" if description.confident else "tentative"
+    print(f"guessed kind: {guessed}  [{confidence}]")
+    print(f"hypothesis:   {description.text}")
+    print(f"actual kind:  {module.category.value}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.modules.catalog import build_decayed_modules
+    from repro.workflow.io import workflow_from_dict, workflow_from_xml
+    from repro.workflow.validation import validate_workflow
+
+    ctx, catalog, _pool = _world(args.seed)
+    modules = {m.module_id: m for m in catalog}
+    if args.include_decayed:
+        modules.update({m.module_id: m for m in build_decayed_modules()})
+    text = Path(args.workflow_file).read_text(encoding="utf-8")
+    if text.lstrip().startswith("<"):
+        workflow = workflow_from_xml(text)
+    else:
+        workflow = workflow_from_dict(_json.loads(text))
+    report = validate_workflow(workflow, modules, ctx.ontology)
+    if report.ok:
+        print(f"{workflow.workflow_id}: OK "
+              f"({len(workflow.steps)} steps, {len(workflow.links)} links)")
+        return 0
+    for issue in report.issues:
+        print(f"{issue.kind.value}: {issue.detail}")
+    return 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+    from repro.experiments.setup import default_setup
+
+    print(run_all(default_setup(args.seed)))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Data-example annotation of scientific modules "
+        "(Belhajjame, EDBT 2014 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2014, help="master seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p = commands.add_parser("list", help="browse the module catalog")
+    p.add_argument("--category", help="substring filter on the category")
+    p.add_argument("--interface", help="substring filter on the interface")
+    p.set_defaults(func=cmd_list)
+
+    p = commands.add_parser("show", help="signature and partitions of a module")
+    p.add_argument("module_id")
+    p.set_defaults(func=cmd_show)
+
+    p = commands.add_parser("annotate", help="generate data examples")
+    p.add_argument("module_id")
+    p.add_argument("--max", type=int, default=5, help="examples to print")
+    p.set_defaults(func=cmd_annotate)
+
+    p = commands.add_parser("match", help="match a decayed module (§6)")
+    p.add_argument("module_id")
+    p.set_defaults(func=cmd_match)
+
+    p = commands.add_parser("suggest", help="composition suggestions (§8)")
+    p.add_argument("module_id")
+    p.add_argument("--limit", type=int, default=None)
+    p.set_defaults(func=cmd_suggest)
+
+    p = commands.add_parser("redundancy", help="estimate redundancy (§8)")
+    p.add_argument("module_id")
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.set_defaults(func=cmd_redundancy)
+
+    p = commands.add_parser("describe", help="guess a module's task from examples (§5)")
+    p.add_argument("module_id")
+    p.set_defaults(func=cmd_describe)
+
+    p = commands.add_parser("validate", help="statically check a workflow file")
+    p.add_argument("workflow_file")
+    p.add_argument("--include-decayed", action="store_true",
+                   help="resolve decayed module ids too (pre-decay check)")
+    p.set_defaults(func=cmd_validate)
+
+    p = commands.add_parser("report", help="full reproduction report")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

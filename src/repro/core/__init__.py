@@ -1,0 +1,71 @@
+"""The paper's core contribution: partitioning, generation, metrics,
+matching and repair over data examples."""
+
+from repro.core.composition import CompositionAdvisor, CompositionSuggestion
+from repro.core.description import (
+    BehaviorDescriber,
+    BehaviorDescription,
+    DescriberStudy,
+    run_describer_study,
+)
+from repro.core.examples import Binding, DataExample
+from repro.core.generation import ExampleGenerator, GenerationReport
+from repro.core.matching import (
+    MatchKind,
+    MatchReport,
+    ParameterMapping,
+    best_match,
+    compare_behavior,
+    find_matches,
+    map_parameters,
+)
+from repro.core.metrics import ModuleEvaluation, evaluate_module, histogram
+from repro.core.redundancy import (
+    RedundancyDetector,
+    RedundancyReport,
+    estimate_conciseness,
+    jaccard,
+    tokenize_value,
+)
+from repro.core.partitioning import (
+    count_partitions,
+    module_partitions,
+    parameter_partitions,
+    realizable_partitions,
+)
+from repro.core.repair import RepairOutcome, RepairResult, WorkflowRepairer
+
+__all__ = [
+    "Binding",
+    "DataExample",
+    "ExampleGenerator",
+    "GenerationReport",
+    "ModuleEvaluation",
+    "evaluate_module",
+    "histogram",
+    "realizable_partitions",
+    "parameter_partitions",
+    "module_partitions",
+    "count_partitions",
+    "MatchKind",
+    "MatchReport",
+    "ParameterMapping",
+    "map_parameters",
+    "compare_behavior",
+    "find_matches",
+    "best_match",
+    "WorkflowRepairer",
+    "RepairResult",
+    "RepairOutcome",
+    "RedundancyDetector",
+    "RedundancyReport",
+    "estimate_conciseness",
+    "jaccard",
+    "tokenize_value",
+    "CompositionAdvisor",
+    "CompositionSuggestion",
+    "BehaviorDescriber",
+    "BehaviorDescription",
+    "DescriberStudy",
+    "run_describer_study",
+]

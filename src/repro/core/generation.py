@@ -1,0 +1,165 @@
+"""The data-example generation heuristic (§3.2–3.3).
+
+The four-phase procedure of the paper, verbatim:
+
+1. *Partition* the domain of each input parameter using the sub-concepts
+   of its semantic annotation.
+2. *Select* one realization per partition from the pool of annotated
+   instances (structurally compatible with the parameter).
+3. *Invoke* the module on every combination of the selected values —
+   through its real supply interface (SOAP envelope / REST call / local
+   program), so invalid combinations genuinely terminate abnormally.
+4. *Construct* one data example per normally terminating combination.
+
+Output-side partitions are not targeted directly (§3.3): the examples
+produced by input partitioning cover them opportunistically, and the
+coverage metric measures how far that carries.
+
+A ``selection`` strategy of ``"random"`` replaces phase 1+2 with k values
+drawn uniformly from the annotated pool of the input's whole domain —
+the baseline for the selection-strategy ablation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.core.examples import Binding, DataExample
+from repro.core.partitioning import parameter_partitions
+from repro.modules.errors import ModuleInvocationError
+from repro.modules.interfaces import invoke_via_interface
+from repro.modules.model import Module, ModuleContext
+from repro.pool.pool import InstancePool
+from repro.values import TypedValue
+
+
+@dataclass
+class GenerationReport:
+    """Outcome of generating data examples for one module.
+
+    Attributes:
+        module_id: The module processed.
+        examples: The constructed data examples.
+        selected: Per input parameter, the ``partition -> value`` choices.
+        unrealized_partitions: Input partitions for which the pool had no
+            compatible realization (phase 2 failures).
+        invalid_combinations: Number of combinations that terminated
+            abnormally (phase 3 rejections).
+    """
+
+    module_id: str
+    examples: list[DataExample] = field(default_factory=list)
+    selected: dict[str, dict[str, TypedValue]] = field(default_factory=dict)
+    unrealized_partitions: list[tuple[str, str]] = field(default_factory=list)
+    invalid_combinations: int = 0
+
+    @property
+    def n_examples(self) -> int:
+        return len(self.examples)
+
+
+class ExampleGenerator:
+    """Generates characterizing data examples for black-box modules."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        pool: InstancePool,
+        max_depth: int | None = None,
+        selection: str = "partition",
+        random_k: int = 3,
+        seed: int = 2014,
+    ) -> None:
+        """Args:
+            ctx: Execution context (universe + ontology).
+            pool: The annotated instance pool.
+            max_depth: Partitioning depth cap (ablation A2).
+            selection: ``"partition"`` (the paper's heuristic) or
+                ``"random"`` (ablation A1 baseline).
+            random_k: Values drawn per input under ``"random"``.
+            seed: Seed for the random-selection baseline.
+        """
+        if selection not in ("partition", "random"):
+            raise ValueError(f"unknown selection strategy {selection!r}")
+        self.ctx = ctx
+        self.pool = pool
+        self.max_depth = max_depth
+        self.selection = selection
+        self.random_k = random_k
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, module: Module) -> GenerationReport:
+        """Run the four-phase heuristic for one module."""
+        report = GenerationReport(module_id=module.module_id)
+        per_input: list[list[Binding]] = []
+        for parameter in module.inputs:
+            choices = self._select_values(module, parameter, report)
+            if not choices:
+                # An input with no usable value at all: no combination can
+                # be formed, so no examples are produced.
+                return report
+            per_input.append(choices)
+        for combination in itertools.product(*per_input):
+            bindings = {b.parameter: b.value for b in combination}
+            try:
+                outputs = invoke_via_interface(module, self.ctx, bindings)
+            except ModuleInvocationError:
+                report.invalid_combinations += 1
+                continue
+            report.examples.append(
+                DataExample(
+                    module_id=module.module_id,
+                    inputs=tuple(combination),
+                    outputs=tuple(
+                        Binding(parameter=name, value=value)
+                        for name, value in sorted(outputs.items())
+                    ),
+                )
+            )
+        return report
+
+    def generate_many(self, modules) -> dict[str, GenerationReport]:
+        """Generate examples for a collection of modules."""
+        return {module.module_id: self.generate(module) for module in modules}
+
+    # ------------------------------------------------------------------
+    def _select_values(self, module, parameter, report) -> list[Binding]:
+        if self.selection == "random":
+            return self._select_random(module, parameter)
+        choices: list[Binding] = []
+        selected: dict[str, TypedValue] = {}
+        for partition in parameter_partitions(
+            self.ctx.ontology, parameter, max_depth=self.max_depth
+        ):
+            value = self.pool.get_instance(partition, parameter.structural)
+            if value is None:
+                report.unrealized_partitions.append((parameter.name, partition))
+                continue
+            selected[partition] = value
+            choices.append(
+                Binding(parameter=parameter.name, value=value, partition=partition)
+            )
+        report.selected[parameter.name] = selected
+        return choices
+
+    def _select_random(self, module, parameter) -> list[Binding]:
+        """Ablation baseline: k pool values of any sub-concept of the
+        annotation, chosen uniformly without partition structure."""
+        domain = self.ctx.ontology.partitions_of(parameter.concept)
+        candidates = [
+            value
+            for concept in domain
+            for value in self.pool.instances_of(concept)
+            if value.feeds(parameter.structural)
+        ]
+        if not candidates:
+            return []
+        k = min(self.random_k, len(candidates))
+        picked = self._rng.sample(candidates, k)
+        return [
+            Binding(parameter=parameter.name, value=value, partition=value.concept)
+            for value in picked
+        ]

@@ -1,0 +1,131 @@
+"""The §4.2 evaluation metrics: coverage, completeness, conciseness.
+
+*Coverage* is purely ontological: which realizable partitions of the
+module's parameters are touched by the generated examples.  *Completeness*
+and *conciseness* are measured against the ground-truth classes of
+behavior — in the paper these came from module documentation and a domain
+expert; here they come from each module's executable
+:class:`~repro.modules.behavior.BehaviorSpec`, which the generator itself
+never reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.examples import DataExample
+from repro.core.partitioning import module_partitions
+from repro.modules.model import Module, ModuleContext
+from repro.ontology.model import Ontology
+
+
+@dataclass(frozen=True)
+class ModuleEvaluation:
+    """All §4.2 metrics for one module.
+
+    Attributes:
+        module_id: The module evaluated.
+        n_examples: Number of data examples generated.
+        n_partitions: ``#partitions(m)`` over inputs and outputs.
+        covered_partitions: Partitions touched by the examples.
+        input_coverage: Fraction of input partitions covered.
+        output_coverage: Fraction of output partitions covered.
+        coverage: Overall covered/total partitions.
+        n_classes: Ground-truth ``#classes(m)``.
+        classes_covered: Distinct classes the examples exhibit.
+        completeness: ``classes_covered / n_classes``.
+        conciseness: ``1 - redundant/#examples`` (1.0 for no examples).
+    """
+
+    module_id: str
+    n_examples: int
+    n_partitions: int
+    covered_partitions: int
+    input_coverage: float
+    output_coverage: float
+    coverage: float
+    n_classes: int
+    classes_covered: int
+    completeness: float
+    conciseness: float
+
+
+def _covered(
+    partitions: dict[str, tuple[str, ...]],
+    examples: "list[DataExample]",
+    ontology: Ontology,
+) -> dict[str, set[str]]:
+    """Which partitions each parameter's example values fall into.
+
+    A value covers the partition named by its most specific concept; input
+    values additionally cover the partition they were selected for.
+    """
+    covered: dict[str, set[str]] = {key: set() for key in partitions}
+    for example in examples:
+        for binding in example.inputs:
+            key = f"in:{binding.parameter}"
+            if key not in covered:
+                continue
+            if binding.partition is not None and binding.partition in partitions[key]:
+                covered[key].add(binding.partition)
+            elif binding.value.concept in partitions[key]:
+                covered[key].add(binding.value.concept)
+        for binding in example.outputs:
+            key = f"out:{binding.parameter}"
+            if key in covered and binding.value.concept in partitions[key]:
+                covered[key].add(binding.value.concept)
+    return covered
+
+
+def evaluate_module(
+    ctx: ModuleContext,
+    module: Module,
+    examples: "list[DataExample]",
+) -> ModuleEvaluation:
+    """Compute every §4.2 metric for one module's generated examples."""
+    partitions = module_partitions(ctx.ontology, module)
+    covered = _covered(partitions, examples, ctx.ontology)
+    input_keys = [k for k in partitions if k.startswith("in:")]
+    output_keys = [k for k in partitions if k.startswith("out:")]
+
+    def ratio(keys: "list[str]") -> float:
+        total = sum(len(partitions[k]) for k in keys)
+        if total == 0:
+            return 1.0
+        return sum(len(covered[k]) for k in keys) / total
+
+    labels = set()
+    for example in examples:
+        bindings = {b.parameter: b.value for b in example.inputs}
+        label = module.classify(ctx, bindings)
+        if label is not None:
+            labels.add(label)
+    n_examples = len(examples)
+    n_classes = module.behavior.n_classes
+    completeness = len(labels) / n_classes if n_classes else 1.0
+    conciseness = len(labels) / n_examples if n_examples else 1.0
+    total_partitions = sum(len(p) for p in partitions.values())
+    total_covered = sum(len(c) for c in covered.values())
+    return ModuleEvaluation(
+        module_id=module.module_id,
+        n_examples=n_examples,
+        n_partitions=total_partitions,
+        covered_partitions=total_covered,
+        input_coverage=ratio(input_keys),
+        output_coverage=ratio(output_keys),
+        coverage=total_covered / total_partitions if total_partitions else 1.0,
+        n_classes=n_classes,
+        classes_covered=len(labels),
+        completeness=completeness,
+        conciseness=conciseness,
+    )
+
+
+def histogram(values: "list[float]", precision: int = 2) -> "list[tuple[float, int]]":
+    """Table 1 / Table 2 style histogram: distinct rounded metric values
+    with module counts, best value first."""
+    counts: dict[float, int] = {}
+    for value in values:
+        key = round(value, precision)
+        counts[key] = counts.get(key, 0) + 1
+    return sorted(counts.items(), key=lambda item: -item[0])

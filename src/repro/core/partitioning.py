@@ -1,0 +1,68 @@
+"""Ontology-based domain partitioning (§3.1).
+
+The domain of a parameter annotated with concept ``c`` is divided into one
+partition per concept subsumed by ``c`` (including ``c`` itself).  Concepts
+covered by their children have no realization and therefore carry no
+partition of their own (§3.2); :func:`realizable_partitions` applies that
+rule, which is what the generator, the coverage metric and the matcher all
+consume.
+"""
+
+from __future__ import annotations
+
+from repro.modules.model import Module, Parameter
+from repro.ontology.model import Ontology
+
+
+def realizable_partitions(
+    ontology: Ontology, concept: str, max_depth: int | None = None
+) -> tuple[str, ...]:
+    """The partitions of ``concept``'s domain that admit realizations.
+
+    Args:
+        ontology: The annotation ontology.
+        concept: The annotating concept.
+        max_depth: Optional cap on descent depth (partitioning-depth
+            ablation); ``None`` descends to the leaves.
+
+    Raises:
+        KeyError: If ``concept`` is not in the ontology.
+    """
+    return tuple(
+        c
+        for c in ontology.partitions_of(concept, max_depth=max_depth)
+        if ontology.has_realization(c)
+    )
+
+
+def parameter_partitions(
+    ontology: Ontology, parameter: Parameter, max_depth: int | None = None
+) -> tuple[str, ...]:
+    """Realizable partitions of one parameter's semantic domain."""
+    return realizable_partitions(ontology, parameter.concept, max_depth=max_depth)
+
+
+def module_partitions(
+    ontology: Ontology, module: Module, max_depth: int | None = None
+) -> dict[str, tuple[str, ...]]:
+    """Realizable partitions of every parameter of ``module``.
+
+    Returns:
+        ``{"in:<name>" | "out:<name>": partitions}`` — the input/output
+        prefix keeps same-named parameters on both sides distinct.
+    """
+    partitions: dict[str, tuple[str, ...]] = {}
+    for parameter in module.inputs:
+        partitions[f"in:{parameter.name}"] = parameter_partitions(
+            ontology, parameter, max_depth=max_depth
+        )
+    for parameter in module.outputs:
+        partitions[f"out:{parameter.name}"] = parameter_partitions(
+            ontology, parameter, max_depth=max_depth
+        )
+    return partitions
+
+
+def count_partitions(ontology: Ontology, module: Module) -> int:
+    """``#partitions(m)`` of §4.2: total over inputs and outputs."""
+    return sum(len(p) for p in module_partitions(ontology, module).values())

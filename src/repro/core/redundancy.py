@@ -1,0 +1,210 @@
+"""Detecting redundant data examples without ground truth (§8 future work).
+
+The paper's conclusion: *"The evaluation showed that [data examples] are
+not always concise.  We are investigating techniques that can be used for
+detecting redundant data examples.  In particular, we envisage examining
+the use of record linkage techniques, such as those reported on by
+Elmagarmid et al."*
+
+This module implements that extension.  Two data examples of the same
+module are *suspected redundant* when their **output behaviors look like
+the same record**: outputs are shingled into token sets and compared with
+the Jaccard coefficient (the classic field-similarity measure of the
+record-linkage literature), after masking the tokens that merely echo the
+input values (a retrieval module's outputs always differ because the
+*inputs* differ — that must not hide redundancy).
+
+Clustering suspected-duplicate pairs transitively yields estimated
+behavior classes, from which an *estimated conciseness* is computed —
+without ever reading the module's ground-truth behavior spec.  The
+estimator is evaluated against ground truth in the test suite and swept
+over thresholds in the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.examples import DataExample
+from repro.values import TypedValue
+
+_TOKEN = re.compile(r"[A-Za-z0-9_.:-]+")
+_NUMERIC = re.compile(r"-?\d+(\.\d+)?")
+
+
+def normalize_token(token: str) -> str:
+    """Record-linkage field normalization: volatile content tokens are
+    replaced by type placeholders so that two records of the same *shape*
+    compare equal even when their entities differ.
+
+    * numbers -> ``<NUM>``;
+    * accessions -> ``<scheme>`` (via the accession classifiers);
+    * long alphabetic runs (sequences) -> ``<SEQ>``;
+    * everything else lower-cased verbatim.
+    """
+    from repro.biodb.accessions import classify_accession
+
+    token = token.strip(".,:;")
+    if not token:
+        return "<PUNCT>"
+    if _NUMERIC.fullmatch(token):
+        return "<NUM>"
+    scheme = classify_accession(token)
+    if scheme is not None:
+        return f"<{scheme}>"
+    if len(token) >= 15 and token.isalpha():
+        return "<SEQ>"
+    return token.lower()
+
+
+def tokenize_value(value: TypedValue) -> frozenset[str]:
+    """Shingle a value into its normalized record-linkage token set.
+
+    Textual payloads split on non-word characters; list payloads tokenize
+    each item; the value's structural type and semantic annotation are
+    included as tokens (two outputs annotated with different concepts are
+    evidence of different behavior)."""
+    payload = value.payload
+    tokens: set[str] = {f"structural:{value.structural.name}"}
+    if value.concept is not None:
+        tokens.add(f"concept:{value.concept}")
+    if isinstance(payload, tuple):
+        for item in payload:
+            tokens.update(normalize_token(t) for t in _TOKEN.findall(str(item)))
+    else:
+        tokens.update(normalize_token(t) for t in _TOKEN.findall(str(payload)))
+    return frozenset(tokens)
+
+
+def jaccard(first: frozenset[str], second: frozenset[str]) -> float:
+    """The Jaccard coefficient; 1.0 for two empty sets."""
+    if not first and not second:
+        return 1.0
+    union = first | second
+    return len(first & second) / len(union)
+
+
+@dataclass(frozen=True)
+class RedundancyReport:
+    """Outcome of redundancy detection for one module's examples.
+
+    Attributes:
+        module_id: The module analysed.
+        n_examples: Number of examples analysed.
+        clusters: Estimated behavior classes — each a tuple of example
+            indices (positions into the analysed example list).
+        estimated_redundant: ``n_examples - len(clusters)``.
+    """
+
+    module_id: str
+    n_examples: int
+    clusters: tuple[tuple[int, ...], ...]
+
+    @property
+    def estimated_redundant(self) -> int:
+        return self.n_examples - len(self.clusters)
+
+    @property
+    def estimated_conciseness(self) -> float:
+        """``1 - redundant/n`` with the estimated class count."""
+        if not self.n_examples:
+            return 1.0
+        return len(self.clusters) / self.n_examples
+
+
+class RedundancyDetector:
+    """Record-linkage-style detector of redundant data examples."""
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        """Args:
+            threshold: Jaccard similarity at or above which two output
+                behaviors are considered the same class.
+
+        Raises:
+            ValueError: If the threshold is outside ``(0, 1]``.
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------
+    def behavior_tokens(self, example: DataExample) -> frozenset[str]:
+        """The output token set of an example, with input echoes masked.
+
+        Tokens that also appear among the example's *input* tokens are
+        removed: they vary with the input by construction and would make
+        every pair of examples look different.
+        """
+        input_tokens: set[str] = set()
+        for binding in example.inputs:
+            input_tokens.update(tokenize_value(binding.value))
+        # Type placeholders and annotation tokens are shape-level evidence,
+        # never input echoes — keep them even when the inputs share them.
+        input_tokens = {
+            token
+            for token in input_tokens
+            if not token.startswith(("<", "structural:", "concept:"))
+        }
+        output_tokens: set[str] = set()
+        for binding in example.outputs:
+            output_tokens.update(tokenize_value(binding.value))
+        return frozenset(output_tokens - input_tokens)
+
+    def similarity(self, first: DataExample, second: DataExample) -> float:
+        """Behavioral similarity of two examples of the same module."""
+        return jaccard(self.behavior_tokens(first), self.behavior_tokens(second))
+
+    def detect(self, module_id: str, examples: "list[DataExample]") -> RedundancyReport:
+        """Cluster the examples into estimated behavior classes.
+
+        Pairs at or above the threshold are linked; clusters are the
+        connected components (transitive closure, as in duplicate-record
+        detection).
+        """
+        n = len(examples)
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        tokens = [self.behavior_tokens(example) for example in examples]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if jaccard(tokens[i], tokens[j]) >= self.threshold:
+                    union(i, j)
+        clusters: dict[int, list[int]] = {}
+        for i in range(n):
+            clusters.setdefault(find(i), []).append(i)
+        ordered = tuple(
+            tuple(members) for _root, members in sorted(clusters.items())
+        )
+        return RedundancyReport(
+            module_id=module_id, n_examples=n, clusters=ordered
+        )
+
+    def prune(
+        self, module_id: str, examples: "list[DataExample]"
+    ) -> "list[DataExample]":
+        """Keep one representative example per estimated class (the
+        curation action the §8 future work motivates)."""
+        report = self.detect(module_id, examples)
+        return [examples[cluster[0]] for cluster in report.clusters]
+
+
+def estimate_conciseness(
+    examples_by_module: dict[str, "list[DataExample]"],
+    threshold: float = 0.5,
+) -> dict[str, float]:
+    """Estimated conciseness for every module, without ground truth."""
+    detector = RedundancyDetector(threshold)
+    return {
+        module_id: detector.detect(module_id, examples).estimated_conciseness
+        for module_id, examples in examples_by_module.items()
+    }

@@ -1,0 +1,43 @@
+"""Experiment harness: one runner per table/figure of the paper."""
+
+from repro.experiments.ablations import (
+    run_depth_ablation,
+    run_pool_ablation,
+    run_redundancy_ablation,
+    run_selection_ablation,
+)
+from repro.experiments.coverage import run_coverage
+from repro.experiments.describer import run_describer
+from repro.experiments.export import export_all
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.robustness import run_for_seed, run_robustness
+from repro.experiments.scaling import measure_at_scale, run_scale_sweep
+from repro.experiments.runner import run_all
+from repro.experiments.setup import ExperimentSetup, build_setup, default_setup
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+__all__ = [
+    "ExperimentSetup",
+    "build_setup",
+    "default_setup",
+    "run_all",
+    "run_coverage",
+    "run_describer",
+    "export_all",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure5",
+    "run_figure8",
+    "run_selection_ablation",
+    "run_depth_ablation",
+    "run_pool_ablation",
+    "run_redundancy_ablation",
+    "run_robustness",
+    "run_for_seed",
+    "measure_at_scale",
+    "run_scale_sweep",
+]

@@ -1,0 +1,154 @@
+"""First-class ablation runners (A1–A4).
+
+The benchmark files wrap these; they are also usable programmatically and
+from the CLI report.  Each runner returns a small result dataclass whose
+fields are asserted by the test suite and rendered into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.generation import ExampleGenerator
+from repro.core.metrics import evaluate_module
+from repro.core.redundancy import RedundancyDetector
+from repro.experiments.setup import ExperimentSetup
+from repro.pool.pool import InstancePool
+
+
+# ----------------------------------------------------------------------
+# A1 — selection strategy
+# ----------------------------------------------------------------------
+@dataclass
+class SelectionAblation:
+    """Mean metrics of partition-based vs random example selection."""
+
+    partition_completeness: float
+    random_completeness: float
+    partition_input_coverage: float
+    random_input_coverage: float
+
+
+def run_selection_ablation(
+    setup: ExperimentSetup, random_k: int = 2, seed: int = 99
+) -> SelectionAblation:
+    """A1: the paper's heuristic vs a uniform-random pool baseline."""
+
+    def means(selection: str) -> tuple[float, float]:
+        generator = ExampleGenerator(
+            setup.ctx, setup.pool, selection=selection, random_k=random_k, seed=seed
+        )
+        completeness = coverage = 0.0
+        for module in setup.catalog:
+            report = generator.generate(module)
+            evaluation = evaluate_module(setup.ctx, module, report.examples)
+            completeness += evaluation.completeness
+            coverage += evaluation.input_coverage
+        n = len(setup.catalog)
+        return completeness / n, coverage / n
+
+    partition_completeness, partition_coverage = means("partition")
+    random_completeness, random_coverage = means("random")
+    return SelectionAblation(
+        partition_completeness=partition_completeness,
+        random_completeness=random_completeness,
+        partition_input_coverage=partition_coverage,
+        random_input_coverage=random_coverage,
+    )
+
+
+# ----------------------------------------------------------------------
+# A2 — partitioning depth
+# ----------------------------------------------------------------------
+@dataclass
+class DepthAblation:
+    """Mean input coverage / completeness per depth cap."""
+
+    by_depth: dict[str, tuple[float, float]]
+
+    def completeness_series(self) -> "list[float]":
+        return [c for _cov, c in self.by_depth.values()]
+
+
+def run_depth_ablation(
+    setup: ExperimentSetup, depths: tuple = (0, 1, 2, None)
+) -> DepthAblation:
+    """A2: cap the ontology descent below each input annotation."""
+    results: dict[str, tuple[float, float]] = {}
+    for depth in depths:
+        generator = ExampleGenerator(setup.ctx, setup.pool, max_depth=depth)
+        coverage = completeness = 0.0
+        for module in setup.catalog:
+            report = generator.generate(module)
+            evaluation = evaluate_module(setup.ctx, module, report.examples)
+            coverage += evaluation.input_coverage
+            completeness += evaluation.completeness
+        n = len(setup.catalog)
+        results[str(depth)] = (coverage / n, completeness / n)
+    return DepthAblation(by_depth=results)
+
+
+# ----------------------------------------------------------------------
+# A3 — pool size
+# ----------------------------------------------------------------------
+@dataclass
+class PoolAblation:
+    """Unrealized input partitions per pool fraction."""
+
+    by_fraction: dict[float, int]
+
+
+def run_pool_ablation(
+    setup: ExperimentSetup, fractions: tuple = (0.25, 0.5, 1.0), seed: int = 13
+) -> PoolAblation:
+    """A3: subsample the instance pool and count phase-2 failures."""
+    results: dict[float, int] = {}
+    for fraction in fractions:
+        rng = random.Random(seed)
+        pool = InstancePool()
+        for value in setup.pool:
+            if fraction >= 1.0 or rng.random() < fraction:
+                pool.add(value)
+        generator = ExampleGenerator(setup.ctx, pool)
+        results[fraction] = sum(
+            len(generator.generate(module).unrealized_partitions)
+            for module in setup.catalog
+        )
+    return PoolAblation(by_fraction=results)
+
+
+# ----------------------------------------------------------------------
+# A4 — redundancy-detection threshold
+# ----------------------------------------------------------------------
+@dataclass
+class RedundancyAblation:
+    """Module-level screening quality per Jaccard threshold."""
+
+    by_threshold: dict[float, tuple[float, float]]  # (precision, recall)
+
+
+def run_redundancy_ablation(
+    setup: ExperimentSetup, thresholds: tuple = (0.3, 0.5, 0.7, 0.9)
+) -> RedundancyAblation:
+    """A4: sweep the §8 redundancy detector's similarity threshold."""
+    results: dict[float, tuple[float, float]] = {}
+    for threshold in thresholds:
+        detector = RedundancyDetector(threshold)
+        tp = fp = fn = 0
+        for module in setup.catalog:
+            examples = setup.reports[module.module_id].examples
+            truth = len(examples) - setup.evaluations[module.module_id].classes_covered
+            estimate = detector.detect(
+                module.module_id, examples
+            ).estimated_redundant
+            if truth > 0 and estimate > 0:
+                tp += 1
+            elif truth == 0 and estimate > 0:
+                fp += 1
+            elif truth > 0 and estimate == 0:
+                fn += 1
+        precision = tp / (tp + fp) if tp + fp else 1.0
+        recall = tp / (tp + fn) if tp + fn else 1.0
+        results[threshold] = (precision, recall)
+    return RedundancyAblation(by_threshold=results)

@@ -1,0 +1,133 @@
+"""Export the experiment data behind every table and figure.
+
+``python -m repro.experiments.runner --out DIR`` (and
+:func:`export_all`) writes one machine-readable file per result — the
+numbers behind Tables 1–3, the §4.3 coverage statistics and Figures 5
+and 8 — as JSON plus CSV for the tabular ones, so downstream analyses can
+consume the reproduction without re-running it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.coverage import run_coverage
+from repro.experiments.describer import run_describer
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.setup import ExperimentSetup
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+def _write_json(path: Path, data) -> None:
+    path.write_text(json.dumps(data, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def _write_csv(path: Path, headers, rows) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_all(setup: ExperimentSetup, out_dir: "str | Path") -> "list[Path]":
+    """Write every experiment's data into ``out_dir``; returns the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    coverage = run_coverage(setup)
+    path = out / "coverage.json"
+    _write_json(
+        path,
+        {
+            "n_modules": coverage.n_modules,
+            "n_full_input_coverage": coverage.n_full_input_coverage,
+            "n_full_output_coverage": coverage.n_full_output_coverage,
+            "output_shortfall_modules": coverage.shortfall_module_names,
+            "mean_coverage": coverage.mean_coverage,
+        },
+    )
+    written.append(path)
+
+    for name, result in (("table1", run_table1(setup)), ("table2", run_table2(setup))):
+        path = out / f"{name}.csv"
+        _write_csv(
+            path,
+            ["metric_value", "n_modules"],
+            [[value, count] for value, count in result.rows],
+        )
+        written.append(path)
+
+    path = out / "table3.csv"
+    table3 = run_table3(setup)
+    _write_csv(
+        path,
+        ["category", "n_modules"],
+        sorted(table3.counts.items(), key=lambda item: -item[1]),
+    )
+    written.append(path)
+
+    figure5 = run_figure5(setup)
+    path = out / "figure5.json"
+    _write_json(
+        path,
+        {
+            "series": [
+                {"user": name, "without_examples": without, "with_examples": with_e}
+                for name, without, with_e in figure5.series()
+            ],
+            "by_category": {
+                user.name: {
+                    category.value: list(counts)
+                    for category, counts in user.by_category.items()
+                }
+                for user in figure5.study.users
+            },
+        },
+    )
+    written.append(path)
+
+    figure8 = run_figure8(setup)
+    path = out / "figure8.json"
+    _write_json(path, {k: getattr(figure8, k) for k in vars(figure8)})
+    written.append(path)
+
+    describer = run_describer(setup)
+    path = out / "describer.csv"
+    _write_csv(
+        path,
+        ["category", "machine_correct", "total"],
+        [
+            [category.value, correct, total]
+            for category, (correct, total) in sorted(
+                describer.per_category.items(), key=lambda kv: kv[0].value
+            )
+        ],
+    )
+    written.append(path)
+
+    path = out / "evaluations.csv"
+    _write_csv(
+        path,
+        ["module_id", "n_examples", "coverage", "input_coverage",
+         "output_coverage", "completeness", "conciseness"],
+        [
+            [
+                evaluation.module_id,
+                evaluation.n_examples,
+                f"{evaluation.coverage:.4f}",
+                f"{evaluation.input_coverage:.4f}",
+                f"{evaluation.output_coverage:.4f}",
+                f"{evaluation.completeness:.4f}",
+                f"{evaluation.conciseness:.4f}",
+            ]
+            for evaluation in setup.evaluations.values()
+        ],
+    )
+    written.append(path)
+    return written

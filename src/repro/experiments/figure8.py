@@ -1,0 +1,117 @@
+"""Figure 8 — matching decayed modules, and the §6 repair campaign.
+
+Paper numbers: of 72 unavailable modules (examples reconstructed from
+provenance), 16 found an *equivalent* available module and 23 an
+*overlapping* one.  Substitutions repaired 334 workflows in total —
+321 via equivalents, 13 via 6 context-safe overlapping substitutes —
+of which 73 were only partly repaired (another unavailable module
+remained) and 261 fully; every full repair was validated by re-enactment
+against the pre-decay results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.matching import MatchKind, best_match
+from repro.core.repair import RepairOutcome
+from repro.experiments.reporting import render_bar_chart, render_table
+from repro.experiments.setup import ExperimentSetup
+
+#: The paper's §6 numbers.
+PAPER_FIGURE8 = {
+    "unavailable": 72,
+    "equivalent": 16,
+    "overlapping": 23,
+    "none": 33,
+    "repaired_total": 334,
+    "fully_repaired": 261,
+    "partly_repaired": 73,
+    "via_equivalent": 321,
+    "via_overlapping": 13,
+    "broken_workflows": 1500,
+}
+
+
+@dataclass
+class Figure8Result:
+    """Measured matching and repair outcome."""
+
+    n_unavailable: int
+    n_equivalent: int
+    n_overlapping: int
+    n_none: int
+    n_broken: int
+    n_repaired_total: int
+    n_fully_repaired: int
+    n_partly_repaired: int
+    n_via_equivalent: int
+    n_via_overlapping: int
+    n_validated: int
+
+
+def run_figure8(setup: ExperimentSetup) -> Figure8Result:
+    """Match all 72 decayed modules and repair the broken workflows."""
+    kinds = {"equivalent": 0, "overlapping": 0, "none": 0}
+    for module in setup.decayed:
+        best = best_match(setup.matches[module.module_id])
+        kinds[best.kind.value if best else "none"] += 1
+    repairs = setup.repairs
+    full = [r for r in repairs if r.outcome is RepairOutcome.FULL]
+    partial = [r for r in repairs if r.outcome is RepairOutcome.PARTIAL]
+    touched = [r for r in repairs if r.substitutions]
+    via_equivalent = sum(
+        1
+        for r in touched
+        if any(kind is MatchKind.EQUIVALENT for _, _, kind in r.substitutions.values())
+    )
+    via_overlap_only = sum(
+        1
+        for r in touched
+        if all(kind is MatchKind.OVERLAPPING for _, _, kind in r.substitutions.values())
+    )
+    return Figure8Result(
+        n_unavailable=len(setup.decayed),
+        n_equivalent=kinds["equivalent"],
+        n_overlapping=kinds["overlapping"],
+        n_none=kinds["none"],
+        n_broken=len(repairs),
+        n_repaired_total=len(full) + len(partial),
+        n_fully_repaired=len(full),
+        n_partly_repaired=len(partial),
+        n_via_equivalent=via_equivalent,
+        n_via_overlapping=via_overlap_only,
+        n_validated=sum(1 for r in full if r.validated),
+    )
+
+
+def render_figure8(result: Figure8Result) -> str:
+    paper = PAPER_FIGURE8
+    rows = [
+        ["unavailable modules", result.n_unavailable, paper["unavailable"]],
+        ["with an equivalent match", result.n_equivalent, paper["equivalent"]],
+        ["with an overlapping match", result.n_overlapping, paper["overlapping"]],
+        ["without a match", result.n_none, paper["none"]],
+        ["broken workflows", result.n_broken, f"~{paper['broken_workflows']}"],
+        ["workflows repaired (total)", result.n_repaired_total, paper["repaired_total"]],
+        ["  fully repaired", result.n_fully_repaired, paper["fully_repaired"]],
+        ["  partly repaired", result.n_partly_repaired, paper["partly_repaired"]],
+        ["  via equivalent substitutes", result.n_via_equivalent, paper["via_equivalent"]],
+        ["  via overlapping substitutes", result.n_via_overlapping, paper["via_overlapping"]],
+        ["full repairs validated by re-enactment", result.n_validated,
+         "all (stated in prose)"],
+    ]
+    table = render_table(
+        "Figure 8 / §6: matching decayed modules and repairing workflows",
+        ["metric", "measured", "paper"],
+        rows,
+    )
+    chart = render_bar_chart(
+        "Figure 8 (bar view)",
+        [
+            ("equivalent", float(result.n_equivalent)),
+            ("overlapping", float(result.n_overlapping)),
+            ("no match", float(result.n_none)),
+        ],
+    )
+    return f"{table}\n\n{chart}"

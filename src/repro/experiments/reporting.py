@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+
+def render_table(
+    title: str,
+    headers: "list[str]",
+    rows: "list[list[object]]",
+) -> str:
+    """Render an ASCII table with a title line."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(row: "list[str]") -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    body = [title, line(headers), separator]
+    body.extend(line(row) for row in cells)
+    return "\n".join(body)
+
+
+def fmt_ratio(value: float, digits: int = 2) -> str:
+    """Format a metric value the way the paper prints it."""
+    text = f"{value:.{digits}f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def fmt_pct(value: float) -> str:
+    return f"{100 * value:.2f}"
+
+
+def render_bar_chart(
+    title: str,
+    series: "list[tuple[str, float]]",
+    width: int = 40,
+    value_format: str = "{:.0f}",
+) -> str:
+    """Render a horizontal text bar chart (used for Figures 5 and 8)."""
+    if not series:
+        return title
+    peak = max(value for _label, value in series) or 1.0
+    label_width = max(len(label) for label, _v in series)
+    lines = [title]
+    for label, value in series:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)

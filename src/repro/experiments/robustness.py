@@ -1,0 +1,68 @@
+"""Seed robustness: the paper's qualitative shape must survive reseeding.
+
+The default seed reproduces the paper's numbers exactly; a different seed
+regenerates the universe (different sequences, accessions, cross-reference
+wiring) and the repository.  The qualitative findings must hold for any
+seed:
+
+* every input partition covered, output-coverage tail of exactly the 19
+  engineered modules;
+* the Table 1/2 completeness and conciseness tails at the same metric
+  values (they are properties of the module *designs*, not of the data);
+* Figure 8's 16/23/33 matching split;
+* repair dominated by the popular equivalence twins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.matching import best_match
+from repro.core.metrics import histogram
+from repro.experiments.setup import ExperimentSetup, build_setup
+
+
+@dataclass
+class RobustnessResult:
+    """Shape indicators for one seed."""
+
+    seed: int
+    full_input_coverage: bool
+    n_output_shortfall: int
+    completeness_hist: dict[float, int]
+    conciseness_hist: dict[float, int]
+    match_split: dict[str, int]
+
+    def same_shape_as_paper(self) -> bool:
+        """The qualitative acceptance test used by the robustness bench."""
+        return (
+            self.full_input_coverage
+            and self.n_output_shortfall == 19
+            and self.completeness_hist.get(0.75) == 8
+            and self.completeness_hist.get(0.5) == 2
+            and self.conciseness_hist.get(0.5) == 32
+            and self.conciseness_hist.get(0.1) == 1
+            and self.match_split == {"equivalent": 16, "overlapping": 23, "none": 33}
+        )
+
+
+def run_robustness(setup: ExperimentSetup) -> RobustnessResult:
+    """Compute the shape indicators for an existing fixture."""
+    evaluations = list(setup.evaluations.values())
+    match_split = {"equivalent": 0, "overlapping": 0, "none": 0}
+    for module in setup.decayed:
+        best = best_match(setup.matches[module.module_id])
+        match_split[best.kind.value if best else "none"] += 1
+    return RobustnessResult(
+        seed=setup.seed,
+        full_input_coverage=all(e.input_coverage == 1.0 for e in evaluations),
+        n_output_shortfall=sum(1 for e in evaluations if e.output_coverage < 1.0),
+        completeness_hist=dict(histogram([e.completeness for e in evaluations], 3)),
+        conciseness_hist=dict(histogram([e.conciseness for e in evaluations], 2)),
+        match_split=match_split,
+    )
+
+
+def run_for_seed(seed: int, corpus_size: int = 40) -> RobustnessResult:
+    """Rebuild the world for ``seed`` (small corpus) and measure shape."""
+    return run_robustness(build_setup(seed, corpus_size=corpus_size))

@@ -1,0 +1,77 @@
+"""Run every experiment and print the paper-vs-measured report.
+
+Usage::
+
+    python -m repro.experiments.runner [seed] [--out DIR]
+
+With ``--out``, the data behind every table and figure is additionally
+exported as JSON/CSV into ``DIR``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.coverage import render_coverage, run_coverage
+from repro.experiments.describer import render_describer, run_describer
+from repro.experiments.figure5 import render_figure5, run_figure5
+from repro.experiments.figure8 import render_figure8, run_figure8
+from repro.experiments.setup import ExperimentSetup, default_setup
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def run_all(setup: ExperimentSetup) -> str:
+    """Run the whole evaluation and return the full report text."""
+    sections = [
+        f"Reproduction report (seed {setup.seed}) — Belhajjame, EDBT 2014",
+        f"pool: {len(setup.pool)} annotated instances "
+        f"({setup.n_harvested} harvested from provenance)",
+        "",
+        render_table3(run_table3(setup)),
+        "",
+        render_coverage(run_coverage(setup)),
+        "",
+        render_table1(run_table1(setup)),
+        "",
+        render_table2(run_table2(setup)),
+        "",
+        render_figure5(run_figure5(setup)),
+        "",
+        render_figure8(run_figure8(setup)),
+        "",
+        render_describer(run_describer(setup)),
+        "",
+        _decay_section(setup),
+    ]
+    return "\n".join(sections)
+
+
+def _decay_section(setup: ExperimentSetup) -> str:
+    from repro.workflow.monitoring import analyze_decay, render_decay_report
+
+    report = analyze_decay(setup.repository.workflows, setup.modules_by_id)
+    return render_decay_report(report)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out_dir = None
+    if "--out" in argv:
+        index = argv.index("--out")
+        out_dir = argv[index + 1]
+        argv = argv[:index] + argv[index + 2:]
+    seed = int(argv[0]) if argv else 2014
+    setup = default_setup(seed)
+    print(run_all(setup))
+    if out_dir is not None:
+        from repro.experiments.export import export_all
+
+        written = export_all(setup, out_dir)
+        print(f"\nexported {len(written)} data files to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

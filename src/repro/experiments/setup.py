@@ -1,0 +1,187 @@
+"""Shared experiment fixture: everything §4–§6 need, built once per seed.
+
+The construction order mirrors the paper's §4.1 methodology:
+
+1. build the universe, ontology and the 252-module catalog;
+2. build the annotated instance pool — curator-solicited realizations
+   first (they take precedence in ``getInstance``), then values harvested
+   from a provenance corpus of enacted workflows;
+3. run the generation heuristic over all modules and evaluate;
+4. build the 72 decayed modules, record their pre-decay data examples,
+   generate the myExperiment-style repository with historical traces,
+   fire the decay event, and match/repair.
+
+Heavy pieces (repository, matching) are built lazily on first access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core.generation import ExampleGenerator, GenerationReport
+from repro.core.matching import MatchReport, find_matches
+from repro.core.metrics import ModuleEvaluation, evaluate_module
+from repro.core.repair import RepairResult, WorkflowRepairer
+from repro.modules.catalog.decayed import DECAYED_PROVIDERS, build_decayed_modules
+from repro.modules.catalog.factory import build_catalog, default_context
+from repro.modules.model import Module, ModuleContext
+from repro.pool.pool import InstancePool
+from repro.pool.synthesis import RealizationFactory
+from repro.registry.registry import ModuleRegistry
+from repro.workflow.decay import broken_workflows, restore_providers, shut_down_providers
+from repro.workflow.enactment import Enactor
+from repro.workflow.provenance import ProvenanceTrace
+from repro.workflow.repository import Repository, RepositoryBuilder, RepositoryConfig
+
+
+@dataclass
+class ExperimentSetup:
+    """All artefacts of the reproduction, for one seed."""
+
+    seed: int
+    ctx: ModuleContext
+    catalog: list[Module]
+    pool: InstancePool
+    n_harvested: int
+    generator: ExampleGenerator
+    reports: dict[str, GenerationReport]
+    evaluations: dict[str, ModuleEvaluation]
+    registry: ModuleRegistry
+    decayed: list[Module] = field(default_factory=list)
+    decayed_examples: dict[str, list] = field(default_factory=dict)
+    _repository: Repository | None = None
+    _historical: dict[str, ProvenanceTrace] | None = None
+    _matches: dict[str, list[MatchReport]] | None = None
+    _repairs: list[RepairResult] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def modules_by_id(self) -> dict[str, Module]:
+        return {m.module_id: m for m in self.catalog + self.decayed}
+
+    @property
+    def repository(self) -> Repository:
+        """The 3000-workflow repository (built on first access)."""
+        if self._repository is None:
+            self._build_repository_and_decay()
+        return self._repository
+
+    @property
+    def historical_traces(self) -> dict[str, ProvenanceTrace]:
+        """Pre-decay traces of the broken workflows."""
+        if self._historical is None:
+            self._build_repository_and_decay()
+        return self._historical
+
+    @property
+    def matches(self) -> dict[str, "list[MatchReport]"]:
+        """Per decayed module, its sorted §6 match reports."""
+        if self._matches is None:
+            self.repository  # ensure decay happened
+            self._matches = {
+                m.module_id: find_matches(
+                    self.ctx, m, self.decayed_examples[m.module_id], self.catalog
+                )
+                for m in self.decayed
+            }
+        return self._matches
+
+    @property
+    def repairs(self) -> "list[RepairResult]":
+        """Repair results over every broken workflow."""
+        if self._repairs is None:
+            repairer = WorkflowRepairer(
+                self.ctx, self.modules_by_id, self.matches, self.pool
+            )
+            broken = broken_workflows(self.repository.workflows, self.modules_by_id)
+            self._repairs = repairer.repair_all(broken, self.historical_traces)
+        return self._repairs
+
+    def broken(self) -> list:
+        """The broken workflows of the repository."""
+        return broken_workflows(self.repository.workflows, self.modules_by_id)
+
+    # ------------------------------------------------------------------
+    def _build_repository_and_decay(self) -> None:
+        builder = RepositoryBuilder(
+            self.ctx, self.catalog, self.decayed, self.pool,
+            RepositoryConfig(seed=self.seed),
+        )
+        repository = builder.build()
+        by_id = self.modules_by_id
+        enactor = Enactor(self.ctx, by_id, self.pool)
+        # Pre-decay data examples of the soon-to-decay modules (§6: they
+        # can only come from provenance recorded while still invocable).
+        self.decayed_examples = {
+            m.module_id: self.generator.generate(m).examples for m in self.decayed
+        }
+        shut_down_providers(self.decayed, DECAYED_PROVIDERS)
+        broken = broken_workflows(repository.workflows, by_id)
+        restore_providers(self.decayed, DECAYED_PROVIDERS)
+        historical = {w.workflow_id: enactor.try_enact(w) for w in broken}
+        shut_down_providers(self.decayed, DECAYED_PROVIDERS)
+        self._repository = repository
+        self._historical = historical
+
+
+def build_setup(seed: int = 2014, corpus_size: int = 150) -> ExperimentSetup:
+    """Build the experiment fixture for ``seed``.
+
+    Args:
+        seed: Master seed (universe, repository, sampling).
+        corpus_size: Number of workflows enacted to harvest the
+            provenance part of the instance pool.
+    """
+    ctx = default_context(seed)
+    catalog = build_catalog()
+    factory = RealizationFactory(ctx.universe)
+    pool = InstancePool.bootstrap(factory, ctx.ontology)
+
+    # Harvest a provenance corpus of healthy workflows (§4.1).  Curated
+    # bootstrap values were added first, so getInstance keeps preferring
+    # them; the harvest genuinely enlarges the pool.
+    by_id = {m.module_id: m for m in catalog}
+    corpus_builder = RepositoryBuilder(
+        ctx, catalog, [], pool,
+        RepositoryConfig(
+            seed=seed + 1, n_healthy=corpus_size, n_equivalent_full=0,
+            n_equivalent_partial=0, n_overlap_safe=0, n_unrepairable=0,
+        ),
+    )
+    corpus = corpus_builder.build()
+    enactor = Enactor(ctx, by_id, pool)
+    traces = [enactor.try_enact(w) for w in corpus.workflows]
+    n_harvested = pool.harvest(traces)
+
+    generator = ExampleGenerator(ctx, pool)
+    reports = generator.generate_many(catalog)
+    evaluations = {
+        module.module_id: evaluate_module(
+            ctx, module, reports[module.module_id].examples
+        )
+        for module in catalog
+    }
+    registry = ModuleRegistry(ctx.ontology)
+    for module in catalog:
+        registry.register(module)
+        registry.attach_examples(module.module_id, reports[module.module_id].examples)
+    decayed = build_decayed_modules()
+    return ExperimentSetup(
+        seed=seed,
+        ctx=ctx,
+        catalog=list(catalog),
+        pool=pool,
+        n_harvested=n_harvested,
+        generator=generator,
+        reports=reports,
+        evaluations=evaluations,
+        registry=registry,
+        decayed=decayed,
+    )
+
+
+@lru_cache(maxsize=2)
+def default_setup(seed: int = 2014) -> ExperimentSetup:
+    """The cached default fixture (shared by experiments, tests, benches)."""
+    return build_setup(seed)

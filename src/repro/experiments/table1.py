@@ -1,0 +1,60 @@
+"""Table 1 — completeness of the generated data examples.
+
+Paper rows (``# of modules``, ``completeness``): 236 @ 1, 8 @ 0.75,
+4 @ 0.625, 4 @ 0.6, 2 @ 0.5.  Note the paper's counts sum to 254 for a
+252-module population (an internal inconsistency of the original table);
+our tail matches the paper exactly and the remainder sits at 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import histogram
+from repro.experiments.reporting import fmt_pct, fmt_ratio, render_table
+from repro.experiments.setup import ExperimentSetup
+
+#: The paper's Table 1 (completeness -> module count).
+PAPER_TABLE1: tuple[tuple[float, int], ...] = (
+    (1.0, 236),
+    (0.75, 8),
+    (0.625, 4),
+    (0.6, 4),
+    (0.5, 2),
+)
+
+
+@dataclass
+class Table1Result:
+    """Measured completeness histogram."""
+
+    rows: "list[tuple[float, int]]"
+    n_modules: int
+
+    def as_dict(self) -> dict[float, int]:
+        return dict(self.rows)
+
+
+def run_table1(setup: ExperimentSetup) -> Table1Result:
+    """Histogram module completeness, best first (Table 1 layout)."""
+    values = [e.completeness for e in setup.evaluations.values()]
+    return Table1Result(rows=histogram(values, precision=3), n_modules=len(values))
+
+
+def render_table1(result: Table1Result) -> str:
+    paper = dict(PAPER_TABLE1)
+    rows = []
+    for value, count in result.rows:
+        rows.append(
+            [
+                count,
+                fmt_pct(count / result.n_modules),
+                fmt_ratio(value, 3),
+                paper.get(round(value, 3), "-"),
+            ]
+        )
+    return render_table(
+        "Table 1: data example completeness",
+        ["# of modules", "% of modules", "completeness", "paper #"],
+        rows,
+    )

@@ -1,0 +1,62 @@
+"""Table 3 — kinds of data manipulation carried out by the modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import render_table
+from repro.experiments.setup import ExperimentSetup
+from repro.modules.model import Category
+
+#: The paper's Table 3.
+PAPER_TABLE3: dict[str, int] = {
+    Category.FORMAT_TRANSFORMATION.value: 53,
+    Category.DATA_RETRIEVAL.value: 51,
+    Category.MAPPING_IDENTIFIERS.value: 62,
+    Category.FILTERING.value: 27,
+    Category.DATA_ANALYSIS.value: 59,
+}
+
+
+@dataclass
+class Table3Result:
+    """Measured category census."""
+
+    counts: dict[str, int]
+
+    @property
+    def shim_fraction(self) -> float:
+        """Transformation + retrieval + mapping share (paper: 66%)."""
+        shims = sum(
+            self.counts.get(category, 0)
+            for category in (
+                Category.FORMAT_TRANSFORMATION.value,
+                Category.DATA_RETRIEVAL.value,
+                Category.MAPPING_IDENTIFIERS.value,
+            )
+        )
+        total = sum(self.counts.values())
+        return shims / total if total else 0.0
+
+
+def run_table3(setup: ExperimentSetup) -> Table3Result:
+    """Count catalog modules per Table 3 category."""
+    counts: dict[str, int] = {}
+    for module in setup.catalog:
+        counts[module.category.value] = counts.get(module.category.value, 0) + 1
+    return Table3Result(counts=counts)
+
+
+def render_table3(result: Table3Result) -> str:
+    rows = [
+        [category, count, PAPER_TABLE3.get(category, "-")]
+        for category, count in sorted(
+            result.counts.items(), key=lambda item: -item[1]
+        )
+    ]
+    table = render_table(
+        "Table 3: kinds of data manipulation",
+        ["kind of data manipulation", "# of modules", "paper #"],
+        rows,
+    )
+    return f"{table}\nShim share (transformation+retrieval+mapping): {result.shim_fraction:.0%} (paper: 66%)"

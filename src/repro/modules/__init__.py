@@ -1,0 +1,40 @@
+"""Scientific module model, supply interfaces and the module catalog."""
+
+from repro.modules.behavior import BehaviorSpec, Branch
+from repro.modules.errors import (
+    InvalidInputError,
+    ModuleInvocationError,
+    ModuleUnavailableError,
+    RestError,
+    SoapFault,
+    TransportError,
+)
+from repro.modules.hosting import CallRecord, ServiceBus, address_of
+from repro.modules.interfaces import invoke_via_interface
+from repro.modules.model import (
+    Category,
+    InterfaceKind,
+    Module,
+    ModuleContext,
+    Parameter,
+)
+
+__all__ = [
+    "Module",
+    "ModuleContext",
+    "Parameter",
+    "Category",
+    "InterfaceKind",
+    "BehaviorSpec",
+    "Branch",
+    "invoke_via_interface",
+    "ServiceBus",
+    "CallRecord",
+    "address_of",
+    "ModuleInvocationError",
+    "InvalidInputError",
+    "ModuleUnavailableError",
+    "TransportError",
+    "SoapFault",
+    "RestError",
+]

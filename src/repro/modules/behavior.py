@@ -1,0 +1,114 @@
+"""Behavior specifications: the executable ground truth of a module.
+
+A module's *classes of behavior* (§4.2) are "the different tasks that a
+given module can perform".  We make this executable: a
+:class:`BehaviorSpec` is an ordered list of :class:`Branch` objects, each
+with a guard predicate, a class label and a transform.  Invoking the module
+evaluates guards in order and runs the transform of the first branch whose
+guard accepts the inputs; no accepting branch means the input combination
+is invalid and the invocation terminates abnormally.
+
+Because the *same* branches drive both execution and the ground-truth
+labelling used by the evaluator, the measured completeness/conciseness of
+generated data examples is guaranteed to reflect what the module actually
+does — the evaluator never sees a behavior the module cannot exhibit.
+
+The generation heuristic itself never reads a :class:`BehaviorSpec`; it
+only calls :meth:`repro.modules.model.Module.invoke`.  The spec plays the
+role of the "module specifications with assistance from the domain expert"
+the paper used to establish ground truth (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.modules.errors import InvalidInputError
+from repro.values import TypedValue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.modules.model import ModuleContext
+
+Guard = Callable[["ModuleContext", dict[str, TypedValue]], bool]
+Transform = Callable[["ModuleContext", dict[str, TypedValue]], dict[str, TypedValue]]
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One class of behavior: a guard, a label and a transform.
+
+    Attributes:
+        label: The behavior-class label (unique within a spec).
+        guard: Accepts the (context, inputs) the branch handles.
+        transform: Computes the outputs for accepted inputs; may itself
+            raise :class:`InvalidInputError` for values that pass the guard
+            but are semantically unusable (e.g. unknown accessions).
+    """
+
+    label: str
+    guard: Guard
+    transform: Transform
+
+
+def always(_ctx: "ModuleContext", _inputs: dict[str, TypedValue]) -> bool:
+    """A guard that accepts every input combination."""
+    return True
+
+
+class BehaviorSpec:
+    """Ordered behavior branches plus derived ground-truth metadata."""
+
+    def __init__(self, branches: "list[Branch] | tuple[Branch, ...]") -> None:
+        if not branches:
+            raise ValueError("a behavior spec needs at least one branch")
+        labels = [branch.label for branch in branches]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate behavior-class labels: {labels}")
+        self.branches: tuple[Branch, ...] = tuple(branches)
+
+    @property
+    def class_labels(self) -> tuple[str, ...]:
+        """All ground-truth behavior-class labels, in branch order."""
+        return tuple(branch.label for branch in self.branches)
+
+    @property
+    def n_classes(self) -> int:
+        """``#classes(m)`` of §4.2."""
+        return len(self.branches)
+
+    def select(
+        self, ctx: "ModuleContext", inputs: dict[str, TypedValue]
+    ) -> Branch:
+        """The first branch whose guard accepts ``inputs``.
+
+        Raises:
+            InvalidInputError: When no branch accepts the combination.
+        """
+        for branch in self.branches:
+            if branch.guard(ctx, inputs):
+                return branch
+        raise InvalidInputError("no behavior branch accepts this input combination")
+
+    def execute(
+        self, ctx: "ModuleContext", inputs: dict[str, TypedValue]
+    ) -> tuple[str, dict[str, TypedValue]]:
+        """Run the module body: returns ``(class_label, outputs)``.
+
+        Raises:
+            InvalidInputError: On abnormal termination.
+        """
+        branch = self.select(ctx, inputs)
+        return branch.label, branch.transform(ctx, inputs)
+
+    def classify(
+        self, ctx: "ModuleContext", inputs: dict[str, TypedValue]
+    ) -> str | None:
+        """Ground-truth class label for ``inputs``; ``None`` when invalid.
+
+        Used only by the evaluator — never by the generation heuristic.
+        """
+        try:
+            return self.select(ctx, inputs).label
+        except InvalidInputError:
+            return None

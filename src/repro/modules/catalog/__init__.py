@@ -1,0 +1,27 @@
+"""The 252 available modules and the 72 decayed ones."""
+
+from repro.modules.catalog.decayed import (
+    DECAYED_PROVIDERS,
+    build_decayed_modules,
+    default_decayed,
+)
+from repro.modules.catalog.factory import (
+    EXPECTED_CATEGORY_COUNTS,
+    EXPECTED_INTERFACE_COUNTS,
+    build_catalog,
+    catalog_by_id,
+    default_catalog,
+    default_context,
+)
+
+__all__ = [
+    "build_catalog",
+    "default_catalog",
+    "default_context",
+    "catalog_by_id",
+    "EXPECTED_CATEGORY_COUNTS",
+    "EXPECTED_INTERFACE_COUNTS",
+    "build_decayed_modules",
+    "default_decayed",
+    "DECAYED_PROVIDERS",
+]

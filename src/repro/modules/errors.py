@@ -1,0 +1,61 @@
+"""Invocation error hierarchy for scientific modules.
+
+The generation heuristic (§3.2) must distinguish *abnormal termination*
+(invalid input combinations, which produce no data example) from transport
+and availability failures.  All errors raised while invoking a module
+derive from :class:`ModuleInvocationError`.
+"""
+
+from __future__ import annotations
+
+
+class ModuleInvocationError(Exception):
+    """Base class for every failure of a module invocation."""
+
+
+class InvalidInputError(ModuleInvocationError):
+    """The input combination is rejected by the module (abnormal
+    termination): malformed accession, unknown entity, wrong sequence kind,
+    or an input-value combination the module does not support."""
+
+
+class MissingParameterError(InvalidInputError):
+    """A mandatory input parameter was not bound."""
+
+
+class StructuralMismatchError(InvalidInputError):
+    """A bound value's structural type is incompatible with the parameter."""
+
+
+class ModuleUnavailableError(ModuleInvocationError):
+    """The module's provider no longer supplies it (workflow decay, §6)."""
+
+
+class TransportError(ModuleInvocationError):
+    """A failure in the (simulated) transport layer."""
+
+
+class SoapFault(TransportError):
+    """A SOAP fault returned by a simulated SOAP endpoint.
+
+    Attributes:
+        fault_code: ``Client`` for caller errors, ``Server`` otherwise.
+    """
+
+    def __init__(self, fault_code: str, fault_string: str) -> None:
+        super().__init__(f"SOAP fault {fault_code}: {fault_string}")
+        self.fault_code = fault_code
+        self.fault_string = fault_string
+
+
+class RestError(TransportError):
+    """An HTTP error status returned by a simulated REST endpoint.
+
+    Attributes:
+        status: The HTTP status code (4xx for caller errors, 5xx otherwise).
+    """
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(f"HTTP {status}: {reason}")
+        self.status = status
+        self.reason = reason

@@ -1,0 +1,159 @@
+"""A simulated service bus hosting the module endpoints.
+
+Real scientific modules live at provider-owned addresses (EBI's SOAP
+endpoints, KEGG's REST resources, locally installed programs).  The
+:class:`ServiceBus` models that deployment surface: every module is
+published under a scheme-qualified address derived from its provider and
+supply interface, calls are dispatched through the matching endpoint
+simulator, and an invocation log records what the bus served — the raw
+accounting a provider-side provenance collector would keep.
+
+Provider shutdowns (workflow decay) surface exactly as they would in the
+wild: the addresses stay resolvable, but calls fail with the transport's
+unavailability signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.modules.errors import ModuleInvocationError
+from repro.modules.interfaces import invoke_via_interface
+from repro.modules.model import InterfaceKind, Module, ModuleContext
+from repro.values import TypedValue
+
+_SCHEMES = {
+    InterfaceKind.SOAP_SERVICE: "soap",
+    InterfaceKind.REST_SERVICE: "http",
+    InterfaceKind.LOCAL_PROGRAM: "file",
+}
+
+
+def address_of(module: Module) -> str:
+    """The bus address a module is published under."""
+    scheme = _SCHEMES[module.interface]
+    host = module.provider.lower().replace(" ", "-")
+    if module.interface is InterfaceKind.LOCAL_PROGRAM:
+        return f"{scheme}:///usr/local/bin/{module.module_id.replace('.', '_')}"
+    return f"{scheme}://{host}.example.org/services/{module.module_id}"
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One served invocation.
+
+    Attributes:
+        address: The endpoint called.
+        module_id: The module behind it.
+        succeeded: Whether the call terminated normally.
+        error: The failure class name for failed calls, empty otherwise.
+        sequence: Monotonic position in the bus log.
+    """
+
+    address: str
+    module_id: str
+    succeeded: bool
+    error: str
+    sequence: int
+
+
+@dataclass
+class ServiceBus:
+    """Publishes modules under addresses and dispatches calls to them."""
+
+    ctx: ModuleContext
+    _by_address: dict[str, Module] = field(default_factory=dict)
+    _log: list[CallRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def publish(self, module: Module) -> str:
+        """Publish a module; returns its address.
+
+        Raises:
+            ValueError: If the address is already taken by another module.
+        """
+        address = address_of(module)
+        existing = self._by_address.get(address)
+        if existing is not None and existing.module_id != module.module_id:
+            raise ValueError(f"address {address} already serves {existing.module_id}")
+        self._by_address[address] = module
+        return address
+
+    def publish_all(self, modules) -> "dict[str, str]":
+        """Publish a module collection; returns module id -> address."""
+        return {module.module_id: self.publish(module) for module in modules}
+
+    def addresses(self) -> tuple[str, ...]:
+        """All published addresses, insertion-ordered."""
+        return tuple(self._by_address)
+
+    def resolve(self, address: str) -> Module:
+        """The module behind ``address``.
+
+        Raises:
+            KeyError: If nothing is published there.
+        """
+        return self._by_address[address]
+
+    # ------------------------------------------------------------------
+    def call(
+        self, address: str, bindings: dict[str, TypedValue]
+    ) -> dict[str, TypedValue]:
+        """Dispatch a call through the endpoint at ``address``.
+
+        The call goes through the module's real supply-interface
+        simulator; both outcomes are appended to the bus log.
+
+        Raises:
+            KeyError: Unknown address.
+            ModuleInvocationError: Propagated from the endpoint.
+        """
+        module = self._by_address[address]
+        try:
+            outputs = invoke_via_interface(module, self.ctx, bindings)
+        except ModuleInvocationError as error:
+            self._log.append(
+                CallRecord(
+                    address=address,
+                    module_id=module.module_id,
+                    succeeded=False,
+                    error=type(error).__name__,
+                    sequence=len(self._log),
+                )
+            )
+            raise
+        self._log.append(
+            CallRecord(
+                address=address,
+                module_id=module.module_id,
+                succeeded=True,
+                error="",
+                sequence=len(self._log),
+            )
+        )
+        return outputs
+
+    # ------------------------------------------------------------------
+    def log(self) -> tuple[CallRecord, ...]:
+        """The full call log, oldest first."""
+        return tuple(self._log)
+
+    def calls_to(self, module_id: str) -> tuple[CallRecord, ...]:
+        """Log entries for one module."""
+        return tuple(r for r in self._log if r.module_id == module_id)
+
+    def failure_rate(self) -> float:
+        """Fraction of failed calls (0.0 for an empty log)."""
+        if not self._log:
+            return 0.0
+        return sum(not record.succeeded for record in self._log) / len(self._log)
+
+    def providers_seen_failing(self) -> tuple[str, ...]:
+        """Providers whose endpoints returned unavailability errors —
+        the signal a decay monitor watches for."""
+        failing = {
+            self._by_address[record.address].provider
+            for record in self._log
+            if record.error == "ModuleUnavailableError"
+        }
+        return tuple(sorted(failing))

@@ -1,0 +1,236 @@
+"""Simulated module supply interfaces: local programs, REST, SOAP.
+
+The paper's 252 modules were supplied as Java/Python programs (56), REST
+services (60) and SOAP web services (136).  We simulate the three supply
+forms faithfully enough to exercise the code paths the heuristic depends
+on: values are serialized onto a wire format, envelopes are built and
+parsed, and failures surface as transport-level faults (SOAP ``Client``
+faults, HTTP 4xx/5xx, non-zero exit codes) that the client stub then
+normalizes back into :class:`InvalidInputError` / :class:`ModuleUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import json
+from xml.etree import ElementTree
+
+from repro.modules.errors import (
+    InvalidInputError,
+    ModuleUnavailableError,
+    RestError,
+    SoapFault,
+    TransportError,
+)
+from repro.modules.model import InterfaceKind, Module, ModuleContext
+from repro.values import TypedValue, by_name
+
+
+# ----------------------------------------------------------------------
+# Wire (de)serialization
+# ----------------------------------------------------------------------
+def value_to_wire(value: TypedValue) -> dict:
+    """Serialize a typed value to its JSON-compatible wire form."""
+    payload = list(value.payload) if value.structural.is_list else value.payload
+    return {
+        "payload": payload,
+        "structural": value.structural.name,
+        "concept": value.concept,
+    }
+
+
+def value_from_wire(data: dict) -> TypedValue:
+    """Deserialize the wire form back into a typed value.
+
+    Raises:
+        TransportError: When the wire form is malformed.
+    """
+    try:
+        structural = by_name(data["structural"])
+        payload = data["payload"]
+        if structural.is_list:
+            payload = tuple(payload)
+        return TypedValue(payload, structural, data.get("concept"))
+    except (KeyError, TypeError) as exc:
+        raise TransportError(f"malformed wire value: {exc}") from exc
+
+
+def bindings_to_wire(bindings: dict[str, TypedValue]) -> str:
+    """Serialize a full binding map to a JSON document."""
+    return json.dumps(
+        {name: value_to_wire(value) for name, value in bindings.items()},
+        sort_keys=True,
+    )
+
+
+def bindings_from_wire(document: str) -> dict[str, TypedValue]:
+    """Parse a JSON binding document back into typed values."""
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise TransportError(f"malformed wire document: {exc}") from exc
+    return {name: value_from_wire(entry) for name, entry in data.items()}
+
+
+# ----------------------------------------------------------------------
+# Endpoints
+# ----------------------------------------------------------------------
+class SoapEndpoint:
+    """A simulated SOAP service hosting one module operation."""
+
+    ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+    def __init__(self, module: Module, ctx: ModuleContext) -> None:
+        self.module = module
+        self.ctx = ctx
+
+    def build_request(self, bindings: dict[str, TypedValue]) -> str:
+        """Build the SOAP request envelope for an invocation."""
+        envelope = ElementTree.Element(f"{{{self.ENVELOPE_NS}}}Envelope")
+        body = ElementTree.SubElement(envelope, f"{{{self.ENVELOPE_NS}}}Body")
+        operation = ElementTree.SubElement(body, self.module.module_id)
+        operation.text = bindings_to_wire(bindings)
+        return ElementTree.tostring(envelope, encoding="unicode")
+
+    def handle(self, request: str) -> str:
+        """Serve a request envelope; returns a response envelope.
+
+        Raises:
+            SoapFault: ``Client`` faults for invalid input, ``Server``
+                faults for unavailable modules.
+        """
+        try:
+            envelope = ElementTree.fromstring(request)
+        except ElementTree.ParseError as exc:
+            raise SoapFault("Client", f"malformed envelope: {exc}") from exc
+        operation = envelope.find(f"{{{self.ENVELOPE_NS}}}Body/")
+        if operation is None or operation.tag != self.module.module_id:
+            raise SoapFault("Client", "unknown operation")
+        bindings = bindings_from_wire(operation.text or "{}")
+        try:
+            outputs = self.module.invoke(self.ctx, bindings)
+        except ModuleUnavailableError as exc:
+            raise SoapFault("Server", str(exc)) from exc
+        except InvalidInputError as exc:
+            raise SoapFault("Client", str(exc)) from exc
+        response = ElementTree.Element(f"{{{self.ENVELOPE_NS}}}Envelope")
+        body = ElementTree.SubElement(response, f"{{{self.ENVELOPE_NS}}}Body")
+        result = ElementTree.SubElement(body, f"{self.module.module_id}Response")
+        result.text = bindings_to_wire(outputs)
+        return ElementTree.tostring(response, encoding="unicode")
+
+    def call(self, bindings: dict[str, TypedValue]) -> dict[str, TypedValue]:
+        """Client stub: request/response round trip through the envelope."""
+        response = self.handle(self.build_request(bindings))
+        envelope = ElementTree.fromstring(response)
+        result = envelope.find(f"{{{self.ENVELOPE_NS}}}Body/")
+        if result is None:
+            raise SoapFault("Server", "empty response body")
+        return bindings_from_wire(result.text or "{}")
+
+
+class RestEndpoint:
+    """A simulated REST resource hosting one module operation."""
+
+    def __init__(self, module: Module, ctx: ModuleContext) -> None:
+        self.module = module
+        self.ctx = ctx
+
+    def handle(self, method: str, path: str, body: str) -> tuple[int, str]:
+        """Serve an HTTP-like request; returns ``(status, body)``."""
+        if method != "POST":
+            return 405, json.dumps({"error": "method not allowed"})
+        if path != f"/services/{self.module.module_id}":
+            return 404, json.dumps({"error": "no such resource"})
+        try:
+            bindings = bindings_from_wire(body)
+            outputs = self.module.invoke(self.ctx, bindings)
+        except ModuleUnavailableError as exc:
+            return 503, json.dumps({"error": str(exc)})
+        except InvalidInputError as exc:
+            return 400, json.dumps({"error": str(exc)})
+        except TransportError as exc:
+            return 400, json.dumps({"error": str(exc)})
+        return 200, bindings_to_wire(outputs)
+
+    def call(self, bindings: dict[str, TypedValue]) -> dict[str, TypedValue]:
+        """Client stub: POST the bindings, parse the JSON response.
+
+        Raises:
+            RestError: For any non-200 status.
+        """
+        status, body = self.handle(
+            "POST", f"/services/{self.module.module_id}", bindings_to_wire(bindings)
+        )
+        if status != 200:
+            reason = json.loads(body).get("error", "unknown error")
+            raise RestError(status, reason)
+        return bindings_from_wire(body)
+
+
+class LocalProgram:
+    """A simulated command-line program wrapping one module."""
+
+    def __init__(self, module: Module, ctx: ModuleContext) -> None:
+        self.module = module
+        self.ctx = ctx
+
+    def run(self, stdin: str) -> tuple[int, str, str]:
+        """Run the program on a JSON stdin; returns (exit, stdout, stderr)."""
+        try:
+            bindings = bindings_from_wire(stdin)
+            outputs = self.module.invoke(self.ctx, bindings)
+        except ModuleUnavailableError as exc:
+            return 127, "", f"{self.module.module_id}: not found: {exc}"
+        except InvalidInputError as exc:
+            return 2, "", f"{self.module.module_id}: invalid input: {exc}"
+        except TransportError as exc:
+            return 2, "", f"{self.module.module_id}: bad stdin: {exc}"
+        return 0, bindings_to_wire(outputs), ""
+
+    def call(self, bindings: dict[str, TypedValue]) -> dict[str, TypedValue]:
+        """Client stub: run the program and parse stdout.
+
+        Raises:
+            InvalidInputError: Exit code 2 (bad input).
+            ModuleUnavailableError: Exit code 127 (program gone).
+        """
+        exit_code, stdout, stderr = self.run(bindings_to_wire(bindings))
+        if exit_code == 127:
+            raise ModuleUnavailableError(stderr)
+        if exit_code != 0:
+            raise InvalidInputError(stderr)
+        return bindings_from_wire(stdout)
+
+
+# ----------------------------------------------------------------------
+# Uniform client
+# ----------------------------------------------------------------------
+def invoke_via_interface(
+    module: Module, ctx: ModuleContext, bindings: dict[str, TypedValue]
+) -> dict[str, TypedValue]:
+    """Invoke ``module`` through its declared supply interface, normalizing
+    transport faults back into the module error hierarchy.
+
+    This is the call every client of the system (the generation heuristic,
+    the workflow enactment engine, the matcher) goes through: values really
+    are serialized onto the wire and back.
+
+    Raises:
+        InvalidInputError: Abnormal termination (client fault / 4xx / exit 2).
+        ModuleUnavailableError: Provider gone (server fault / 503 / exit 127).
+    """
+    if module.interface is InterfaceKind.SOAP_SERVICE:
+        try:
+            return SoapEndpoint(module, ctx).call(bindings)
+        except SoapFault as fault:
+            if fault.fault_code == "Client":
+                raise InvalidInputError(fault.fault_string) from fault
+            raise ModuleUnavailableError(fault.fault_string) from fault
+    if module.interface is InterfaceKind.REST_SERVICE:
+        try:
+            return RestEndpoint(module, ctx).call(bindings)
+        except RestError as error:
+            if 400 <= error.status < 500:
+                raise InvalidInputError(error.reason) from error
+            raise ModuleUnavailableError(error.reason) from error
+    return LocalProgram(module, ctx).call(bindings)

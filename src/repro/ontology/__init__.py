@@ -1,0 +1,34 @@
+"""Ontology substrate: concepts, subsumption reasoning, myGrid-lite."""
+
+from repro.ontology.concept import Concept
+from repro.ontology.io import (
+    load_ontology,
+    ontology_from_dict,
+    ontology_to_dict,
+    save_ontology,
+)
+from repro.ontology.model import Ontology, OntologyError
+from repro.ontology.obo import (
+    OboFormatError,
+    load_obo,
+    ontology_from_obo,
+    ontology_to_obo,
+    save_obo,
+)
+from repro.ontology.mygrid import build_mygrid_ontology
+
+__all__ = [
+    "Concept",
+    "Ontology",
+    "OntologyError",
+    "build_mygrid_ontology",
+    "ontology_to_dict",
+    "ontology_from_dict",
+    "save_ontology",
+    "load_ontology",
+    "ontology_to_obo",
+    "ontology_from_obo",
+    "save_obo",
+    "load_obo",
+    "OboFormatError",
+]

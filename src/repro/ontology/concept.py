@@ -1,0 +1,43 @@
+"""Concept model for domain ontologies.
+
+An ontology, for the purposes of the paper (§3.1), is a hierarchy of named
+concepts connected by the subsumption relationship.  We additionally record
+whether a concept is *covered by its children*: when the union of the
+sub-concept domains exhausts the concept's own domain, no *realization* of
+the concept exists (no instance that belongs to it but to none of its strict
+sub-concepts), and the generation heuristic must skip it (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A named ontology concept.
+
+    Attributes:
+        name: Unique concept name, e.g. ``"ProteinSequence"``.
+        parents: Names of the direct super-concepts.  Empty for roots.
+            Multiple parents are allowed (the subsumption graph is a DAG).
+        covered_by_children: True when every instance of the concept is an
+            instance of some strict sub-concept, so the concept has no
+            realization of its own.
+        description: Optional human-readable gloss.
+    """
+
+    name: str
+    parents: tuple[str, ...] = ()
+    covered_by_children: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("concept name must be non-empty")
+        if self.name in self.parents:
+            raise ValueError(f"concept {self.name!r} cannot be its own parent")
+
+    @property
+    def is_root(self) -> bool:
+        return not self.parents

@@ -1,0 +1,58 @@
+"""Serialization of ontologies to and from plain dictionaries / JSON.
+
+The module registry persists the annotation ontology alongside module
+annotations (§2, Figure 3), so the ontology needs a stable round-trippable
+representation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.ontology.concept import Concept
+from repro.ontology.model import Ontology
+
+
+def ontology_to_dict(ontology: Ontology) -> dict[str, Any]:
+    """Render an ontology as a JSON-compatible dictionary."""
+    return {
+        "name": ontology.name,
+        "concepts": [
+            {
+                "name": concept.name,
+                "parents": list(concept.parents),
+                "covered_by_children": concept.covered_by_children,
+                "description": concept.description,
+            }
+            for concept in ontology
+        ],
+    }
+
+
+def ontology_from_dict(data: dict[str, Any]) -> Ontology:
+    """Rebuild an ontology from :func:`ontology_to_dict` output."""
+    concepts = [
+        Concept(
+            name=entry["name"],
+            parents=tuple(entry.get("parents", ())),
+            covered_by_children=bool(entry.get("covered_by_children", False)),
+            description=entry.get("description", ""),
+        )
+        for entry in data["concepts"]
+    ]
+    return Ontology(concepts, name=data.get("name", "ontology"))
+
+
+def save_ontology(ontology: Ontology, path: "str | Path") -> None:
+    """Write the ontology to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(ontology_to_dict(ontology), indent=2), encoding="utf-8"
+    )
+
+
+def load_ontology(path: "str | Path") -> Ontology:
+    """Read an ontology previously written by :func:`save_ontology`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return ontology_from_dict(data)

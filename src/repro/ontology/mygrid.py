@@ -1,0 +1,178 @@
+"""The "myGrid-lite" domain ontology.
+
+A faithful stand-in for the myGrid bioinformatics ontology the paper uses
+to annotate module parameters (§3.1, Figure 4).  The fragment shown in the
+paper — BiologicalSequence with NucleotideSequence (DNA/RNA) and
+ProteinSequence below it — appears verbatim; around it we build the
+identifier, record, report, text, annotation-set, expression and parameter
+subtrees that the 324-module catalog needs.
+
+Concepts flagged ``covered_by_children`` are abstract groupings whose
+domain is exhausted by their sub-concepts, so no realization of them exists
+and the generation heuristic creates no data example for them (§3.2).
+Note that, per Example 3 of the paper, ``BiologicalSequence`` and
+``NucleotideSequence`` are *not* covered: sequences with ambiguity codes
+realize them directly, so they carry partitions of their own.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ontology.concept import Concept
+from repro.ontology.model import Ontology
+
+# (name, parent, covered_by_children, description) — parent "" means root.
+_CONCEPTS: tuple[tuple[str, str, bool, str], ...] = (
+    ("Thing", "", True, "Top concept."),
+    ("BioinformaticsData", "Thing", True, "Any datum handled by a module."),
+    # ------------------------------------------------------------------
+    # Identifiers / accessions
+    # ------------------------------------------------------------------
+    ("Identifier", "BioinformaticsData", True, "Any identifying token."),
+    ("DatabaseAccession", "Identifier", True, "Accession into a database."),
+    ("ProteinAccession", "DatabaseAccession", True, "Protein DB accession."),
+    ("UniProtAccession", "ProteinAccession", False, "UniProtKB accession."),
+    ("PIRAccession", "ProteinAccession", False, "PIR accession."),
+    ("NucleotideAccession", "DatabaseAccession", True, "Nucleotide accession."),
+    ("EMBLAccession", "NucleotideAccession", False, "EMBL-Bank accession."),
+    ("GenBankAccession", "NucleotideAccession", False, "GenBank accession."),
+    ("RefSeqNucleotideAccession", "NucleotideAccession", False, "RefSeq accession."),
+    ("GeneIdentifier", "DatabaseAccession", True, "Gene identifier."),
+    ("KEGGGeneId", "GeneIdentifier", False, "KEGG GENES identifier."),
+    ("EntrezGeneId", "GeneIdentifier", False, "NCBI Entrez Gene id."),
+    ("EnsemblGeneId", "GeneIdentifier", False, "Ensembl gene id."),
+    ("PathwayIdentifier", "DatabaseAccession", True, "Pathway identifier."),
+    ("KEGGPathwayId", "PathwayIdentifier", False, "KEGG PATHWAY id."),
+    ("ReactomePathwayId", "PathwayIdentifier", False, "Reactome pathway id."),
+    ("EnzymeIdentifier", "DatabaseAccession", True, "Enzyme identifier."),
+    ("ECNumber", "EnzymeIdentifier", False, "Enzyme Commission number."),
+    ("CompoundIdentifier", "DatabaseAccession", True, "Chemical compound id."),
+    ("KEGGCompoundId", "CompoundIdentifier", False, "KEGG COMPOUND id."),
+    ("ChEBIIdentifier", "CompoundIdentifier", False, "ChEBI id."),
+    ("StructureIdentifier", "DatabaseAccession", True, "3D structure id."),
+    ("PDBIdentifier", "StructureIdentifier", False, "Protein Data Bank id."),
+    ("OntologyTermIdentifier", "DatabaseAccession", True, "Ontology term id."),
+    ("GOTermIdentifier", "OntologyTermIdentifier", False, "Gene Ontology term id."),
+    ("InterProIdentifier", "OntologyTermIdentifier", False, "InterPro entry id."),
+    ("LiteratureIdentifier", "DatabaseAccession", True, "Literature reference id."),
+    ("PubMedIdentifier", "LiteratureIdentifier", False, "PubMed id."),
+    ("DOIIdentifier", "LiteratureIdentifier", False, "Digital Object Identifier."),
+    ("KEGGGlycanId", "DatabaseAccession", False, "KEGG GLYCAN id."),
+    ("LigandId", "DatabaseAccession", False, "Ligand database id."),
+    ("OrganismIdentifier", "Identifier", True, "Identifies an organism."),
+    ("NCBITaxonId", "OrganismIdentifier", False, "NCBI taxonomy id."),
+    ("ScientificOrganismName", "OrganismIdentifier", False, "Latin binomial name."),
+    # An abstract grouping of the accession schemes that identify
+    # sequence-bearing entries; its children also keep their scheme parents
+    # (the subsumption graph is a DAG).  Used by GetBiologicalSequence.
+    ("SequenceDatabaseAccession", "DatabaseAccession", True, "Accession of a sequence-bearing database entry."),
+    # ------------------------------------------------------------------
+    # Sequences (the Figure 4 fragment)
+    # ------------------------------------------------------------------
+    ("BiologicalSequence", "BioinformaticsData", False, "Any biological sequence."),
+    ("NucleotideSequence", "BiologicalSequence", False, "DNA or RNA sequence."),
+    ("DNASequence", "NucleotideSequence", False, "DNA sequence."),
+    ("RNASequence", "NucleotideSequence", False, "RNA sequence."),
+    ("ProteinSequence", "BiologicalSequence", False, "Amino-acid sequence."),
+    # ------------------------------------------------------------------
+    # Database records
+    # ------------------------------------------------------------------
+    ("BiologicalRecord", "BioinformaticsData", True, "A database record."),
+    ("SequenceRecord", "BiologicalRecord", True, "Record holding a sequence."),
+    ("ProteinSequenceRecord", "SequenceRecord", False, "Protein record (UniProt-style)."),
+    ("NucleotideSequenceRecord", "SequenceRecord", False, "Nucleotide record (EMBL-style)."),
+    ("GeneRecord", "BiologicalRecord", False, "Gene record."),
+    ("PathwayRecord", "BiologicalRecord", False, "Pathway record."),
+    ("EnzymeRecord", "BiologicalRecord", False, "Enzyme record."),
+    ("CompoundRecord", "BiologicalRecord", False, "Compound record."),
+    ("StructureRecord", "BiologicalRecord", False, "3D structure record (PDB)."),
+    ("GlycanRecord", "BiologicalRecord", False, "Glycan record."),
+    ("LigandRecord", "BiologicalRecord", False, "Ligand record."),
+    ("OntologyTermRecord", "BiologicalRecord", False, "Ontology term record."),
+    ("LiteratureRecord", "BiologicalRecord", False, "Literature record (abstract)."),
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    ("Report", "BioinformaticsData", True, "Result of an analysis."),
+    ("AlignmentReport", "Report", True, "Sequence alignment report."),
+    ("PairwiseAlignmentReport", "AlignmentReport", False, "Two-sequence alignment."),
+    ("MultipleAlignmentReport", "AlignmentReport", False, "Multiple alignment."),
+    ("SearchReport", "Report", True, "Database search report."),
+    ("HomologySearchReport", "SearchReport", False, "BLAST-style homology report."),
+    ("MotifSearchReport", "SearchReport", False, "Motif scan report."),
+    ("PhylogeneticTree", "Report", False, "Phylogenetic tree."),
+    ("StatisticsReport", "Report", True, "Statistical summary."),
+    ("SequenceStatisticsReport", "StatisticsReport", False, "Sequence composition stats."),
+    ("ExpressionStatisticsReport", "StatisticsReport", False, "Expression stats."),
+    ("IdentificationReport", "Report", False, "Protein identification result."),
+    # ------------------------------------------------------------------
+    # Scientific text
+    # ------------------------------------------------------------------
+    ("ScientificText", "BioinformaticsData", True, "Natural-language text."),
+    ("Abstract", "ScientificText", False, "Publication abstract."),
+    ("FullTextDocument", "ScientificText", False, "Full-text document."),
+    # ------------------------------------------------------------------
+    # Annotation sets
+    # ------------------------------------------------------------------
+    ("AnnotationSet", "BioinformaticsData", True, "A set of annotations."),
+    ("GOAnnotationSet", "AnnotationSet", False, "Set of GO term annotations."),
+    ("PathwayConceptSet", "AnnotationSet", False, "Pathway concepts mined from text."),
+    ("KeywordSet", "AnnotationSet", False, "Set of keywords."),
+    # ------------------------------------------------------------------
+    # Expression data
+    # ------------------------------------------------------------------
+    ("ExpressionData", "BioinformaticsData", True, "Gene expression data."),
+    ("MicroarrayData", "ExpressionData", False, "Raw microarray data."),
+    ("ExpressionMatrix", "ExpressionData", False, "Gene x sample matrix."),
+    # ------------------------------------------------------------------
+    # Mass spectrometry
+    # ------------------------------------------------------------------
+    ("PeptideMassList", "BioinformaticsData", False, "Peptide masses from MS."),
+    # ------------------------------------------------------------------
+    # Module parameters (configuration values)
+    # ------------------------------------------------------------------
+    ("ParameterValue", "BioinformaticsData", True, "Module configuration value."),
+    ("AlignmentProgramName", "ParameterValue", False, "Alignment algorithm name."),
+    ("DatabaseName", "ParameterValue", False, "Target database name."),
+    ("ErrorTolerance", "ParameterValue", False, "Identification error (%)."),
+    ("ScoreThreshold", "ParameterValue", False, "Minimum score threshold."),
+    ("EValueCutoff", "ParameterValue", False, "E-value cutoff."),
+    ("LengthThreshold", "ParameterValue", False, "Sequence length threshold."),
+    ("OutputFormatName", "ParameterValue", False, "Requested output format."),
+    ("BooleanFlag", "ParameterValue", False, "On/off switch."),
+)
+
+
+#: Concepts that get ``SequenceDatabaseAccession`` as an extra parent.
+_SEQUENCE_SCHEMES = frozenset(
+    {
+        "UniProtAccession",
+        "PIRAccession",
+        "EMBLAccession",
+        "GenBankAccession",
+        "RefSeqNucleotideAccession",
+        "KEGGGeneId",
+        "EntrezGeneId",
+        "EnsemblGeneId",
+    }
+)
+
+
+@lru_cache(maxsize=1)
+def build_mygrid_ontology() -> Ontology:
+    """Build (and cache) the myGrid-lite ontology used across the system."""
+    concepts = []
+    for name, parent, covered, description in _CONCEPTS:
+        parents: tuple[str, ...] = (parent,) if parent else ()
+        if name in _SEQUENCE_SCHEMES:
+            parents = parents + ("SequenceDatabaseAccession",)
+        concepts.append(
+            Concept(
+                name=name,
+                parents=parents,
+                covered_by_children=covered,
+                description=description,
+            )
+        )
+    return Ontology(concepts, name="mygrid-lite")

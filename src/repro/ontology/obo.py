@@ -1,0 +1,108 @@
+"""OBO serialization of annotation ontologies.
+
+The myGrid ontology (like GO) circulates in the OBO flat-file format.
+This module renders an :class:`~repro.ontology.model.Ontology` as an OBO
+document — one ``[Term]`` stanza per concept, ``is_a`` lines for the
+subsumption edges and a ``subset: covered_by_children`` tag for abstract
+concepts — and parses such documents back, round-tripping everything the
+reasoner consumes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.ontology.concept import Concept
+from repro.ontology.model import Ontology
+
+
+class OboFormatError(ValueError):
+    """Raised when an OBO document cannot be parsed."""
+
+
+def ontology_to_obo(ontology: Ontology) -> str:
+    """Render the ontology as an OBO document."""
+    lines = [
+        "format-version: 1.2",
+        f"ontology: {ontology.name}",
+        "",
+    ]
+    for name in ontology.names():
+        concept = ontology.get(name)
+        lines.append("[Term]")
+        lines.append(f"id: {concept.name}")
+        if concept.description:
+            lines.append(f'def: "{concept.description}"')
+        for parent in concept.parents:
+            lines.append(f"is_a: {parent}")
+        if concept.covered_by_children:
+            lines.append("subset: covered_by_children")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def ontology_from_obo(text: str) -> Ontology:
+    """Parse an OBO document produced by :func:`ontology_to_obo`.
+
+    Raises:
+        OboFormatError: On missing headers, stanzas without ids, or
+            malformed lines.
+    """
+    if "format-version:" not in text:
+        raise OboFormatError("missing format-version header")
+    name = "ontology"
+    concepts: list[Concept] = []
+    current: dict | None = None
+
+    def flush() -> None:
+        nonlocal current
+        if current is None:
+            return
+        if "id" not in current:
+            raise OboFormatError("[Term] stanza without an id")
+        concepts.append(
+            Concept(
+                name=current["id"],
+                parents=tuple(current.get("is_a", ())),
+                covered_by_children=current.get("covered", False),
+                description=current.get("def", ""),
+            )
+        )
+        current = None
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "[Term]":
+            flush()
+            current = {}
+            continue
+        if line.startswith("ontology:"):
+            name = line.split(":", 1)[1].strip()
+            continue
+        if current is None:
+            continue
+        if ":" not in line:
+            raise OboFormatError(f"malformed OBO line: {line!r}")
+        key, value = (part.strip() for part in line.split(":", 1))
+        if key == "id":
+            current["id"] = value
+        elif key == "is_a":
+            current.setdefault("is_a", []).append(value)
+        elif key == "def":
+            current["def"] = value.strip('"')
+        elif key == "subset" and value == "covered_by_children":
+            current["covered"] = True
+    flush()
+    return Ontology(concepts, name=name)
+
+
+def save_obo(ontology: Ontology, path: "str | Path") -> None:
+    """Write the ontology to ``path`` as OBO."""
+    Path(path).write_text(ontology_to_obo(ontology), encoding="utf-8")
+
+
+def load_obo(path: "str | Path") -> Ontology:
+    """Read an OBO ontology written by :func:`save_obo`."""
+    return ontology_from_obo(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,6 @@
+"""The annotated instance pool and its realization factory."""
+
+from repro.pool.pool import InstancePool
+from repro.pool.synthesis import RealizationFactory, default_factory
+
+__all__ = ["InstancePool", "RealizationFactory", "default_factory"]

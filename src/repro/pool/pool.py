@@ -1,0 +1,127 @@
+"""The pool of annotated instances (§3.2).
+
+``getInstance(c, pl)`` — the function the paper uses to draw input values —
+is :meth:`InstancePool.get_instance`: it returns a *realization* of the
+concept ``c`` (an instance annotated with ``c`` itself, not with any strict
+sub-concept) whose structural grounding is compatible with the requesting
+parameter.
+
+Pools are populated from two sources, mirroring §4.1:
+
+* :meth:`InstancePool.harvest` walks workflow provenance traces and adds
+  every value recorded for a semantically annotated module parameter;
+* :meth:`InstancePool.bootstrap` adds curator-solicited values from the
+  :class:`~repro.pool.synthesis.RealizationFactory` (the paper's manual
+  fallback when provenance does not cover a partition).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.ontology.model import Ontology
+from repro.pool.synthesis import RealizationFactory
+from repro.values import StructuralType, TypedValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workflow.provenance import ProvenanceTrace
+
+
+class InstancePool:
+    """A pool of semantically annotated, structurally typed values."""
+
+    def __init__(self) -> None:
+        self._by_concept: dict[str, list[TypedValue]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(values) for values in self._by_concept.values())
+
+    def __iter__(self) -> Iterator[TypedValue]:
+        for values in self._by_concept.values():
+            yield from values
+
+    def concepts(self) -> tuple[str, ...]:
+        """Concepts that have at least one instance, insertion-ordered."""
+        return tuple(self._by_concept)
+
+    def add(self, value: TypedValue) -> bool:
+        """Add an annotated value; duplicates (same concept, structure and
+        payload) are ignored.
+
+        Returns:
+            True when the value was added.
+
+        Raises:
+            ValueError: If the value carries no concept annotation.
+        """
+        if value.concept is None:
+            raise ValueError("pool values must be semantically annotated")
+        bucket = self._by_concept.setdefault(value.concept, [])
+        for existing in bucket:
+            if (
+                existing.payload == value.payload
+                and existing.structural == value.structural
+            ):
+                return False
+        bucket.append(value)
+        return True
+
+    def instances_of(self, concept: str) -> tuple[TypedValue, ...]:
+        """All realizations of exactly ``concept`` (not of sub-concepts)."""
+        return tuple(self._by_concept.get(concept, ()))
+
+    def get_instance(
+        self, concept: str, structural: StructuralType | None = None
+    ) -> TypedValue | None:
+        """The paper's ``getInstance(c, pl)``: the first realization of
+        ``concept`` whose grounding is compatible with ``structural``
+        (any grounding when ``structural`` is ``None``)."""
+        for value in self._by_concept.get(concept, ()):
+            if structural is None or value.feeds(structural):
+                return value
+        return None
+
+    def merge(self, other: "InstancePool") -> int:
+        """Add every instance of ``other``; returns the number added."""
+        return sum(1 for value in other if self.add(value))
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    @classmethod
+    def bootstrap(
+        cls, factory: RealizationFactory, ontology: Ontology
+    ) -> "InstancePool":
+        """A pool holding one stock realization (per grounding) of every
+        realizable concept, plus list realizations where supported."""
+        pool = cls()
+        pool.extend_from_factory(factory, ontology)
+        return pool
+
+    def extend_from_factory(
+        self, factory: RealizationFactory, ontology: Ontology
+    ) -> int:
+        """Top up the pool with factory realizations for every realizable
+        concept that supports them; returns the number of values added."""
+        added = 0
+        for concept in ontology.names():
+            if not ontology.has_realization(concept):
+                continue
+            for value in factory.instances(concept):
+                added += self.add(value)
+            list_value = factory.list_instance(concept)
+            if list_value is not None:
+                added += self.add(list_value)
+        return added
+
+    def harvest(self, traces: "Iterable[ProvenanceTrace]") -> int:
+        """Harvest annotated values from provenance traces (§4.1): every
+        recorded input and output binding of every module invocation whose
+        parameter is semantically annotated joins the pool."""
+        added = 0
+        for trace in traces:
+            for invocation in trace.invocations:
+                for binding in invocation.inputs + invocation.outputs:
+                    if binding.value.concept is not None:
+                        added += self.add(binding.value)
+        return added

@@ -1,0 +1,428 @@
+"""The realization factory: concrete instances for every realizable concept.
+
+The generation heuristic needs a pool of annotated instances (§3.2).  The
+primary source is harvesting workflow provenance (§4.1); this factory is
+the complementary source the paper also allows — "data examples can be
+specified by soliciting from the human annotator examples [of] input
+values that belong to the respective partitions".  It can realize *every*
+non-covered concept of the myGrid-lite ontology against a given universe,
+in every structural grounding the catalog's input parameters use.
+
+All values reference entities that exist in the universe (so retrieval
+and mapping invocations succeed) and are sized so that filtering and
+analysis modules exercise their *main* behavior branch — exactly the
+situation that makes under-partitioned behavior classes invisible to the
+heuristic (§4, Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.biodb import expression, formats, records, reports
+from repro.biodb.sequences import (
+    make_ambiguous_biological,
+    make_ambiguous_nucleotide,
+    peptide_masses,
+    transcribe,
+)
+from repro.biodb.universe import BioUniverse
+from repro.values import (
+    BOOLEAN,
+    EMBL_FLAT,
+    FASTA,
+    FLOAT,
+    GENBANK_FLAT,
+    INTEGER,
+    KEGG_FLAT,
+    NEWICK,
+    OBO_TEXT,
+    PDB_TEXT,
+    PLAIN_TEXT,
+    STRING,
+    TABULAR,
+    UNIPROT_FLAT,
+    TypedValue,
+    list_of,
+)
+
+#: Sequence lengths used for list instances; they straddle the default
+#: ``LengthThreshold`` (25) so filters always keep some items.
+_LIST_LENGTHS = (12, 32, 52)
+
+
+class RealizationFactory:
+    """Builds realizations of ontology concepts against one universe."""
+
+    def __init__(self, universe: BioUniverse) -> None:
+        self.universe = universe
+        self._cache: dict[str, tuple[TypedValue, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def instances(self, concept: str) -> tuple[TypedValue, ...]:
+        """All stock realizations of ``concept`` (possibly several
+        structural groundings); empty when the concept has none here."""
+        if concept not in self._cache:
+            builder = getattr(self, f"_make_{_snake(concept)}", None)
+            self._cache[concept] = tuple(builder()) if builder else ()
+        return self._cache[concept]
+
+    def list_instance(self, item_concept: str, count: int = 3) -> TypedValue | None:
+        """A non-empty ``List[String]`` realization whose items realize
+        ``item_concept`` (used for collection-typed parameters)."""
+        # str hashes are process-randomized; CRC32 keeps list payloads
+        # identical across runs.
+        import zlib
+
+        rng = random.Random(zlib.crc32(item_concept.encode()) % 100000)
+        makers = {
+            "DNASequence": lambda n: _seq_of("ACGT", rng, n),
+            "RNASequence": lambda n: _seq_of("ACGU", rng, n),
+            "ProteinSequence": lambda n: "M" + _seq_of("LKEDFHISTV", rng, n - 1),
+            "NucleotideSequence": lambda n: make_ambiguous_nucleotide(rng, n),
+            "BiologicalSequence": lambda n: make_ambiguous_biological(rng, n),
+        }
+        if item_concept in makers:
+            items = tuple(makers[item_concept](n) for n in _LIST_LENGTHS[:count])
+            return TypedValue(items, list_of(STRING), item_concept)
+        if item_concept == "UniProtAccession":
+            items = tuple(p.uniprot for p in self.universe.proteins[:count])
+            return TypedValue(items, list_of(STRING), item_concept)
+        if item_concept == "KEGGGeneId":
+            items = tuple(g.kegg_id for g in self.universe.genes[:count])
+            return TypedValue(items, list_of(STRING), item_concept)
+        if item_concept == "GOTermIdentifier":
+            items = tuple(t.go_id for t in self.universe.go_terms[:count])
+            return TypedValue(items, list_of(STRING), item_concept)
+        if item_concept == "PeptideMassList":
+            masses = peptide_masses(self.universe.proteins[4].sequence)
+            return TypedValue(tuple(masses), list_of(FLOAT), item_concept)
+        return None
+
+    # ------------------------------------------------------------------
+    # Identifiers
+    # ------------------------------------------------------------------
+    def _id(self, payload: str, concept: str) -> list[TypedValue]:
+        return [TypedValue(payload, STRING, concept)]
+
+    def _make_uni_prot_accession(self):
+        return self._id(self.universe.proteins[0].uniprot, "UniProtAccession")
+
+    def _make_pir_accession(self):
+        return self._id(self.universe.proteins[2].pir, "PIRAccession")
+
+    def _make_embl_accession(self):
+        return self._id(self.universe.genes[3].embl, "EMBLAccession")
+
+    def _make_gen_bank_accession(self):
+        return self._id(self.universe.genes[4].genbank, "GenBankAccession")
+
+    def _make_ref_seq_nucleotide_accession(self):
+        return self._id(self.universe.genes[5].refseq, "RefSeqNucleotideAccession")
+
+    def _make_kegg_gene_id(self):
+        return self._id(self.universe.genes[5].kegg_id, "KEGGGeneId")
+
+    def _make_entrez_gene_id(self):
+        return self._id(self.universe.genes[7].entrez_id, "EntrezGeneId")
+
+    def _make_ensembl_gene_id(self):
+        return self._id(self.universe.genes[8].ensembl_id, "EnsemblGeneId")
+
+    def _make_kegg_pathway_id(self):
+        return self._id(self.universe.pathways[1].kegg_id, "KEGGPathwayId")
+
+    def _make_reactome_pathway_id(self):
+        return self._id(self.universe.pathways[2].reactome_id, "ReactomePathwayId")
+
+    def _make_ec_number(self):
+        return self._id(self.universe.enzymes[1].ec_number, "ECNumber")
+
+    def _make_kegg_compound_id(self):
+        return self._id(self.universe.compounds[1].kegg_id, "KEGGCompoundId")
+
+    def _make_ch_ebi_identifier(self):
+        return self._id(self.universe.compounds[2].chebi_id, "ChEBIIdentifier")
+
+    def _make_pdb_identifier(self):
+        return self._id(self.universe.structures[1].pdb_id, "PDBIdentifier")
+
+    def _make_go_term_identifier(self):
+        return self._id(self.universe.go_terms[1].go_id, "GOTermIdentifier")
+
+    def _make_inter_pro_identifier(self):
+        term = self.universe.go_terms[2]
+        return self._id(self.universe.interpro_for_go(term), "InterProIdentifier")
+
+    def _make_pub_med_identifier(self):
+        return self._id(self.universe.publications[1].pubmed_id, "PubMedIdentifier")
+
+    def _make_doi_identifier(self):
+        return self._id(self.universe.publications[2].doi, "DOIIdentifier")
+
+    def _make_kegg_glycan_id(self):
+        return self._id(self.universe.glycans[1].glycan_id, "KEGGGlycanId")
+
+    def _make_ligand_id(self):
+        return self._id(self.universe.ligands[1].ligand_id, "LigandId")
+
+    def _make_ncbi_taxon_id(self):
+        return self._id(self.universe.taxon_for_organism(1), "NCBITaxonId")
+
+    def _make_scientific_organism_name(self):
+        from repro.biodb.accessions import species_name
+
+        return self._id(species_name(2), "ScientificOrganismName")
+
+    # ------------------------------------------------------------------
+    # Sequences
+    # ------------------------------------------------------------------
+    def _make_dna_sequence(self):
+        return [TypedValue(self.universe.genes[1].dna_sequence, STRING, "DNASequence")]
+
+    def _make_rna_sequence(self):
+        return [
+            TypedValue(
+                transcribe(self.universe.genes[2].dna_sequence), STRING, "RNASequence"
+            )
+        ]
+
+    def _make_protein_sequence(self):
+        return [
+            TypedValue(self.universe.proteins[3].sequence, STRING, "ProteinSequence")
+        ]
+
+    def _make_nucleotide_sequence(self):
+        rng = random.Random(41)
+        return [
+            TypedValue(make_ambiguous_nucleotide(rng, 48), STRING, "NucleotideSequence")
+        ]
+
+    def _make_biological_sequence(self):
+        rng = random.Random(42)
+        return [
+            TypedValue(make_ambiguous_biological(rng, 36), STRING, "BiologicalSequence")
+        ]
+
+    # ------------------------------------------------------------------
+    # Records (several groundings each where the catalog needs them)
+    # ------------------------------------------------------------------
+    def _make_protein_sequence_record(self):
+        from repro.values import JSON_TEXT, XML
+
+        fields = records.protein_fields(self.universe, self.universe.proteins[1])
+        return [
+            TypedValue(
+                formats.render_uniprot_flat(fields), UNIPROT_FLAT, "ProteinSequenceRecord"
+            ),
+            TypedValue(formats.render_fasta(fields), FASTA, "ProteinSequenceRecord"),
+            TypedValue(formats.render_xml(fields), XML, "ProteinSequenceRecord"),
+            TypedValue(formats.render_json(fields), JSON_TEXT, "ProteinSequenceRecord"),
+        ]
+
+    def _make_nucleotide_sequence_record(self):
+        fields = records.gene_fields(self.universe, self.universe.genes[1])
+        genbank_fields = dict(fields, accession=self.universe.genes[1].genbank)
+        return [
+            TypedValue(
+                formats.render_embl_flat(fields), EMBL_FLAT, "NucleotideSequenceRecord"
+            ),
+            TypedValue(
+                formats.render_genbank_flat(genbank_fields),
+                GENBANK_FLAT,
+                "NucleotideSequenceRecord",
+            ),
+            TypedValue(formats.render_fasta(fields), FASTA, "NucleotideSequenceRecord"),
+        ]
+
+    def _make_gene_record(self):
+        fields = records.kegg_gene_fields(self.universe, self.universe.genes[2])
+        return [TypedValue(formats.render_kegg_flat(fields), KEGG_FLAT, "GeneRecord")]
+
+    def _make_pathway_record(self):
+        fields = records.pathway_fields(self.universe, self.universe.pathways[1])
+        return [TypedValue(formats.render_kegg_flat(fields), KEGG_FLAT, "PathwayRecord")]
+
+    def _make_enzyme_record(self):
+        fields = records.enzyme_fields(self.universe, self.universe.enzymes[1])
+        return [TypedValue(formats.render_kegg_flat(fields), KEGG_FLAT, "EnzymeRecord")]
+
+    def _make_compound_record(self):
+        fields = records.compound_fields(self.universe, self.universe.compounds[1])
+        return [
+            TypedValue(formats.render_kegg_flat(fields), KEGG_FLAT, "CompoundRecord")
+        ]
+
+    def _make_structure_record(self):
+        fields = records.structure_fields(self.universe, self.universe.structures[1])
+        return [TypedValue(formats.render_pdb_text(fields), PDB_TEXT, "StructureRecord")]
+
+    def _make_glycan_record(self):
+        fields = records.glycan_fields(self.universe, self.universe.glycans[1])
+        return [TypedValue(formats.render_kegg_flat(fields), KEGG_FLAT, "GlycanRecord")]
+
+    def _make_ligand_record(self):
+        fields = records.ligand_fields(self.universe, self.universe.ligands[1])
+        return [TypedValue(formats.render_tabular(fields), TABULAR, "LigandRecord")]
+
+    def _make_ontology_term_record(self):
+        fields = records.go_term_fields(self.universe, self.universe.go_terms[1])
+        return [
+            TypedValue(formats.render_obo_stanza(fields), OBO_TEXT, "OntologyTermRecord")
+        ]
+
+    def _make_literature_record(self):
+        fields = records.publication_fields(self.universe, self.universe.publications[1])
+        return [
+            TypedValue(formats.render_medline(fields), PLAIN_TEXT, "LiteratureRecord")
+        ]
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def _make_pairwise_alignment_report(self):
+        a, b = self.universe.proteins[1], self.universe.proteins[2]
+        text = reports.render_pairwise_alignment(
+            a.name, a.sequence, b.name, b.sequence, "needle"
+        )
+        return [TypedValue(text, PLAIN_TEXT, "PairwiseAlignmentReport")]
+
+    def _make_multiple_alignment_report(self):
+        entries = [(p.name, p.sequence) for p in self.universe.proteins[1:4]]
+        text = reports.render_multiple_alignment(entries)
+        return [TypedValue(text, PLAIN_TEXT, "MultipleAlignmentReport")]
+
+    def _make_homology_search_report(self):
+        query = self.universe.proteins[1]
+        hits = [
+            (p.uniprot, p.name, reports.score_alignment(query.sequence, p.sequence))
+            for p in self.universe.similar_proteins(query, 3)
+        ]
+        text = reports.render_homology_report(query.name, hits, "uniprot", "blastp")
+        return [TypedValue(text, TABULAR, "HomologySearchReport")]
+
+    def _make_motif_search_report(self):
+        text = reports.render_motif_report(
+            self.universe.proteins[1].name, [("N-GLYC", 4), ("PKC-PHOSPHO", 17)]
+        )
+        return [TypedValue(text, TABULAR, "MotifSearchReport")]
+
+    def _make_phylogenetic_tree(self):
+        leaves = [p.name.replace(" ", "_") for p in self.universe.proteins[1:5]]
+        return [TypedValue(reports.render_newick(leaves), NEWICK, "PhylogeneticTree")]
+
+    def _make_sequence_statistics_report(self):
+        protein = self.universe.proteins[1]
+        text = reports.render_sequence_statistics(protein.name, protein.sequence)
+        return [TypedValue(text, TABULAR, "SequenceStatisticsReport")]
+
+    def _make_expression_statistics_report(self):
+        microarray = self.instances("MicroarrayData")[0]
+        text = expression.differential_report(microarray.payload, threshold=10.0)
+        return [TypedValue(text, TABULAR, "ExpressionStatisticsReport")]
+
+    def _make_identification_report(self):
+        protein = self.universe.proteins[4]
+        text = reports.render_identification_report(
+            protein.uniprot, protein.name, matched=4, tolerance=0.1
+        )
+        return [TypedValue(text, TABULAR, "IdentificationReport")]
+
+    # ------------------------------------------------------------------
+    # Text, annotation sets, expression data, mass lists, parameters
+    # ------------------------------------------------------------------
+    def _make_abstract(self):
+        return [
+            TypedValue(self.universe.publications[1].abstract, PLAIN_TEXT, "Abstract")
+        ]
+
+    def _make_full_text_document(self):
+        publication = self.universe.publications[2]
+        text = (
+            f"{publication.title}\n\n{publication.abstract}\n\n"
+            "Methods. Synthetic full-text body describing the experimental "
+            "protocol in detail.\nResults. The measurements are reported.\n"
+        )
+        return [TypedValue(text, PLAIN_TEXT, "FullTextDocument")]
+
+    def _make_go_annotation_set(self):
+        protein = self.universe.proteins[1]
+        lines = {
+            self.universe.go_terms[o].go_id: self.universe.go_terms[o].name
+            for o in protein.go_term_ordinals
+        }
+        return [TypedValue(formats.render_tabular(lines), TABULAR, "GOAnnotationSet")]
+
+    def _make_pathway_concept_set(self):
+        lines = {p.kegg_id: p.name for p in self.universe.pathways[1:4]}
+        return [TypedValue(formats.render_tabular(lines), TABULAR, "PathwayConceptSet")]
+
+    def _make_keyword_set(self):
+        keywords = self.universe.proteins[1].keywords
+        lines = {f"kw{i + 1}": keyword for i, keyword in enumerate(keywords)}
+        return [TypedValue(formats.render_tabular(lines), TABULAR, "KeywordSet")]
+
+    def _make_microarray_data(self):
+        names = [g.name for g in self.universe.genes[:6]]
+        text = expression.make_microarray(names, n_samples=4, seed=7)
+        return [TypedValue(text, TABULAR, "MicroarrayData")]
+
+    def _make_expression_matrix(self):
+        microarray = self.instances("MicroarrayData")[0]
+        text = expression.normalize_expression(microarray.payload)
+        return [TypedValue(text, TABULAR, "ExpressionMatrix")]
+
+    def _make_peptide_mass_list(self):
+        masses = peptide_masses(self.universe.proteins[4].sequence)
+        return [TypedValue(tuple(masses), list_of(FLOAT), "PeptideMassList")]
+
+    def _make_alignment_program_name(self):
+        return [TypedValue("blastp", STRING, "AlignmentProgramName")]
+
+    def _make_database_name(self):
+        return [TypedValue("uniprot", STRING, "DatabaseName")]
+
+    def _make_error_tolerance(self):
+        return [TypedValue(0.1, FLOAT, "ErrorTolerance")]
+
+    def _make_score_threshold(self):
+        return [TypedValue(20.0, FLOAT, "ScoreThreshold")]
+
+    def _make_e_value_cutoff(self):
+        return [TypedValue(0.001, FLOAT, "EValueCutoff")]
+
+    def _make_length_threshold(self):
+        return [TypedValue(25, INTEGER, "LengthThreshold")]
+
+    def _make_output_format_name(self):
+        return [TypedValue("fasta", STRING, "OutputFormatName")]
+
+    def _make_boolean_flag(self):
+        return [TypedValue(True, BOOLEAN, "BooleanFlag")]
+
+
+def _snake(concept: str) -> str:
+    """CamelCase -> snake_case, treating acronyms as single words
+    (``PIRAccession`` -> ``pir_accession``)."""
+    out = []
+    for index, char in enumerate(concept):
+        if char.isupper() and index:
+            prev_lower = concept[index - 1].islower()
+            next_lower = index + 1 < len(concept) and concept[index + 1].islower()
+            if prev_lower or (concept[index - 1].isupper() and next_lower):
+                out.append("_")
+        out.append(char.lower())
+    return "".join(out)
+
+
+def _seq_of(alphabet: str, rng: random.Random, length: int) -> str:
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+@lru_cache(maxsize=4)
+def default_factory(seed: int = 2014) -> RealizationFactory:
+    """The realization factory over the default universe (cached)."""
+    from repro.biodb.universe import default_universe
+
+    return RealizationFactory(default_universe(seed))

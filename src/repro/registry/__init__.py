@@ -1,0 +1,12 @@
+"""The scientific module registry and its SQLite persistence."""
+
+from repro.registry.registry import ModuleRegistry, RegistryEntry
+from repro.registry.sqlite_store import load_examples, load_registry, save_registry
+
+__all__ = [
+    "ModuleRegistry",
+    "RegistryEntry",
+    "save_registry",
+    "load_registry",
+    "load_examples",
+]

@@ -1,0 +1,122 @@
+"""The scientific module registry (Figure 3).
+
+The registry stores parameter annotations and the generated data examples,
+and answers the queries the architecture's consumers need: curators browse
+modules, experiment designers search by the concepts they want to consume
+or produce, and the matcher pulls candidate substitutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.examples import DataExample
+from repro.modules.model import Category, Module
+from repro.ontology.model import Ontology
+
+
+@dataclass
+class RegistryEntry:
+    """One registered module plus its annotation artefacts."""
+
+    module: Module
+    examples: list[DataExample] = field(default_factory=list)
+
+
+class ModuleRegistry:
+    """In-memory registry of modules, annotations and data examples."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self._entries: dict[str, RegistryEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, module_id: str) -> bool:
+        return module_id in self._entries
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, module: Module) -> RegistryEntry:
+        """Register a module (idempotent); validates its annotations.
+
+        Raises:
+            ValueError: If a parameter is annotated with a concept the
+                registry's ontology does not know.
+        """
+        for parameter in module.inputs + module.outputs:
+            if parameter.concept not in self.ontology:
+                raise ValueError(
+                    f"{module.module_id}: unknown concept {parameter.concept!r}"
+                )
+        entry = self._entries.get(module.module_id)
+        if entry is None:
+            entry = RegistryEntry(module=module)
+            self._entries[module.module_id] = entry
+        return entry
+
+    def attach_examples(self, module_id: str, examples: "list[DataExample]") -> None:
+        """Store generated data examples for a registered module.
+
+        Raises:
+            KeyError: If the module is not registered.
+        """
+        self._entries[module_id].examples = list(examples)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, module_id: str) -> RegistryEntry:
+        """The entry for ``module_id``.
+
+        Raises:
+            KeyError: If the module is not registered.
+        """
+        return self._entries[module_id]
+
+    def modules(self) -> "list[Module]":
+        """All registered modules, registration-ordered."""
+        return [entry.module for entry in self._entries.values()]
+
+    def examples_of(self, module_id: str) -> "list[DataExample]":
+        """The stored data examples of one module (empty if none)."""
+        entry = self._entries.get(module_id)
+        return list(entry.examples) if entry else []
+
+    def by_category(self, category: Category) -> "list[Module]":
+        """Modules of one Table 3 category."""
+        return [m for m in self.modules() if m.category is category]
+
+    def available_modules(self) -> "list[Module]":
+        """Modules still supplied by their providers."""
+        return [m for m in self.modules() if m.available]
+
+    def consuming(self, concept: str) -> "list[Module]":
+        """Modules with an input accepting instances of ``concept`` —
+        i.e. whose input annotation subsumes (or equals) it."""
+        found = []
+        for module in self.modules():
+            for parameter in module.inputs:
+                if self.ontology.subsumes(parameter.concept, concept):
+                    found.append(module)
+                    break
+        return found
+
+    def producing(self, concept: str) -> "list[Module]":
+        """Modules with an output whose annotation is subsumed by
+        ``concept`` (their results are usable wherever ``concept`` is
+        expected)."""
+        found = []
+        for module in self.modules():
+            for parameter in module.outputs:
+                if self.ontology.subsumes(concept, parameter.concept):
+                    found.append(module)
+                    break
+        return found
+
+    def search_by_name(self, needle: str) -> "list[Module]":
+        """Case-insensitive substring search over module names."""
+        needle = needle.lower()
+        return [m for m in self.modules() if needle in m.name.lower()]

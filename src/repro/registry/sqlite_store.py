@@ -1,0 +1,191 @@
+"""SQLite persistence for the module registry.
+
+The registry's annotation artefacts — module signatures, parameter
+annotations and the generated data examples — are persisted in a small
+relational schema, so a curation session can be saved and reloaded without
+regenerating examples.  Module *behavior* (the executable branches) is not
+serialized: on load, entries are re-bound to live modules by id, exactly
+as a real registry references remotely supplied services.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+from repro.core.examples import Binding, DataExample
+from repro.modules.interfaces import value_from_wire, value_to_wire
+from repro.modules.model import Module
+from repro.registry.registry import ModuleRegistry
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS modules (
+    module_id TEXT PRIMARY KEY,
+    name TEXT NOT NULL,
+    category TEXT NOT NULL,
+    interface TEXT NOT NULL,
+    provider TEXT NOT NULL,
+    available INTEGER NOT NULL,
+    popularity INTEGER NOT NULL,
+    legible INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS parameters (
+    module_id TEXT NOT NULL REFERENCES modules(module_id),
+    side TEXT NOT NULL CHECK (side IN ('in', 'out')),
+    position INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    structural TEXT NOT NULL,
+    concept TEXT NOT NULL,
+    optional INTEGER NOT NULL,
+    PRIMARY KEY (module_id, side, position)
+);
+CREATE TABLE IF NOT EXISTS data_examples (
+    module_id TEXT NOT NULL REFERENCES modules(module_id),
+    ordinal INTEGER NOT NULL,
+    PRIMARY KEY (module_id, ordinal)
+);
+CREATE TABLE IF NOT EXISTS example_bindings (
+    module_id TEXT NOT NULL,
+    ordinal INTEGER NOT NULL,
+    side TEXT NOT NULL CHECK (side IN ('in', 'out')),
+    parameter TEXT NOT NULL,
+    partition_concept TEXT,
+    value_json TEXT NOT NULL,
+    FOREIGN KEY (module_id, ordinal)
+        REFERENCES data_examples(module_id, ordinal)
+);
+CREATE INDEX IF NOT EXISTS idx_parameters_concept ON parameters(concept);
+"""
+
+
+def save_registry(registry: ModuleRegistry, path: "str | Path") -> None:
+    """Persist signatures, annotations and examples to a SQLite file."""
+    connection = sqlite3.connect(str(path))
+    try:
+        with connection:
+            connection.executescript(_SCHEMA)
+            connection.execute("DELETE FROM example_bindings")
+            connection.execute("DELETE FROM data_examples")
+            connection.execute("DELETE FROM parameters")
+            connection.execute("DELETE FROM modules")
+            for module in registry.modules():
+                connection.execute(
+                    "INSERT INTO modules VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        module.module_id,
+                        module.name,
+                        module.category.value,
+                        module.interface.value,
+                        module.provider,
+                        int(module.available),
+                        module.popularity,
+                        int(module.legible),
+                    ),
+                )
+                for side, parameters in (("in", module.inputs), ("out", module.outputs)):
+                    for position, parameter in enumerate(parameters):
+                        connection.execute(
+                            "INSERT INTO parameters VALUES (?, ?, ?, ?, ?, ?, ?)",
+                            (
+                                module.module_id,
+                                side,
+                                position,
+                                parameter.name,
+                                parameter.structural.name,
+                                parameter.concept,
+                                int(parameter.optional),
+                            ),
+                        )
+                for ordinal, example in enumerate(
+                    registry.examples_of(module.module_id)
+                ):
+                    connection.execute(
+                        "INSERT INTO data_examples VALUES (?, ?)",
+                        (module.module_id, ordinal),
+                    )
+                    for side, bindings in (
+                        ("in", example.inputs),
+                        ("out", example.outputs),
+                    ):
+                        for binding in bindings:
+                            connection.execute(
+                                "INSERT INTO example_bindings VALUES (?, ?, ?, ?, ?, ?)",
+                                (
+                                    module.module_id,
+                                    ordinal,
+                                    side,
+                                    binding.parameter,
+                                    binding.partition,
+                                    json.dumps(value_to_wire(binding.value)),
+                                ),
+                            )
+    finally:
+        connection.close()
+
+
+def load_examples(path: "str | Path") -> dict[str, "list[DataExample]"]:
+    """Load the persisted data examples, keyed by module id."""
+    connection = sqlite3.connect(str(path))
+    try:
+        examples: dict[str, list[DataExample]] = {}
+        cursor = connection.execute(
+            "SELECT module_id, ordinal FROM data_examples ORDER BY module_id, ordinal"
+        )
+        keys = cursor.fetchall()
+        for module_id, ordinal in keys:
+            rows = connection.execute(
+                "SELECT side, parameter, partition_concept, value_json "
+                "FROM example_bindings WHERE module_id = ? AND ordinal = ? ",
+                (module_id, ordinal),
+            ).fetchall()
+            inputs = []
+            outputs = []
+            for side, parameter, partition, value_json in rows:
+                binding = Binding(
+                    parameter=parameter,
+                    value=value_from_wire(json.loads(value_json)),
+                    partition=partition,
+                )
+                (inputs if side == "in" else outputs).append(binding)
+            examples.setdefault(module_id, []).append(
+                DataExample(
+                    module_id=module_id,
+                    inputs=tuple(inputs),
+                    outputs=tuple(outputs),
+                )
+            )
+        return examples
+    finally:
+        connection.close()
+
+
+def load_registry(
+    path: "str | Path",
+    registry: ModuleRegistry,
+    live_modules: dict[str, Module],
+) -> int:
+    """Rebind persisted entries to live modules and restore examples.
+
+    Returns:
+        Number of modules restored (persisted modules without a live
+        counterpart are skipped — their providers are gone for good).
+    """
+    connection = sqlite3.connect(str(path))
+    try:
+        ids = [
+            row[0]
+            for row in connection.execute("SELECT module_id FROM modules").fetchall()
+        ]
+    finally:
+        connection.close()
+    examples = load_examples(path)
+    restored = 0
+    for module_id in ids:
+        module = live_modules.get(module_id)
+        if module is None:
+            continue
+        registry.register(module)
+        registry.attach_examples(module_id, examples.get(module_id, []))
+        restored += 1
+    return restored

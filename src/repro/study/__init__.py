@@ -1,0 +1,27 @@
+"""The simulated §5 understanding study."""
+
+from repro.study.exercises import (
+    QuestionCard,
+    ResponseRow,
+    build_card,
+    build_questionnaire,
+    record_responses,
+    render_response_sheet,
+)
+from repro.study.study import StudyResult, UserResult, run_study
+from repro.study.users import DEFAULT_USERS, SimulatedUser, UserProfile
+
+__all__ = [
+    "run_study",
+    "StudyResult",
+    "UserResult",
+    "SimulatedUser",
+    "UserProfile",
+    "DEFAULT_USERS",
+    "QuestionCard",
+    "ResponseRow",
+    "build_card",
+    "build_questionnaire",
+    "record_responses",
+    "render_response_sheet",
+]

@@ -1,0 +1,125 @@
+"""The §5 study artifacts: questionnaires and response sheets.
+
+The paper's exercise handed users, per module, first a card with the
+module name and its parameter annotations (phase 1), then the same card
+augmented with the generated data examples (phase 2), and collected a
+textual behavior description.  This module builds those artifacts — the
+cards, and per-user response sheets filled in by the simulated annotators
+— so the study is reproducible as *documents*, not just as counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.examples import DataExample
+from repro.modules.model import Module
+from repro.study.users import SimulatedUser, UserProfile
+
+
+@dataclass(frozen=True)
+class QuestionCard:
+    """One module's exercise card.
+
+    Attributes:
+        module_id: The module under study.
+        phase1_text: The card without data examples.
+        phase2_text: The card with data examples appended.
+    """
+
+    module_id: str
+    phase1_text: str
+    phase2_text: str
+
+
+def build_card(
+    module: Module, examples: "list[DataExample]", max_examples: int = 3
+) -> QuestionCard:
+    """Build the two-phase card for one module."""
+    lines = [
+        f"Module: {module.name}",
+        f"Supplied as: {module.interface.value}",
+        "Inputs:",
+    ]
+    for parameter in module.inputs:
+        lines.append(
+            f"  - {parameter.name}: {parameter.structural} "
+            f"annotated {parameter.concept}"
+        )
+    lines.append("Outputs:")
+    for parameter in module.outputs:
+        lines.append(
+            f"  - {parameter.name}: {parameter.structural} "
+            f"annotated {parameter.concept}"
+        )
+    lines.append("")
+    lines.append("Q: Describe, as precisely as you can, what this module does.")
+    phase1 = "\n".join(lines)
+    example_lines = ["", "Data examples:"]
+    for example in examples[:max_examples]:
+        example_lines.append("")
+        example_lines.append(example.render())
+    if len(examples) > max_examples:
+        example_lines.append(f"\n({len(examples) - max_examples} more examples omitted)")
+    phase2 = phase1 + "\n" + "\n".join(example_lines)
+    return QuestionCard(module.module_id, phase1, phase2)
+
+
+def build_questionnaire(
+    modules, examples_by_module: dict[str, "list[DataExample]"]
+) -> "list[QuestionCard]":
+    """Cards for a whole module set, in catalog order."""
+    return [
+        build_card(module, examples_by_module.get(module.module_id, []))
+        for module in modules
+    ]
+
+
+@dataclass(frozen=True)
+class ResponseRow:
+    """One user's verdict on one module.
+
+    Attributes:
+        module_id: The module.
+        phase1_correct: Identified without examples.
+        phase2_correct: Identified with examples.
+    """
+
+    module_id: str
+    phase1_correct: bool
+    phase2_correct: bool
+
+
+def record_responses(
+    profile: UserProfile,
+    modules,
+    examples_by_module: dict[str, "list[DataExample]"],
+) -> "list[ResponseRow]":
+    """Fill in one user's response sheet over the module set."""
+    user = SimulatedUser(profile, list(modules))
+    rows = []
+    for module in modules:
+        n_examples = len(examples_by_module.get(module.module_id, ()))
+        phase1 = user.recognizes(module)
+        phase2 = phase1 or user.identifies_with_examples(module, n_examples)
+        rows.append(ResponseRow(module.module_id, phase1, phase2))
+    return rows
+
+
+def render_response_sheet(profile: UserProfile, rows: "list[ResponseRow]") -> str:
+    """Render a response sheet as the tab-separated document the study
+    coordinator would collect."""
+    lines = [
+        f"# Response sheet: {profile.name}",
+        "module_id\twithout_examples\twith_examples",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.module_id}\t{'yes' if row.phase1_correct else 'no'}"
+            f"\t{'yes' if row.phase2_correct else 'no'}"
+        )
+    phase1_total = sum(row.phase1_correct for row in rows)
+    phase2_total = sum(row.phase2_correct for row in rows)
+    lines.append(f"# identified without examples: {phase1_total}/{len(rows)}")
+    lines.append(f"# identified with examples:    {phase2_total}/{len(rows)}")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Simulated annotators for the §5 understanding study.
+
+The paper asked three life-science users to describe module behavior,
+first from names and parameter annotations alone, then with the generated
+data examples in hand.  We model each user with:
+
+* a *familiarity set* — popular web-service modules whose behavior the
+  user can fully describe without examples (the paper's ~18% phase-1
+  hits).  The set is drawn deterministically from a user seed, weighted
+  by module popularity, and restricted to modules whose behavior a human
+  can actually pin down precisely (the paper observed that phase-1 hits
+  were never retracted in phase 2, so familiarity implies legibility);
+* *per-category competence with examples* — the paper's central finding:
+  transformation and mapping modules are always identified from data
+  examples, retrieval modules unless their output format is exotic,
+  filtering and complex-analysis modules almost never.  Per-user noise
+  perturbs the boundary cases so the three users give "similar figures"
+  rather than identical ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.modules.model import InterfaceKind, Module
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Configuration of one simulated annotator.
+
+    Attributes:
+        name: e.g. ``"user1"``.
+        seed: Seed of the user's private RNG.
+        n_familiar: Size of the phase-1 familiarity set.
+        flip_rate: Probability of deviating on a boundary-case module in
+            phase 2 (0.0 makes the user follow legibility exactly).
+    """
+
+    name: str
+    seed: int
+    n_familiar: int = 47
+    flip_rate: float = 0.0
+
+
+#: The paper's three users: user1 matches the reported counts exactly
+#: (47 phase-1, 169 phase-2); user2/user3 add seeded boundary noise.
+DEFAULT_USERS: tuple[UserProfile, ...] = (
+    UserProfile(name="user1", seed=101, n_familiar=47, flip_rate=0.0),
+    UserProfile(name="user2", seed=202, n_familiar=45, flip_rate=0.03),
+    UserProfile(name="user3", seed=303, n_familiar=49, flip_rate=0.03),
+)
+
+
+class SimulatedUser:
+    """A deterministic simulated annotator."""
+
+    def __init__(self, profile: UserProfile, modules: "list[Module] | tuple[Module, ...]") -> None:
+        self.profile = profile
+        self._rng = random.Random(profile.seed)
+        self._familiar = self._draw_familiarity(list(modules))
+
+    # ------------------------------------------------------------------
+    def _draw_familiarity(self, modules: "list[Module]") -> frozenset[str]:
+        """Popularity-weighted draw of well-known web-service modules."""
+        well_known = sorted(
+            (
+                m
+                for m in modules
+                if m.legible
+                and m.popularity >= 4
+                and m.interface is not InterfaceKind.LOCAL_PROGRAM
+            ),
+            key=lambda m: (-m.popularity, m.module_id),
+        )
+        familiar = [m.module_id for m in well_known]
+        if len(familiar) < self.profile.n_familiar:
+            remaining = sorted(
+                m.module_id
+                for m in modules
+                if m.legible
+                and m.module_id not in set(familiar)
+                and m.interface is not InterfaceKind.LOCAL_PROGRAM
+            )
+            extra = self._rng.sample(
+                remaining,
+                min(self.profile.n_familiar - len(familiar), len(remaining)),
+            )
+            familiar.extend(extra)
+        return frozenset(familiar[: self.profile.n_familiar])
+
+    # ------------------------------------------------------------------
+    def recognizes(self, module: Module) -> bool:
+        """Phase 1: can the user describe the behavior from the module
+        name and parameter annotations alone?"""
+        return module.module_id in self._familiar
+
+    def identifies_with_examples(self, module: Module, n_examples: int) -> bool:
+        """Phase 2: can the user describe the behavior given the data
+        examples?  Monotone over phase 1 (the paper observed no
+        retractions)."""
+        if self.recognizes(module):
+            return True
+        if n_examples == 0:
+            return False
+        verdict = module.legible
+        if self.profile.flip_rate > 0 and self._boundary_case(module):
+            # str hashes are process-randomized; CRC32 keeps the roll
+            # deterministic across runs.
+            import zlib
+
+            token = f"{self.profile.seed}:{module.module_id}".encode()
+            roll = random.Random(zlib.crc32(token)).random()
+            if roll < self.profile.flip_rate:
+                verdict = not verdict
+        return verdict
+
+    @staticmethod
+    def _boundary_case(module: Module) -> bool:
+        """Modules where users plausibly differ: retrieval with exotic
+        formats, filtering, and analysis.  Transformation and mapping are
+        never boundary cases — the paper's users identified all of them."""
+        return module.category.value in (
+            "data retrieval",
+            "filtering",
+            "data analysis",
+        )

@@ -1,0 +1,83 @@
+"""Typed, semantically annotated values.
+
+A :class:`TypedValue` is the unit of data that flows through the whole
+system: module invocations consume and produce them, provenance traces
+record them, the annotated instance pool stores them, and data examples are
+built from them.  Each carries a payload, a structural type and (optionally)
+the name of the most specific ontology concept that annotates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.values.structural import StructuralType, compatible
+
+
+@dataclass(frozen=True)
+class TypedValue:
+    """A concrete value together with its structural and semantic typing.
+
+    Attributes:
+        payload: The raw value (str, int, float, bool, or a tuple of
+            payloads for list-typed values).
+        structural: The value's structural type.
+        concept: Name of the *most specific* ontology concept the value is
+            an instance of, or ``None`` when unannotated.  Following §3.2,
+            a value whose ``concept`` is ``c`` is a *realization* of ``c``:
+            it is not an instance of any strict sub-concept of ``c``.
+    """
+
+    payload: Any
+    structural: StructuralType
+    concept: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.structural.is_list and not isinstance(self.payload, tuple):
+            raise TypeError(
+                f"list-typed value requires a tuple payload, got "
+                f"{type(self.payload).__name__}"
+            )
+
+    def feeds(self, required: StructuralType) -> bool:
+        """True when this value can structurally feed ``required``."""
+        return compatible(self.structural, required)
+
+    def with_concept(self, concept: str) -> "TypedValue":
+        """Return a copy annotated with ``concept``."""
+        return TypedValue(self.payload, self.structural, concept)
+
+    def render(self, limit: int = 60) -> str:
+        """A short, human-readable rendering used in reports and examples."""
+        if self.structural.is_list:
+            inner = ", ".join(
+                TypedValue(p, self.structural.item).render(limit=20)
+                for p in self.payload[:3]
+            )
+            suffix = ", ..." if len(self.payload) > 3 else ""
+            return f"[{inner}{suffix}]"
+        text = str(self.payload)
+        if len(text) > limit:
+            return text[: limit - 3] + "..."
+        return text
+
+
+def string_value(payload: str, structural: StructuralType, concept: str | None = None) -> TypedValue:
+    """Build a textual :class:`TypedValue`, validating the payload type."""
+    if not isinstance(payload, str):
+        raise TypeError(f"expected str payload, got {type(payload).__name__}")
+    if not structural.is_textual:
+        raise TypeError(f"{structural} is not a textual structural type")
+    return TypedValue(payload, structural, concept)
+
+
+def list_value(
+    items: "tuple[Any, ...] | list[Any]",
+    structural: StructuralType,
+    concept: str | None = None,
+) -> TypedValue:
+    """Build a list-typed :class:`TypedValue` from an iterable of payloads."""
+    if not structural.is_list:
+        raise TypeError(f"{structural} is not a list structural type")
+    return TypedValue(tuple(items), structural, concept)

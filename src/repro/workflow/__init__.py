@@ -1,0 +1,83 @@
+"""Workflow model, enactment, provenance, repository and decay."""
+
+from repro.workflow.decay import (
+    broken_workflows,
+    restore_providers,
+    shut_down_providers,
+)
+from repro.workflow.enactment import EnactmentError, Enactor
+from repro.workflow.io import (
+    WorkflowFormatError,
+    load_workflows,
+    save_workflows,
+    workflow_from_dict,
+    workflow_from_xml,
+    workflow_to_dict,
+    workflow_to_xml,
+)
+from repro.workflow.prov_export import (
+    load_corpus,
+    save_corpus,
+    trace_from_prov,
+    trace_to_prov,
+)
+from repro.workflow.model import DataLink, Step, Workflow, link_is_valid
+from repro.workflow.provenance import (
+    InvocationRecord,
+    ProvenanceTrace,
+    harvest_examples,
+)
+from repro.workflow.monitoring import (
+    DecayReport,
+    analyze_decay,
+    render_decay_report,
+)
+from repro.workflow.validation import (
+    IssueKind,
+    ValidationIssue,
+    ValidationReport,
+    validate_repository,
+    validate_workflow,
+)
+from repro.workflow.repository import (
+    Repository,
+    RepositoryBuilder,
+    RepositoryConfig,
+)
+
+__all__ = [
+    "Workflow",
+    "Step",
+    "DataLink",
+    "link_is_valid",
+    "Enactor",
+    "EnactmentError",
+    "ProvenanceTrace",
+    "InvocationRecord",
+    "harvest_examples",
+    "Repository",
+    "RepositoryBuilder",
+    "RepositoryConfig",
+    "shut_down_providers",
+    "restore_providers",
+    "broken_workflows",
+    "workflow_to_xml",
+    "workflow_from_xml",
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "save_workflows",
+    "load_workflows",
+    "WorkflowFormatError",
+    "trace_to_prov",
+    "trace_from_prov",
+    "save_corpus",
+    "load_corpus",
+    "validate_workflow",
+    "validate_repository",
+    "ValidationReport",
+    "ValidationIssue",
+    "IssueKind",
+    "analyze_decay",
+    "render_decay_report",
+    "DecayReport",
+]

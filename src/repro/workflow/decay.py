@@ -1,0 +1,52 @@
+"""Workflow decay: third-party providers shutting down (§6, [42]).
+
+"There is no agreement that compels the providers to continuously supply
+their modules" — decay is modelled as a provider-shutdown event that
+flips the availability of every module the provider supplied.  Modules
+invoked after the event raise
+:class:`~repro.modules.errors.ModuleUnavailableError` through their supply
+interface (SOAP Server fault / HTTP 503 / exit 127).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.modules.model import Module
+
+
+def shut_down_providers(modules: "Iterable[Module]", providers: "frozenset[str] | set[str]") -> list[str]:
+    """Mark every module supplied by ``providers`` unavailable.
+
+    Returns:
+        The ids of the modules that became unavailable.
+    """
+    decayed = []
+    for module in modules:
+        if module.provider in providers and module.available:
+            module.available = False
+            decayed.append(module.module_id)
+    return decayed
+
+
+def restore_providers(modules: "Iterable[Module]", providers: "frozenset[str] | set[str]") -> list[str]:
+    """Undo a shutdown (used by tests and by pre-decay provenance runs)."""
+    restored = []
+    for module in modules:
+        if module.provider in providers and not module.available:
+            module.available = True
+            restored.append(module.module_id)
+    return restored
+
+
+def broken_workflows(workflows, modules_by_id) -> list:
+    """The workflows referencing at least one unavailable module (§6:
+    ~half of the myExperiment repository)."""
+    broken = []
+    for workflow in workflows:
+        for module_id in workflow.module_ids():
+            module = modules_by_id.get(module_id)
+            if module is None or not module.available:
+                broken.append(workflow)
+                break
+    return broken

@@ -1,0 +1,148 @@
+"""Workflow serialization (t2flow-lite).
+
+myExperiment stores workflows as XML documents (Taverna's t2flow); the
+repository generator and the repair tooling need the same ability so that
+curated repositories can be saved, shared and reloaded.  We serialize
+workflows to a compact XML dialect ("t2flow-lite") and to JSON, with full
+round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from xml.etree import ElementTree
+
+from repro.workflow.model import DataLink, Step, Workflow
+
+
+class WorkflowFormatError(ValueError):
+    """Raised when a serialized workflow cannot be parsed."""
+
+
+# ----------------------------------------------------------------------
+# XML (t2flow-lite)
+# ----------------------------------------------------------------------
+def workflow_to_xml(workflow: Workflow) -> str:
+    """Render a workflow as a t2flow-lite XML document."""
+    root = ElementTree.Element("workflow", id=workflow.workflow_id)
+    name = ElementTree.SubElement(root, "name")
+    name.text = workflow.name
+    processors = ElementTree.SubElement(root, "processors")
+    for step in workflow.steps:
+        ElementTree.SubElement(
+            processors, "processor", id=step.step_id, module=step.module_id
+        )
+    datalinks = ElementTree.SubElement(root, "datalinks")
+    for link in workflow.links:
+        ElementTree.SubElement(
+            datalinks,
+            "datalink",
+            source=f"{link.from_step}:{link.from_output}",
+            sink=f"{link.to_step}:{link.to_input}",
+        )
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def workflow_from_xml(text: str) -> Workflow:
+    """Parse a t2flow-lite document back into a workflow.
+
+    Raises:
+        WorkflowFormatError: On malformed XML or missing attributes.
+    """
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise WorkflowFormatError(f"not XML: {exc}") from exc
+    if root.tag != "workflow" or "id" not in root.attrib:
+        raise WorkflowFormatError("not a t2flow-lite document")
+    name_node = root.find("name")
+    steps = []
+    for node in root.iterfind("processors/processor"):
+        try:
+            steps.append(Step(node.attrib["id"], node.attrib["module"]))
+        except KeyError as exc:
+            raise WorkflowFormatError(f"processor missing attribute {exc}") from exc
+    links = []
+    for node in root.iterfind("datalinks/datalink"):
+        try:
+            source, sink = node.attrib["source"], node.attrib["sink"]
+            from_step, _, from_output = source.partition(":")
+            to_step, _, to_input = sink.partition(":")
+        except KeyError as exc:
+            raise WorkflowFormatError(f"datalink missing attribute {exc}") from exc
+        if not from_output or not to_input:
+            raise WorkflowFormatError(f"malformed datalink {source!r} -> {sink!r}")
+        links.append(DataLink(from_step, from_output, to_step, to_input))
+    try:
+        return Workflow(
+            workflow_id=root.attrib["id"],
+            name=name_node.text if name_node is not None and name_node.text else "",
+            steps=tuple(steps),
+            links=tuple(links),
+        )
+    except ValueError as exc:
+        raise WorkflowFormatError(str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def workflow_to_dict(workflow: Workflow) -> dict:
+    """Render a workflow as a JSON-compatible dictionary."""
+    return {
+        "id": workflow.workflow_id,
+        "name": workflow.name,
+        "steps": [
+            {"id": step.step_id, "module": step.module_id} for step in workflow.steps
+        ],
+        "links": [
+            {
+                "from": [link.from_step, link.from_output],
+                "to": [link.to_step, link.to_input],
+            }
+            for link in workflow.links
+        ],
+    }
+
+
+def workflow_from_dict(data: dict) -> Workflow:
+    """Rebuild a workflow from :func:`workflow_to_dict` output.
+
+    Raises:
+        WorkflowFormatError: On missing or malformed fields.
+    """
+    try:
+        steps = tuple(Step(s["id"], s["module"]) for s in data["steps"])
+        links = tuple(
+            DataLink(l["from"][0], l["from"][1], l["to"][0], l["to"][1])
+            for l in data.get("links", [])
+        )
+        return Workflow(
+            workflow_id=data["id"],
+            name=data.get("name", ""),
+            steps=steps,
+            links=links,
+        )
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise WorkflowFormatError(f"malformed workflow dict: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Repository persistence
+# ----------------------------------------------------------------------
+def save_workflows(workflows: "list[Workflow]", path: "str | Path") -> None:
+    """Write a workflow collection to a JSON-lines file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for workflow in workflows:
+            handle.write(json.dumps(workflow_to_dict(workflow)) + "\n")
+
+
+def load_workflows(path: "str | Path") -> "list[Workflow]":
+    """Read a workflow collection written by :func:`save_workflows`."""
+    workflows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                workflows.append(workflow_from_dict(json.loads(line)))
+    return workflows

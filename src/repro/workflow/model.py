@@ -1,0 +1,135 @@
+"""Scientific workflow model (§1, Figure 1).
+
+A workflow is a DAG whose steps invoke scientific modules and whose data
+links route an upstream output into a downstream input.  Inputs without an
+incoming link are *free*: the enactment engine feeds them from the
+annotated instance pool (the paper's workflows are likewise fed with
+"samples of randomly selected inputs", §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.modules.model import Module
+from repro.ontology.model import Ontology
+from repro.values import compatible
+
+
+@dataclass(frozen=True)
+class Step:
+    """One workflow step: a named invocation of a module."""
+
+    step_id: str
+    module_id: str
+
+
+@dataclass(frozen=True)
+class DataLink:
+    """A data-flow edge: ``from_step.from_output -> to_step.to_input``."""
+
+    from_step: str
+    from_output: str
+    to_step: str
+    to_input: str
+
+
+@dataclass
+class Workflow:
+    """A workflow DAG.
+
+    Attributes:
+        workflow_id: Stable unique identifier.
+        name: Human-facing title.
+        steps: The steps, in declaration order.
+        links: The data links.
+    """
+
+    workflow_id: str
+    name: str
+    steps: tuple[Step, ...]
+    links: tuple[DataLink, ...] = ()
+
+    def __post_init__(self) -> None:
+        ids = [step.step_id for step in self.steps]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate step ids in {self.workflow_id}")
+        known = set(ids)
+        for link in self.links:
+            if link.from_step not in known or link.to_step not in known:
+                raise ValueError(f"{self.workflow_id}: link references unknown step")
+
+    def step(self, step_id: str) -> Step:
+        """The step called ``step_id``.
+
+        Raises:
+            KeyError: If no such step exists.
+        """
+        for step in self.steps:
+            if step.step_id == step_id:
+                return step
+        raise KeyError(step_id)
+
+    def module_ids(self) -> tuple[str, ...]:
+        """The module ids referenced by the workflow, in step order."""
+        return tuple(step.module_id for step in self.steps)
+
+    def incoming(self, step_id: str) -> tuple[DataLink, ...]:
+        """Links feeding ``step_id``."""
+        return tuple(link for link in self.links if link.to_step == step_id)
+
+    def topological_order(self) -> tuple[Step, ...]:
+        """Steps ordered so every link goes forward.
+
+        Raises:
+            ValueError: If the links form a cycle.
+        """
+        remaining = {step.step_id: step for step in self.steps}
+        placed: list[Step] = []
+        placed_ids: set[str] = set()
+        while remaining:
+            progress = False
+            for step_id in list(remaining):
+                deps = {link.from_step for link in self.incoming(step_id)}
+                if deps <= placed_ids:
+                    placed.append(remaining.pop(step_id))
+                    placed_ids.add(step_id)
+                    progress = True
+            if not progress:
+                raise ValueError(f"cycle in workflow {self.workflow_id}")
+        return tuple(placed)
+
+    def replace_module(self, step_id: str, new_module_id: str) -> "Workflow":
+        """A copy of the workflow with one step's module substituted —
+        the repair operation of §6."""
+        steps = tuple(
+            Step(step.step_id, new_module_id if step.step_id == step_id else step.module_id)
+            if step.step_id == step_id
+            else step
+            for step in self.steps
+        )
+        return Workflow(
+            workflow_id=self.workflow_id,
+            name=self.name,
+            steps=steps,
+            links=self.links,
+        )
+
+
+def link_is_valid(
+    ontology: Ontology,
+    producer: Module,
+    output_name: str,
+    consumer: Module,
+    input_name: str,
+) -> bool:
+    """True when the output can legally feed the input: structurally
+    compatible and the output's semantic domain is subsumed by the
+    input's (§6, Figure 7 discussion)."""
+    output = producer.output(output_name)
+    inp = consumer.input(input_name)
+    if not compatible(output.structural, inp.structural):
+        return False
+    if output.concept not in ontology or inp.concept not in ontology:
+        return False
+    return ontology.subsumes(inp.concept, output.concept)

@@ -1,0 +1,123 @@
+"""PROV-style export of provenance traces.
+
+The Taverna provenance corpus the paper harvests ([5]) is published as
+PROV documents.  This module renders our traces in a compatible
+PROV-JSON-like structure — entities for data values, activities for
+module invocations, and `used` / `wasGeneratedBy` relations — so that the
+pool-harvesting and example-reconstruction paths can be exercised against
+externally stored provenance as well.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.examples import Binding
+from repro.modules.interfaces import value_from_wire, value_to_wire
+from repro.workflow.provenance import InvocationRecord, ProvenanceTrace
+
+
+def _entity_id(binding: Binding, invocation_index: int, side: str) -> str:
+    digest = hashlib.sha1(
+        repr((binding.parameter, binding.value.payload)).encode()
+    ).hexdigest()[:10]
+    return f"entity:{invocation_index}:{side}:{binding.parameter}:{digest}"
+
+
+def trace_to_prov(trace: ProvenanceTrace) -> dict:
+    """Render one trace as a PROV-JSON-like document."""
+    entities: dict[str, dict] = {}
+    activities: dict[str, dict] = {}
+    used: list[dict] = []
+    generated: list[dict] = []
+    for index, record in enumerate(trace.invocations):
+        activity_id = f"activity:{index}:{record.step_id}"
+        activities[activity_id] = {
+            "module": record.module_id,
+            "step": record.step_id,
+            "logical_time": record.logical_time,
+            "succeeded": record.succeeded,
+        }
+        for binding in record.inputs:
+            entity_id = _entity_id(binding, index, "in")
+            entities[entity_id] = {"value": value_to_wire(binding.value)}
+            used.append({"activity": activity_id, "entity": entity_id,
+                         "role": binding.parameter})
+        for binding in record.outputs:
+            entity_id = _entity_id(binding, index, "out")
+            entities[entity_id] = {"value": value_to_wire(binding.value)}
+            generated.append({"entity": entity_id, "activity": activity_id,
+                              "role": binding.parameter})
+    return {
+        "prefix": {"repro": "urn:repro:"},
+        "workflow": trace.workflow_id,
+        "succeeded": trace.succeeded,
+        "entity": entities,
+        "activity": activities,
+        "used": used,
+        "wasGeneratedBy": generated,
+    }
+
+
+def trace_from_prov(document: dict) -> ProvenanceTrace:
+    """Rebuild a trace from a PROV-JSON-like document.
+
+    Raises:
+        KeyError: On missing PROV structure.
+    """
+    trace = ProvenanceTrace(
+        workflow_id=document["workflow"],
+        succeeded=bool(document.get("succeeded", True)),
+    )
+    by_activity_in: dict[str, list[Binding]] = {}
+    by_activity_out: dict[str, list[Binding]] = {}
+    entities = document["entity"]
+    for relation in document.get("used", []):
+        value = value_from_wire(entities[relation["entity"]]["value"])
+        by_activity_in.setdefault(relation["activity"], []).append(
+            Binding(relation["role"], value)
+        )
+    for relation in document.get("wasGeneratedBy", []):
+        value = value_from_wire(entities[relation["entity"]]["value"])
+        by_activity_out.setdefault(relation["activity"], []).append(
+            Binding(relation["role"], value)
+        )
+    for activity_id, meta in sorted(
+        document["activity"].items(), key=lambda item: item[1]["logical_time"]
+    ):
+        trace.invocations.append(
+            InvocationRecord(
+                step_id=meta["step"],
+                module_id=meta["module"],
+                inputs=tuple(
+                    sorted(by_activity_in.get(activity_id, []),
+                           key=lambda b: b.parameter)
+                ),
+                outputs=tuple(
+                    sorted(by_activity_out.get(activity_id, []),
+                           key=lambda b: b.parameter)
+                ),
+                succeeded=bool(meta["succeeded"]),
+                logical_time=int(meta["logical_time"]),
+            )
+        )
+    return trace
+
+
+def save_corpus(traces: "list[ProvenanceTrace]", path: "str | Path") -> None:
+    """Write a provenance corpus as JSON-lines of PROV documents."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for trace in traces:
+            handle.write(json.dumps(trace_to_prov(trace)) + "\n")
+
+
+def load_corpus(path: "str | Path") -> "list[ProvenanceTrace]":
+    """Read a provenance corpus written by :func:`save_corpus`."""
+    traces = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                traces.append(trace_from_prov(json.loads(line)))
+    return traces

@@ -1,0 +1,87 @@
+"""Provenance capture (Taverna-style traces, §4.1/§6).
+
+Scientific workflow systems record, for every module invocation, the data
+values consumed and produced.  Those traces are the raw material for two
+of the paper's key moves: building the annotated instance pool (§4.1) and
+constructing data examples for modules that are no longer invocable (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.examples import Binding, DataExample
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One module invocation inside a workflow run.
+
+    Attributes:
+        step_id: The workflow step that performed the invocation.
+        module_id: The module invoked.
+        inputs: Input bindings (values carry their semantic annotations).
+        outputs: Output bindings; empty when the invocation failed.
+        succeeded: Whether the invocation terminated normally.
+        logical_time: Position of the invocation in the run.
+    """
+
+    step_id: str
+    module_id: str
+    inputs: tuple[Binding, ...]
+    outputs: tuple[Binding, ...]
+    succeeded: bool
+    logical_time: int
+
+    def as_data_example(self) -> DataExample:
+        """View the invocation as a data example (the §6 harvest)."""
+        return DataExample(
+            module_id=self.module_id, inputs=self.inputs, outputs=self.outputs
+        )
+
+
+@dataclass
+class ProvenanceTrace:
+    """The provenance of one workflow enactment."""
+
+    workflow_id: str
+    invocations: list[InvocationRecord] = field(default_factory=list)
+    succeeded: bool = True
+    failure: str = ""
+
+    def records_for(self, module_id: str) -> "list[InvocationRecord]":
+        """All invocations of ``module_id`` in this trace."""
+        return [r for r in self.invocations if r.module_id == module_id]
+
+    def final_outputs(self) -> tuple[Binding, ...]:
+        """The outputs of the last successful invocation (used to compare
+        a repaired workflow against its historical behavior, §6)."""
+        for record in reversed(self.invocations):
+            if record.succeeded:
+                return record.outputs
+        return ()
+
+
+def harvest_examples(
+    traces: "list[ProvenanceTrace]", module_id: str, limit: int | None = None
+) -> "list[DataExample]":
+    """Construct data examples for ``module_id`` by trawling traces (§6),
+    deduplicating identical input bindings."""
+    examples: list[DataExample] = []
+    if limit is not None and limit <= 0:
+        return examples
+    seen: set[tuple] = set()
+    for trace in traces:
+        for record in trace.records_for(module_id):
+            if not record.succeeded:
+                continue
+            key = tuple(
+                (b.parameter, repr(b.value.payload)) for b in record.inputs
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            examples.append(record.as_data_example())
+            if limit is not None and len(examples) >= limit:
+                return examples
+    return examples

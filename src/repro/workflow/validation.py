@@ -1,0 +1,167 @@
+"""Static workflow validation.
+
+Before enacting (or publishing) a workflow, curators check it statically:
+every referenced module must exist and be available, every data link must
+be annotation-compatible (structural compatibility plus semantic
+subsumption, §6), mandatory inputs must be satisfiable, and the graph must
+be acyclic.  The validator reports *all* problems, not just the first —
+the shape a curation UI needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.modules.model import Module
+from repro.ontology.model import Ontology
+from repro.workflow.model import Workflow, link_is_valid
+
+
+class IssueKind(enum.Enum):
+    UNKNOWN_MODULE = "unknown module"
+    UNAVAILABLE_MODULE = "unavailable module"
+    UNKNOWN_OUTPUT = "unknown output parameter"
+    UNKNOWN_INPUT = "unknown input parameter"
+    INCOMPATIBLE_LINK = "incompatible link"
+    DUPLICATE_LINK_TARGET = "input fed by multiple links"
+    CYCLE = "cyclic data flow"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a workflow.
+
+    Attributes:
+        kind: The issue class.
+        where: The step id or link rendering the issue anchors to.
+        detail: Human-readable explanation.
+    """
+
+    kind: IssueKind
+    where: str
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """All problems of one workflow; empty means valid."""
+
+    workflow_id: str
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def of_kind(self, kind: IssueKind) -> "list[ValidationIssue]":
+        return [issue for issue in self.issues if issue.kind is kind]
+
+
+def validate_workflow(
+    workflow: Workflow,
+    modules: dict[str, Module],
+    ontology: Ontology,
+) -> ValidationReport:
+    """Statically validate ``workflow`` against a module registry."""
+    report = ValidationReport(workflow_id=workflow.workflow_id)
+
+    # Module existence and availability.
+    resolved: dict[str, Module] = {}
+    for step in workflow.steps:
+        module = modules.get(step.module_id)
+        if module is None:
+            report.issues.append(
+                ValidationIssue(
+                    IssueKind.UNKNOWN_MODULE, step.step_id,
+                    f"step {step.step_id!r} references unknown module "
+                    f"{step.module_id!r}",
+                )
+            )
+            continue
+        resolved[step.step_id] = module
+        if not module.available:
+            report.issues.append(
+                ValidationIssue(
+                    IssueKind.UNAVAILABLE_MODULE, step.step_id,
+                    f"{step.module_id} is no longer supplied by "
+                    f"{module.provider}",
+                )
+            )
+
+    # Links: parameters exist, compatibility holds, no double feeding.
+    fed: dict[tuple[str, str], int] = {}
+    for link in workflow.links:
+        where = (
+            f"{link.from_step}:{link.from_output} -> "
+            f"{link.to_step}:{link.to_input}"
+        )
+        producer = resolved.get(link.from_step)
+        consumer = resolved.get(link.to_step)
+        if producer is None or consumer is None:
+            continue  # already reported as unknown module
+        try:
+            producer.output(link.from_output)
+        except KeyError:
+            report.issues.append(
+                ValidationIssue(
+                    IssueKind.UNKNOWN_OUTPUT, where,
+                    f"{producer.module_id} has no output {link.from_output!r}",
+                )
+            )
+            continue
+        try:
+            consumer.input(link.to_input)
+        except KeyError:
+            report.issues.append(
+                ValidationIssue(
+                    IssueKind.UNKNOWN_INPUT, where,
+                    f"{consumer.module_id} has no input {link.to_input!r}",
+                )
+            )
+            continue
+        if not link_is_valid(
+            ontology, producer, link.from_output, consumer, link.to_input
+        ):
+            output = producer.output(link.from_output)
+            inp = consumer.input(link.to_input)
+            report.issues.append(
+                ValidationIssue(
+                    IssueKind.INCOMPATIBLE_LINK, where,
+                    f"{output.structural}/{output.concept} cannot feed "
+                    f"{inp.structural}/{inp.concept}",
+                )
+            )
+        fed[(link.to_step, link.to_input)] = fed.get(
+            (link.to_step, link.to_input), 0
+        ) + 1
+    for (step_id, input_name), count in fed.items():
+        if count > 1:
+            report.issues.append(
+                ValidationIssue(
+                    IssueKind.DUPLICATE_LINK_TARGET, step_id,
+                    f"input {input_name!r} of step {step_id!r} is fed by "
+                    f"{count} links",
+                )
+            )
+
+    # Acyclicity.
+    try:
+        workflow.topological_order()
+    except ValueError as exc:
+        report.issues.append(
+            ValidationIssue(IssueKind.CYCLE, workflow.workflow_id, str(exc))
+        )
+    return report
+
+
+def validate_repository(
+    workflows, modules: dict[str, Module], ontology: Ontology
+) -> "dict[str, ValidationReport]":
+    """Validate a whole repository; returns only the failing reports."""
+    failing: dict[str, ValidationReport] = {}
+    for workflow in workflows:
+        report = validate_workflow(workflow, modules, ontology)
+        if not report.ok:
+            failing[workflow.workflow_id] = report
+    return failing

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+Heavy artefacts (universe, catalog, pool, full experiment setup) are
+session-scoped: they are deterministic and immutable (the decayed set is
+the one exception and is rebuilt where mutation is needed).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.experiments.setup import default_setup
+
+# Property tests share the process with heavyweight fixtures (full
+# repository builds, in-process example runs); wall-clock deadlines would
+# flake under that load, so they are disabled globally.
+settings.register_profile(
+    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro")
+from repro.modules.catalog.factory import build_catalog, default_context
+from repro.ontology import build_mygrid_ontology
+from repro.pool.pool import InstancePool
+from repro.pool.synthesis import default_factory
+
+
+@pytest.fixture(scope="session")
+def ontology():
+    return build_mygrid_ontology()
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return default_context()
+
+
+@pytest.fixture(scope="session")
+def universe(ctx):
+    return ctx.universe
+
+
+@pytest.fixture(scope="session")
+def factory():
+    return default_factory()
+
+
+@pytest.fixture(scope="session")
+def pool(factory, ontology):
+    return InstancePool.bootstrap(factory, ontology)
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return build_catalog()
+
+
+@pytest.fixture(scope="session")
+def catalog_by_id(catalog):
+    return {m.module_id: m for m in catalog}
+
+
+@pytest.fixture(scope="session")
+def setup():
+    """The full experiment fixture — built once for the whole session."""
+    return default_setup()

@@ -1,0 +1,87 @@
+"""Tests for the ablation runners and seed robustness."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_depth_ablation,
+    run_pool_ablation,
+    run_redundancy_ablation,
+    run_selection_ablation,
+)
+from repro.experiments.robustness import run_for_seed, run_robustness
+
+
+class TestSelectionAblation:
+    @pytest.fixture(scope="class")
+    def result(self, setup):
+        return run_selection_ablation(setup)
+
+    def test_partition_selection_is_complete_everywhere_it_matters(self, result):
+        assert result.partition_completeness > 0.95
+
+    def test_partition_dominates_random_on_completeness(self, result):
+        assert result.partition_completeness >= result.random_completeness
+
+    def test_partition_selection_reaches_full_coverage(self, result):
+        assert result.partition_input_coverage == 1.0
+
+    def test_random_selection_misses_partitions(self, result):
+        assert result.random_input_coverage < 1.0
+
+
+class TestDepthAblation:
+    @pytest.fixture(scope="class")
+    def result(self, setup):
+        return run_depth_ablation(setup)
+
+    def test_completeness_monotone_in_depth(self, result):
+        series = result.completeness_series()
+        assert series == sorted(series)
+
+    def test_full_depth_reaches_full_coverage(self, result):
+        coverage, _completeness = result.by_depth["None"]
+        assert coverage == 1.0
+
+    def test_depth_zero_hurts_coverage(self, result):
+        coverage, _completeness = result.by_depth["0"]
+        assert coverage < 1.0
+
+
+class TestPoolAblation:
+    @pytest.fixture(scope="class")
+    def result(self, setup):
+        return run_pool_ablation(setup)
+
+    def test_full_pool_realizes_everything(self, result):
+        assert result.by_fraction[1.0] == 0
+
+    def test_unrealized_monotone_in_pool_size(self, result):
+        counts = [result.by_fraction[f] for f in (0.25, 0.5, 1.0)]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestRedundancyAblation:
+    @pytest.fixture(scope="class")
+    def result(self, setup):
+        return run_redundancy_ablation(setup)
+
+    def test_recall_decreases_with_threshold(self, result):
+        recalls = [result.by_threshold[t][1] for t in sorted(result.by_threshold)]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_operating_point(self, result):
+        precision, recall = result.by_threshold[0.5]
+        assert precision > 0.75
+        assert recall > 0.9
+
+
+class TestRobustness:
+    def test_default_seed_has_paper_shape(self, setup):
+        assert run_robustness(setup).same_shape_as_paper()
+
+    @pytest.mark.slow
+    def test_alternative_seed_keeps_the_shape(self):
+        """A fresh universe and repository under a different seed still
+        reproduce every qualitative finding."""
+        result = run_for_seed(777)
+        assert result.same_shape_as_paper()

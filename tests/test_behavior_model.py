@@ -1,0 +1,144 @@
+"""Tests for the behavior spec and module model."""
+
+import pytest
+
+from repro.modules.behavior import BehaviorSpec, Branch, always
+from repro.modules.errors import (
+    InvalidInputError,
+    MissingParameterError,
+    ModuleUnavailableError,
+    StructuralMismatchError,
+)
+from repro.modules.model import Category, InterfaceKind, Module, Parameter
+from repro.values import INTEGER, STRING, TypedValue
+
+
+def _echo(label: str):
+    def transform(_ctx, inputs):
+        return {"out": TypedValue(f"{label}:{inputs['x'].payload}", STRING, "KeywordSet")}
+
+    return transform
+
+
+def _guard_startswith(prefix: str):
+    def guard(_ctx, inputs):
+        return inputs["x"].payload.startswith(prefix)
+
+    return guard
+
+
+@pytest.fixture()
+def spec():
+    return BehaviorSpec(
+        (
+            Branch("a-branch", _guard_startswith("a"), _echo("A")),
+            Branch("b-branch", _guard_startswith("b"), _echo("B")),
+        )
+    )
+
+
+@pytest.fixture()
+def module(spec):
+    return Module(
+        module_id="t.echo",
+        name="Echo",
+        category=Category.DATA_ANALYSIS,
+        interface=InterfaceKind.LOCAL_PROGRAM,
+        provider="test",
+        inputs=(Parameter("x", STRING, "KeywordSet"),),
+        outputs=(Parameter("out", STRING, "KeywordSet"),),
+        behavior=spec,
+    )
+
+
+class TestBehaviorSpec:
+    def test_requires_at_least_one_branch(self):
+        with pytest.raises(ValueError):
+            BehaviorSpec(())
+
+    def test_duplicate_labels_rejected(self):
+        branch = Branch("same", always, _echo("X"))
+        with pytest.raises(ValueError, match="duplicate"):
+            BehaviorSpec((branch, Branch("same", always, _echo("Y"))))
+
+    def test_class_metadata(self, spec):
+        assert spec.n_classes == 2
+        assert spec.class_labels == ("a-branch", "b-branch")
+
+    def test_first_accepting_branch_wins(self, ctx, spec):
+        label, outputs = spec.execute(ctx, {"x": TypedValue("abc", STRING)})
+        assert label == "a-branch"
+        assert outputs["out"].payload == "A:abc"
+
+    def test_no_accepting_branch_is_invalid_input(self, ctx, spec):
+        with pytest.raises(InvalidInputError):
+            spec.execute(ctx, {"x": TypedValue("zzz", STRING)})
+
+    def test_classify_returns_none_on_invalid(self, ctx, spec):
+        assert spec.classify(ctx, {"x": TypedValue("zzz", STRING)}) is None
+        assert spec.classify(ctx, {"x": TypedValue("b1", STRING)}) == "b-branch"
+
+
+class TestModule:
+    def test_duplicate_parameter_names_rejected(self, spec):
+        with pytest.raises(ValueError):
+            Module(
+                module_id="t.bad", name="Bad", category=Category.FILTERING,
+                interface=InterfaceKind.LOCAL_PROGRAM, provider="test",
+                inputs=(Parameter("x", STRING, "KeywordSet"),
+                        Parameter("x", STRING, "KeywordSet")),
+                outputs=(Parameter("out", STRING, "KeywordSet"),),
+                behavior=spec,
+            )
+
+    def test_parameter_lookup(self, module):
+        assert module.input("x").concept == "KeywordSet"
+        assert module.output("out").structural == STRING
+        with pytest.raises(KeyError):
+            module.input("nope")
+        with pytest.raises(KeyError):
+            module.output("nope")
+
+    def test_signature_shape(self, module):
+        inputs, outputs = module.signature
+        assert inputs == ((("String", "KeywordSet"),))
+        assert outputs == ((("String", "KeywordSet"),))
+
+    def test_invoke_happy_path(self, ctx, module):
+        outputs = module.invoke(ctx, {"x": TypedValue("a!", STRING)})
+        assert outputs["out"].payload == "A:a!"
+
+    def test_missing_mandatory_parameter(self, ctx, module):
+        with pytest.raises(MissingParameterError):
+            module.invoke(ctx, {})
+
+    def test_unknown_binding_rejected(self, ctx, module):
+        with pytest.raises(StructuralMismatchError):
+            module.invoke(ctx, {"x": TypedValue("a", STRING),
+                                "y": TypedValue("b", STRING)})
+
+    def test_structural_mismatch_rejected(self, ctx, module):
+        with pytest.raises(StructuralMismatchError):
+            module.invoke(ctx, {"x": TypedValue(3, INTEGER)})
+
+    def test_optional_parameter_may_be_omitted(self, ctx, spec):
+        module = Module(
+            module_id="t.opt", name="Opt", category=Category.DATA_ANALYSIS,
+            interface=InterfaceKind.LOCAL_PROGRAM, provider="test",
+            inputs=(Parameter("x", STRING, "KeywordSet"),
+                    Parameter("flag", STRING, "BooleanFlag", optional=True)),
+            outputs=(Parameter("out", STRING, "KeywordSet"),),
+            behavior=spec,
+        )
+        assert module.invoke(ctx, {"x": TypedValue("abc", STRING)})
+
+    def test_unavailable_module_raises(self, ctx, module):
+        module.available = False
+        try:
+            with pytest.raises(ModuleUnavailableError):
+                module.invoke(ctx, {"x": TypedValue("abc", STRING)})
+        finally:
+            module.available = True
+
+    def test_classify_tolerates_structural_mismatch(self, ctx, module):
+        assert module.classify(ctx, {"x": TypedValue(3, INTEGER)}) is None

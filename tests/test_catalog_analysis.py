@@ -1,0 +1,239 @@
+"""Behavioral tests of the data-analysis family."""
+
+import pytest
+
+from repro.biodb.sequences import gc_content, molecular_weight, peptide_masses
+from repro.modules.errors import InvalidInputError
+from repro.modules.interfaces import invoke_via_interface
+from repro.values import FLOAT, STRING, TypedValue, list_of
+
+
+def _run(ctx, module, **bindings):
+    return invoke_via_interface(module, ctx, bindings)
+
+
+class TestFigure1Modules:
+    def test_identify_finds_the_digested_protein(self, ctx, catalog_by_id, universe):
+        protein = universe.proteins[12]
+        masses = TypedValue(
+            tuple(peptide_masses(protein.sequence)), list_of(FLOAT), "PeptideMassList"
+        )
+        out = _run(
+            ctx, catalog_by_id["an.identify"],
+            masses=masses, tolerance=TypedValue(0.1, FLOAT, "ErrorTolerance"),
+        )
+        assert out["accession"].payload == protein.uniprot
+        assert out["accession"].concept == "UniProtAccession"
+
+    def test_identify_rejects_empty_mass_list(self, ctx, catalog_by_id):
+        with pytest.raises(InvalidInputError):
+            _run(
+                ctx, catalog_by_id["an.identify"],
+                masses=TypedValue((), list_of(FLOAT), "PeptideMassList"),
+                tolerance=TypedValue(0.1, FLOAT, "ErrorTolerance"),
+            )
+
+    def test_search_simple_ranks_query_protein_first(
+        self, ctx, catalog_by_id, universe
+    ):
+        from repro.biodb import formats, records
+
+        protein = universe.proteins[3]
+        record = formats.render_uniprot_flat(
+            records.protein_fields(universe, protein)
+        )
+        out = _run(
+            ctx, catalog_by_id["an.search_simple"],
+            record=TypedValue(record, catalog_by_id["an.search_simple"].inputs[0].structural),
+            program=TypedValue("blastp", STRING),
+            database=TypedValue("uniprot", STRING),
+        )
+        first_hit = [
+            line for line in out["report"].payload.splitlines()
+            if not line.startswith("#")
+        ][0]
+        assert first_hit.split("\t")[0] == protein.uniprot  # self-hit on top
+
+
+class TestSequenceOperations:
+    def test_translate_then_digest_pipeline(self, ctx, catalog_by_id, universe):
+        dna = TypedValue(universe.genes[7].dna_sequence, STRING)
+        protein = _run(ctx, catalog_by_id["an.translate_dna"], sequence=dna)
+        masses = _run(
+            ctx, catalog_by_id["an.digest_protein"],
+            sequence=protein["result"],
+        )
+        assert masses["masses"].payload
+        assert all(m > 0 for m in masses["masses"].payload)
+
+    def test_reverse_complement_involutive_through_module(
+        self, ctx, catalog_by_id, universe
+    ):
+        module = catalog_by_id["an.reverse_complement"]
+        dna = TypedValue(universe.genes[3].dna_sequence, STRING)
+        once = _run(ctx, module, sequence=dna)
+        twice = _run(ctx, module, sequence=once["result"])
+        assert twice["result"].payload == dna.payload
+
+    def test_translate_rejects_protein_input(self, ctx, catalog_by_id, universe):
+        with pytest.raises(InvalidInputError):
+            _run(
+                ctx, catalog_by_id["an.translate_dna"],
+                sequence=TypedValue(universe.proteins[0].sequence, STRING),
+            )
+
+    def test_find_orfs_returns_protein_frames(self, ctx, catalog_by_id, universe):
+        out = _run(
+            ctx, catalog_by_id["an.find_orfs"],
+            sequence=TypedValue(universe.genes[1].dna_sequence, STRING),
+        )
+        assert len(out["orfs"].payload) == 2
+
+
+class TestAlignmentsAndTrees:
+    def test_pairwise_alignment_symmetrical_score(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["an.smith_waterman"]
+        a = TypedValue(universe.proteins[0].sequence, STRING)
+        b = TypedValue(universe.proteins[1].sequence, STRING)
+        ab = _run(ctx, module, first=a, second=b)
+        ba = _run(ctx, module, first=b, second=a)
+        score_ab = [l for l in ab["alignment"].payload.splitlines() if "Score" in l]
+        score_ba = [l for l in ba["alignment"].payload.splitlines() if "Score" in l]
+        assert score_ab == score_ba
+
+    def test_multiple_alignment_requires_two_sequences(self, ctx, catalog_by_id):
+        module = catalog_by_id["an.clustal"]
+        with pytest.raises(InvalidInputError):
+            _run(ctx, module,
+                 sequences=TypedValue(("MKWL",), list_of(STRING), "ProteinSequence"))
+
+    def test_tree_from_alignment_has_all_leaves(self, ctx, catalog_by_id, universe):
+        sequences = TypedValue(
+            tuple(p.sequence for p in universe.proteins[:3]),
+            list_of(STRING), "ProteinSequence",
+        )
+        alignment = _run(ctx, catalog_by_id["an.clustal"], sequences=sequences)
+        tree = _run(
+            ctx, catalog_by_id["an.build_phylo_tree"],
+            alignment=alignment["alignment"],
+        )
+        for i in range(3):
+            assert f"seq{i + 1}" in tree["tree"].payload
+
+
+class TestOverPartitionedAnalyses:
+    def test_molecular_weight_two_formulas(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["an.molecular_weight"]
+        dna = universe.genes[0].dna_sequence
+        protein = universe.proteins[0].sequence
+        out_dna = _run(ctx, module, sequence=TypedValue(dna, STRING))
+        out_protein = _run(ctx, module, sequence=TypedValue(protein, STRING))
+        assert out_dna["value"].payload == pytest.approx(len(dna) * 330.0)
+        assert out_protein["value"].payload == pytest.approx(
+            round(molecular_weight(protein), 4)
+        )
+
+    def test_gc_content_uniform_over_kinds(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["an.gc_content"]
+        dna = universe.genes[0].dna_sequence
+        out = _run(ctx, module, sequence=TypedValue(dna, STRING))
+        assert float(out["result"].payload) == pytest.approx(gc_content(dna), abs=1e-4)
+        assert module.behavior.n_classes == 1
+
+    def test_sequence_length_counts_any_kind(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["an.sequence_length"]
+        for payload in (universe.genes[0].dna_sequence, universe.proteins[0].sequence):
+            out = _run(ctx, module, sequence=TypedValue(payload, STRING))
+            assert int(out["result"].payload) == len(payload)
+
+    def test_codon_usage_accepts_both_organism_forms(
+        self, ctx, catalog_by_id, universe
+    ):
+        module = catalog_by_id["an.codon_usage_bias"]
+        dna = TypedValue(universe.genes[0].dna_sequence, STRING)
+        via_taxon = _run(
+            ctx, module, sequence=dna,
+            organism=TypedValue(universe.taxon_for_organism(1), STRING),
+        )
+        via_name = _run(
+            ctx, module, sequence=dna,
+            organism=TypedValue("Mus musculus", STRING),
+        )
+        assert via_taxon["score"].payload == via_name["score"].payload
+
+
+class TestHiddenAnalysisClasses:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            ("ACG", "degenerate-input"),
+            ("A" * 2050, "oversized-input"),
+            ("ACGT-ACGT", "gapped-input"),
+        ],
+    )
+    def test_profiled_module_edge_classes(self, ctx, catalog_by_id, payload, expected):
+        module = catalog_by_id["an.scan_sequence_motifs"]
+        label = module.classify(ctx, {"sequence": TypedValue(payload, STRING)})
+        assert label == expected
+
+    def test_profiled_module_visible_classes(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["an.scan_sequence_motifs"]
+        label = module.classify(
+            ctx, {"sequence": TypedValue(universe.genes[0].dna_sequence, STRING)}
+        )
+        assert label == "profile-DNASequence"
+        assert module.behavior.n_classes == 8
+
+
+class TestTextMining:
+    def test_get_concept_finds_mentioned_pathways(self, ctx, catalog_by_id, universe):
+        publication = universe.publications[1]
+        out = _run(
+            ctx, catalog_by_id["an.get_concept"],
+            text=TypedValue(publication.abstract,
+                            catalog_by_id["an.get_concept"].inputs[0].structural),
+        )
+        for ordinal in publication.pathway_ordinals:
+            assert universe.pathways[ordinal].kegg_id in out["concepts"].payload
+
+    def test_mine_protein_mentions(self, ctx, catalog_by_id, universe):
+        publication = universe.publications[2]
+        out = _run(
+            ctx, catalog_by_id["an.mine_protein_mentions"],
+            text=TypedValue(
+                publication.abstract,
+                catalog_by_id["an.mine_protein_mentions"].inputs[0].structural,
+            ),
+        )
+        mentioned = {universe.proteins[o].uniprot for o in publication.protein_ordinals}
+        assert set(out["proteins"].payload) == mentioned
+
+    def test_text_without_concepts_rejected(self, ctx, catalog_by_id):
+        with pytest.raises(InvalidInputError):
+            _run(
+                ctx, catalog_by_id["an.get_concept"],
+                text=TypedValue(
+                    "plain text mentioning no pathway entities whatsoever",
+                    catalog_by_id["an.get_concept"].inputs[0].structural,
+                ),
+            )
+
+
+class TestExpressionAnalyses:
+    def test_normalize_then_differential(self, ctx, catalog_by_id, factory):
+        microarray = factory.instances("MicroarrayData")[0]
+        normalized = _run(
+            ctx, catalog_by_id["an.normalize_microarray"], table=microarray
+        )
+        report = _run(
+            ctx, catalog_by_id["an.differential_expression"],
+            table=normalized["result"],
+            threshold=TypedValue(0.1, FLOAT, "ScoreThreshold"),
+        )
+        assert report["result"].payload.startswith("gene\tdelta")
+
+    def test_cluster_expression_labels_all_genes(self, ctx, catalog_by_id, factory):
+        matrix = factory.instances("ExpressionMatrix")[0]
+        out = _run(ctx, catalog_by_id["an.cluster_expression"], table=matrix)
+        lines = out["result"].payload.strip().splitlines()
+        assert len(lines) == 1 + matrix.payload.strip().count("\n")  # header + genes

@@ -1,0 +1,153 @@
+"""Behavioral tests of the filtering family."""
+
+from repro.modules.interfaces import invoke_via_interface
+from repro.values import FLOAT, INTEGER, STRING, TABULAR, TypedValue, list_of
+
+LIST_STRING = list_of(STRING)
+
+
+def _filter(ctx, module, **bindings):
+    return invoke_via_interface(module, ctx, bindings)
+
+
+class TestSimpleFilters:
+    def test_length_filter_keeps_long_items(self, ctx, catalog_by_id):
+        module = catalog_by_id["fl.filter_proteins_by_length"]
+        items = TypedValue(("MKW", "M" + "K" * 30), LIST_STRING, "ProteinSequence")
+        out = _filter(ctx, module, items=items,
+                      threshold=TypedValue(10, INTEGER, "LengthThreshold"))
+        assert out["filtered"].payload == ("M" + "K" * 30,)
+
+    def test_filter_output_is_subset(self, ctx, catalog_by_id, factory):
+        module = catalog_by_id["fl.filter_proteins_by_length"]
+        items = factory.list_instance("ProteinSequence")
+        out = _filter(ctx, module, items=items,
+                      threshold=TypedValue(25, INTEGER, "LengthThreshold"))
+        assert set(out["filtered"].payload) <= set(items.payload)
+
+    def test_met_filter(self, ctx, catalog_by_id):
+        module = catalog_by_id["fl.filter_proteins_met"]
+        items = TypedValue(("MKWL", "KWLM"), LIST_STRING, "ProteinSequence")
+        out = _filter(ctx, module, items=items)
+        assert out["filtered"].payload == ("MKWL",)
+
+    def test_duplicate_filter_keeps_first_occurrence(self, ctx, catalog_by_id):
+        module = catalog_by_id["fl.filter_duplicates"]
+        items = TypedValue(("MKW", "MLL", "MKW"), LIST_STRING, "ProteinSequence")
+        out = _filter(ctx, module, items=items)
+        assert out["filtered"].payload == ("MKW", "MLL")
+
+    def test_peptide_mass_filter(self, ctx, catalog_by_id):
+        module = catalog_by_id["fl.filter_short_peptides"]
+        masses = TypedValue((100.0, 900.0, 2000.0), list_of(FLOAT), "PeptideMassList")
+        out = _filter(ctx, module, masses=masses,
+                      cutoff=TypedValue(500.0, FLOAT, "ScoreThreshold"))
+        assert out["filtered"].payload == (900.0, 2000.0)
+
+    def test_structure_filter_consults_universe(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["fl.filter_with_structure"]
+        with_structure = universe.proteins[0].uniprot  # ordinal 0 -> structure
+        without = universe.proteins[1].uniprot  # ordinal 1 -> none
+        items = TypedValue((with_structure, without), LIST_STRING, "UniProtAccession")
+        out = _filter(ctx, module, items=items)
+        assert out["filtered"].payload == (with_structure,)
+
+    def test_organism_filter(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["fl.filter_genes_by_organism"]
+        items = TypedValue(
+            tuple(g.kegg_id for g in universe.genes[:4]), LIST_STRING, "KEGGGeneId"
+        )
+        organism = TypedValue(universe.taxon_for_organism(2), STRING, "NCBITaxonId")
+        out = _filter(ctx, module, items=items, organism=organism)
+        assert out["filtered"].payload == (universe.genes[2].kegg_id,)
+
+
+class TestReportFilters:
+    def test_score_filter_keeps_comments(self, ctx, catalog_by_id):
+        from repro.biodb.reports import render_homology_report
+
+        report = render_homology_report(
+            "q", [("P10000", "a", 50), ("P10001", "b", 5)], "db", "blastp"
+        )
+        module = catalog_by_id["fl.filter_hits_by_score"]
+        out = _filter(
+            ctx, module,
+            report=TypedValue(report, TABULAR, "HomologySearchReport"),
+            threshold=TypedValue(20.0, FLOAT, "ScoreThreshold"),
+        )
+        lines = out["filtered"].payload.splitlines()
+        assert any(line.startswith("#") for line in lines)
+        assert any("P10000" in line for line in lines)
+        assert not any("P10001" in line for line in lines)
+
+    def test_expression_variance_filter(self, ctx, catalog_by_id):
+        from repro.biodb.expression import render_expression_table
+
+        table = render_expression_table(
+            ["wild", "flat"], ["a", "b"], [[0.0, 9.0], [1.0, 1.2]]
+        )
+        module = catalog_by_id["fl.filter_expression_variance"]
+        out = _filter(
+            ctx, module,
+            table=TypedValue(table, TABULAR, "ExpressionMatrix"),
+            threshold=TypedValue(5.0, FLOAT, "ScoreThreshold"),
+        )
+        assert "wild" in out["filtered"].payload
+        assert "flat" not in out["filtered"].payload
+
+
+class TestHiddenClasses:
+    """Table 1's under-partitioning: edge-case classes exist and are
+    executable but never exhibited by pool sampling."""
+
+    def test_empty_input_class(self, ctx, catalog_by_id):
+        module = catalog_by_id["fl.filter_nuc_by_gc"]
+        bindings = {
+            "items": TypedValue((), LIST_STRING, "NucleotideSequence"),
+            "threshold": TypedValue(25, INTEGER, "LengthThreshold"),
+        }
+        assert module.classify(ctx, bindings) == "empty-input"
+        out = module.invoke(ctx, bindings)
+        assert out["filtered"].payload == "EMPTY-INPUT"
+
+    def test_per_kind_classes_distinct(self, ctx, catalog_by_id, factory):
+        module = catalog_by_id["fl.filter_nuc_by_gc"]
+        labels = set()
+        for concept in ("DNASequence", "RNASequence", "NucleotideSequence"):
+            items = factory.list_instance(concept)
+            bindings = {
+                "items": items,
+                "threshold": TypedValue(25, INTEGER, "LengthThreshold"),
+            }
+            labels.add(module.classify(ctx, bindings))
+        assert len(labels) == 3
+
+    def test_nothing_passes_class(self, ctx, catalog_by_id):
+        module = catalog_by_id["fl.filter_nuc_window_gc"]
+        # All-A sequences have zero GC in any window: nothing passes.
+        items = TypedValue(("AAAA", "AATA"), LIST_STRING, "DNASequence")
+        bindings = {
+            "items": items,
+            "threshold": TypedValue(25, INTEGER, "LengthThreshold"),
+        }
+        assert module.classify(ctx, bindings) == "nothing-passes"
+        out = module.invoke(ctx, bindings)
+        assert out["filtered"].payload == "NO-MATCH"
+
+    def test_weight_filter_hidden_class(self, ctx, catalog_by_id):
+        module = catalog_by_id["fl.filter_proteins_by_weight"]
+        assert module.behavior.n_classes == 2
+        bindings = {
+            "items": TypedValue((), LIST_STRING, "ProteinSequence"),
+            "cutoff": TypedValue(20.0, FLOAT, "ScoreThreshold"),
+        }
+        assert module.classify(ctx, bindings) == "empty-input"
+
+    def test_weight_filter_main_class(self, ctx, catalog_by_id):
+        module = catalog_by_id["fl.filter_proteins_by_weight"]
+        items = TypedValue(("MKWLE",), LIST_STRING, "ProteinSequence")
+        out = module.invoke(
+            ctx,
+            {"items": items, "cutoff": TypedValue(20.0, FLOAT, "ScoreThreshold")},
+        )
+        assert out["filtered"].payload == ("MKWLE",)

@@ -1,0 +1,126 @@
+"""Behavioral tests of the identifier-mapping family."""
+
+import pytest
+
+from repro.modules.errors import InvalidInputError
+from repro.modules.interfaces import invoke_via_interface
+from repro.values import STRING, TypedValue
+
+
+def _map(ctx, module, accession):
+    return invoke_via_interface(module, ctx, {"id": TypedValue(accession, STRING)})
+
+
+class TestLeafMappings:
+    def test_uniprot_to_kegg_follows_the_gene(self, ctx, catalog_by_id, universe):
+        protein = universe.proteins[7]
+        out = _map(ctx, catalog_by_id["map.uniprot_to_kegg"], protein.uniprot)
+        assert out["mapped"].payload == universe.gene_for_protein(protein).kegg_id
+
+    def test_inverse_mappings_round_trip(self, ctx, catalog_by_id, universe):
+        protein = universe.proteins[8]
+        pir = _map(ctx, catalog_by_id["map.uniprot_to_pir"], protein.uniprot)
+        back = _map(ctx, catalog_by_id["map.pir_to_uniprot"], pir["mapped"].payload)
+        assert back["mapped"].payload == protein.uniprot
+
+    def test_gene_scheme_triangle(self, ctx, catalog_by_id, universe):
+        gene = universe.genes[9]
+        entrez = _map(ctx, catalog_by_id["map.kegg_to_entrez"], gene.kegg_id)
+        ensembl = _map(
+            ctx, catalog_by_id["map.entrez_to_ensembl"], entrez["mapped"].payload
+        )
+        kegg = _map(
+            ctx, catalog_by_id["map.ensembl_to_kegg"], ensembl["mapped"].payload
+        )
+        assert kegg["mapped"].payload == gene.kegg_id
+
+    def test_pathway_genes_are_symmetric(self, ctx, catalog_by_id, universe):
+        pathway = universe.pathways[3]
+        genes = _map(ctx, catalog_by_id["map.pathway_to_genes"], pathway.kegg_id)
+        assert genes["mapped"].payload
+        for kegg_id in genes["mapped"].payload:
+            pathways = _map(ctx, catalog_by_id["map.gene_to_pathways"], kegg_id)
+            assert pathway.kegg_id in pathways["mapped"].payload
+
+    def test_get_genes_by_enzyme_emits_kegg_ids_only(
+        self, ctx, catalog_by_id, universe
+    ):
+        enzyme = universe.enzymes[2]
+        out = _map(ctx, catalog_by_id["map.get_genes_by_enzyme"], enzyme.ec_number)
+        assert out["mapped"].concept == "KEGGGeneId"
+        assert set(out["mapped"].payload) == {
+            universe.genes[o].kegg_id for o in enzyme.gene_ordinals
+        }
+
+    def test_go_to_interpro_round_trip(self, ctx, catalog_by_id, universe):
+        term = universe.go_terms[4]
+        interpro = _map(ctx, catalog_by_id["map.go_to_interpro"], term.go_id)
+        back = _map(
+            ctx, catalog_by_id["map.interpro_to_go"], interpro["mapped"].payload
+        )
+        assert back["mapped"].payload == term.go_id
+
+    def test_mapping_rejects_wrong_scheme(self, ctx, catalog_by_id, universe):
+        with pytest.raises(InvalidInputError):
+            _map(ctx, catalog_by_id["map.uniprot_to_kegg"], universe.genes[0].kegg_id)
+
+
+class TestNormalizingMappings:
+    def test_protein_schemes_map_to_same_gene(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["map.any_protein_to_gene"]
+        protein = universe.proteins[6]
+        via_uniprot = _map(ctx, module, protein.uniprot)
+        via_pir = _map(ctx, module, protein.pir)
+        assert via_uniprot["mapped"].payload == via_pir["mapped"].payload
+
+    def test_organism_normalizer_accepts_both_forms(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["map.normalize_organism"]
+        taxon = universe.taxon_for_organism(0)
+        via_taxon = _map(ctx, module, taxon)
+        via_name = _map(ctx, module, "Homo sapiens")
+        assert via_taxon["mapped"].payload == via_name["mapped"].payload == taxon
+
+
+class TestLinkFamily:
+    def test_link_dispatches_per_family(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["map.link"]
+        protein = universe.proteins[2]
+        pathway = universe.pathways[2]
+        protein_links = _map(ctx, module, protein.uniprot)
+        pathway_links = _map(ctx, module, pathway.kegg_id)
+        # protein family -> gene ids; pathway family -> gene ids of pathway
+        assert protein_links["links"].payload == (
+            universe.gene_for_protein(protein).kegg_id,
+        )
+        assert set(pathway_links["links"].payload) == {
+            universe.genes[o].kegg_id for o in pathway.gene_ordinals
+        }
+
+    def test_link_accepts_every_scheme(self, ctx, catalog_by_id, factory, ontology):
+        module = catalog_by_id["map.link"]
+        accepted = 0
+        for concept in ontology.partitions_of("DatabaseAccession"):
+            if not ontology.has_realization(concept):
+                continue
+            value = factory.instances(concept)[0]
+            invoke_via_interface(module, ctx, {"id": value})
+            accepted += 1
+        assert accepted == 20
+
+    def test_link_variants_disagree(self, ctx, catalog_by_id, universe):
+        """The seven link utilities are not equivalent to each other."""
+        protein = universe.proteins[2]
+        link = _map(ctx, catalog_by_id["map.link"], protein.uniprot)
+        dblinks = _map(ctx, catalog_by_id["map.dblinks"], protein.uniprot)
+        assert link["links"].payload != dblinks["links"].payload
+
+    def test_link_classes_are_families(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["map.link"]
+        assert module.behavior.n_classes == 9
+        label_uniprot = module.classify(
+            ctx, {"id": TypedValue(universe.proteins[1].uniprot, STRING)}
+        )
+        label_pir = module.classify(
+            ctx, {"id": TypedValue(universe.proteins[1].pir, STRING)}
+        )
+        assert label_uniprot == label_pir == "link-protein"

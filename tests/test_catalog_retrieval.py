@@ -1,0 +1,134 @@
+"""Behavioral tests of the data-retrieval family."""
+
+import pytest
+
+from repro.biodb import formats
+from repro.modules.errors import InvalidInputError
+from repro.modules.interfaces import invoke_via_interface
+from repro.values import STRING, TypedValue
+
+
+def _invoke(ctx, module, **payloads):
+    bindings = {name: TypedValue(value, STRING) for name, value in payloads.items()}
+    return invoke_via_interface(module, ctx, bindings)
+
+
+class TestRecordRetrieval:
+    def test_uniprot_record_matches_entity(self, ctx, catalog_by_id, universe):
+        protein = universe.proteins[9]
+        out = _invoke(ctx, catalog_by_id["ret.get_uniprot_record"], id=protein.uniprot)
+        fields = formats.parse_uniprot_flat(out["record"].payload)
+        assert fields["accession"] == protein.uniprot
+        assert fields["sequence"] == protein.sequence
+
+    def test_unknown_accession_rejected(self, ctx, catalog_by_id):
+        with pytest.raises(InvalidInputError):
+            _invoke(ctx, catalog_by_id["ret.get_uniprot_record"], id="P99999")
+
+    def test_malformed_accession_rejected(self, ctx, catalog_by_id):
+        with pytest.raises(InvalidInputError):
+            _invoke(ctx, catalog_by_id["ret.get_uniprot_record"], id="banana")
+
+    def test_foreign_scheme_rejected(self, ctx, catalog_by_id, universe):
+        with pytest.raises(InvalidInputError):
+            _invoke(
+                ctx, catalog_by_id["ret.get_uniprot_record"],
+                id=universe.genes[0].embl,
+            )
+
+    def test_embl_record_contains_gene_sequence(self, ctx, catalog_by_id, universe):
+        gene = universe.genes[11]
+        out = _invoke(ctx, catalog_by_id["ret.fetch_embl_record"], id=gene.embl)
+        fields = formats.parse_embl_flat(out["record"].payload)
+        assert fields["sequence"] == gene.dna_sequence
+
+    def test_genbank_and_refseq_resolve_same_gene(self, ctx, catalog_by_id, universe):
+        gene = universe.genes[4]
+        genbank = _invoke(
+            ctx, catalog_by_id["ret.fetch_genbank_record"], id=gene.genbank
+        )
+        refseq = _invoke(
+            ctx, catalog_by_id["ret.fetch_refseq_record"], id=gene.refseq
+        )
+        a = formats.parse_genbank_flat(genbank["record"].payload)
+        b = formats.parse_genbank_flat(refseq["record"].payload)
+        assert a["sequence"] == b["sequence"] == gene.dna_sequence
+
+    def test_pdb_record_carries_resolution(self, ctx, catalog_by_id, universe):
+        structure = universe.structures[2]
+        out = _invoke(ctx, catalog_by_id["ret.get_pdb_entry"], id=structure.pdb_id)
+        fields = formats.parse_pdb_text(out["record"].payload)
+        assert float(fields["resolution"]) == structure.resolution
+
+    def test_kegg_gene_record_lists_pathways(self, ctx, catalog_by_id, universe):
+        gene = universe.genes[6]
+        out = _invoke(ctx, catalog_by_id["ret.get_kegg_gene"], id=gene.kegg_id)
+        fields = formats.parse_kegg_flat(out["record"].payload)
+        for pathway_ordinal in gene.pathway_ordinals:
+            assert universe.pathways[pathway_ordinal].kegg_id in fields["pathways"]
+
+
+class TestNormalizingRetrieval:
+    def test_both_schemes_accepted(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["ret.get_protein_record"]
+        protein = universe.proteins[3]
+        via_uniprot = _invoke(ctx, module, id=protein.uniprot)
+        via_pir = _invoke(ctx, module, id=protein.pir)
+        # Same entity either way; the normalized record is identical.
+        assert via_uniprot["record"].payload == via_pir["record"].payload
+
+    def test_single_behavior_class(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["ret.get_protein_record"]
+        assert module.behavior.n_classes == 1
+        protein = universe.proteins[3]
+        label_a = module.classify(
+            ctx, {"id": TypedValue(protein.uniprot, STRING)}
+        )
+        label_b = module.classify(ctx, {"id": TypedValue(protein.pir, STRING)})
+        assert label_a == label_b
+
+
+class TestSequenceRetrieval:
+    def test_biological_sequence_per_scheme(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["ret.get_biological_sequence"]
+        protein = universe.proteins[5]
+        gene = universe.genes[5]
+        via_protein = _invoke(ctx, module, id=protein.uniprot)
+        via_gene = _invoke(ctx, module, id=gene.kegg_id)
+        assert via_protein["sequence"].payload == protein.sequence
+        assert via_protein["sequence"].concept == "ProteinSequence"
+        assert via_gene["sequence"].payload == gene.dna_sequence
+        assert via_gene["sequence"].concept == "DNASequence"
+
+    def test_structure_sequence_is_proteins(self, ctx, catalog_by_id, universe):
+        structure = universe.structures[1]
+        out = _invoke(
+            ctx, catalog_by_id["ret.get_structure_sequence"], id=structure.pdb_id
+        )
+        assert out["sequence"].payload == universe.proteins[
+            structure.protein_ordinal
+        ].sequence
+
+    def test_gene_rna_is_transcribed(self, ctx, catalog_by_id, universe):
+        gene = universe.genes[5]
+        out = _invoke(ctx, catalog_by_id["ret.get_gene_rna"], id=gene.refseq)
+        assert "T" not in out["sequence"].payload
+        assert out["sequence"].payload == gene.dna_sequence.replace("T", "U")
+
+
+class TestTextRetrieval:
+    def test_abstract_text(self, ctx, catalog_by_id, universe):
+        publication = universe.publications[4]
+        out = _invoke(
+            ctx, catalog_by_id["ret.get_abstract_text"], id=publication.pubmed_id
+        )
+        assert out["text"].payload == publication.abstract
+
+    def test_binfo_known_database(self, ctx, catalog_by_id):
+        out = _invoke(ctx, catalog_by_id["ret.binfo"], database="kegg")
+        assert "KEGG" in out["info"].payload
+        assert out["info"].concept == "FullTextDocument"
+
+    def test_binfo_unknown_database_rejected(self, ctx, catalog_by_id):
+        with pytest.raises(InvalidInputError):
+            _invoke(ctx, catalog_by_id["ret.binfo"], database="mystery-db")

@@ -1,0 +1,163 @@
+"""Behavioral tests of the format-transformation family."""
+
+import pytest
+
+from repro.biodb import formats, records
+from repro.modules.errors import InvalidInputError
+from repro.modules.interfaces import invoke_via_interface
+from repro.values import (
+    EMBL_FLAT,
+    FASTA,
+    GENBANK_FLAT,
+    UNIPROT_FLAT,
+    TypedValue,
+)
+
+
+@pytest.fixture(scope="module")
+def uniprot_text(universe):
+    fields = records.protein_fields(universe, universe.proteins[10])
+    return formats.render_uniprot_flat(fields)
+
+
+@pytest.fixture(scope="module")
+def embl_text(universe):
+    fields = records.gene_fields(universe, universe.genes[10])
+    return formats.render_embl_flat(fields)
+
+
+def _convert(ctx, module, payload, structural):
+    value = TypedValue(payload, structural)
+    return invoke_via_interface(module, ctx, {module.inputs[0].name: value})
+
+
+class TestContentPreservation:
+    def test_uniprot_to_fasta_keeps_sequence(self, ctx, catalog_by_id, uniprot_text):
+        out = _convert(
+            ctx, catalog_by_id["xf.uniprot_to_fasta"], uniprot_text, UNIPROT_FLAT
+        )
+        fasta = formats.parse_fasta(out["converted"].payload)
+        source = formats.parse_uniprot_flat(uniprot_text)
+        assert fasta["sequence"] == source["sequence"]
+        assert fasta["accession"] == source["accession"]
+
+    def test_embl_genbank_round_trip(self, ctx, catalog_by_id, embl_text):
+        genbank = _convert(
+            ctx, catalog_by_id["xf.embl_to_genbank"], embl_text, EMBL_FLAT
+        )
+        embl_again = _convert(
+            ctx, catalog_by_id["xf.genbank_to_embl"],
+            genbank["converted"].payload, GENBANK_FLAT,
+        )
+        original = formats.parse_embl_flat(embl_text)
+        rebuilt = formats.parse_embl_flat(embl_again["converted"].payload)
+        assert rebuilt["accession"] == original["accession"]
+        assert rebuilt["sequence"] == original["sequence"]
+
+    def test_xml_json_conversions_preserve_fields(
+        self, ctx, catalog_by_id, uniprot_text
+    ):
+        xml = _convert(ctx, catalog_by_id["xf.uniprot_to_xml"], uniprot_text,
+                       UNIPROT_FLAT)
+        json_out = _convert(
+            ctx, catalog_by_id["xf.protein_xml_to_json"],
+            xml["converted"].payload, None or xml["converted"].structural,
+        )
+        fields = formats.parse_json(json_out["converted"].payload)
+        assert fields["accession"] == formats.parse_uniprot_flat(uniprot_text)[
+            "accession"
+        ]
+
+    def test_pdb_to_fasta_extracts_seqres(self, ctx, catalog_by_id, universe):
+        structure = universe.structures[0]
+        text = formats.render_pdb_text(records.structure_fields(universe, structure))
+        out = _convert(ctx, catalog_by_id["xf.pdb_to_fasta"], text,
+                       catalog_by_id["xf.pdb_to_fasta"].inputs[0].structural)
+        fasta = formats.parse_fasta(out["converted"].payload)
+        assert fasta["sequence"] == universe.proteins[structure.protein_ordinal].sequence
+        assert out["converted"].concept == "ProteinSequenceRecord"
+
+
+class TestRejection:
+    def test_wrong_format_rejected_by_sniffing(self, ctx, catalog_by_id, embl_text):
+        with pytest.raises(InvalidInputError):
+            _convert(ctx, catalog_by_id["xf.genbank_to_embl"], embl_text,
+                     GENBANK_FLAT)
+
+    def test_garbage_rejected(self, ctx, catalog_by_id):
+        with pytest.raises(InvalidInputError):
+            _convert(ctx, catalog_by_id["xf.uniprot_to_fasta"],
+                     "ID   but nothing else", UNIPROT_FLAT)
+
+
+class TestFastaUtilities:
+    def test_utility_processes_protein_and_nucleotide_identically(
+        self, ctx, catalog_by_id, universe
+    ):
+        module = catalog_by_id["xf.fasta_to_tab"]
+        protein_fasta = formats.render_fasta(
+            records.protein_fields(universe, universe.proteins[1])
+        )
+        gene_fasta = formats.render_fasta(
+            records.gene_fields(universe, universe.genes[1])
+        )
+        out_protein = _convert(ctx, module, protein_fasta, FASTA)
+        out_gene = _convert(ctx, module, gene_fasta, FASTA)
+        # One behavior class; output concepts track the actual content.
+        assert module.behavior.n_classes == 1
+        assert out_protein["converted"].concept == "ProteinSequenceRecord"
+        assert out_gene["converted"].concept == "NucleotideSequenceRecord"
+
+    def test_uppercase_utility(self, ctx, catalog_by_id):
+        text = ">x test\nmkwl\n"
+        out = _convert(ctx, catalog_by_id["xf.fasta_uppercase"], text, FASTA)
+        assert "MKWL" in out["converted"].payload
+
+    def test_header_clean_strips_description(self, ctx, catalog_by_id):
+        text = ">x some long description\nMKWL\n"
+        out = _convert(ctx, catalog_by_id["xf.fasta_header_clean"], text, FASTA)
+        assert out["converted"].payload.splitlines()[0] == ">x"
+
+    def test_fasta_to_plain_classifies_output(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["xf.fasta_to_plain"]
+        gene_fasta = formats.render_fasta(
+            records.gene_fields(universe, universe.genes[2])
+        )
+        out = _convert(ctx, module, gene_fasta, FASTA)
+        assert out["sequence"].payload == universe.genes[2].dna_sequence
+        assert out["sequence"].concept == "DNASequence"
+
+
+class TestSpecialTransformations:
+    def test_clustal_to_fasta_preserves_rows(self, ctx, catalog_by_id, universe):
+        from repro.biodb.reports import render_multiple_alignment
+
+        entries = [("seqA", "MKWL"), ("seqB", "MKWI")]
+        text = render_multiple_alignment(entries)
+        module = catalog_by_id["xf.clustal_to_fasta"]
+        out = _convert(ctx, module, text, module.inputs[0].structural)
+        assert out["converted"].payload.count(">") == 2
+
+    def test_seq_to_fasta_wraps_sequence(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["xf.seq_to_fasta"]
+        protein = universe.proteins[0]
+        out = _convert(ctx, module, protein.sequence, module.inputs[0].structural)
+        assert formats.parse_fasta(out["record"].payload)["sequence"] == protein.sequence
+
+    def test_seq_to_fasta_rejects_dna(self, ctx, catalog_by_id, universe):
+        module = catalog_by_id["xf.seq_to_fasta"]
+        with pytest.raises(InvalidInputError):
+            _convert(ctx, module, universe.genes[0].dna_sequence,
+                     module.inputs[0].structural)
+
+    def test_homology_to_csv_counts_hits(self, ctx, catalog_by_id, universe):
+        from repro.biodb.reports import render_homology_report
+
+        report = render_homology_report(
+            "q", [("P10000", "kinase", 12), ("P10001", "ligase", 8)],
+            "uniprot", "blastp",
+        )
+        module = catalog_by_id["xf.homology_to_csv"]
+        out = _convert(ctx, module, report, module.inputs[0].structural)
+        assert "P10000" in out["converted"].payload
+        assert out["converted"].payload.count("\n") == 2  # header + one row

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "list"])
+        assert args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ret.get_uniprot_record" in out
+        assert len(out.strip().splitlines()) == 252
+
+    def test_list_category_filter(self, capsys):
+        assert main(["list", "--category", "filtering"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 27
+
+    def test_list_interface_filter(self, capsys):
+        assert main(["list", "--interface", "rest"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 60
+
+    def test_show_module(self, capsys):
+        assert main(["show", "map.link"]) == 0
+        out = capsys.readouterr().out
+        assert "classes of behavior: 9" in out
+        assert "[20 partitions]" in out
+
+    def test_show_unknown_module_exits(self):
+        with pytest.raises(SystemExit, match="no module"):
+            main(["show", "no.such"])
+
+    def test_annotate_prints_examples(self, capsys):
+        assert main(["annotate", "ret.get_uniprot_record"]) == 0
+        out = capsys.readouterr().out
+        assert "generated 1 data examples" in out
+        assert "Data example for ret.get_uniprot_record" in out
+
+    def test_annotate_max_limits_cards(self, capsys):
+        assert main(["annotate", "map.link", "--max", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Data example for") == 2
+
+    def test_match_decayed_module(self, capsys):
+        assert main(["match", "old.get_kegg_gene_s"]) == 0
+        out = capsys.readouterr().out
+        assert "equivalent" in out
+        assert "ret.get_kegg_gene" in out
+
+    def test_match_incomparable_module_fails(self, capsys):
+        assert main(["match", "old.identify_report"]) == 1
+        assert "no candidate" in capsys.readouterr().out
+
+    def test_suggest(self, capsys):
+        assert main(["suggest", "ret.get_uniprot_record", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3
+
+    def test_redundancy(self, capsys):
+        assert main(["redundancy", "ret.get_protein_record"]) == 0
+        out = capsys.readouterr().out
+        assert "1 estimated classes (1 redundant)" in out
+
+
+class TestDescribeCommand:
+    def test_describe_legible_module(self, capsys):
+        assert main(["describe", "map.uniprot_to_kegg"]) == 0
+        out = capsys.readouterr().out
+        assert "guessed kind: mapping identifiers" in out
+        assert "actual kind:  mapping identifiers" in out
+
+    def test_describe_opaque_module(self, capsys):
+        assert main(["describe", "an.get_concept"]) == 0
+        out = capsys.readouterr().out
+        assert "not identifiable" in out
+
+
+class TestValidateCommand:
+    def test_valid_workflow_file(self, capsys, tmp_path):
+        from repro.workflow.io import workflow_to_dict
+        from repro.workflow.model import DataLink, Step, Workflow
+        import json
+
+        workflow = Workflow(
+            "w-cli", "cli demo",
+            steps=(Step("a", "map.kegg_to_uniprot"),
+                   Step("b", "ret.get_uniprot_record")),
+            links=(DataLink("a", "mapped", "b", "id"),),
+        )
+        path = tmp_path / "wf.json"
+        path.write_text(json.dumps(workflow_to_dict(workflow)))
+        assert main(["validate", str(path)]) == 0
+        assert "w-cli: OK" in capsys.readouterr().out
+
+    def test_invalid_workflow_file(self, capsys, tmp_path):
+        from repro.workflow.io import workflow_to_xml
+        from repro.workflow.model import Step, Workflow
+
+        workflow = Workflow("w-bad", "bad", (Step("a", "ghost.module"),))
+        path = tmp_path / "wf.xml"
+        path.write_text(workflow_to_xml(workflow))
+        assert main(["validate", str(path)]) == 1
+        assert "unknown module" in capsys.readouterr().out
+
+    def test_decayed_workflow_needs_flag(self, capsys, tmp_path):
+        from repro.workflow.io import workflow_to_xml
+        from repro.workflow.model import Step, Workflow
+
+        workflow = Workflow("w-old", "old", (Step("a", "old.get_kegg_gene_s"),))
+        path = tmp_path / "wf.xml"
+        path.write_text(workflow_to_xml(workflow))
+        assert main(["validate", str(path)]) == 1
+        assert main(["validate", "--include-decayed", str(path)]) == 0

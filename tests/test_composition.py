@@ -1,0 +1,128 @@
+"""Tests for the §8 future-work composition advisor."""
+
+import pytest
+
+from repro.core.composition import CompositionAdvisor
+from repro.workflow.model import link_is_valid
+
+
+@pytest.fixture(scope="module")
+def advisor(setup):
+    return CompositionAdvisor(setup.ctx, setup.catalog, setup.pool)
+
+
+class TestConsumersOfValue:
+    def test_uniprot_accession_consumers(self, advisor, setup):
+        value = setup.pool.get_instance("UniProtAccession")
+        consumers = {m.module_id for m, _input in advisor.consumers_of_value(value)}
+        assert "ret.get_uniprot_record" in consumers
+        assert "map.uniprot_to_kegg" in consumers
+        assert "map.link" in consumers
+
+    def test_consumers_are_verified_not_just_compatible(self, advisor, setup):
+        """A PIR accession structurally fits every STRING input, but only
+        modules that actually accept PIR values are suggested."""
+        value = setup.pool.get_instance("PIRAccession")
+        consumers = {m.module_id for m, _input in advisor.consumers_of_value(value)}
+        assert "map.pir_to_uniprot" in consumers
+        assert "ret.get_uniprot_record" not in consumers  # rejects PIR ids
+
+    def test_limit_respected(self, advisor, setup):
+        value = setup.pool.get_instance("UniProtAccession")
+        assert len(advisor.consumers_of_value(value, limit=3)) == 3
+
+    def test_semantic_filter_blocks_cross_domain(self, setup):
+        """Without the filter, a record string can leak into DatabaseName
+        inputs; the filter removes such accidental acceptances."""
+        record = setup.pool.get_instance("ProteinSequenceRecord")
+        unfiltered = CompositionAdvisor(
+            setup.ctx, setup.catalog, setup.pool, semantic_filter=False
+        )
+        filtered = CompositionAdvisor(setup.ctx, setup.catalog, setup.pool)
+        loose = {
+            (m.module_id, i) for m, i in unfiltered.consumers_of_value(record)
+        }
+        strict = {
+            (m.module_id, i) for m, i in filtered.consumers_of_value(record)
+        }
+        assert strict <= loose
+        assert ("an.blastp", "database") in loose - strict
+
+
+class TestSuggestSuccessors:
+    def test_record_retrieval_successors(self, advisor, setup):
+        producer = next(
+            m for m in setup.catalog if m.module_id == "ret.get_uniprot_record"
+        )
+        suggestions = advisor.suggest_successors(
+            producer, setup.reports[producer.module_id].examples
+        )
+        consumers = {s.consumer_id for s in suggestions}
+        assert "xf.uniprot_to_fasta" in consumers
+        assert "an.search_simple" in consumers
+
+    def test_value_level_admits_what_annotations_reject(self, advisor, setup):
+        """FastaRewrap's output is annotated SequenceRecord, so annotation
+        checking rejects feeding it to ProteinSequenceRecord inputs — but
+        the actual value is a protein FASTA and works (the Figure 7
+        pattern at composition time)."""
+        producer = next(m for m in setup.catalog if m.module_id == "xf.fasta_rewrap")
+        suggestions = advisor.suggest_successors(
+            producer, setup.reports[producer.module_id].examples
+        )
+        by_consumer = {s.consumer_id: s for s in suggestions}
+        assert "xf.fasta_to_uniprot" in by_consumer
+        suggestion = by_consumer["xf.fasta_to_uniprot"]
+        assert not suggestion.annotation_compatible
+        consumer = next(
+            m for m in setup.catalog if m.module_id == "xf.fasta_to_uniprot"
+        )
+        assert not link_is_valid(
+            setup.ctx.ontology, producer, "converted", consumer, "record"
+        )
+
+    def test_no_self_suggestions(self, advisor, setup):
+        producer = next(m for m in setup.catalog if m.module_id == "an.transcribe_dna")
+        suggestions = advisor.suggest_successors(
+            producer, setup.reports[producer.module_id].examples
+        )
+        assert all(s.consumer_id != producer.module_id for s in suggestions)
+
+    def test_suggestions_deduplicated(self, advisor, setup):
+        producer = next(m for m in setup.catalog if m.module_id == "map.link")
+        suggestions = advisor.suggest_successors(
+            producer, setup.reports[producer.module_id].examples
+        )
+        keys = [(s.output, s.consumer_id, s.input) for s in suggestions]
+        assert len(set(keys)) == len(keys)
+
+    def test_limit_short_circuits(self, advisor, setup):
+        producer = next(
+            m for m in setup.catalog if m.module_id == "map.kegg_to_uniprot"
+        )
+        suggestions = advisor.suggest_successors(
+            producer, setup.reports[producer.module_id].examples, limit=4
+        )
+        assert len(suggestions) == 4
+
+    def test_suggested_links_actually_enact(self, advisor, setup):
+        """End-to-end: a suggested composition runs as a workflow."""
+        from repro.workflow.enactment import Enactor
+        from repro.workflow.model import DataLink, Step, Workflow
+
+        producer = next(
+            m for m in setup.catalog if m.module_id == "ret.get_uniprot_record"
+        )
+        suggestions = advisor.suggest_successors(
+            producer, setup.reports[producer.module_id].examples, limit=3
+        )
+        enactor = Enactor(setup.ctx, setup.modules_by_id, setup.pool)
+        for suggestion in suggestions:
+            workflow = Workflow(
+                workflow_id=f"compose-{suggestion.consumer_id}",
+                name="suggested",
+                steps=(Step("a", suggestion.producer_id),
+                       Step("b", suggestion.consumer_id)),
+                links=(DataLink("a", suggestion.output, "b", suggestion.input),),
+            )
+            assert enactor.try_enact(workflow).succeeded, suggestion

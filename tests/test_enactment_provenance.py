@@ -1,0 +1,118 @@
+"""Tests for workflow enactment and provenance capture."""
+
+import pytest
+
+from repro.workflow.enactment import EnactmentError, Enactor
+from repro.workflow.model import DataLink, Step, Workflow
+from repro.workflow.provenance import harvest_examples
+
+
+@pytest.fixture(scope="module")
+def enactor(ctx, catalog_by_id, pool):
+    return Enactor(ctx, dict(catalog_by_id), pool)
+
+
+@pytest.fixture(scope="module")
+def figure1_workflow():
+    """The paper's Figure 1 protein-identification workflow."""
+    return Workflow(
+        workflow_id="fig1",
+        name="protein identification",
+        steps=(
+            Step("identify", "an.identify"),
+            Step("getrecord", "ret.get_protein_record"),
+            Step("search", "an.search_simple"),
+        ),
+        links=(
+            DataLink("identify", "accession", "getrecord", "id"),
+            DataLink("getrecord", "record", "search", "record"),
+        ),
+    )
+
+
+class TestEnactment:
+    def test_figure1_workflow_enacts(self, enactor, figure1_workflow):
+        trace = enactor.enact(figure1_workflow)
+        assert trace.succeeded
+        assert [r.step_id for r in trace.invocations] == [
+            "identify", "getrecord", "search",
+        ]
+
+    def test_linked_values_flow_downstream(self, enactor, figure1_workflow):
+        trace = enactor.enact(figure1_workflow)
+        identify = trace.invocations[0]
+        getrecord = trace.invocations[1]
+        produced = next(b for b in identify.outputs if b.parameter == "accession")
+        consumed = next(b for b in getrecord.inputs if b.parameter == "id")
+        assert produced.value.payload == consumed.value.payload
+
+    def test_free_inputs_fed_from_pool(self, enactor, figure1_workflow):
+        trace = enactor.enact(figure1_workflow)
+        search = trace.invocations[2]
+        names = {b.parameter for b in search.inputs}
+        assert {"record", "program", "database"} <= names
+
+    def test_final_outputs_come_from_last_step(self, enactor, figure1_workflow):
+        trace = enactor.enact(figure1_workflow)
+        outputs = trace.final_outputs()
+        assert outputs[0].parameter == "report"
+
+    def test_unknown_module_fails(self, enactor):
+        workflow = Workflow("w", "w", (Step("s", "no.such"),))
+        with pytest.raises(EnactmentError, match="unknown module"):
+            enactor.enact(workflow)
+
+    def test_try_enact_returns_failed_trace(self, enactor):
+        workflow = Workflow("w", "w", (Step("s", "no.such"),))
+        trace = enactor.try_enact(workflow)
+        assert not trace.succeeded
+        assert trace.failure
+
+    def test_unavailable_module_fails_workflow(self, ctx, catalog_by_id, pool):
+        from repro.modules.catalog.decayed import build_decayed_modules
+
+        decayed = {m.module_id: m for m in build_decayed_modules()}
+        target = decayed["old.get_kegg_gene_s"]
+        target.available = False
+        modules = dict(catalog_by_id)
+        modules.update(decayed)
+        enactor = Enactor(ctx, modules, pool)
+        workflow = Workflow("w", "w", (Step("s", target.module_id),))
+        trace = enactor.try_enact(workflow)
+        assert not trace.succeeded
+
+    def test_enactment_is_deterministic(self, enactor, figure1_workflow):
+        first = enactor.enact(figure1_workflow)
+        second = enactor.enact(figure1_workflow)
+        assert [
+            [b.value.payload for b in r.outputs] for r in first.invocations
+        ] == [[b.value.payload for b in r.outputs] for r in second.invocations]
+
+
+class TestProvenance:
+    def test_records_carry_annotations(self, enactor, figure1_workflow):
+        trace = enactor.enact(figure1_workflow)
+        for record in trace.invocations:
+            for binding in record.outputs:
+                assert binding.value.concept is not None
+
+    def test_records_for_filters_by_module(self, enactor, figure1_workflow):
+        trace = enactor.enact(figure1_workflow)
+        assert len(trace.records_for("an.identify")) == 1
+        assert trace.records_for("no.such") == []
+
+    def test_invocation_as_data_example(self, enactor, figure1_workflow):
+        trace = enactor.enact(figure1_workflow)
+        example = trace.invocations[0].as_data_example()
+        assert example.module_id == "an.identify"
+        assert example.outputs
+
+    def test_harvest_examples_deduplicates_inputs(self, enactor, figure1_workflow):
+        traces = [enactor.enact(figure1_workflow) for _ in range(3)]
+        examples = harvest_examples(traces, "ret.get_protein_record")
+        assert len(examples) == 1  # identical runs, one distinct input
+
+    def test_harvest_respects_limit(self, enactor, figure1_workflow):
+        traces = [enactor.enact(figure1_workflow)]
+        examples = harvest_examples(traces, "an.identify", limit=0)
+        assert examples == []

@@ -1,0 +1,67 @@
+"""Smoke tests: every shipped example script runs to completion.
+
+The scripts are executed in-process (runpy) so they share the session's
+cached universes; each still exercises its full code path and its printed
+claims are spot-checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, capsys, argv: "list[str] | None" = None) -> str:
+    old_argv = sys.argv
+    sys.argv = [script] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExampleScripts:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "GetUniProtRecord" in out
+        assert "completeness: 1.00" in out
+
+    def test_protein_identification(self, capsys):
+        out = _run("protein_identification.py", capsys)
+        assert "succeeded=True" in out
+        assert "final alignment report" in out
+
+    def test_module_matching(self, capsys):
+        out = _run("module_matching.py", capsys)
+        assert "equivalent" in out
+        assert "overlapping" in out
+
+    def test_workflow_repair(self, capsys):
+        out = _run("workflow_repair.py", capsys)
+        assert "72 modules became unavailable" in out
+        assert "validated against history: True" in out
+
+    def test_annotate_catalog(self, capsys, tmp_path):
+        out = _run("annotate_catalog.py", capsys, [str(tmp_path / "reg.db")])
+        assert "annotated 252 modules" in out
+        assert "reloaded 252 modules" in out
+
+    def test_future_work(self, capsys):
+        out = _run("future_work.py", capsys)
+        assert "estimated classes" in out
+        assert "value-level only" in out
+
+    def test_decay_monitoring(self, capsys):
+        out = _run("decay_monitoring.py", capsys)
+        assert "Decay report" in out
+        assert "broken:" in out
+
+    def test_user_study_session(self, capsys, tmp_path):
+        out = _run("user_study_session.py", capsys, [str(tmp_path)])
+        assert "questionnaire with 252 cards" in out
+        assert "user1: 47 without examples, 169 with" in out

@@ -1,0 +1,63 @@
+"""Tests for the §5 questionnaire and response-sheet artifacts."""
+
+import pytest
+
+from repro.study.exercises import (
+    build_card,
+    build_questionnaire,
+    record_responses,
+    render_response_sheet,
+)
+from repro.study.users import DEFAULT_USERS
+
+
+@pytest.fixture(scope="module")
+def examples(setup):
+    return {mid: r.examples for mid, r in setup.reports.items()}
+
+
+class TestCards:
+    def test_phase1_card_hides_examples(self, setup, examples, catalog_by_id):
+        module = catalog_by_id["ret.get_uniprot_record"]
+        card = build_card(module, examples[module.module_id])
+        assert "Data example" not in card.phase1_text
+        assert "annotated UniProtAccession" in card.phase1_text
+        assert module.name in card.phase1_text
+
+    def test_phase2_card_appends_examples(self, setup, examples, catalog_by_id):
+        module = catalog_by_id["ret.get_uniprot_record"]
+        card = build_card(module, examples[module.module_id])
+        assert card.phase2_text.startswith(card.phase1_text)
+        assert "Data example for ret.get_uniprot_record" in card.phase2_text
+
+    def test_long_example_lists_truncated(self, setup, examples, catalog_by_id):
+        module = catalog_by_id["map.link"]
+        card = build_card(module, examples[module.module_id], max_examples=3)
+        assert "17 more examples omitted" in card.phase2_text
+
+    def test_questionnaire_covers_catalog(self, setup, examples):
+        cards = build_questionnaire(setup.catalog, examples)
+        assert len(cards) == 252
+        assert cards[0].module_id == setup.catalog[0].module_id
+
+
+class TestResponseSheets:
+    def test_responses_match_the_study_counts(self, setup, examples):
+        profile = DEFAULT_USERS[0]
+        rows = record_responses(profile, setup.catalog, examples)
+        assert sum(r.phase1_correct for r in rows) == 47
+        assert sum(r.phase2_correct for r in rows) == 169
+
+    def test_monotone_per_row(self, setup, examples):
+        for profile in DEFAULT_USERS:
+            for row in record_responses(profile, setup.catalog, examples):
+                assert not (row.phase1_correct and not row.phase2_correct)
+
+    def test_sheet_rendering(self, setup, examples):
+        profile = DEFAULT_USERS[0]
+        rows = record_responses(profile, setup.catalog, examples)
+        sheet = render_response_sheet(profile, rows)
+        assert sheet.startswith("# Response sheet: user1")
+        assert "identified without examples: 47/252" in sheet
+        assert "identified with examples:    169/252" in sheet
+        assert sheet.count("\n") == 252 + 3

@@ -1,0 +1,132 @@
+"""Unit tests for the experiment harness internals."""
+
+from repro.experiments.coverage import render_coverage, run_coverage
+from repro.experiments.describer import render_describer, run_describer
+from repro.experiments.figure5 import render_figure5, run_figure5
+from repro.experiments.figure8 import render_figure8, run_figure8
+from repro.experiments.reporting import (
+    fmt_pct,
+    fmt_ratio,
+    render_bar_chart,
+    render_table,
+)
+from repro.experiments.robustness import RobustnessResult
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+
+
+class TestReportingHelpers:
+    def test_render_table_aligns_columns(self):
+        text = render_table("T", ["a", "bbbb"], [["xx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_render_table_without_rows(self):
+        text = render_table("T", ["col"], [])
+        assert "col" in text
+
+    def test_fmt_ratio_strips_trailing_zeros(self):
+        assert fmt_ratio(0.5) == "0.5"
+        assert fmt_ratio(1.0) == "1"
+        assert fmt_ratio(0.625, 3) == "0.625"
+
+    def test_fmt_pct(self):
+        assert fmt_pct(0.5) == "50.00"
+
+    def test_bar_chart_scales_to_peak(self):
+        text = render_bar_chart("B", [("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_bar_chart_empty_series(self):
+        assert render_bar_chart("B", []) == "B"
+
+    def test_bar_chart_zero_values(self):
+        text = render_bar_chart("B", [("a", 0.0)])
+        assert "#" not in text
+
+
+class TestRenderers:
+    def test_coverage_renderer_names_exceptions(self, setup):
+        text = render_coverage(run_coverage(setup))
+        assert "233/252" in text
+        assert "get_genes_by_enzyme" in text
+
+    def test_table1_renderer_includes_paper_column(self, setup):
+        text = render_table1(run_table1(setup))
+        assert "paper #" in text
+        assert "0.625" in text
+
+    def test_table2_renderer_maps_045_to_paper_047_bucket(self, setup):
+        text = render_table2(run_table2(setup))
+        line = next(l for l in text.splitlines() if "| 0.45" in l)
+        assert line.rstrip().endswith("7")
+
+    def test_table3_renderer_reports_shim_share(self, setup):
+        text = render_table3(run_table3(setup))
+        assert "66%" in text
+
+    def test_figure5_renderer_has_chart(self, setup):
+        text = render_figure5(run_figure5(setup))
+        assert "Figure 5 (bar view)" in text
+        assert "user1 without" in text
+
+    def test_figure8_renderer_has_chart(self, setup):
+        text = render_figure8(run_figure8(setup))
+        assert "Figure 8 (bar view)" in text
+        assert "equivalent" in text
+
+    def test_describer_renderer_compares_to_human(self, setup):
+        text = render_describer(run_describer(setup))
+        assert "human (paper)" in text
+        assert "0/59" in text  # machine on analysis
+
+
+class TestRobustnessResult:
+    def _base(self, **overrides):
+        values = dict(
+            seed=1,
+            full_input_coverage=True,
+            n_output_shortfall=19,
+            completeness_hist={1.0: 234, 0.75: 8, 0.625: 4, 0.6: 4, 0.5: 2},
+            conciseness_hist={1.0: 192, 0.5: 32, 0.45: 7, 0.4: 4, 0.33: 4,
+                              0.2: 8, 0.17: 4, 0.1: 1},
+            match_split={"equivalent": 16, "overlapping": 23, "none": 33},
+        )
+        values.update(overrides)
+        return RobustnessResult(**values)
+
+    def test_paper_shape_accepted(self):
+        assert self._base().same_shape_as_paper()
+
+    def test_coverage_violation_rejected(self):
+        assert not self._base(full_input_coverage=False).same_shape_as_paper()
+
+    def test_shortfall_drift_rejected(self):
+        assert not self._base(n_output_shortfall=18).same_shape_as_paper()
+
+    def test_match_split_drift_rejected(self):
+        assert not self._base(
+            match_split={"equivalent": 15, "overlapping": 24, "none": 33}
+        ).same_shape_as_paper()
+
+
+class TestSetupFixture:
+    def test_lazy_pieces_are_cached(self, setup):
+        assert setup.repository is setup.repository
+        assert setup.matches is setup.matches
+        assert setup.repairs is setup.repairs
+
+    def test_registry_holds_all_examples(self, setup):
+        total = sum(
+            len(setup.registry.examples_of(m.module_id)) for m in setup.catalog
+        )
+        assert total == sum(r.n_examples for r in setup.reports.values())
+
+    def test_decayed_examples_cover_all_72(self, setup):
+        setup.repository  # triggers the pre-decay harvest
+        assert len(setup.decayed_examples) == 72
+        assert all(examples for examples in setup.decayed_examples.values())

@@ -1,0 +1,199 @@
+"""Round-trip and error tests for the flat-file format layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.biodb import formats
+
+
+@pytest.fixture(scope="module")
+def protein_fields(universe=None):
+    from repro.biodb.records import protein_fields as build
+    from repro.biodb.universe import default_universe
+
+    u = default_universe()
+    return build(u, u.proteins[5])
+
+
+@pytest.fixture(scope="module")
+def gene_fields():
+    from repro.biodb.records import gene_fields as build
+    from repro.biodb.universe import default_universe
+
+    u = default_universe()
+    return build(u, u.genes[5])
+
+
+class TestFasta:
+    def test_round_trip(self, protein_fields):
+        text = formats.render_fasta(protein_fields)
+        parsed = formats.parse_fasta(text)
+        assert parsed["accession"] == protein_fields["accession"]
+        assert parsed["sequence"] == protein_fields["sequence"]
+
+    def test_long_sequences_are_wrapped(self):
+        text = formats.render_fasta({"accession": "X", "sequence": "A" * 150})
+        body_lines = text.splitlines()[1:]
+        assert all(len(line) <= 60 for line in body_lines)
+        assert formats.parse_fasta(text)["sequence"] == "A" * 150
+
+    def test_parse_rejects_headerless_text(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_fasta("ACGT\n")
+
+    def test_description_optional(self):
+        parsed = formats.parse_fasta(">ACC\nMK\n")
+        assert parsed["description"] == ""
+
+
+class TestUniProtFlat:
+    def test_round_trip_core_fields(self, protein_fields):
+        text = formats.render_uniprot_flat(protein_fields)
+        parsed = formats.parse_uniprot_flat(text)
+        for key in ("accession", "sequence", "organism", "gene_name"):
+            assert parsed[key] == protein_fields[key], key
+
+    def test_xrefs_round_trip(self, protein_fields):
+        text = formats.render_uniprot_flat(protein_fields)
+        parsed = formats.parse_uniprot_flat(text)
+        assert parsed["xrefs"] == protein_fields["xrefs"]
+
+    def test_parse_rejects_foreign_text(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_uniprot_flat(">not uniprot\nMK\n")
+
+    def test_record_terminates_with_slashes(self, protein_fields):
+        assert formats.render_uniprot_flat(protein_fields).rstrip().endswith("//")
+
+
+class TestNucleotideFlatFiles:
+    def test_embl_round_trip(self, gene_fields):
+        text = formats.render_embl_flat(gene_fields)
+        parsed = formats.parse_embl_flat(text)
+        assert parsed["accession"] == gene_fields["accession"]
+        assert parsed["sequence"] == gene_fields["sequence"]
+
+    def test_embl_sequence_is_lowercase_on_wire(self, gene_fields):
+        text = formats.render_embl_flat(gene_fields)
+        body = [l for l in text.splitlines() if l.startswith("     ")]
+        assert body and all(l.strip().islower() for l in body)
+
+    def test_genbank_round_trip(self, gene_fields):
+        text = formats.render_genbank_flat(gene_fields)
+        parsed = formats.parse_genbank_flat(text)
+        assert parsed["accession"] == gene_fields["accession"]
+        assert parsed["sequence"] == gene_fields["sequence"]
+
+    def test_genbank_origin_lines_are_numbered(self, gene_fields):
+        text = formats.render_genbank_flat(gene_fields)
+        origin = text.split("ORIGIN")[1]
+        first = origin.strip().splitlines()[0]
+        assert first.split()[0] == "1"
+
+    def test_embl_parse_rejects_genbank(self, gene_fields):
+        with pytest.raises(formats.FormatError):
+            formats.parse_embl_flat(formats.render_genbank_flat(gene_fields))
+
+    def test_genbank_parse_rejects_embl(self, gene_fields):
+        with pytest.raises(formats.FormatError):
+            formats.parse_genbank_flat(formats.render_embl_flat(gene_fields))
+
+
+class TestKeggFlat:
+    def test_round_trip(self):
+        fields = {"accession": "hsa:1001", "name": "geneX", "organism": "Homo sapiens"}
+        parsed = formats.parse_kegg_flat(formats.render_kegg_flat(fields))
+        assert parsed == fields
+
+    def test_empty_fields_omitted(self):
+        text = formats.render_kegg_flat({"accession": "x", "name": ""})
+        assert "NAME" not in text
+
+    def test_parse_rejects_other_formats(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_kegg_flat("LOCUS x")
+
+
+class TestPdbAndObo:
+    def test_pdb_round_trip(self):
+        fields = {
+            "accession": "1ABC", "description": "Crystal structure",
+            "resolution": "1.90", "sequence": "MKWL",
+        }
+        parsed = formats.parse_pdb_text(formats.render_pdb_text(fields))
+        assert parsed == fields
+
+    def test_pdb_parse_requires_header(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_pdb_text("TITLE only\n")
+
+    def test_obo_round_trip(self):
+        fields = {"accession": "GO:0008150", "name": "binding 1",
+                  "namespace": "molecular_function"}
+        parsed = formats.parse_obo_stanza(formats.render_obo_stanza(fields))
+        assert parsed == fields
+
+    def test_obo_requires_term_stanza(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_obo_stanza("id: GO:1\n")
+
+
+class TestStructuredFormats:
+# Line-oriented flat files cannot carry control characters; values are
+    # printable ASCII without the structural delimiters of each format.
+    simple_fields = st.dictionaries(
+        st.text(alphabet="abcdefgh_", min_size=1, max_size=10),
+        st.text(
+            alphabet=st.characters(
+                codec="ascii",
+                min_codepoint=32,
+                exclude_characters="\t\"<>&,",
+            ),
+            max_size=30,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(simple_fields)
+    def test_tabular_round_trip(self, fields):
+        assert formats.parse_tabular(formats.render_tabular(fields)) == fields
+
+    def test_tabular_rejects_untabbed_line(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_tabular("no tabs here\n")
+
+    @given(simple_fields)
+    def test_xml_round_trip(self, fields):
+        assert formats.parse_xml(formats.render_xml(fields)) == fields
+
+    def test_xml_rejects_malformed(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_xml("<open>")
+
+    @given(simple_fields)
+    def test_json_round_trip(self, fields):
+        assert formats.parse_json(formats.render_json(fields)) == fields
+
+    def test_json_rejects_arrays(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_json("[1, 2]")
+
+    def test_json_rejects_garbage(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_json("{")
+
+    def test_csv_escapes_quotes(self):
+        text = formats.render_csv({"k": 'va"lue'})
+        assert '"va""lue"' in text
+
+    def test_medline_round_trip(self):
+        fields = {"accession": "2000001", "title": "A title",
+                  "abstract": "An abstract.", "doi": "10.1234/synbio.1"}
+        parsed = formats.parse_medline(formats.render_medline(fields))
+        assert parsed == fields
+
+    def test_medline_requires_pmid(self):
+        with pytest.raises(formats.FormatError):
+            formats.parse_medline("TI  - no pmid\n")

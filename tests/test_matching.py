@@ -1,0 +1,198 @@
+"""Tests for the §6 behavior matcher."""
+
+import pytest
+
+from repro.core.generation import ExampleGenerator
+from repro.core.matching import (
+    MatchKind,
+    best_match,
+    compare_behavior,
+    find_matches,
+    map_parameters,
+)
+from repro.modules.catalog.decayed import (
+    CONTEXT_SAFE_OVERLAP_IDS,
+    DECAYED_PROVIDERS,
+    build_decayed_modules,
+)
+from repro.workflow.decay import shut_down_providers
+
+
+@pytest.fixture(scope="module")
+def decayed_world(ctx, pool, catalog):
+    """Decayed modules with their pre-decay examples, already shut down."""
+    decayed = build_decayed_modules()
+    generator = ExampleGenerator(ctx, pool)
+    examples = {m.module_id: generator.generate(m).examples for m in decayed}
+    shut_down_providers(decayed, DECAYED_PROVIDERS)
+    return {m.module_id: m for m in decayed}, examples
+
+
+class TestParameterMapping:
+    def test_exact_mapping_of_twin(self, ontology, decayed_world, catalog_by_id):
+        decayed, _examples = decayed_world
+        mapping = map_parameters(
+            ontology, decayed["old.get_kegg_gene_s"], catalog_by_id["ret.get_kegg_gene"]
+        )
+        assert mapping is not None
+        assert not mapping.relaxed
+        assert mapping.inputs == {"id": "id"}
+        assert mapping.outputs == {"record": "record"}
+
+    def test_relaxed_mapping_figure7(self, ontology, decayed_world, catalog_by_id):
+        """GetProteinSequence maps onto GetBiologicalSequence through
+        strict super-concepts on both sides (Figure 7)."""
+        decayed, _examples = decayed_world
+        mapping = map_parameters(
+            ontology,
+            decayed["old.get_protein_sequence"],
+            catalog_by_id["ret.get_biological_sequence"],
+        )
+        assert mapping is not None
+        assert mapping.relaxed
+
+    def test_relaxation_is_directional(self, ontology, decayed_world, catalog_by_id):
+        """The broad module does NOT map onto the narrow one."""
+        decayed, _examples = decayed_world
+        assert (
+            map_parameters(
+                ontology,
+                catalog_by_id["ret.get_biological_sequence"],
+                decayed["old.get_protein_sequence"],
+            )
+            is None
+        )
+
+    def test_arity_mismatch_rejected(self, ontology, catalog_by_id):
+        assert (
+            map_parameters(
+                ontology, catalog_by_id["an.blastp"], catalog_by_id["an.blast_any"]
+            )
+            is None
+        )
+
+    def test_structural_mismatch_rejected(self, ontology, catalog_by_id):
+        # Same record concept, different flat-file formats.
+        assert (
+            map_parameters(
+                ontology,
+                catalog_by_id["xf.uniprot_to_fasta"],
+                catalog_by_id["xf.fasta_to_uniprot"],
+            )
+            is None
+        )
+
+    def test_exact_match_preferred_over_relaxed(self, ontology, catalog_by_id):
+        mapping = map_parameters(
+            ontology, catalog_by_id["an.smith_waterman"], catalog_by_id["an.needleman"]
+        )
+        assert mapping is not None
+        assert not mapping.relaxed
+
+
+class TestComparison:
+    def test_twin_is_equivalent(self, ctx, decayed_world, catalog_by_id):
+        decayed, examples = decayed_world
+        module = decayed["old.get_kegg_gene_s"]
+        candidate = catalog_by_id["ret.get_kegg_gene"]
+        mapping = map_parameters(ctx.ontology, module, candidate)
+        report = compare_behavior(
+            ctx, module, examples[module.module_id], candidate, mapping
+        )
+        assert report.kind is MatchKind.EQUIVALENT
+        assert report.n_agreeing == report.n_examples
+
+    def test_relaxed_full_agreement_is_overlapping(
+        self, ctx, decayed_world, catalog_by_id
+    ):
+        """Figure 7: full agreement on the narrow sub-domain is only
+        *overlapping* — the candidate behaves differently elsewhere."""
+        decayed, examples = decayed_world
+        module = decayed["old.get_protein_sequence"]
+        candidate = catalog_by_id["ret.get_biological_sequence"]
+        mapping = map_parameters(ctx.ontology, module, candidate)
+        report = compare_behavior(
+            ctx, module, examples[module.module_id], candidate, mapping
+        )
+        assert report.kind is MatchKind.OVERLAPPING
+        assert report.n_agreeing == report.n_examples
+        assert report.agreement_domain["id"] == {"UniProtAccession"}
+
+    def test_legacy_variant_partial_agreement(self, ctx, decayed_world, catalog_by_id):
+        decayed, examples = decayed_world
+        module = decayed["old.get_protein_record"]
+        candidate = catalog_by_id["ret.get_protein_record"]
+        mapping = map_parameters(ctx.ontology, module, candidate)
+        report = compare_behavior(
+            ctx, module, examples[module.module_id], candidate, mapping
+        )
+        assert report.kind is MatchKind.OVERLAPPING
+        assert report.n_agreeing == 1
+        assert report.agreement_domain["id"] == {"UniProtAccession"}
+
+    def test_disjoint_same_signature(self, ctx, decayed_world, catalog_by_id):
+        decayed, examples = decayed_world
+        module = decayed["old.search_protein_top3"]
+        candidate = catalog_by_id["an.blastp"]
+        mapping = map_parameters(ctx.ontology, module, candidate)
+        report = compare_behavior(
+            ctx, module, examples[module.module_id], candidate, mapping
+        )
+        assert report.kind is MatchKind.DISJOINT
+
+    def test_no_examples_returns_none(self, ctx, decayed_world, catalog_by_id):
+        decayed, _examples = decayed_world
+        module = decayed["old.get_kegg_gene_s"]
+        candidate = catalog_by_id["ret.get_kegg_gene"]
+        mapping = map_parameters(ctx.ontology, module, candidate)
+        assert compare_behavior(ctx, module, [], candidate, mapping) is None
+
+
+class TestFleetMatching:
+    def test_figure8_population(self, ctx, decayed_world, catalog):
+        decayed, examples = decayed_world
+        kinds = {"equivalent": 0, "overlapping": 0, "none": 0}
+        for module in decayed.values():
+            best = best_match(
+                find_matches(ctx, module, examples[module.module_id], list(catalog))
+            )
+            kinds[best.kind.value if best else "none"] += 1
+        assert kinds == {"equivalent": 16, "overlapping": 23, "none": 33}
+
+    def test_context_safe_modules_all_overlap(self, ctx, decayed_world, catalog):
+        decayed, examples = decayed_world
+        for module_id in CONTEXT_SAFE_OVERLAP_IDS:
+            module = decayed[module_id]
+            best = best_match(
+                find_matches(ctx, module, examples[module_id], list(catalog))
+            )
+            assert best is not None
+            assert best.kind is MatchKind.OVERLAPPING
+            assert best.candidate_id == "ret.get_biological_sequence"
+
+    def test_matches_sorted_equivalents_first(self, ctx, decayed_world, catalog):
+        decayed, examples = decayed_world
+        module = decayed["old.get_kegg_gene_s"]
+        reports = find_matches(ctx, module, examples[module.module_id], list(catalog))
+        kinds = [r.kind for r in reports]
+        assert kinds == sorted(
+            kinds,
+            key=lambda k: {MatchKind.EQUIVALENT: 0, MatchKind.OVERLAPPING: 1,
+                           MatchKind.DISJOINT: 2}[k],
+        )
+
+    def test_unavailable_candidates_skipped(self, ctx, decayed_world):
+        decayed, examples = decayed_world
+        module = decayed["old.get_kegg_gene_s"]
+        # Matching against the decayed set itself finds nothing usable.
+        reports = find_matches(
+            ctx, module, examples[module.module_id], list(decayed.values())
+        )
+        assert reports == []
+
+    def test_best_match_ignores_disjoint(self, ctx, decayed_world, catalog):
+        decayed, examples = decayed_world
+        module = decayed["old.search_protein_top3"]
+        reports = find_matches(ctx, module, examples[module.module_id], list(catalog))
+        assert reports  # blastp is comparable...
+        assert best_match(reports) is None  # ...but only disjoint

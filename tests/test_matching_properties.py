@@ -1,0 +1,93 @@
+"""Property-style invariants of the matcher and repairer."""
+
+import pytest
+
+from repro.core.generation import ExampleGenerator
+from repro.core.matching import (
+    MatchKind,
+    compare_behavior,
+    map_parameters,
+)
+
+
+@pytest.fixture(scope="module")
+def generator(ctx, pool):
+    return ExampleGenerator(ctx, pool)
+
+
+class TestSelfMatching:
+    """Every available module is (eventually) equivalent to itself."""
+
+    def test_sample_modules_self_equivalent(self, ctx, generator, catalog):
+        sample = [m for i, m in enumerate(catalog) if i % 11 == 0]
+        for module in sample:
+            examples = generator.generate(module).examples
+            mapping = map_parameters(ctx.ontology, module, module)
+            assert mapping is not None and not mapping.relaxed
+            report = compare_behavior(ctx, module, examples, module, mapping)
+            assert report.kind is MatchKind.EQUIVALENT, module.module_id
+
+    def test_self_mapping_is_identity(self, ctx, catalog):
+        for module in catalog[:30]:
+            mapping = map_parameters(ctx.ontology, module, module)
+            assert mapping.inputs == {p.name: p.name for p in module.inputs}
+            assert mapping.outputs == {p.name: p.name for p in module.outputs}
+
+
+class TestMappingProperties:
+    def test_exact_mapping_symmetry(self, ctx, catalog):
+        """When signatures are concept-identical, mapping works both ways
+        and neither direction is relaxed."""
+        a = next(m for m in catalog if m.module_id == "an.smith_waterman")
+        b = next(m for m in catalog if m.module_id == "an.needleman")
+        forward = map_parameters(ctx.ontology, a, b)
+        backward = map_parameters(ctx.ontology, b, a)
+        assert forward is not None and backward is not None
+        assert not forward.relaxed and not backward.relaxed
+
+    def test_relaxed_mapping_antisymmetry(self, ctx, catalog):
+        """Strictly-more-general candidates accept, never the reverse."""
+        from repro.modules.catalog.decayed import build_decayed_modules
+
+        decayed = {m.module_id: m for m in build_decayed_modules()}
+        narrow = decayed["old.get_genbank_dna"]
+        broad = next(
+            m for m in catalog if m.module_id == "ret.get_biological_sequence"
+        )
+        assert map_parameters(ctx.ontology, narrow, broad) is not None
+        assert map_parameters(ctx.ontology, broad, narrow) is None
+
+
+class TestAgreementDomains:
+    def test_agreement_domain_subset_of_example_partitions(
+        self, ctx, generator, catalog
+    ):
+        from repro.modules.catalog.decayed import build_decayed_modules
+
+        decayed = build_decayed_modules()
+        legacy = next(m for m in decayed if m.module_id == "old.get_pathway_record")
+        examples = generator.generate(legacy).examples
+        candidate = next(
+            m for m in catalog if m.module_id == "ret.get_pathway_record"
+        )
+        mapping = map_parameters(ctx.ontology, legacy, candidate)
+        report = compare_behavior(ctx, legacy, examples, candidate, mapping)
+        observed = {
+            binding.partition
+            for example in examples
+            for binding in example.inputs
+        }
+        for concepts in report.agreement_domain.values():
+            assert concepts <= observed
+
+    def test_equivalent_match_agrees_everywhere(self, ctx, generator, catalog):
+        from repro.modules.catalog.decayed import build_decayed_modules
+
+        decayed = build_decayed_modules()
+        twin = next(m for m in decayed if m.module_id == "old.gene_to_pathways_s")
+        examples = generator.generate(twin).examples
+        base = next(m for m in catalog if m.module_id == "map.gene_to_pathways")
+        mapping = map_parameters(ctx.ontology, twin, base)
+        report = compare_behavior(ctx, twin, examples, base, mapping)
+        assert report.kind is MatchKind.EQUIVALENT
+        assert report.n_agreeing == len(examples)

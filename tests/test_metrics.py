@@ -1,0 +1,118 @@
+"""Tests for the §4.2 metrics against known-structure catalog modules."""
+
+import pytest
+
+from repro.core.generation import ExampleGenerator
+from repro.core.metrics import evaluate_module, histogram
+
+
+@pytest.fixture(scope="module")
+def generator(ctx, pool):
+    return ExampleGenerator(ctx, pool)
+
+
+def _evaluate(ctx, generator, module):
+    return evaluate_module(ctx, module, generator.generate(module).examples)
+
+
+class TestCleanModules:
+    def test_leaf_retrieval_is_perfect(self, ctx, generator, catalog_by_id):
+        evaluation = _evaluate(ctx, generator, catalog_by_id["ret.get_uniprot_record"])
+        assert evaluation.coverage == 1.0
+        assert evaluation.completeness == 1.0
+        assert evaluation.conciseness == 1.0
+        assert evaluation.n_examples == 1
+
+    def test_biological_sequence_retrieval_has_output_shortfall(
+        self, ctx, generator, catalog_by_id
+    ):
+        evaluation = _evaluate(
+            ctx, generator, catalog_by_id["ret.get_biological_sequence"]
+        )
+        assert evaluation.input_coverage == 1.0
+        # Output annotated BiologicalSequence (5 partitions), only protein
+        # and DNA ever emitted.
+        assert evaluation.output_coverage == pytest.approx(2 / 5)
+        assert evaluation.completeness == 1.0
+        assert evaluation.conciseness == 1.0
+
+
+class TestConcisenessTail:
+    @pytest.mark.parametrize(
+        "module_id,expected",
+        [
+            ("ret.get_protein_record", 0.5),
+            ("map.any_protein_to_gene", 0.5),
+            ("xf.fasta_to_tab", 0.5),
+            ("map.link", 9 / 20),
+            ("an.molecular_weight", 2 / 5),
+            ("an.gc_content", 1 / 3),
+            ("an.sequence_length", 1 / 5),
+            ("an.codon_usage_bias", 1 / 6),
+            ("an.novelty_score", 1 / 10),
+        ],
+    )
+    def test_engineered_conciseness(
+        self, ctx, generator, catalog_by_id, module_id, expected
+    ):
+        evaluation = _evaluate(ctx, generator, catalog_by_id[module_id])
+        assert evaluation.conciseness == pytest.approx(expected)
+        # Over-partitioned modules remain complete: the redundant examples
+        # still cover all (collapsed) classes.
+        assert evaluation.completeness == 1.0
+
+
+class TestCompletenessTail:
+    @pytest.mark.parametrize(
+        "module_id,expected",
+        [
+            ("fl.filter_nuc_by_gc", 3 / 4),
+            ("an.scan_sequence_motifs", 5 / 8),
+            ("fl.filter_nuc_window_gc", 3 / 5),
+            ("fl.filter_proteins_by_weight", 1 / 2),
+        ],
+    )
+    def test_engineered_completeness(
+        self, ctx, generator, catalog_by_id, module_id, expected
+    ):
+        evaluation = _evaluate(ctx, generator, catalog_by_id[module_id])
+        assert evaluation.completeness == pytest.approx(expected)
+        # Under-partitioned modules remain concise: each example exhibits
+        # a distinct class.
+        assert evaluation.conciseness == 1.0
+
+    def test_hidden_classes_are_executable(self, ctx, catalog_by_id, pool):
+        """The hidden empty-input class really exists: feeding an empty
+        list exhibits it."""
+        from repro.values import STRING, TypedValue, list_of
+
+        module = catalog_by_id["fl.filter_proteins_by_weight"]
+        bindings = {
+            "items": TypedValue((), list_of(STRING), "ProteinSequence"),
+            "cutoff": pool.get_instance("ScoreThreshold"),
+        }
+        assert module.classify(ctx, bindings) == "empty-input"
+
+
+class TestMetricEdgeCases:
+    def test_no_examples_scores_zero_coverage(self, ctx, catalog_by_id):
+        module = catalog_by_id["ret.get_uniprot_record"]
+        evaluation = evaluate_module(ctx, module, [])
+        assert evaluation.coverage == 0.0
+        assert evaluation.completeness == 0.0
+        assert evaluation.conciseness == 1.0  # vacuously concise
+
+    def test_histogram_sorts_best_first(self):
+        rows = histogram([1.0, 0.5, 1.0, 0.25])
+        assert rows == [(1.0, 2), (0.5, 1), (0.25, 1)]
+
+    def test_histogram_rounds_to_precision(self):
+        rows = histogram([0.333333, 0.334], precision=2)
+        assert rows == [(0.33, 2)]
+
+    def test_evaluation_counts_partitions(self, ctx, generator, catalog_by_id):
+        module = catalog_by_id["map.link"]
+        evaluation = _evaluate(ctx, generator, module)
+        # 20 input partitions + 20 output partitions (DatabaseAccession).
+        assert evaluation.n_partitions == 40
+        assert evaluation.n_examples == 20

@@ -1,0 +1,100 @@
+"""Invariants of the concrete myGrid-lite ontology."""
+
+import pytest
+
+from repro.ontology.mygrid import build_mygrid_ontology
+
+
+@pytest.fixture(scope="module")
+def onto():
+    return build_mygrid_ontology()
+
+
+class TestFigure4Fragment:
+    """The sequence fragment shown in the paper's Figure 4."""
+
+    def test_sequence_hierarchy(self, onto):
+        assert onto.subsumes("BiologicalSequence", "NucleotideSequence")
+        assert onto.subsumes("NucleotideSequence", "DNASequence")
+        assert onto.subsumes("NucleotideSequence", "RNASequence")
+        assert onto.subsumes("BiologicalSequence", "ProteinSequence")
+
+    def test_example3_partitions(self, onto):
+        """Example 3 lists exactly these five partitions."""
+        assert set(onto.partitions_of("BiologicalSequence")) == {
+            "BiologicalSequence",
+            "NucleotideSequence",
+            "DNASequence",
+            "RNASequence",
+            "ProteinSequence",
+        }
+
+    def test_sequence_concepts_all_realizable(self, onto):
+        for concept in onto.partitions_of("BiologicalSequence"):
+            assert onto.has_realization(concept)
+
+
+class TestStructure:
+    def test_single_root(self, onto):
+        assert onto.roots() == ("Thing",)
+
+    def test_covered_parents_have_children(self, onto):
+        for concept in onto:
+            if concept.covered_by_children:
+                assert onto.children(concept.name), concept.name
+
+    def test_identifier_parents_are_covered(self, onto):
+        for name in ("Identifier", "DatabaseAccession", "ProteinAccession",
+                     "GeneIdentifier", "PathwayIdentifier"):
+            assert not onto.has_realization(name)
+
+    def test_sequence_database_accession_is_multi_parent_grouping(self, onto):
+        children = set(onto.children("SequenceDatabaseAccession"))
+        assert children == {
+            "UniProtAccession", "PIRAccession", "EMBLAccession",
+            "GenBankAccession", "RefSeqNucleotideAccession", "KEGGGeneId",
+            "EntrezGeneId", "EnsemblGeneId",
+        }
+        # the children keep their scheme parents too (DAG)
+        assert "ProteinAccession" in onto.ancestors("UniProtAccession")
+        assert "SequenceDatabaseAccession" in onto.ancestors("UniProtAccession")
+
+    def test_database_accession_realizable_partition_count(self, onto):
+        realizable = [
+            c for c in onto.partitions_of("DatabaseAccession")
+            if onto.has_realization(c)
+        ]
+        assert len(realizable) == 20
+
+    def test_protein_accession_partitions(self, onto):
+        realizable = [
+            c for c in onto.partitions_of("ProteinAccession")
+            if onto.has_realization(c)
+        ]
+        assert set(realizable) == {"UniProtAccession", "PIRAccession"}
+
+    def test_organism_identifier_partitions(self, onto):
+        realizable = [
+            c for c in onto.partitions_of("OrganismIdentifier")
+            if onto.has_realization(c)
+        ]
+        assert set(realizable) == {"NCBITaxonId", "ScientificOrganismName"}
+
+    def test_report_subtree_realizable_leaves(self, onto):
+        realizable = {
+            c for c in onto.partitions_of("Report") if onto.has_realization(c)
+        }
+        assert "HomologySearchReport" in realizable
+        assert "Report" not in realizable
+        assert "AlignmentReport" not in realizable
+
+    def test_every_concept_has_description(self, onto):
+        for concept in onto:
+            assert concept.description
+
+    def test_build_is_cached(self):
+        assert build_mygrid_ontology() is build_mygrid_ontology()
+
+    def test_size_is_stable(self, onto):
+        # Guard: the catalog's partition math depends on this population.
+        assert len(onto) == 87

@@ -1,0 +1,106 @@
+"""Tests for OBO serialization and decay monitoring."""
+
+import pytest
+
+from repro.ontology.obo import (
+    OboFormatError,
+    load_obo,
+    ontology_from_obo,
+    ontology_to_obo,
+    save_obo,
+)
+from repro.workflow.monitoring import analyze_decay, render_decay_report
+
+
+class TestOboSerialization:
+    def test_mygrid_round_trip(self, ontology):
+        rebuilt = ontology_from_obo(ontology_to_obo(ontology))
+        assert rebuilt.name == ontology.name
+        assert set(rebuilt.names()) == set(ontology.names())
+        for name in ontology.names():
+            original = ontology.get(name)
+            parsed = rebuilt.get(name)
+            assert set(parsed.parents) == set(original.parents), name
+            assert parsed.covered_by_children == original.covered_by_children
+            assert parsed.description == original.description
+
+    def test_reasoning_survives_round_trip(self, ontology):
+        rebuilt = ontology_from_obo(ontology_to_obo(ontology))
+        assert rebuilt.subsumes("BiologicalSequence", "DNASequence")
+        assert rebuilt.partitions_of("ProteinAccession") == ontology.partitions_of(
+            "ProteinAccession"
+        )
+
+    def test_document_shape(self, ontology):
+        text = ontology_to_obo(ontology)
+        assert text.startswith("format-version: 1.2")
+        assert "[Term]\nid: Thing" in text
+        assert "subset: covered_by_children" in text
+        assert "is_a: SequenceDatabaseAccession" in text
+
+    def test_file_round_trip(self, ontology, tmp_path):
+        path = tmp_path / "mygrid.obo"
+        save_obo(ontology, path)
+        assert len(load_obo(path)) == len(ontology)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(OboFormatError, match="format-version"):
+            ontology_from_obo("[Term]\nid: X\n")
+
+    def test_stanza_without_id_rejected(self):
+        with pytest.raises(OboFormatError, match="without an id"):
+            ontology_from_obo("format-version: 1.2\n\n[Term]\ndef: \"x\"\n\n[Term]\nid: A\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(OboFormatError, match="malformed"):
+            ontology_from_obo("format-version: 1.2\n[Term]\nid: A\ngarbage line\n")
+
+
+class TestDecayMonitoring:
+    @pytest.fixture(scope="class")
+    def report(self, setup):
+        setup.repository  # ensure decay happened
+        return analyze_decay(setup.repository.workflows, setup.modules_by_id)
+
+    def test_totals_match_repair_experiment(self, setup, report):
+        assert report.n_workflows == 3000
+        assert report.n_broken == len(setup.repairs)
+
+    def test_broken_fraction_about_half(self, report):
+        assert 0.45 <= report.broken_fraction <= 0.55
+
+    def test_decayed_providers_rank_by_blast_radius(self, report):
+        providers = report.top_providers()
+        # iSPIDER supplies most of the orphan and legacy modules that the
+        # unrepairable workflows use; KEGG-SOAP's popular twins come next.
+        assert providers[0][0] == "iSPIDER"
+        assert providers[1][0] == "KEGG-SOAP"
+
+    def test_every_broken_workflow_attributed(self, report):
+        assert sum(report.by_provider.values()) >= report.n_broken
+
+    def test_popular_twins_dominate_module_ranking(self, report):
+        top = dict(report.top_modules(10))
+        assert any(module_id.endswith("_s") for module_id in top)
+
+    def test_single_point_failures_counted(self, report):
+        assert 0 < report.single_point_failures <= report.n_broken
+
+    def test_rendering(self, report):
+        text = render_decay_report(report)
+        assert "Decay report" in text
+        assert "KEGG-SOAP" in text
+        assert f"{report.n_broken}" in text
+
+    def test_healthy_collection_reports_zero(self, setup):
+        healthy = setup.repository.of_category("healthy")[:50]
+        report = analyze_decay(healthy, setup.modules_by_id)
+        assert report.n_broken == 0
+        assert report.broken_fraction == 0.0
+
+    def test_unknown_module_attributed_to_unknown_provider(self):
+        from repro.workflow.model import Step, Workflow
+
+        workflow = Workflow("w", "w", (Step("s", "gone.forever"),))
+        report = analyze_decay([workflow], {})
+        assert report.by_provider == {"(unknown provider)": 1}

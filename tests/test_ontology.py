@@ -1,0 +1,157 @@
+"""Unit tests for the ontology model, reasoner and serialization."""
+
+import pytest
+
+from repro.ontology import (
+    Concept,
+    Ontology,
+    OntologyError,
+    load_ontology,
+    ontology_from_dict,
+    ontology_to_dict,
+    save_ontology,
+)
+
+
+@pytest.fixture()
+def small():
+    """A small diamond-shaped ontology for reasoning tests."""
+    return Ontology(
+        [
+            Concept("Thing", covered_by_children=True),
+            Concept("A", parents=("Thing",)),
+            Concept("B", parents=("A",), covered_by_children=True),
+            Concept("C", parents=("B",)),
+            Concept("D", parents=("B",)),
+            Concept("E", parents=("A",)),
+            Concept("F", parents=("C", "E")),
+        ],
+        name="small",
+    )
+
+
+class TestConcept:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Concept("")
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError):
+            Concept("X", parents=("X",))
+
+    def test_root_detection(self):
+        assert Concept("X").is_root
+        assert not Concept("X", parents=("Y",)).is_root
+
+
+class TestConstruction:
+    def test_duplicate_concepts_rejected(self):
+        with pytest.raises(OntologyError, match="duplicate"):
+            Ontology([Concept("A"), Concept("A")])
+
+    def test_dangling_parent_rejected(self):
+        with pytest.raises(OntologyError, match="unknown parent"):
+            Ontology([Concept("A", parents=("Missing",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(OntologyError, match="cycle"):
+            Ontology(
+                [Concept("A", parents=("B",)), Concept("B", parents=("A",))]
+            )
+
+    def test_len_and_contains(self, small):
+        assert len(small) == 7
+        assert "C" in small
+        assert "Z" not in small
+
+    def test_names_are_topologically_ordered(self, small):
+        names = small.names()
+        for concept in small:
+            for parent in concept.parents:
+                assert names.index(parent) < names.index(concept.name)
+
+
+class TestReasoning:
+    def test_subsumes_is_reflexive(self, small):
+        for name in small.names():
+            assert small.subsumes(name, name)
+
+    def test_subsumes_transitive(self, small):
+        assert small.subsumes("Thing", "F")
+        assert small.subsumes("A", "D")
+
+    def test_subsumes_respects_direction(self, small):
+        assert not small.subsumes("C", "A")
+
+    def test_subsumes_unknown_concept_raises(self, small):
+        with pytest.raises(KeyError):
+            small.subsumes("A", "Zed")
+
+    def test_strict_subsumption_excludes_self(self, small):
+        assert small.strictly_subsumes("A", "C")
+        assert not small.strictly_subsumes("A", "A")
+
+    def test_multi_parent_ancestors(self, small):
+        assert small.ancestors("F") == frozenset({"C", "E", "B", "A", "Thing"})
+
+    def test_descendants(self, small):
+        assert small.descendants("B") == frozenset({"C", "D", "F"})
+
+    def test_roots_and_leaves(self, small):
+        assert small.roots() == ("Thing",)
+        assert set(small.leaves()) == {"D", "F"}
+
+    def test_children(self, small):
+        assert set(small.children("B")) == {"C", "D"}
+        with pytest.raises(KeyError):
+            small.children("Zed")
+
+    def test_depth_uses_longest_path(self, small):
+        assert small.depth("Thing") == 0
+        assert small.depth("F") == 4  # Thing > A > B > C > F
+
+    def test_partitions_include_self_and_descendants(self, small):
+        assert set(small.partitions_of("B")) == {"B", "C", "D", "F"}
+
+    def test_partitions_depth_cap(self, small):
+        assert set(small.partitions_of("B", max_depth=1)) == {"B", "C", "D"}
+        assert set(small.partitions_of("B", max_depth=0)) == {"B"}
+
+    def test_partitions_unknown_concept_raises(self, small):
+        with pytest.raises(KeyError):
+            small.partitions_of("Zed")
+
+    def test_most_specific_filters_subsumers(self, small):
+        assert set(small.most_specific(["A", "C", "F"])) == {"F"}
+        assert set(small.most_specific(["C", "D"])) == {"C", "D"}
+
+    def test_least_common_subsumers(self, small):
+        assert set(small.least_common_subsumers("C", "D")) == {"B"}
+        assert set(small.least_common_subsumers("D", "E")) == {"A"}
+
+    def test_lcs_of_concept_with_itself(self, small):
+        assert set(small.least_common_subsumers("C", "C")) == {"C"}
+
+    def test_has_realization_reads_covered_flag(self, small):
+        assert not small.has_realization("B")
+        assert small.has_realization("C")
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, small):
+        rebuilt = ontology_from_dict(ontology_to_dict(small))
+        assert rebuilt.names() == small.names()
+        assert rebuilt.get("F").parents == small.get("F").parents
+        assert rebuilt.get("B").covered_by_children
+
+    def test_file_round_trip(self, small, tmp_path):
+        path = tmp_path / "onto.json"
+        save_ontology(small, path)
+        rebuilt = load_ontology(path)
+        assert rebuilt.name == "small"
+        assert set(rebuilt.names()) == set(small.names())
+
+    def test_descriptions_survive(self):
+        ontology = Ontology([Concept("A", description="alpha")])
+        rebuilt = ontology_from_dict(ontology_to_dict(ontology))
+        assert rebuilt.get("A").description == "alpha"

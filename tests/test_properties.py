@@ -1,0 +1,144 @@
+"""Hypothesis property tests over core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import histogram
+from repro.modules.interfaces import value_from_wire, value_to_wire
+from repro.ontology import Concept, Ontology
+from repro.pool.pool import InstancePool
+from repro.values import FLOAT, STRING, TypedValue, list_of
+
+
+# ----------------------------------------------------------------------
+# Random forest ontologies
+# ----------------------------------------------------------------------
+@st.composite
+def forests(draw):
+    """A random ontology: each concept's parent is any earlier concept."""
+    size = draw(st.integers(min_value=1, max_value=25))
+    concepts = [Concept("c0")]
+    for index in range(1, size):
+        parent_index = draw(st.integers(min_value=0, max_value=index - 1))
+        covered = draw(st.booleans())
+        concepts.append(
+            Concept(
+                f"c{index}",
+                parents=(f"c{parent_index}",),
+                covered_by_children=covered,
+            )
+        )
+    return Ontology(concepts)
+
+
+class TestOntologyProperties:
+    @given(forests())
+    @settings(max_examples=50)
+    def test_subsumption_is_a_partial_order(self, ontology):
+        names = ontology.names()
+        rng = random.Random(0)
+        sample = [rng.choice(names) for _ in range(6)]
+        for a in sample:
+            assert ontology.subsumes(a, a)
+            for b in sample:
+                if ontology.subsumes(a, b) and ontology.subsumes(b, a):
+                    assert a == b
+
+    @given(forests())
+    @settings(max_examples=50)
+    def test_partitions_are_subsumed_by_root_concept(self, ontology):
+        for name in ontology.names():
+            for partition in ontology.partitions_of(name):
+                assert ontology.subsumes(name, partition)
+
+    @given(forests())
+    @settings(max_examples=50)
+    def test_descendants_and_ancestors_are_inverse(self, ontology):
+        for name in ontology.names():
+            for descendant in ontology.descendants(name):
+                assert name in ontology.ancestors(descendant)
+
+    @given(forests(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=50)
+    def test_depth_cap_monotone(self, ontology, cap):
+        for name in ontology.names():
+            capped = set(ontology.partitions_of(name, max_depth=cap))
+            fuller = set(ontology.partitions_of(name, max_depth=cap + 1))
+            full = set(ontology.partitions_of(name))
+            assert capped <= fuller <= full
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+scalar_values = st.one_of(
+    st.text(max_size=50).map(lambda s: TypedValue(s, STRING, "KeywordSet")),
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=5
+    ).map(lambda xs: TypedValue(tuple(xs), list_of(FLOAT), "PeptideMassList")),
+)
+
+
+class TestWireProperties:
+    @given(scalar_values)
+    def test_wire_round_trip_is_identity(self, value):
+        assert value_from_wire(value_to_wire(value)) == value
+
+
+# ----------------------------------------------------------------------
+# Pool invariants
+# ----------------------------------------------------------------------
+class TestPoolProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A", "B", "C"]),
+                st.text(alphabet="xyz", min_size=1, max_size=4),
+            ),
+            max_size=30,
+        )
+    )
+    def test_pool_size_counts_distinct_values(self, entries):
+        pool = InstancePool()
+        distinct = set()
+        for concept, payload in entries:
+            pool.add(TypedValue(payload, STRING, concept))
+            distinct.add((concept, payload))
+        assert len(pool) == len(distinct)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A", "B"]),
+                st.text(alphabet="xy", min_size=1, max_size=3),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_get_instance_returns_earliest_added(self, entries):
+        pool = InstancePool()
+        first_of: dict[str, str] = {}
+        for concept, payload in entries:
+            if pool.add(TypedValue(payload, STRING, concept)):
+                first_of.setdefault(concept, payload)
+        for concept, payload in first_of.items():
+            assert pool.get_instance(concept).payload == payload
+
+
+# ----------------------------------------------------------------------
+# Metric invariants
+# ----------------------------------------------------------------------
+class TestMetricProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1, width=32), min_size=1))
+    def test_histogram_preserves_total(self, values):
+        rows = histogram(list(values))
+        assert sum(count for _v, count in rows) == len(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, width=32), min_size=1))
+    def test_histogram_is_sorted_descending(self, values):
+        rows = histogram(list(values))
+        keys = [v for v, _c in rows]
+        assert keys == sorted(keys, reverse=True)

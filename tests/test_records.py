@@ -1,0 +1,102 @@
+"""Tests for the canonical record field builders."""
+
+from repro.biodb import records
+from repro.biodb.accessions import species_name
+
+
+class TestProteinFields:
+    def test_core_fields(self, universe):
+        protein = universe.proteins[13]
+        fields = records.protein_fields(universe, protein)
+        assert fields["accession"] == protein.uniprot
+        assert fields["sequence"] == protein.sequence
+        assert fields["organism"] == species_name(protein.organism_ordinal)
+
+    def test_xrefs_include_gene_and_go(self, universe):
+        protein = universe.proteins[13]
+        fields = records.protein_fields(universe, protein)
+        gene = universe.gene_for_protein(protein)
+        assert f"KEGG; {gene.kegg_id}" in fields["xrefs"]
+        assert f"EMBL; {gene.embl}" in fields["xrefs"]
+        for ordinal in protein.go_term_ordinals:
+            assert universe.go_terms[ordinal].go_id in fields["xrefs"]
+
+    def test_pdb_xref_only_when_structure_exists(self, universe):
+        structured = universe.proteins[0]  # has a structure
+        unstructured = universe.proteins[1]  # does not
+        assert "PDB;" in records.protein_fields(universe, structured)["xrefs"]
+        assert "PDB;" not in records.protein_fields(universe, unstructured)["xrefs"]
+
+    def test_entry_name_shape(self, universe):
+        fields = records.protein_fields(universe, universe.proteins[0])
+        assert "_" in fields["entry_name"]
+        assert fields["entry_name"].isupper()
+
+
+class TestOtherBuilders:
+    def test_gene_fields_describe_the_protein(self, universe):
+        gene = universe.genes[14]
+        fields = records.gene_fields(universe, gene)
+        assert universe.protein_for_gene(gene).name in fields["description"]
+        assert fields["sequence"] == gene.dna_sequence
+
+    def test_kegg_gene_fields_list_pathways(self, universe):
+        gene = universe.genes[14]
+        fields = records.kegg_gene_fields(universe, gene)
+        for ordinal in gene.pathway_ordinals:
+            assert universe.pathways[ordinal].kegg_id in fields["pathways"]
+
+    def test_pathway_fields_list_members(self, universe):
+        pathway = universe.pathways[5]
+        fields = records.pathway_fields(universe, pathway)
+        for ordinal in pathway.gene_ordinals:
+            assert universe.genes[ordinal].kegg_id in fields["genes"]
+        for ordinal in pathway.compound_ordinals:
+            assert universe.compounds[ordinal].kegg_id in fields["compounds"]
+
+    def test_enzyme_fields(self, universe):
+        enzyme = universe.enzymes[3]
+        fields = records.enzyme_fields(universe, enzyme)
+        assert fields["accession"] == enzyme.ec_number
+        assert fields["genes"]
+
+    def test_compound_fields_format_mass(self, universe):
+        compound = universe.compounds[7]
+        fields = records.compound_fields(universe, compound)
+        assert fields["mass"] == f"{compound.mass:.2f}"
+        assert fields["formula"] == compound.formula
+
+    def test_structure_fields_embed_protein_sequence(self, universe):
+        structure = universe.structures[3]
+        fields = records.structure_fields(universe, structure)
+        assert fields["sequence"] == universe.proteins[
+            structure.protein_ordinal
+        ].sequence
+
+    def test_ligand_fields_reference_compound(self, universe):
+        ligand = universe.ligands[2]
+        fields = records.ligand_fields(universe, ligand)
+        assert fields["compounds"] == universe.compounds[
+            ligand.compound_ordinal
+        ].kegg_id
+
+    def test_go_term_fields(self, universe):
+        term = universe.go_terms[5]
+        fields = records.go_term_fields(universe, term)
+        assert fields == {
+            "accession": term.go_id,
+            "name": term.name,
+            "namespace": term.namespace,
+        }
+
+    def test_publication_fields(self, universe):
+        publication = universe.publications[5]
+        fields = records.publication_fields(universe, publication)
+        assert fields["accession"] == publication.pubmed_id
+        assert fields["doi"] == publication.doi
+        assert fields["abstract"] == publication.abstract
+
+    def test_glycan_fields(self, universe):
+        glycan = universe.glycans[3]
+        fields = records.glycan_fields(universe, glycan)
+        assert fields["composition"] == glycan.composition

@@ -1,0 +1,179 @@
+"""Tests for the §8 future-work redundancy detector."""
+
+import pytest
+
+from repro.core.examples import Binding, DataExample
+from repro.core.redundancy import (
+    RedundancyDetector,
+    estimate_conciseness,
+    jaccard,
+    normalize_token,
+    tokenize_value,
+)
+from repro.values import STRING, TABULAR, TypedValue, list_of
+
+
+def _example(module_id, in_payload, out_payload, in_concept="UniProtAccession",
+             out_concept="ProteinSequenceRecord", structural=TABULAR):
+    return DataExample(
+        module_id=module_id,
+        inputs=(Binding("id", TypedValue(in_payload, STRING, in_concept)),),
+        outputs=(Binding("out", TypedValue(out_payload, structural, out_concept)),),
+    )
+
+
+class TestTokenization:
+    def test_numbers_normalize_to_placeholder(self):
+        assert normalize_token("42") == "<NUM>"
+        assert normalize_token("3.14") == "<NUM>"
+        assert normalize_token("-7") == "<NUM>"
+
+    def test_accessions_normalize_to_scheme(self):
+        assert normalize_token("P10000") == "<UniProtAccession>"
+        assert normalize_token("GO:0008000") == "<GOTermIdentifier>"
+
+    def test_long_alpha_runs_are_sequences(self):
+        assert normalize_token("MKWLASEDFHIKLMNPQ") == "<SEQ>"
+
+    def test_ordinary_words_lowercased(self):
+        assert normalize_token("Kinase") == "kinase"
+
+    def test_tokenize_includes_type_evidence(self):
+        value = TypedValue("x", TABULAR, "GOAnnotationSet")
+        tokens = tokenize_value(value)
+        assert "structural:TabularFormat" in tokens
+        assert "concept:GOAnnotationSet" in tokens
+
+    def test_tokenize_list_payloads(self):
+        value = TypedValue(("P10000", "P10001"), list_of(STRING), "UniProtAccession")
+        assert "<UniProtAccession>" in tokenize_value(value)
+
+    def test_jaccard_edges(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+        assert jaccard(frozenset("ab"), frozenset("ab")) == 1.0
+        assert jaccard(frozenset("a"), frozenset("b")) == 0.0
+
+
+class TestDetector:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RedundancyDetector(0.0)
+        with pytest.raises(ValueError):
+            RedundancyDetector(1.5)
+
+    def test_same_shape_examples_cluster(self):
+        detector = RedundancyDetector(0.6)
+        examples = [
+            _example("m", "P10000", "name\tKinase 1\nlength\t30\n"),
+            _example("m", "A20002", "name\tLigase 3\nlength\t44\n",
+                     in_concept="PIRAccession"),
+        ]
+        report = detector.detect("m", examples)
+        assert len(report.clusters) == 1
+        assert report.estimated_redundant == 1
+
+    def test_different_shape_examples_stay_apart(self):
+        detector = RedundancyDetector(0.6)
+        examples = [
+            _example("m", "P10000", "name\tKinase 1\nlength\t30\n"),
+            _example("m", "P10001", "helix\t0.4\nsheet\t0.2\nturns\t0.1\n"),
+        ]
+        report = detector.detect("m", examples)
+        assert len(report.clusters) == 2
+        assert report.estimated_redundant == 0
+
+    def test_input_echoes_are_masked(self):
+        """Outputs that merely echo the input accession still cluster."""
+        detector = RedundancyDetector(0.6)
+        examples = [
+            _example("m", "P10000", "entry\tP10000\nstatus\tok\n"),
+            _example("m", "P10055", "entry\tP10055\nstatus\tok\n"),
+        ]
+        assert len(detector.detect("m", examples).clusters) == 1
+
+    def test_empty_example_list(self):
+        report = RedundancyDetector().detect("m", [])
+        assert report.n_examples == 0
+        assert report.estimated_conciseness == 1.0
+
+    def test_prune_keeps_one_per_cluster(self):
+        detector = RedundancyDetector(0.6)
+        examples = [
+            _example("m", "P10000", "name\ta\nlength\t1\n"),
+            _example("m", "P10001", "name\tb\nlength\t2\n"),
+            _example("m", "P10002", "helix\t0.5\n"),
+        ]
+        pruned = detector.prune("m", examples)
+        assert len(pruned) == 2
+        assert pruned[0] is examples[0]
+
+    def test_clustering_is_transitive(self):
+        """A~B and B~C implies one cluster even when A and C differ more."""
+        detector = RedundancyDetector(0.55)
+        a = _example("m", "P10000", "alpha\t1\nbeta\t2\ngamma\t3\n")
+        b = _example("m", "P10001", "alpha\t1\nbeta\t2\ndelta\t4\n")
+        c = _example("m", "P10002", "alpha\t1\ndelta\t4\nepsilon\t5\n")
+        report = detector.detect("m", [a, b, c])
+        assert len(report.clusters) == 1
+
+
+class TestAgainstGroundTruth:
+    """The detector must recover the catalog's engineered redundancy."""
+
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return RedundancyDetector(0.5)
+
+    def test_over_partitioned_retrieval_detected(self, setup, detector):
+        examples = setup.reports["ret.get_protein_record"].examples
+        report = detector.detect("ret.get_protein_record", examples)
+        assert report.estimated_redundant == 1  # 2 examples, 1 class
+
+    def test_clean_module_not_flagged(self, setup, detector):
+        examples = setup.reports["an.translate_dna"].examples
+        report = detector.detect("an.translate_dna", examples)
+        assert report.estimated_redundant == 0
+
+    def test_known_false_positive_documented(self, setup, detector):
+        """GetBiologicalSequence's ground truth declares one class per
+        source database, but that distinction lives in the *input* scheme
+        — invisible in the outputs, which are just sequences.  The
+        detector necessarily flags it; this is the inherent limit of
+        output-based record linkage the paper's future work runs into."""
+        examples = setup.reports["ret.get_biological_sequence"].examples
+        report = detector.detect("ret.get_biological_sequence", examples)
+        assert report.estimated_redundant > 0
+        assert setup.evaluations["ret.get_biological_sequence"].conciseness == 1.0
+
+    def test_one_class_analysis_collapses(self, setup, detector):
+        examples = setup.reports["an.sequence_checksum"].examples
+        report = detector.detect("an.sequence_checksum", examples)
+        assert len(report.clusters) == 1  # 5 examples, 1 class
+
+    def test_population_level_quality(self, setup, detector):
+        """Module-level redundancy screening: precision and recall both
+        above 0.75 over the full 252-module catalog."""
+        tp = fp = fn = 0
+        for module in setup.catalog:
+            examples = setup.reports[module.module_id].examples
+            truth = len(examples) - setup.evaluations[module.module_id].classes_covered
+            estimate = detector.detect(
+                module.module_id, examples
+            ).estimated_redundant
+            if truth > 0 and estimate > 0:
+                tp += 1
+            elif truth == 0 and estimate > 0:
+                fp += 1
+            elif truth > 0 and estimate == 0:
+                fn += 1
+        assert tp / (tp + fp) > 0.75
+        assert tp / (tp + fn) > 0.75
+
+    def test_estimate_conciseness_bulk_api(self, setup):
+        examples = {
+            module_id: report.examples
+            for module_id, report in setup.reports.items()
+        }
+        estimates = estimate_conciseness(examples, threshold=0.5)
+        assert len(estimates) == 252
+        assert all(0.0 < value <= 1.0 for value in estimates.values())

@@ -1,0 +1,119 @@
+"""Tests for analysis-report renderers and the expression substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.biodb import reports
+from repro.biodb.expression import (
+    differential_report,
+    make_microarray,
+    normalize_expression,
+    parse_expression_table,
+    render_expression_table,
+)
+
+
+class TestAlignmentReports:
+    def test_score_rewards_matches(self):
+        assert reports.score_alignment("AAAA", "AAAA") == 8
+        assert reports.score_alignment("AAAA", "CCCC") == -4
+
+    def test_score_pads_shorter_sequence(self):
+        assert reports.score_alignment("AA", "AAAA") == 2 * 2 - 2
+
+    def test_pairwise_report_contains_identity_line(self):
+        text = reports.render_pairwise_alignment("a", "MKW", "b", "MKW", "needle")
+        assert "# Identity: 3/3" in text
+        assert "# Program: needle" in text
+
+    def test_pairwise_markers_align(self):
+        text = reports.render_pairwise_alignment("a", "MKW", "b", "MAW", "needle")
+        lines = text.splitlines()
+        markers = lines[-2][12:]
+        assert markers == "| |"
+
+    def test_multiple_alignment_pads_rows(self):
+        text = reports.render_multiple_alignment([("a", "MK"), ("b", "MKWL")])
+        rows = [l for l in text.splitlines() if l and not l.startswith("CLUSTAL")]
+        assert rows[0].endswith("MK--")
+
+    def test_multiple_alignment_of_empty_input(self):
+        text = reports.render_multiple_alignment([])
+        assert text.startswith("CLUSTAL")
+
+
+class TestOtherReports:
+    def test_homology_report_is_tabular(self):
+        text = reports.render_homology_report(
+            "q", [("P1", "kinase", 10)], "uniprot", "blastp"
+        )
+        assert "P1\tkinase\t10" in text
+        assert text.startswith("# blastp")
+
+    def test_motif_report_lists_hits(self):
+        text = reports.render_motif_report("q", [("M1", 3)])
+        assert "M1\t3" in text
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=2, max_size=6))
+    def test_newick_balanced_and_terminated(self, leaves):
+        tree = reports.render_newick(leaves)
+        assert tree.endswith(";")
+        assert tree.count("(") == tree.count(")") == len(leaves) - 1
+
+    def test_newick_edge_cases(self):
+        assert reports.render_newick([]) == "();"
+        assert reports.render_newick(["x"]) == "(x);"
+
+    def test_sequence_statistics_fields(self):
+        text = reports.render_sequence_statistics("q", "GGCC")
+        assert "gc_content\t1.000" in text
+        assert "length\t4" in text
+
+    def test_identification_report_fields(self):
+        text = reports.render_identification_report("P1", "kinase", 4, 0.1)
+        assert "identified\tP1" in text
+        assert "matched_peptides\t4" in text
+
+
+class TestExpression:
+    def test_microarray_shape(self):
+        table = make_microarray(["g1", "g2"], n_samples=3)
+        genes, samples, values = parse_expression_table(table)
+        assert genes == ["g1", "g2"]
+        assert len(samples) == 3
+        assert all(len(row) == 3 for row in values)
+
+    def test_microarray_is_seed_deterministic(self):
+        assert make_microarray(["g"], seed=5) == make_microarray(["g"], seed=5)
+        assert make_microarray(["g"], seed=5) != make_microarray(["g"], seed=6)
+
+    def test_parse_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            parse_expression_table("probe\ts1\ts2\ng1\t1.0\n")
+
+    def test_parse_rejects_untabbed_header(self):
+        with pytest.raises(ValueError):
+            parse_expression_table("just text")
+
+    def test_render_parse_round_trip(self):
+        table = render_expression_table(["g1"], ["s1", "s2"], [[1.5, -0.25]])
+        genes, samples, values = parse_expression_table(table)
+        assert genes == ["g1"]
+        assert values == [[1.5, -0.25]]
+
+    def test_normalization_median_centers_columns(self):
+        table = make_microarray(["g1", "g2", "g3"], n_samples=2)
+        normalized = normalize_expression(table)
+        _genes, _samples, values = parse_expression_table(normalized)
+        for column in range(2):
+            column_values = sorted(row[column] for row in values)
+            assert column_values[len(column_values) // 2] == pytest.approx(0.0)
+
+    def test_differential_report_thresholds(self):
+        table = render_expression_table(
+            ["up", "flat"], ["a", "b"], [[10.0, 0.0], [1.0, 1.0]]
+        )
+        report = differential_report(table, threshold=5.0)
+        assert "up\t" in report
+        assert "flat" not in report

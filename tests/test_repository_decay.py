@@ -1,0 +1,127 @@
+"""Tests for the repository generator and the decay model."""
+
+import pytest
+
+from repro.modules.catalog.decayed import DECAYED_PROVIDERS, build_decayed_modules
+from repro.workflow.decay import (
+    broken_workflows,
+    restore_providers,
+    shut_down_providers,
+)
+from repro.workflow.enactment import Enactor
+from repro.workflow.repository import RepositoryBuilder, RepositoryConfig
+
+
+@pytest.fixture(scope="module")
+def small_world(ctx, catalog, pool):
+    """A small repository with every category represented."""
+    decayed = build_decayed_modules()
+    config = RepositoryConfig(
+        seed=7, n_healthy=30, n_equivalent_full=12, n_equivalent_partial=5,
+        n_overlap_safe=13, n_unrepairable=20,
+    )
+    builder = RepositoryBuilder(ctx, catalog, decayed, pool, config)
+    repository = builder.build()
+    return decayed, repository
+
+
+class TestRepositoryBuilder:
+    def test_population_sizes(self, small_world):
+        _decayed, repository = small_world
+        assert len(repository.workflows) == 80
+        assert len(repository.of_category("healthy")) == 30
+        assert len(repository.of_category("overlap-safe")) == 13
+
+    def test_workflow_ids_unique(self, small_world):
+        _decayed, repository = small_world
+        ids = [w.workflow_id for w in repository.workflows]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_workflow_enacts_before_decay(
+        self, ctx, catalog_by_id, pool, small_world
+    ):
+        decayed, repository = small_world
+        modules = dict(catalog_by_id)
+        modules.update({m.module_id: m for m in decayed})
+        enactor = Enactor(ctx, modules, pool)
+        for workflow in repository.workflows[:25]:
+            assert enactor.try_enact(workflow).succeeded, workflow.workflow_id
+
+    def test_healthy_workflows_use_only_catalog_modules(
+        self, small_world, catalog_by_id
+    ):
+        _decayed, repository = small_world
+        for workflow in repository.of_category("healthy"):
+            assert all(m in catalog_by_id for m in workflow.module_ids())
+
+    def test_equivalent_workflows_contain_a_twin(self, small_world):
+        _decayed, repository = small_world
+        for workflow in repository.of_category("equivalent-full"):
+            assert any(m.endswith("_s") for m in workflow.module_ids())
+
+    def test_partial_workflows_also_contain_an_orphan(self, small_world):
+        _decayed, repository = small_world
+        orphan_prefixes = ("old.legacy_stat_", "old.get_homologous",
+                           "old.search_protein_top3", "old.identify_report",
+                           "old.translate_six_frames")
+        for workflow in repository.of_category("equivalent-partial"):
+            assert any(
+                m.startswith(orphan_prefixes) for m in workflow.module_ids()
+            )
+
+    def test_overlap_safe_workflows_feed_narrow_module_by_link(self, small_world):
+        from repro.modules.catalog.decayed import CONTEXT_SAFE_OVERLAP_IDS
+
+        _decayed, repository = small_world
+        for workflow in repository.of_category("overlap-safe"):
+            narrow_steps = [
+                s.step_id for s in workflow.steps
+                if s.module_id in CONTEXT_SAFE_OVERLAP_IDS
+            ]
+            assert narrow_steps
+            for step_id in narrow_steps:
+                assert workflow.incoming(step_id)
+
+
+class TestDecay:
+    def test_shut_down_marks_all_decayed(self):
+        decayed = build_decayed_modules()
+        gone = shut_down_providers(decayed, DECAYED_PROVIDERS)
+        assert len(gone) == 72
+        assert all(not m.available for m in decayed)
+
+    def test_shut_down_is_idempotent(self):
+        decayed = build_decayed_modules()
+        shut_down_providers(decayed, DECAYED_PROVIDERS)
+        assert shut_down_providers(decayed, DECAYED_PROVIDERS) == []
+
+    def test_restore_reverses_shutdown(self):
+        decayed = build_decayed_modules()
+        shut_down_providers(decayed, DECAYED_PROVIDERS)
+        restored = restore_providers(decayed, DECAYED_PROVIDERS)
+        assert len(restored) == 72
+        assert all(m.available for m in decayed)
+
+    def test_unrelated_providers_untouched(self, catalog):
+        gone = shut_down_providers(catalog, DECAYED_PROVIDERS)
+        assert gone == []
+
+    def test_broken_workflows_detection(self, small_world, catalog_by_id):
+        decayed, repository = small_world
+        modules = dict(catalog_by_id)
+        modules.update({m.module_id: m for m in decayed})
+        shut_down_providers(decayed, DECAYED_PROVIDERS)
+        try:
+            broken = broken_workflows(repository.workflows, modules)
+            expected = (
+                len(repository.workflows) - len(repository.of_category("healthy"))
+            )
+            assert len(broken) == expected
+        finally:
+            restore_providers(decayed, DECAYED_PROVIDERS)
+
+    def test_workflow_with_unknown_module_counts_as_broken(self):
+        from repro.workflow.model import Step, Workflow
+
+        workflow = Workflow("w", "w", (Step("s", "gone.module"),))
+        assert broken_workflows([workflow], {}) == [workflow]

@@ -1,0 +1,38 @@
+"""Tests for the universe-scaling invariance experiment."""
+
+import pytest
+
+from repro.experiments.scaling import (
+    histograms_invariant,
+    measure_at_scale,
+    run_scale_sweep,
+)
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_scale_sweep((30, 120, 480))
+
+    def test_histograms_invariant_across_sizes(self, sweep):
+        assert histograms_invariant(sweep)
+
+    def test_tables_match_the_paper_at_every_size(self, sweep):
+        for point in sweep:
+            assert point.completeness_hist == {
+                1.0: 234, 0.75: 8, 0.625: 4, 0.6: 4, 0.5: 2,
+            }
+            assert point.conciseness_hist[0.5] == 32
+            assert point.conciseness_hist[0.45] == 7
+
+    def test_example_count_is_size_independent(self, sweep):
+        counts = {point.n_examples_total for point in sweep}
+        assert len(counts) == 1
+
+    def test_minimum_viable_universe(self):
+        point = measure_at_scale(12)
+        assert point.completeness_hist[1.0] == 234
+
+    def test_invariance_helper_edges(self, sweep):
+        assert histograms_invariant([])
+        assert histograms_invariant(sweep[:1])

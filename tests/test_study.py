@@ -1,0 +1,110 @@
+"""Tests for the simulated §5 understanding study."""
+
+import pytest
+
+from repro.core.generation import ExampleGenerator
+from repro.study.study import run_study
+from repro.study.users import DEFAULT_USERS, SimulatedUser, UserProfile
+
+
+@pytest.fixture(scope="module")
+def examples(ctx, pool, catalog):
+    generator = ExampleGenerator(ctx, pool)
+    return {m.module_id: generator.generate(m).examples for m in catalog}
+
+
+@pytest.fixture(scope="module")
+def result(catalog, examples):
+    return run_study(catalog, examples)
+
+
+class TestSimulatedUser:
+    def test_familiarity_size_matches_profile(self, catalog):
+        profile = UserProfile(name="u", seed=9, n_familiar=40)
+        user = SimulatedUser(profile, catalog)
+        assert sum(user.recognizes(m) for m in catalog) == 40
+
+    def test_familiarity_is_seed_deterministic(self, catalog):
+        profile = UserProfile(name="u", seed=9, n_familiar=40)
+        a = SimulatedUser(profile, catalog)
+        b = SimulatedUser(profile, catalog)
+        assert [a.recognizes(m) for m in catalog] == [b.recognizes(m) for m in catalog]
+
+    def test_different_seeds_differ(self, catalog):
+        a = SimulatedUser(UserProfile("a", seed=1, n_familiar=40), catalog)
+        b = SimulatedUser(UserProfile("b", seed=2, n_familiar=40), catalog)
+        assert [a.recognizes(m) for m in catalog] != [b.recognizes(m) for m in catalog]
+
+    def test_familiar_modules_are_popular_services(self, catalog):
+        user = SimulatedUser(UserProfile("u", seed=3, n_familiar=47), catalog)
+        from repro.modules.model import InterfaceKind
+
+        for module in catalog:
+            if user.recognizes(module):
+                assert module.interface is not InterfaceKind.LOCAL_PROGRAM
+                assert module.legible
+
+    def test_no_examples_no_phase2_gain(self, catalog):
+        user = SimulatedUser(UserProfile("u", seed=3, flip_rate=0.0), catalog)
+        for module in catalog:
+            if not user.recognizes(module):
+                assert not user.identifies_with_examples(module, 0)
+
+    def test_flips_are_deterministic(self, catalog):
+        profile = UserProfile(name="u", seed=4, flip_rate=0.5)
+        a = SimulatedUser(profile, catalog)
+        b = SimulatedUser(profile, catalog)
+        assert [
+            a.identifies_with_examples(m, 1) for m in catalog
+        ] == [b.identifies_with_examples(m, 1) for m in catalog]
+
+
+class TestStudy:
+    def test_phase2_is_monotone_over_phase1(self, result):
+        for user in result.users:
+            assert user.without_examples <= user.with_examples
+
+    def test_user1_matches_paper_counts(self, result):
+        user1 = result.users[0]
+        assert user1.n_without == 47
+        assert user1.n_with == 169
+
+    def test_user1_category_breakdown_matches_paper(self, result):
+        from repro.modules.model import Category
+
+        identified = {
+            category.value: counts[0]
+            for category, counts in result.users[0].by_category.items()
+        }
+        assert identified == {
+            "format transformation": 53,
+            "data retrieval": 43,
+            "mapping identifiers": 62,
+            "filtering": 5,
+            "data analysis": 6,
+        }
+
+    def test_other_users_give_similar_figures(self, result):
+        for user in result.users[1:]:
+            assert abs(user.n_with - 169) <= 5
+            assert abs(user.n_without - 47) <= 5
+
+    def test_transformation_and_mapping_always_identified(self, result):
+        from repro.modules.model import Category
+
+        for user in result.users:
+            assert user.by_category[Category.FORMAT_TRANSFORMATION] == (53, 53)
+            assert user.by_category[Category.MAPPING_IDENTIFIERS] == (62, 62)
+
+    def test_study_is_deterministic(self, catalog, examples):
+        a = run_study(catalog, examples)
+        b = run_study(catalog, examples)
+        assert [u.n_with for u in a.users] == [u.n_with for u in b.users]
+        assert [u.with_examples for u in a.users] == [u.with_examples for u in b.users]
+
+    def test_mean_fraction_near_paper(self, result):
+        assert 0.6 <= result.mean_with_fraction() <= 0.75
+
+    def test_empty_study(self):
+        result = run_study([], {}, profiles=DEFAULT_USERS)
+        assert result.mean_with_fraction() == 0.0

@@ -1,0 +1,161 @@
+"""Tests for the realization factory and the instance pool."""
+
+import pytest
+
+from repro.pool.pool import InstancePool
+from repro.pool.synthesis import default_factory
+from repro.values import FASTA, STRING, TypedValue, list_of
+
+
+class TestRealizationFactory:
+    def test_covers_every_realizable_concept(self, factory, ontology):
+        for concept in ontology.names():
+            if ontology.has_realization(concept):
+                assert factory.instances(concept), concept
+
+    def test_no_instances_for_covered_concepts(self, factory, ontology):
+        for concept in ("Identifier", "Report", "BiologicalRecord"):
+            assert not ontology.has_realization(concept)
+            assert factory.instances(concept) == ()
+
+    def test_instances_carry_their_concept(self, factory, ontology):
+        for concept in ontology.names():
+            for value in factory.instances(concept):
+                assert value.concept == concept
+
+    def test_identifier_instances_resolve_in_universe(self, factory, universe):
+        for concept in universe.lookup_concepts():
+            for value in factory.instances(concept):
+                assert universe.has(concept, value.payload), concept
+
+    def test_sequence_instances_classify_correctly(self, factory):
+        from repro.biodb.sequences import classify_sequence
+
+        for concept in ("DNASequence", "RNASequence", "ProteinSequence",
+                        "NucleotideSequence", "BiologicalSequence"):
+            for value in factory.instances(concept):
+                assert classify_sequence(value.payload) == concept
+
+    def test_protein_record_groundings(self, factory):
+        structurals = {v.structural.name for v in factory.instances("ProteinSequenceRecord")}
+        assert {"UniProtFlatFormat", "FastaFormat", "XmlFormat", "JsonFormat"} <= structurals
+
+    def test_list_instances_for_sequences(self, factory):
+        value = factory.list_instance("DNASequence")
+        assert value is not None
+        assert value.structural.is_list
+        assert len(value.payload) == 3
+
+    def test_list_instance_unsupported_concept(self, factory):
+        assert factory.list_instance("PathwayRecord") is None
+
+    def test_list_lengths_straddle_threshold(self, factory):
+        """Filters with the default LengthThreshold (25) must keep some
+        but not all items — that keeps hidden filter classes hidden."""
+        value = factory.list_instance("ProteinSequence")
+        lengths = [len(item) for item in value.payload]
+        assert any(l < 25 for l in lengths)
+        assert any(l >= 25 for l in lengths)
+
+    def test_factory_is_cached_per_seed(self):
+        assert default_factory() is default_factory()
+
+    def test_factory_instances_are_memoized(self, factory):
+        assert factory.instances("DNASequence") is factory.instances("DNASequence")
+
+
+class TestInstancePool:
+    def test_add_requires_annotation(self):
+        pool = InstancePool()
+        with pytest.raises(ValueError):
+            pool.add(TypedValue("x", STRING))
+
+    def test_add_deduplicates(self):
+        pool = InstancePool()
+        value = TypedValue("x", STRING, "KeywordSet")
+        assert pool.add(value)
+        assert not pool.add(TypedValue("x", STRING, "KeywordSet"))
+        assert len(pool) == 1
+
+    def test_same_payload_different_grounding_both_kept(self):
+        pool = InstancePool()
+        pool.add(TypedValue(">a\nMK\n", STRING, "ProteinSequenceRecord"))
+        pool.add(TypedValue(">a\nMK\n", FASTA, "ProteinSequenceRecord"))
+        assert len(pool) == 2
+
+    def test_get_instance_returns_first_compatible(self):
+        pool = InstancePool()
+        first = TypedValue("first", STRING, "KeywordSet")
+        pool.add(first)
+        pool.add(TypedValue("second", STRING, "KeywordSet"))
+        assert pool.get_instance("KeywordSet") is first
+
+    def test_get_instance_respects_structure(self):
+        pool = InstancePool()
+        pool.add(TypedValue("scalar", STRING, "KeywordSet"))
+        assert pool.get_instance("KeywordSet", list_of(STRING)) is None
+
+    def test_get_instance_is_realization_only(self):
+        """An instance annotated with a sub-concept is not returned for
+        the parent concept (§3.2 realization semantics)."""
+        pool = InstancePool()
+        pool.add(TypedValue("ACGT", STRING, "DNASequence"))
+        assert pool.get_instance("NucleotideSequence") is None
+
+    def test_instances_of_unknown_concept_empty(self):
+        assert InstancePool().instances_of("KeywordSet") == ()
+
+    def test_merge_counts_new_values(self):
+        a, b = InstancePool(), InstancePool()
+        a.add(TypedValue("x", STRING, "KeywordSet"))
+        b.add(TypedValue("x", STRING, "KeywordSet"))
+        b.add(TypedValue("y", STRING, "KeywordSet"))
+        assert a.merge(b) == 1
+        assert len(a) == 2
+
+    def test_bootstrap_covers_all_realizable_concepts(self, pool, ontology):
+        for concept in ontology.names():
+            if ontology.has_realization(concept):
+                assert pool.instances_of(concept), concept
+
+    def test_bootstrap_extension_is_idempotent(self, factory, ontology):
+        pool = InstancePool.bootstrap(factory, ontology)
+        assert pool.extend_from_factory(factory, ontology) == 0
+
+    def test_iteration_yields_every_value(self, factory, ontology):
+        pool = InstancePool.bootstrap(factory, ontology)
+        assert len(list(pool)) == len(pool)
+
+
+class TestHarvesting:
+    def test_harvest_from_trace(self, ctx, pool, catalog_by_id):
+        from repro.modules.interfaces import invoke_via_interface
+        from repro.core.examples import Binding
+        from repro.workflow.provenance import InvocationRecord, ProvenanceTrace
+
+        module = catalog_by_id["ret.get_uniprot_record"]
+        value = pool.get_instance("UniProtAccession")
+        outputs = invoke_via_interface(module, ctx, {"id": value})
+        record = InvocationRecord(
+            step_id="s1", module_id=module.module_id,
+            inputs=(Binding("id", value),),
+            outputs=tuple(Binding(n, v) for n, v in outputs.items()),
+            succeeded=True, logical_time=0,
+        )
+        trace = ProvenanceTrace(workflow_id="w", invocations=[record])
+        fresh = InstancePool()
+        added = fresh.harvest([trace])
+        assert added == 2  # the input id and the output record
+        assert fresh.instances_of("ProteinSequenceRecord")
+
+    def test_harvest_skips_unannotated_values(self):
+        from repro.core.examples import Binding
+        from repro.workflow.provenance import InvocationRecord, ProvenanceTrace
+
+        record = InvocationRecord(
+            step_id="s", module_id="m",
+            inputs=(Binding("x", TypedValue("v", STRING)),),
+            outputs=(), succeeded=True, logical_time=0,
+        )
+        pool = InstancePool()
+        assert pool.harvest([ProvenanceTrace("w", [record])]) == 0

