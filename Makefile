@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples all clean
+.PHONY: install test bench bench-engine report engine-stats examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -13,8 +13,17 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Plain invocation (no --benchmark-only): works with or without the
+# optional pytest-benchmark plugin — benchmarks/conftest.py provides a
+# single-shot `benchmark` fixture when the plugin is missing.
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ -q
+
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/test_bench_engine.py -q -s
+
+engine-stats:
+	$(PYTHON) -m repro.cli engine-stats
 
 report:
 	$(PYTHON) -m repro.experiments.runner

@@ -1,0 +1,115 @@
+"""Bench: the invocation engine — serial vs. cached vs. parallel.
+
+Two regimes are measured over the default catalog:
+
+* the *simulator* regime (calls cost microseconds): caching must still
+  win, because a cache hit skips the whole supply-interface round trip
+  (envelope building, JSON/XML serialization, behavior execution);
+* the *network-bound* regime the paper's harvesting actually lives in
+  (§4: 252 remote modules), modelled with seeded injected latency: here
+  the thread-pool scheduler overlaps the waiting and must beat serial.
+
+The speedup assertions are deliberately loose (>1.0 with slack) — they
+document that the machinery helps, not a specific ratio on specific
+hardware; the recorded factors land in the benchmark output.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.generation import ExampleGenerator
+from repro.engine import EngineConfig, FaultPlan, InvocationEngine
+
+#: Injected one-way latency (ms) for the network-bound regime.  Small
+#: enough to keep the suite quick, large enough to dwarf simulator cost.
+NETWORK_LATENCY_MS = 2.0
+PARALLELISM = 8
+
+
+def _generator(ctx, pool, **config) -> ExampleGenerator:
+    return ExampleGenerator(ctx, pool, engine=InvocationEngine(EngineConfig(**config)))
+
+
+def test_bench_engine_serial(benchmark, setup):
+    generator = _generator(setup.ctx, setup.pool)
+    reports = benchmark(generator.generate_many, setup.catalog)
+    assert len(reports) == 252
+
+
+def test_bench_engine_cached(benchmark, setup):
+    generator = _generator(setup.ctx, setup.pool, cache_size=8192)
+    generator.generate_many(setup.catalog)  # warm
+
+    reports = benchmark(generator.generate_many, setup.catalog)
+    assert len(reports) == 252
+    assert generator.engine.telemetry.counter("cache_hits") > 0
+
+
+def test_bench_engine_parallel_with_latency(benchmark, setup):
+    generator = _generator(
+        setup.ctx,
+        setup.pool,
+        parallelism=PARALLELISM,
+        fault_plan=FaultPlan(latency_ms=NETWORK_LATENCY_MS),
+    )
+    reports = benchmark(generator.generate_many, setup.catalog)
+    assert len(reports) == 252
+
+
+def test_engine_cached_speedup_with_identical_reports(setup):
+    """The acceptance measurement: a warm cache beats re-invocation and
+    produces byte-identical reports."""
+    plain = _generator(setup.ctx, setup.pool)
+    start = time.perf_counter()
+    baseline_reports = plain.generate_many(setup.catalog)
+    baseline = time.perf_counter() - start
+
+    cached = _generator(setup.ctx, setup.pool, cache_size=8192)
+    cached.generate_many(setup.catalog)  # warm
+    start = time.perf_counter()
+    cached_reports = cached.generate_many(setup.catalog)
+    warm = time.perf_counter() - start
+
+    assert cached_reports == baseline_reports
+    hits = cached.engine.telemetry.counter("cache_hits")
+    negative = cached.engine.telemetry.counter("cache_negative_hits")
+    calls = sum(
+        r.n_examples + r.invalid_combinations for r in baseline_reports.values()
+    )
+    assert hits + negative == calls  # the warm pass never touched the wire
+    speedup = baseline / warm if warm else float("inf")
+    print(
+        f"\ncached generation speedup: {speedup:.1f}x "
+        f"({baseline * 1000:.1f}ms cold vs {warm * 1000:.1f}ms warm, "
+        f"{hits + negative}/{calls} served from cache)"
+    )
+    assert speedup > 1.2
+
+
+def test_engine_parallel_speedup_under_latency(setup):
+    """In the network-bound regime the scheduler overlaps the waiting:
+    identical reports, materially less wall-clock."""
+    plan = FaultPlan(latency_ms=NETWORK_LATENCY_MS, latency_jitter=0.0)
+    sample = setup.catalog[:96]
+
+    serial = _generator(setup.ctx, setup.pool, fault_plan=plan)
+    start = time.perf_counter()
+    serial_reports = serial.generate_many(sample)
+    serial_s = time.perf_counter() - start
+
+    parallel = _generator(
+        setup.ctx, setup.pool, parallelism=PARALLELISM, fault_plan=plan
+    )
+    start = time.perf_counter()
+    parallel_reports = parallel.generate_many(sample)
+    parallel_s = time.perf_counter() - start
+
+    assert parallel_reports == serial_reports
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(
+        f"\nparallel (x{PARALLELISM}) speedup under {NETWORK_LATENCY_MS}ms "
+        f"injected latency: {speedup:.1f}x "
+        f"({serial_s * 1000:.0f}ms vs {parallel_s * 1000:.0f}ms)"
+    )
+    assert speedup > 1.5

@@ -9,6 +9,8 @@ The package builds, end to end, the system the paper describes:
   modules over it (:mod:`repro.modules`);
 * the data-example generation heuristic, evaluation metrics, behavior
   matcher and workflow repairer (:mod:`repro.core`);
+* the invocation engine — cached, retried, fault-injectable, concurrent
+  module execution with telemetry (:mod:`repro.engine`);
 * workflow enactment with provenance, a myExperiment-style repository
   and the decay model (:mod:`repro.workflow`);
 * the simulated two-phase user study (:mod:`repro.study`);
@@ -25,6 +27,13 @@ from repro.core.examples import DataExample
 from repro.core.generation import ExampleGenerator
 from repro.core.matching import MatchKind, best_match, find_matches
 from repro.core.metrics import evaluate_module
+from repro.engine import (
+    EngineConfig,
+    FaultPlan,
+    InvocationEngine,
+    RetryPolicy,
+    Telemetry,
+)
 from repro.modules.catalog import build_catalog, default_catalog, default_context
 from repro.modules.model import Category, InterfaceKind, Module, ModuleContext, Parameter
 from repro.ontology import Ontology, build_mygrid_ontology
@@ -57,6 +66,11 @@ __all__ = [
     "default_factory",
     "ModuleRegistry",
     "TypedValue",
+    "EngineConfig",
+    "FaultPlan",
+    "InvocationEngine",
+    "RetryPolicy",
+    "Telemetry",
     "quick_generate",
 ]
 

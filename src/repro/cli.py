@@ -11,6 +11,7 @@ Subcommands::
     repro-cli describe MODULE_ID                    guess the task from examples
     repro-cli validate WORKFLOW_FILE                statically check a workflow
     repro-cli report [--seed S]                     full paper-vs-measured report
+    repro-cli engine-stats [--parallelism N] ...    invocation-engine telemetry
 
 All state is rebuilt deterministically from the seed; nothing is cached
 on disk.
@@ -199,6 +200,50 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_engine_stats(args: argparse.Namespace) -> int:
+    """Run generation through a tuned engine and print its telemetry."""
+    from repro.core.generation import ExampleGenerator
+    from repro.engine import EngineConfig, FaultPlan, InvocationEngine, RetryPolicy
+
+    if args.repeat < 1:
+        raise SystemExit("error: --repeat must be at least 1")
+    if args.parallelism < 1:
+        raise SystemExit("error: --parallelism must be at least 1")
+    if not 0.0 <= args.fault_rate <= 1.0:
+        raise SystemExit("error: --fault-rate must lie in [0, 1]")
+    ctx, catalog, pool = _world(args.seed)
+    if args.limit is not None:
+        catalog = catalog[: args.limit]
+    fault_plan = None
+    if args.fault_rate > 0 or args.latency_ms > 0:
+        fault_plan = FaultPlan(
+            seed=args.seed,
+            transient_failure_rate=args.fault_rate,
+            latency_ms=args.latency_ms,
+        )
+    retry = RetryPolicy(seed=args.seed) if args.fault_rate > 0 else None
+    engine = InvocationEngine(
+        EngineConfig(
+            parallelism=args.parallelism,
+            cache_size=args.cache_size if args.cache_size > 0 else None,
+            retry=retry,
+            fault_plan=fault_plan,
+        )
+    )
+    generator = ExampleGenerator(ctx, pool, engine=engine)
+    reports = None
+    for _pass in range(args.repeat):
+        reports = generator.generate_many(catalog)
+    n_examples = sum(r.n_examples for r in reports.values())
+    print(
+        f"{len(reports)} modules x {args.repeat} pass(es): "
+        f"{n_examples} data examples per pass"
+    )
+    print()
+    print(engine.render_stats())
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -249,6 +294,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = commands.add_parser("report", help="full reproduction report")
     p.set_defaults(func=cmd_report)
+
+    p = commands.add_parser(
+        "engine-stats",
+        help="run generation through the invocation engine and print telemetry",
+    )
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="scheduler worker threads")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="invocation cache capacity (0 disables)")
+    p.add_argument("--repeat", type=int, default=2,
+                   help="generation passes over the catalog (>=2 shows cache hits)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="injected transient failure probability")
+    p.add_argument("--latency-ms", type=float, default=0.0,
+                   help="injected mean latency per call, in ms")
+    p.add_argument("--limit", type=int, default=None,
+                   help="only process the first N catalog modules")
+    p.set_defaults(func=cmd_engine_stats)
 
     return parser
 

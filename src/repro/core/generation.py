@@ -28,8 +28,8 @@ from dataclasses import dataclass, field
 
 from repro.core.examples import Binding, DataExample
 from repro.core.partitioning import parameter_partitions
+from repro.engine import BatchScheduler, InvocationEngine
 from repro.modules.errors import ModuleInvocationError
-from repro.modules.interfaces import invoke_via_interface
 from repro.modules.model import Module, ModuleContext
 from repro.pool.pool import InstancePool
 from repro.values import TypedValue
@@ -71,6 +71,7 @@ class ExampleGenerator:
         selection: str = "partition",
         random_k: int = 3,
         seed: int = 2014,
+        engine: InvocationEngine | None = None,
     ) -> None:
         """Args:
             ctx: Execution context (universe + ontology).
@@ -80,6 +81,8 @@ class ExampleGenerator:
                 ``"random"`` (ablation A1 baseline).
             random_k: Values drawn per input under ``"random"``.
             seed: Seed for the random-selection baseline.
+            engine: The invocation engine phase 3 calls through
+                (default: a plain direct engine — current behavior).
         """
         if selection not in ("partition", "random"):
             raise ValueError(f"unknown selection strategy {selection!r}")
@@ -88,7 +91,8 @@ class ExampleGenerator:
         self.max_depth = max_depth
         self.selection = selection
         self.random_k = random_k
-        self._rng = random.Random(seed)
+        self.seed = seed
+        self.engine = engine if engine is not None else InvocationEngine()
 
     # ------------------------------------------------------------------
     def generate(self, module: Module) -> GenerationReport:
@@ -105,7 +109,7 @@ class ExampleGenerator:
         for combination in itertools.product(*per_input):
             bindings = {b.parameter: b.value for b in combination}
             try:
-                outputs = invoke_via_interface(module, self.ctx, bindings)
+                outputs = self.engine.invoke(module, self.ctx, bindings)
             except ModuleInvocationError:
                 report.invalid_combinations += 1
                 continue
@@ -121,9 +125,28 @@ class ExampleGenerator:
             )
         return report
 
-    def generate_many(self, modules) -> dict[str, GenerationReport]:
-        """Generate examples for a collection of modules."""
-        return {module.module_id: self.generate(module) for module in modules}
+    def generate_many(
+        self, modules, parallelism: int | None = None
+    ) -> dict[str, GenerationReport]:
+        """Generate examples for a collection of modules.
+
+        Routed through the engine's batch scheduler.  Results are
+        assembled in catalog order and each module draws from its own
+        derived RNG, so for any ``parallelism`` the returned reports are
+        identical to a serial run.
+
+        Args:
+            modules: The modules to process.
+            parallelism: Worker threads; ``None`` defers to the engine's
+                configured scheduler (default 1 = serial).
+        """
+        scheduler = (
+            self.engine.scheduler
+            if parallelism is None
+            else BatchScheduler(parallelism)
+        )
+        reports = scheduler.map(self.generate, list(modules))
+        return {report.module_id: report for report in reports}
 
     # ------------------------------------------------------------------
     def _select_values(self, module, parameter, report) -> list[Binding]:
@@ -147,7 +170,14 @@ class ExampleGenerator:
 
     def _select_random(self, module, parameter) -> list[Binding]:
         """Ablation baseline: k pool values of any sub-concept of the
-        annotation, chosen uniformly without partition structure."""
+        annotation, chosen uniformly without partition structure.
+
+        The RNG is derived per ``(seed, module, parameter)`` — string
+        seeding is hash-randomization-proof — so each module's draws are
+        independent of generation order and the parallel scheduler
+        reproduces the serial reports exactly.
+        """
+        rng = random.Random(f"{self.seed}:{module.module_id}:{parameter.name}")
         domain = self.ctx.ontology.partitions_of(parameter.concept)
         candidates = [
             value
@@ -158,7 +188,7 @@ class ExampleGenerator:
         if not candidates:
             return []
         k = min(self.random_k, len(candidates))
-        picked = self._rng.sample(candidates, k)
+        picked = rng.sample(candidates, k)
         return [
             Binding(parameter=parameter.name, value=value, partition=value.concept)
             for value in picked

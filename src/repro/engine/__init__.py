@@ -1,0 +1,61 @@
+"""The invocation engine: the execution layer for module calls.
+
+The generation heuristic (§3.2–3.3) is invocation-bound — it calls each
+black-box module on the full cross-product of selected input values, and
+§4 runs that over 252 modules.  This package is the single layer those
+calls flow through::
+
+    generator / bus / experiments
+            │
+            ▼
+    InvocationEngine        telemetry around every call
+        InvocationCache     (module_id, canonical bindings) → outcome
+        RetryingInvoker     backoff + deadline for transient failures
+        FaultInjectingInvoker   seeded decay weather for tests/benches
+        DirectInvoker       the real supply-interface round trip
+            │
+            ▼
+    invoke_via_interface (SOAP / REST / local program simulators)
+
+plus a :class:`BatchScheduler` that fans generation over modules on a
+thread pool while keeping reports bit-identical to a serial run.
+"""
+
+from repro.engine.cache import CachedOutcome, CacheStats, InvocationCache, canonical_key
+from repro.engine.faults import FaultInjectingInvoker, FaultPlan, InjectedFaultError
+from repro.engine.invoker import (
+    DirectInvoker,
+    EngineConfig,
+    InvocationEngine,
+    Invoker,
+)
+from repro.engine.retry import DeadlineExceededError, RetryPolicy, RetryingInvoker
+from repro.engine.scheduler import BatchScheduler
+from repro.engine.telemetry import (
+    EngineEvent,
+    LatencyHistogram,
+    Telemetry,
+    default_clock,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "CachedOutcome",
+    "CacheStats",
+    "DeadlineExceededError",
+    "DirectInvoker",
+    "EngineConfig",
+    "EngineEvent",
+    "FaultInjectingInvoker",
+    "FaultPlan",
+    "InjectedFaultError",
+    "InvocationCache",
+    "InvocationEngine",
+    "Invoker",
+    "LatencyHistogram",
+    "RetryingInvoker",
+    "RetryPolicy",
+    "Telemetry",
+    "canonical_key",
+    "default_clock",
+]

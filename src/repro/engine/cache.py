@@ -1,0 +1,148 @@
+"""Memoizing invocation cache.
+
+Module behaviors are deterministic functions of their input bindings
+(§2: a module computes one output tuple per valid input combination), so
+an invocation is safe to memoize on ``(module_id, canonical bindings)``.
+The canonical form reuses the wire serialization — the same JSON document
+that would travel to a SOAP/REST endpoint — which already sorts keys and
+normalizes payloads.
+
+Abnormal terminations are memoized too (*negative caching*): an input
+combination a module rejects is rejected forever, so replaying the
+:class:`~repro.modules.errors.InvalidInputError` saves the round trip.
+Availability failures are **not** cached — provider decay (§6) is a
+transient property of the provider, not of the input combination.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.modules.errors import InvalidInputError
+from repro.modules.interfaces import bindings_to_wire
+from repro.modules.model import Module
+from repro.values import TypedValue
+
+
+def canonical_key(module: Module, bindings: dict[str, TypedValue]) -> tuple[str, str]:
+    """The cache key of one invocation: module id + canonical wire form."""
+    return module.module_id, bindings_to_wire(bindings)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting of one cache."""
+
+    hits: int = 0
+    negative_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.negative_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return (self.hits + self.negative_hits) / lookups if lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CachedOutcome:
+    """The memoized result of one invocation: either the output bindings
+    or the permanent failure the module answered with."""
+
+    outputs: "dict[str, TypedValue] | None" = None
+    error_type: "type[InvalidInputError] | None" = None
+    error_message: str = ""
+
+    @property
+    def is_failure(self) -> bool:
+        return self.error_type is not None
+
+    def replay(self) -> dict[str, TypedValue]:
+        """Return the cached outputs, or re-raise the cached failure.
+
+        A fresh exception instance is constructed so each caller gets its
+        own traceback; exotic constructors fall back to the base class.
+
+        Raises:
+            InvalidInputError: The memoized abnormal termination.
+        """
+        if self.error_type is not None:
+            try:
+                raise self.error_type(self.error_message)
+            except TypeError:
+                raise InvalidInputError(self.error_message) from None
+        # Shallow copy: callers may mutate the mapping they receive.
+        return dict(self.outputs or {})
+
+
+class InvocationCache:
+    """A bounded, thread-safe LRU cache of invocation outcomes."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, str], CachedOutcome]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: tuple[str, str]) -> "CachedOutcome | None":
+        """The cached outcome for ``key`` (freshened to most-recent), or
+        ``None`` on a miss.  Stats are updated either way."""
+        with self._lock:
+            outcome = self._entries.get(key)
+            if outcome is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            if outcome.is_failure:
+                self.stats.negative_hits += 1
+            else:
+                self.stats.hits += 1
+            return outcome
+
+    def store_success(
+        self, key: tuple[str, str], outputs: dict[str, TypedValue]
+    ) -> None:
+        """Memoize a normal termination."""
+        self._store(key, CachedOutcome(outputs=dict(outputs)))
+
+    def store_failure(self, key: tuple[str, str], error: InvalidInputError) -> None:
+        """Memoize an abnormal termination (negative caching)."""
+        self._store(
+            key,
+            CachedOutcome(error_type=type(error), error_message=str(error)),
+        )
+
+    def _store(self, key: tuple[str, str], outcome: CachedOutcome) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = outcome
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def invalidate(self, module_id: "str | None" = None) -> int:
+        """Drop every entry (or only ``module_id``'s); returns the count."""
+        with self._lock:
+            if module_id is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            doomed = [key for key in self._entries if key[0] == module_id]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)

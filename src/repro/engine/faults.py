@@ -1,0 +1,123 @@
+"""Seeded fault injection for invocation robustness testing.
+
+Real harvesting suffers the decay phenomenon of §6 — providers blink out,
+calls stall, whole hosts go dark for a while.  Reproducing that against
+live endpoints is neither deterministic nor kind; the fault injector
+wraps any invoker and manufactures the same weather from a seed:
+
+* *transient faults* — a seeded coin flip turns a call into a
+  :class:`~repro.modules.errors.ModuleUnavailableError` before it
+  reaches the endpoint;
+* *injected latency* — every call sleeps a jittered interval first,
+  modelling the network round trip the simulators don't have;
+* *provider blackouts* — the first ``blackout_calls`` calls to a
+  blacked-out provider fail, after which the provider "recovers" —
+  exactly the shape a retry policy must ride out.
+
+Because the RNG is seeded and consulted under a lock in call order, a
+serial run of a fault plan is reproducible; tests assert exact outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.modules.errors import ModuleUnavailableError
+from repro.modules.model import Module, ModuleContext
+from repro.values import TypedValue
+
+
+class InjectedFaultError(ModuleUnavailableError):
+    """A transient failure manufactured by the fault injector."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The weather one fault injector produces.
+
+    Attributes:
+        seed: Seed of the fault RNG.
+        transient_failure_rate: Probability in [0, 1] that a call fails
+            with :class:`InjectedFaultError` before reaching the module.
+        latency_ms: Mean injected latency per call (0 disables).
+        latency_jitter: Fractional jitter on the injected latency.
+        blackout_providers: Providers that start blacked out.
+        blackout_calls: Failing calls served per blacked-out provider
+            before it recovers.
+    """
+
+    seed: int = 2014
+    transient_failure_rate: float = 0.0
+    latency_ms: float = 0.0
+    latency_jitter: float = 0.25
+    blackout_providers: frozenset = frozenset()
+    blackout_calls: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transient_failure_rate <= 1.0:
+            raise ValueError("transient_failure_rate must lie in [0, 1]")
+        if self.latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+
+
+class FaultInjectingInvoker:
+    """Wraps an invoker with a seeded :class:`FaultPlan`."""
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        sleep: Callable[[float], None] = time.sleep,
+        on_fault: "Callable[[Module, str], None] | None" = None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._sleep = sleep
+        self._on_fault = on_fault
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self._blackout_remaining = {
+            provider: plan.blackout_calls for provider in plan.blackout_providers
+        }
+
+    def blackout_remaining(self, provider: str) -> int:
+        """Failing calls the blackout on ``provider`` still has to serve."""
+        with self._lock:
+            return self._blackout_remaining.get(provider, 0)
+
+    def invoke(
+        self, module: Module, ctx: ModuleContext, bindings: dict[str, TypedValue]
+    ) -> dict[str, TypedValue]:
+        """Invoke through the injected weather.
+
+        Raises:
+            InjectedFaultError: A manufactured transient failure.
+            ModuleInvocationError: Whatever the wrapped invoker raises.
+        """
+        plan = self.plan
+        with self._lock:
+            latency_s = 0.0
+            if plan.latency_ms:
+                jitter = 1.0 + plan.latency_jitter * self._rng.uniform(-1.0, 1.0)
+                latency_s = plan.latency_ms * jitter / 1000.0
+            remaining = self._blackout_remaining.get(module.provider, 0)
+            if remaining > 0:
+                self._blackout_remaining[module.provider] = remaining - 1
+                fault = f"provider {module.provider} blacked out"
+            elif plan.transient_failure_rate and (
+                self._rng.random() < plan.transient_failure_rate
+            ):
+                fault = "injected transient failure"
+            else:
+                fault = None
+        if latency_s:
+            self._sleep(latency_s)
+        if fault is not None:
+            if self._on_fault is not None:
+                self._on_fault(module, fault)
+            raise InjectedFaultError(f"{module.module_id}: {fault}")
+        return self.inner.invoke(module, ctx, bindings)

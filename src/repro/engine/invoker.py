@@ -1,0 +1,236 @@
+"""The invoker protocol and the invocation engine facade.
+
+Every module call in the system flows through an :class:`Invoker` — the
+single choke point where caching, retry, fault injection and telemetry
+compose.  Callers (the generation heuristic, the service bus, the
+experiments) never import ``invoke_via_interface`` directly any more;
+they hold an engine and call :meth:`InvocationEngine.invoke`.
+
+The stack, innermost first::
+
+    DirectInvoker            the real supply-interface round trip
+      FaultInjectingInvoker  (optional) seeded decay weather
+        RetryingInvoker      (optional) backoff + deadline
+          InvocationCache    (optional) memoization, checked first
+            Telemetry        always-on accounting around the whole call
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.engine.cache import InvocationCache, canonical_key
+from repro.engine.faults import FaultInjectingInvoker, FaultPlan
+from repro.engine.retry import RetryingInvoker, RetryPolicy
+from repro.engine.scheduler import BatchScheduler
+from repro.engine.telemetry import Telemetry, default_clock
+from repro.modules.errors import (
+    InvalidInputError,
+    ModuleInvocationError,
+    ModuleUnavailableError,
+)
+from repro.modules.interfaces import invoke_via_interface
+from repro.modules.model import Module, ModuleContext
+from repro.values import TypedValue
+
+
+@runtime_checkable
+class Invoker(Protocol):
+    """Anything that can execute a module on input bindings."""
+
+    def invoke(
+        self, module: Module, ctx: ModuleContext, bindings: dict[str, TypedValue]
+    ) -> dict[str, TypedValue]:
+        """Execute ``module`` on ``bindings``; returns output bindings.
+
+        Raises:
+            ModuleInvocationError: On abnormal termination or
+                unavailability, exactly like the supply interfaces.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class DirectInvoker:
+    """The baseline invoker: one supply-interface round trip, no frills.
+
+    This is exactly the behavior every call site had before the engine
+    existed.
+    """
+
+    def invoke(
+        self, module: Module, ctx: ModuleContext, bindings: dict[str, TypedValue]
+    ) -> dict[str, TypedValue]:
+        return invoke_via_interface(module, ctx, bindings)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs of one :class:`InvocationEngine`.
+
+    Attributes:
+        parallelism: Worker threads of the batch scheduler (1 = serial).
+        cache_size: LRU capacity of the invocation cache; ``None``
+            disables caching entirely.
+        retry: Retry policy for transient failures; ``None`` disables.
+        fault_plan: Seeded fault injection; ``None`` disables.
+    """
+
+    parallelism: int = 1
+    cache_size: "int | None" = None
+    retry: "RetryPolicy | None" = None
+    fault_plan: "FaultPlan | None" = None
+
+
+class InvocationEngine:
+    """The execution layer all module invocations flow through."""
+
+    def __init__(
+        self,
+        config: EngineConfig = EngineConfig(),
+        invoker: "Invoker | None" = None,
+        telemetry: "Telemetry | None" = None,
+        clock: Callable[[], float] = default_clock,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Args:
+            config: Cache / retry / fault / parallelism knobs.
+            invoker: Innermost invoker (default: :class:`DirectInvoker`).
+            telemetry: Shared telemetry sink (default: a fresh one).
+            clock: Monotonic clock, injectable for tests.
+            sleep: Sleep function used by retry backoff and injected
+                latency, injectable for tests.
+        """
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.scheduler = BatchScheduler(config.parallelism)
+        self._clock = clock
+
+        stack: Invoker = invoker if invoker is not None else DirectInvoker()
+        if config.fault_plan is not None:
+            stack = FaultInjectingInvoker(
+                stack, config.fault_plan, sleep=sleep, on_fault=self._note_fault
+            )
+        if config.retry is not None:
+            stack = RetryingInvoker(
+                stack,
+                config.retry,
+                clock=clock,
+                sleep=sleep,
+                on_retry=self._note_retry,
+                on_exhausted=self._note_exhausted,
+            )
+        self.invoker = stack
+        self.cache = (
+            InvocationCache(config.cache_size)
+            if config.cache_size is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry hooks for the wrapped layers
+    # ------------------------------------------------------------------
+    def _note_fault(self, module: Module, detail: str) -> None:
+        self.telemetry.incr("faults_injected")
+        self.telemetry.event("fault_injected", module.module_id, detail)
+
+    def _note_retry(
+        self, module: Module, attempt: int, error: ModuleUnavailableError
+    ) -> None:
+        self.telemetry.incr("retries")
+        self.telemetry.event(
+            "retry", module.module_id, f"attempt {attempt}: {type(error).__name__}"
+        )
+
+    def _note_exhausted(self, module: Module, error: ModuleUnavailableError) -> None:
+        self.telemetry.incr("retries_exhausted")
+        self.telemetry.event(
+            "retry_exhausted", module.module_id, type(error).__name__
+        )
+
+    # ------------------------------------------------------------------
+    def invoke(
+        self, module: Module, ctx: ModuleContext, bindings: dict[str, TypedValue]
+    ) -> dict[str, TypedValue]:
+        """Invoke ``module`` through the configured stack.
+
+        Raises:
+            InvalidInputError: Abnormal termination (possibly replayed
+                from the negative cache).
+            ModuleUnavailableError: Transient failure surviving retries.
+        """
+        if self.cache is not None:
+            key = canonical_key(module, bindings)
+            outcome = self.cache.lookup(key)
+            if outcome is not None:
+                if outcome.is_failure:
+                    self.telemetry.incr("cache_negative_hits")
+                else:
+                    self.telemetry.incr("cache_hits")
+                self.telemetry.event("cache_hit", module.module_id)
+                return outcome.replay()
+            self.telemetry.incr("cache_misses")
+        else:
+            key = None
+
+        self.telemetry.incr("calls")
+        start = self._clock()
+        try:
+            outputs = self.invoker.invoke(module, ctx, bindings)
+        except InvalidInputError as error:
+            self._account("invalid", module, start, type(error).__name__)
+            if key is not None:
+                self.cache.store_failure(key, error)
+            raise
+        except ModuleUnavailableError as error:
+            # Transient: never cached.
+            self._account("unavailable", module, start, type(error).__name__)
+            raise
+        except ModuleInvocationError as error:
+            self._account("transport_error", module, start, type(error).__name__)
+            raise
+        self._account("ok", module, start, "")
+        if key is not None:
+            self.cache.store_success(key, outputs)
+        return outputs
+
+    def _account(self, outcome: str, module: Module, start: float, detail: str) -> None:
+        latency_ms = (self._clock() - start) * 1000.0
+        self.telemetry.incr(outcome)
+        self.telemetry.record_latency(latency_ms)
+        self.telemetry.event("call", module.module_id, detail or outcome, latency_ms)
+
+    # ------------------------------------------------------------------
+    def map(self, fn, items) -> list:
+        """Run ``fn`` over ``items`` on this engine's scheduler."""
+        return self.scheduler.map(fn, items)
+
+    def stats(self) -> dict:
+        """Merged snapshot: telemetry plus cache accounting."""
+        snapshot = self.telemetry.snapshot()
+        if self.cache is not None:
+            snapshot["cache"] = {
+                "size": len(self.cache),
+                "maxsize": self.cache.maxsize,
+                "hits": self.cache.stats.hits,
+                "negative_hits": self.cache.stats.negative_hits,
+                "misses": self.cache.stats.misses,
+                "evictions": self.cache.stats.evictions,
+                "hit_rate": self.cache.stats.hit_rate,
+            }
+        return snapshot
+
+    def render_stats(self) -> str:
+        """Human-readable accounting (the report's invocation-cost section)."""
+        lines = [self.telemetry.render()]
+        if self.cache is not None:
+            stats = self.cache.stats
+            lines.append(
+                f"  cache size:      {len(self.cache)}/{self.cache.maxsize} "
+                f"entries, hit rate {stats.hit_rate:.1%}"
+            )
+        lines.append(
+            f"  scheduler:       parallelism {self.scheduler.parallelism}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Invocation telemetry: counters, latency histograms, event log.
+
+Harvesting data examples over real provider endpoints (§4) is an
+invocation-bound workload; the telemetry layer is the accounting the
+engine keeps so a harvesting run can report *where the time went* —
+how many calls were served, how many failed transiently vs. permanently,
+how well the cache absorbed repeats, and the shape of the latency
+distribution.  Everything here is thread-safe: the scheduler records
+from worker threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+#: The engine-wide monotonic clock, in fractional seconds.  Everything
+#: that timestamps or measures an invocation (the engine itself, the
+#: service bus's ``duration_ms``) goes through this indirection so tests
+#: can substitute a fake clock.
+default_clock = time.perf_counter
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One structured entry of the engine's event log.
+
+    Attributes:
+        kind: Event kind (``call`` / ``cache_hit`` / ``retry`` /
+            ``fault_injected`` / ...).
+        module_id: The module the event concerns.
+        detail: Free-form context (error class, attempt number, ...).
+        latency_ms: Wall-clock cost of the underlying call, when measured.
+    """
+
+    kind: str
+    module_id: str
+    detail: str = ""
+    latency_ms: float | None = None
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (milliseconds).
+
+    Buckets follow the usual sub-millisecond-to-seconds progression of
+    service monitoring systems; quantiles are estimated from bucket
+    upper bounds, which is as much resolution as an accounting report
+    needs.
+    """
+
+    BOUNDS_MS: tuple[float, ...] = (
+        0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+        250.0, 500.0, 1000.0,
+    )
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(self.BOUNDS_MS) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def record(self, latency_ms: float) -> None:
+        for index, bound in enumerate(self.BOUNDS_MS):
+            if latency_ms <= bound:
+                self._counts[index] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        self.count += 1
+        self.sum_ms += latency_ms
+        self.max_ms = max(self.max_ms, latency_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.sum_ms / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample
+        (the observed maximum for the overflow bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.BOUNDS_MS):
+                    return self.BOUNDS_MS[index]
+                return self.max_ms
+        return self.max_ms
+
+    def buckets(self) -> "dict[str, int]":
+        """Non-empty buckets, labelled by their upper bound."""
+        labels = [f"<={bound:g}ms" for bound in self.BOUNDS_MS] + ["inf"]
+        return {
+            label: count
+            for label, count in zip(labels, self._counts)
+            if count
+        }
+
+
+class Telemetry:
+    """Counters + latency histogram + a bounded structured event log."""
+
+    def __init__(self, max_events: int = 1000) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self.histogram = LatencyHistogram()
+        self._events: deque[EngineEvent] = deque(maxlen=max_events)
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record_latency(self, latency_ms: float) -> None:
+        with self._lock:
+            self.histogram.record(latency_ms)
+
+    def event(
+        self,
+        kind: str,
+        module_id: str,
+        detail: str = "",
+        latency_ms: float | None = None,
+    ) -> None:
+        with self._lock:
+            self._events.append(
+                EngineEvent(
+                    kind=kind, module_id=module_id,
+                    detail=detail, latency_ms=latency_ms,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> "dict[str, int]":
+        with self._lock:
+            return dict(self._counters)
+
+    def events(self) -> tuple[EngineEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def snapshot(self) -> dict:
+        """A JSON-compatible snapshot of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "latency": {
+                    "count": self.histogram.count,
+                    "mean_ms": self.histogram.mean_ms,
+                    "p50_ms": self.histogram.quantile(0.5),
+                    "p95_ms": self.histogram.quantile(0.95),
+                    "max_ms": self.histogram.max_ms,
+                    "buckets": self.histogram.buckets(),
+                },
+                "n_events": len(self._events),
+            }
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The invocation-cost section of the reproduction report."""
+        snap = self.snapshot()
+        counters = snap["counters"]
+        calls = counters.get("calls", 0)
+        lines = [
+            "Invocation engine — cost accounting",
+            f"  module calls:    {calls} "
+            f"({counters.get('ok', 0)} ok, "
+            f"{counters.get('invalid', 0)} invalid, "
+            f"{counters.get('unavailable', 0)} unavailable)",
+            f"  cache:           {counters.get('cache_hits', 0)} hits "
+            f"({counters.get('cache_negative_hits', 0)} negative) / "
+            f"{counters.get('cache_misses', 0)} misses, "
+            f"{counters.get('cache_evictions', 0)} evictions",
+            f"  retries:         {counters.get('retries', 0)} "
+            f"({counters.get('retries_exhausted', 0)} exhausted, "
+            f"{counters.get('deadlines_exceeded', 0)} past deadline)",
+            f"  injected faults: {counters.get('faults_injected', 0)}",
+        ]
+        latency = snap["latency"]
+        if latency["count"]:
+            lines.append(
+                f"  latency:         mean {latency['mean_ms']:.3f}ms  "
+                f"p50 {latency['p50_ms']:.3g}ms  p95 {latency['p95_ms']:.3g}ms  "
+                f"max {latency['max_ms']:.3f}ms"
+            )
+        return "\n".join(lines)

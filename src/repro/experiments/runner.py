@@ -44,6 +44,11 @@ def run_all(setup: ExperimentSetup) -> str:
         render_describer(run_describer(setup)),
         "",
         _decay_section(setup),
+        "",
+        # Invocation-cost accounting comes last: by now every generation
+        # pass (catalog + decayed pre-decay examples) has gone through
+        # the engine, so the counters describe the whole run.
+        setup.engine.render_stats(),
     ]
     return "\n".join(sections)
 

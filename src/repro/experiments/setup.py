@@ -21,6 +21,7 @@ from functools import lru_cache
 
 from repro.core.generation import ExampleGenerator, GenerationReport
 from repro.core.matching import MatchReport, find_matches
+from repro.engine import EngineConfig, InvocationEngine, Telemetry
 from repro.core.metrics import ModuleEvaluation, evaluate_module
 from repro.core.repair import RepairResult, WorkflowRepairer
 from repro.modules.catalog.decayed import DECAYED_PROVIDERS, build_decayed_modules
@@ -59,6 +60,16 @@ class ExperimentSetup:
     @property
     def modules_by_id(self) -> dict[str, Module]:
         return {m.module_id: m for m in self.catalog + self.decayed}
+
+    @property
+    def engine(self) -> InvocationEngine:
+        """The invocation engine every generation call flowed through."""
+        return self.generator.engine
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The engine's accounting (the report's invocation-cost data)."""
+        return self.generator.engine.telemetry
 
     @property
     def repository(self) -> Repository:
@@ -125,13 +136,20 @@ class ExperimentSetup:
         self._historical = historical
 
 
-def build_setup(seed: int = 2014, corpus_size: int = 150) -> ExperimentSetup:
+def build_setup(
+    seed: int = 2014,
+    corpus_size: int = 150,
+    engine_config: "EngineConfig | None" = None,
+) -> ExperimentSetup:
     """Build the experiment fixture for ``seed``.
 
     Args:
         seed: Master seed (universe, repository, sampling).
         corpus_size: Number of workflows enacted to harvest the
             provenance part of the instance pool.
+        engine_config: Invocation-engine knobs; the default enables the
+            memoizing cache (pure win: module behaviors are
+            deterministic) and keeps the scheduler serial.
     """
     ctx = default_context(seed)
     catalog = build_catalog()
@@ -154,7 +172,10 @@ def build_setup(seed: int = 2014, corpus_size: int = 150) -> ExperimentSetup:
     traces = [enactor.try_enact(w) for w in corpus.workflows]
     n_harvested = pool.harvest(traces)
 
-    generator = ExampleGenerator(ctx, pool)
+    if engine_config is None:
+        engine_config = EngineConfig(cache_size=4096)
+    engine = InvocationEngine(engine_config)
+    generator = ExampleGenerator(ctx, pool, engine=engine)
     reports = generator.generate_many(catalog)
     evaluations = {
         module.module_id: evaluate_module(

@@ -15,10 +15,11 @@ unavailability signal.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
+from repro.engine import DirectInvoker, Invoker, default_clock
 from repro.modules.errors import ModuleInvocationError
-from repro.modules.interfaces import invoke_via_interface
 from repro.modules.model import InterfaceKind, Module, ModuleContext
 from repro.values import TypedValue
 
@@ -48,6 +49,8 @@ class CallRecord:
         succeeded: Whether the call terminated normally.
         error: The failure class name for failed calls, empty otherwise.
         sequence: Monotonic position in the bus log.
+        duration_ms: Wall-clock service time, measured on the engine
+            clock (0.0 in records predating the measurement).
     """
 
     address: str
@@ -55,15 +58,26 @@ class CallRecord:
     succeeded: bool
     error: str
     sequence: int
+    duration_ms: float = 0.0
 
 
 @dataclass
 class ServiceBus:
-    """Publishes modules under addresses and dispatches calls to them."""
+    """Publishes modules under addresses and dispatches calls to them.
+
+    The bus is thread-safe: the invocation engine's scheduler dispatches
+    calls from worker threads, and the log's ``sequence`` numbers stay
+    monotonic and gap-free under that concurrency.  Calls go through an
+    :class:`~repro.engine.Invoker` (the direct one by default), so a bus
+    can be stacked on a caching/retrying/fault-injecting engine without
+    touching its accounting.
+    """
 
     ctx: ModuleContext
+    invoker: Invoker = field(default_factory=DirectInvoker)
     _by_address: dict[str, Module] = field(default_factory=dict)
     _log: list[CallRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # ------------------------------------------------------------------
     def publish(self, module: Module) -> str:
@@ -73,10 +87,13 @@ class ServiceBus:
             ValueError: If the address is already taken by another module.
         """
         address = address_of(module)
-        existing = self._by_address.get(address)
-        if existing is not None and existing.module_id != module.module_id:
-            raise ValueError(f"address {address} already serves {existing.module_id}")
-        self._by_address[address] = module
+        with self._lock:
+            existing = self._by_address.get(address)
+            if existing is not None and existing.module_id != module.module_id:
+                raise ValueError(
+                    f"address {address} already serves {existing.module_id}"
+                )
+            self._by_address[address] = module
         return address
 
     def publish_all(self, modules) -> "dict[str, str]":
@@ -85,7 +102,8 @@ class ServiceBus:
 
     def addresses(self) -> tuple[str, ...]:
         """All published addresses, insertion-ordered."""
-        return tuple(self._by_address)
+        with self._lock:
+            return tuple(self._by_address)
 
     def resolve(self, address: str) -> Module:
         """The module behind ``address``.
@@ -93,7 +111,8 @@ class ServiceBus:
         Raises:
             KeyError: If nothing is published there.
         """
-        return self._by_address[address]
+        with self._lock:
+            return self._by_address[address]
 
     # ------------------------------------------------------------------
     def call(
@@ -108,52 +127,69 @@ class ServiceBus:
             KeyError: Unknown address.
             ModuleInvocationError: Propagated from the endpoint.
         """
-        module = self._by_address[address]
+        with self._lock:
+            module = self._by_address[address]
+        started = default_clock()
         try:
-            outputs = invoke_via_interface(module, self.ctx, bindings)
+            outputs = self.invoker.invoke(module, self.ctx, bindings)
         except ModuleInvocationError as error:
+            self._record(address, module, False, type(error).__name__, started)
+            raise
+        self._record(address, module, True, "", started)
+        return outputs
+
+    def _record(
+        self, address: str, module: Module, succeeded: bool, error: str, started: float
+    ) -> None:
+        duration_ms = (default_clock() - started) * 1000.0
+        with self._lock:
             self._log.append(
                 CallRecord(
                     address=address,
                     module_id=module.module_id,
-                    succeeded=False,
-                    error=type(error).__name__,
+                    succeeded=succeeded,
+                    error=error,
                     sequence=len(self._log),
+                    duration_ms=duration_ms,
                 )
             )
-            raise
-        self._log.append(
-            CallRecord(
-                address=address,
-                module_id=module.module_id,
-                succeeded=True,
-                error="",
-                sequence=len(self._log),
-            )
-        )
-        return outputs
 
     # ------------------------------------------------------------------
     def log(self) -> tuple[CallRecord, ...]:
         """The full call log, oldest first."""
-        return tuple(self._log)
+        with self._lock:
+            return tuple(self._log)
 
     def calls_to(self, module_id: str) -> tuple[CallRecord, ...]:
         """Log entries for one module."""
-        return tuple(r for r in self._log if r.module_id == module_id)
+        with self._lock:
+            return tuple(r for r in self._log if r.module_id == module_id)
 
     def failure_rate(self) -> float:
         """Fraction of failed calls (0.0 for an empty log)."""
-        if not self._log:
-            return 0.0
-        return sum(not record.succeeded for record in self._log) / len(self._log)
+        with self._lock:
+            if not self._log:
+                return 0.0
+            return sum(not r.succeeded for r in self._log) / len(self._log)
+
+    def total_service_time_ms(self) -> float:
+        """Summed wall-clock service time across the whole log."""
+        with self._lock:
+            return sum(record.duration_ms for record in self._log)
+
+    #: Error class names that signal provider unavailability (the base
+    #: error plus the engine's ModuleUnavailableError subclasses).
+    _UNAVAILABLE_ERRORS = frozenset(
+        {"ModuleUnavailableError", "InjectedFaultError", "DeadlineExceededError"}
+    )
 
     def providers_seen_failing(self) -> tuple[str, ...]:
         """Providers whose endpoints returned unavailability errors —
         the signal a decay monitor watches for."""
-        failing = {
-            self._by_address[record.address].provider
-            for record in self._log
-            if record.error == "ModuleUnavailableError"
-        }
+        with self._lock:
+            failing = {
+                self._by_address[record.address].provider
+                for record in self._log
+                if record.error in self._UNAVAILABLE_ERRORS
+            }
         return tuple(sorted(failing))

@@ -127,3 +127,27 @@ class TestValidateCommand:
         path.write_text(workflow_to_xml(workflow))
         assert main(["validate", str(path)]) == 1
         assert main(["validate", "--include-decayed", str(path)]) == 0
+
+
+class TestEngineStats:
+    def test_engine_stats_reports_cache_hits(self, capsys):
+        assert main(["engine-stats", "--limit", "15", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "15 modules x 2 pass(es)" in out
+        assert "Invocation engine — cost accounting" in out
+        assert "cache:           15 hits" in out
+
+    def test_engine_stats_parallel_with_faults(self, capsys):
+        assert main([
+            "engine-stats", "--limit", "10", "--repeat", "1",
+            "--parallelism", "4", "--fault-rate", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "parallelism 4" in out
+
+    def test_engine_stats_cache_disabled(self, capsys):
+        assert main([
+            "engine-stats", "--limit", "5", "--repeat", "2", "--cache-size", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache:           0 hits" in out

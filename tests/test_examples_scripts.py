@@ -65,3 +65,9 @@ class TestExampleScripts:
         out = _run("user_study_session.py", capsys, [str(tmp_path)])
         assert "questionnaire with 252 cards" in out
         assert "user1: 47 without examples, 169 with" in out
+
+    def test_engine_tuning(self, capsys):
+        out = _run("engine_tuning.py", capsys)
+        assert "warm pass (cache hits)" in out
+        assert "Invocation engine — cost accounting" in out
+        assert "examples generated anyway" in out
