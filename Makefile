@@ -5,13 +5,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-engine report engine-stats examples all clean
+.PHONY: install test test-faults bench bench-engine report engine-stats campaign examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The tier-1 suite under seeded transient-failure weather (the CI
+# fault-matrix job): every deterministic report must survive unchanged.
+test-faults:
+	REPRO_FAULT_RATE=0.05 REPRO_FAULT_SEED=2014 $(PYTHON) -m pytest tests/ -x -q
 
 # Plain invocation (no --benchmark-only): works with or without the
 # optional pytest-benchmark plugin — benchmarks/conftest.py provides a
@@ -24,6 +29,11 @@ bench-engine:
 
 engine-stats:
 	$(PYTHON) -m repro.cli engine-stats
+
+# A journaled whole-catalog generation campaign (kill it and run
+# `repro-cli campaign resume nightly --db campaigns.sqlite` to finish).
+campaign:
+	$(PYTHON) -m repro.cli campaign run nightly --db campaigns.sqlite
 
 report:
 	$(PYTHON) -m repro.experiments.runner

@@ -1,0 +1,50 @@
+"""Resilient generation campaigns: crash-safe, decay-aware catalog runs.
+
+The campaign layer turns the §3 harvesting loop into a long-running job
+that survives the §6 world::
+
+    CampaignRunner          run / resume / finalize over a planned module list
+        CampaignJournal     SQLite write-ahead journal of per-module reports
+        InvocationEngine    cache + retry + circuit breaker + health
+    render_campaign_report  deterministic final report + degradation manifest
+
+``repro-cli campaign run`` can be killed at any journal boundary;
+``campaign resume`` completes the remainder and the finalized report is
+byte-identical to an uninterrupted run.  Providers that stay dark past
+the deadline end up in the degradation manifest instead of failing the
+campaign.
+"""
+
+from repro.campaign.journal import (
+    COMPLETE,
+    DEGRADED,
+    RUNNING,
+    CampaignJournal,
+    CampaignMeta,
+    JournalEntry,
+    UnknownCampaignError,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignRunner,
+    render_campaign_report,
+)
+
+__all__ = [
+    "COMPLETE",
+    "DEGRADED",
+    "RUNNING",
+    "CampaignConfig",
+    "CampaignJournal",
+    "CampaignMeta",
+    "CampaignResult",
+    "CampaignRunner",
+    "JournalEntry",
+    "UnknownCampaignError",
+    "render_campaign_report",
+    "report_from_dict",
+    "report_to_dict",
+]

@@ -1,0 +1,290 @@
+"""The campaign journal: write-ahead persistence of generation results.
+
+A whole-catalog generation run (§3 over the 252-module catalog) is long
+enough to die — the process gets killed, the machine reboots, a provider
+blackout stalls everything past patience.  The journal makes the run
+crash-safe at module granularity: every completed per-module
+:class:`~repro.core.generation.GenerationReport` is committed to SQLite
+*before* the campaign moves on, so a killed campaign loses at most the
+module in flight and ``campaign resume`` completes the remainder.
+
+The storage reuses the conventions of :mod:`repro.registry.sqlite_store`
+(same wire serialization for typed values, same one-file SQLite shape);
+journal tables can live in the same database file as a persisted
+registry without clashing.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.examples import Binding, DataExample
+from repro.core.generation import GenerationReport
+from repro.modules.interfaces import value_from_wire, value_to_wire
+from repro.values import TypedValue
+
+#: Journal lifecycle states of one campaign.
+RUNNING = "running"
+COMPLETE = "complete"
+DEGRADED = "degraded"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    seed INTEGER NOT NULL,
+    status TEXT NOT NULL CHECK (status IN ('running', 'complete', 'degraded')),
+    module_ids_json TEXT NOT NULL,
+    config_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaign_entries (
+    campaign_id TEXT NOT NULL REFERENCES campaigns(campaign_id),
+    module_id TEXT NOT NULL,
+    status TEXT NOT NULL CHECK (status IN ('done', 'skipped')),
+    detail TEXT NOT NULL,
+    report_json TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, module_id)
+);
+"""
+
+
+# ----------------------------------------------------------------------
+# GenerationReport <-> JSON
+# ----------------------------------------------------------------------
+def _binding_to_dict(binding: Binding) -> dict:
+    return {
+        "parameter": binding.parameter,
+        "partition": binding.partition,
+        "value": value_to_wire(binding.value),
+    }
+
+
+def _binding_from_dict(data: dict) -> Binding:
+    return Binding(
+        parameter=data["parameter"],
+        value=value_from_wire(data["value"]),
+        partition=data["partition"],
+    )
+
+
+def report_to_dict(report: GenerationReport) -> dict:
+    """Serialize a generation report to a JSON-compatible dict.
+
+    The full report round-trips — examples, per-partition selections,
+    unrealized partitions and both failure counters — so a resumed
+    campaign reassembles results indistinguishable from a fresh run.
+    """
+    return {
+        "module_id": report.module_id,
+        "examples": [
+            {
+                "inputs": [_binding_to_dict(b) for b in example.inputs],
+                "outputs": [_binding_to_dict(b) for b in example.outputs],
+            }
+            for example in report.examples
+        ],
+        "selected": [
+            [
+                parameter,
+                [[partition, value_to_wire(value)] for partition, value in chosen.items()],
+            ]
+            for parameter, chosen in report.selected.items()
+        ],
+        "unrealized_partitions": [list(pair) for pair in report.unrealized_partitions],
+        "invalid_combinations": report.invalid_combinations,
+        "unavailable_combinations": report.unavailable_combinations,
+    }
+
+
+def report_from_dict(data: dict) -> GenerationReport:
+    """Rebuild a generation report from its journaled form."""
+    module_id = data["module_id"]
+    selected: dict[str, dict[str, TypedValue]] = {
+        parameter: {
+            partition: value_from_wire(wire) for partition, wire in chosen
+        }
+        for parameter, chosen in data["selected"]
+    }
+    return GenerationReport(
+        module_id=module_id,
+        examples=[
+            DataExample(
+                module_id=module_id,
+                inputs=tuple(_binding_from_dict(b) for b in example["inputs"]),
+                outputs=tuple(_binding_from_dict(b) for b in example["outputs"]),
+            )
+            for example in data["examples"]
+        ],
+        selected=selected,
+        unrealized_partitions=[
+            tuple(pair) for pair in data["unrealized_partitions"]
+        ],
+        invalid_combinations=data["invalid_combinations"],
+        unavailable_combinations=data["unavailable_combinations"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Journal records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled per-module outcome."""
+
+    module_id: str
+    status: str  # 'done' | 'skipped'
+    detail: str = ""
+    report: "GenerationReport | None" = None
+
+
+@dataclass(frozen=True)
+class CampaignMeta:
+    """The campaigns-table row of one campaign."""
+
+    campaign_id: str
+    seed: int
+    status: str
+    module_ids: tuple[str, ...]
+    config: dict = field(default_factory=dict)
+
+
+class UnknownCampaignError(KeyError):
+    """The journal holds no campaign under the requested id."""
+
+
+class CampaignJournal:
+    """SQLite-backed write-ahead journal of campaign progress.
+
+    One connection is shared across threads (the batch scheduler journals
+    from workers) behind a lock; every record is its own committed
+    transaction, so a SIGKILL at any point leaves a consistent journal.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock, self._connection:
+            self._connection.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    # ------------------------------------------------------------------
+    # Campaigns
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        campaign_id: str,
+        seed: int,
+        module_ids: "list[str]",
+        config: "dict | None" = None,
+    ) -> None:
+        """Open a new campaign in ``running`` state.
+
+        Raises:
+            ValueError: If the campaign id is already journaled.
+        """
+        with self._lock, self._connection:
+            try:
+                self._connection.execute(
+                    "INSERT INTO campaigns VALUES (?, ?, ?, ?, ?)",
+                    (
+                        campaign_id,
+                        seed,
+                        RUNNING,
+                        json.dumps(list(module_ids)),
+                        json.dumps(config or {}, sort_keys=True),
+                    ),
+                )
+            except sqlite3.IntegrityError:
+                raise ValueError(
+                    f"campaign {campaign_id!r} already exists in {self.path}"
+                ) from None
+
+    def meta(self, campaign_id: str) -> CampaignMeta:
+        """The campaign's row.
+
+        Raises:
+            UnknownCampaignError: No such campaign in this journal.
+        """
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT campaign_id, seed, status, module_ids_json, config_json "
+                "FROM campaigns WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
+        if row is None:
+            raise UnknownCampaignError(campaign_id)
+        return CampaignMeta(
+            campaign_id=row[0],
+            seed=row[1],
+            status=row[2],
+            module_ids=tuple(json.loads(row[3])),
+            config=json.loads(row[4]),
+        )
+
+    def campaigns(self) -> "list[CampaignMeta]":
+        """All journaled campaigns, id-ordered."""
+        with self._lock:
+            ids = [
+                row[0]
+                for row in self._connection.execute(
+                    "SELECT campaign_id FROM campaigns ORDER BY campaign_id"
+                ).fetchall()
+            ]
+        return [self.meta(campaign_id) for campaign_id in ids]
+
+    def set_status(self, campaign_id: str, status: str) -> None:
+        """Move a campaign to ``running`` / ``complete`` / ``degraded``."""
+        if status not in (RUNNING, COMPLETE, DEGRADED):
+            raise ValueError(f"unknown campaign status {status!r}")
+        with self._lock, self._connection:
+            updated = self._connection.execute(
+                "UPDATE campaigns SET status = ? WHERE campaign_id = ?",
+                (status, campaign_id),
+            ).rowcount
+        if not updated:
+            raise UnknownCampaignError(campaign_id)
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+    def record_done(self, campaign_id: str, report: GenerationReport) -> None:
+        """Commit one completed module (replacing any earlier skip)."""
+        payload = json.dumps(report_to_dict(report), sort_keys=True)
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO campaign_entries VALUES (?, ?, ?, ?, ?)",
+                (campaign_id, report.module_id, "done", "", payload),
+            )
+
+    def record_skipped(self, campaign_id: str, module_id: str, reason: str) -> None:
+        """Journal a module the campaign gave up on (resumable later)."""
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO campaign_entries VALUES (?, ?, ?, ?, ?)",
+                (campaign_id, module_id, "skipped", reason, "{}"),
+            )
+
+    def entries(self, campaign_id: str) -> "dict[str, JournalEntry]":
+        """All journaled entries of one campaign, keyed by module id."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT module_id, status, detail, report_json "
+                "FROM campaign_entries WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchall()
+        entries: dict[str, JournalEntry] = {}
+        for module_id, status, detail, report_json in rows:
+            report = None
+            if status == "done":
+                report = report_from_dict(json.loads(report_json))
+            entries[module_id] = JournalEntry(
+                module_id=module_id, status=status, detail=detail, report=report
+            )
+        return entries

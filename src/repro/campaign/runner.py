@@ -1,0 +1,382 @@
+"""Resilient whole-catalog generation campaigns.
+
+A *campaign* is the §3 harvesting loop run as a long-lived job against a
+decaying world (§6): it generates data examples for a planned list of
+modules, journals every completed module (:mod:`repro.campaign.journal`),
+fails fast on dark providers through the engine's circuit breaker, and
+— when providers stay unreachable past the configured deadline —
+degrades gracefully into a partial report with an explicit degradation
+manifest instead of failing the whole run.
+
+Execution semantics:
+
+* **Checkpoint/resume.**  ``run`` journals each module as it completes;
+  a killed campaign is continued by ``resume``, which re-runs only the
+  unjournaled (and previously skipped) modules.  Because generation is
+  deterministic per module and the final assembly is planned-order (the
+  same input-ordered reassembly the batch scheduler uses), the finalized
+  report of a killed-and-resumed campaign is byte-identical to an
+  uninterrupted one.
+* **Probe rounds.**  A module whose report is incomplete (its provider
+  never answered some combinations) is not journaled done; the campaign
+  sleeps one probe interval — letting the breaker's half-open probe
+  through — and retries, until everything answered or the deadline ran
+  out.
+* **Degradation.**  Modules still unreachable at the deadline are
+  journaled skipped, the campaign is finalized ``degraded``, and the
+  report carries the manifest: every skipped module with its reason,
+  the breaker state per provider, and the coverage impact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.campaign.journal import (
+    COMPLETE,
+    DEGRADED,
+    CampaignJournal,
+    report_to_dict,
+)
+from repro.core.generation import ExampleGenerator, GenerationReport
+from repro.engine import (
+    BreakerPolicy,
+    EngineConfig,
+    FaultPlan,
+    InvocationEngine,
+    RetryPolicy,
+)
+from repro.engine.telemetry import default_clock
+from repro.modules.model import Module, ModuleContext
+from repro.pool.pool import InstancePool
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one campaign, journal-serializable for resume.
+
+    Attributes:
+        seed: Master seed — the world and the generator derive from it.
+        parallelism: Scheduler worker threads (1 = serial).
+        cache_size: Invocation-cache capacity (``None`` disables).
+        max_attempts: Retry attempts per call.
+        retry_base_delay: Backoff before the first retry, seconds.
+        fault_rate: Injected transient-failure probability (testing).
+        latency_ms: Injected mean latency per call (testing).
+        blackout_providers: Providers starting blacked out (testing).
+        blackout_calls: Failing calls served per blackout.
+        permanent_blackouts: Providers that never recover (testing).
+        failure_threshold: Breaker trip threshold (consecutive failures).
+        probe_interval: Breaker probe interval and campaign re-probe
+            sleep, in seconds.
+        deadline: Wall-clock budget for riding out unreachable modules;
+            ``None`` skips them after the first pass.
+        limit: Only campaign the first N planned modules.
+    """
+
+    seed: int = 2014
+    parallelism: int = 1
+    cache_size: "int | None" = 4096
+    max_attempts: int = 3
+    retry_base_delay: float = 0.05
+    fault_rate: float = 0.0
+    latency_ms: float = 0.0
+    blackout_providers: tuple = ()
+    blackout_calls: int = 3
+    permanent_blackouts: tuple = ()
+    failure_threshold: int = 3
+    probe_interval: float = 0.1
+    deadline: "float | None" = None
+    limit: "int | None" = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "parallelism": self.parallelism,
+            "cache_size": self.cache_size,
+            "max_attempts": self.max_attempts,
+            "retry_base_delay": self.retry_base_delay,
+            "fault_rate": self.fault_rate,
+            "latency_ms": self.latency_ms,
+            "blackout_providers": list(self.blackout_providers),
+            "blackout_calls": self.blackout_calls,
+            "permanent_blackouts": list(self.permanent_blackouts),
+            "failure_threshold": self.failure_threshold,
+            "probe_interval": self.probe_interval,
+            "deadline": self.deadline,
+            "limit": self.limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignConfig":
+        data = dict(data)
+        data["blackout_providers"] = tuple(data.get("blackout_providers", ()))
+        data["permanent_blackouts"] = tuple(data.get("permanent_blackouts", ()))
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+    def engine_config(self) -> EngineConfig:
+        """The invocation-engine stack this campaign runs on."""
+        fault_plan = None
+        if (
+            self.fault_rate > 0
+            or self.latency_ms > 0
+            or self.blackout_providers
+            or self.permanent_blackouts
+        ):
+            fault_plan = FaultPlan(
+                seed=self.seed,
+                transient_failure_rate=self.fault_rate,
+                latency_ms=self.latency_ms,
+                blackout_providers=frozenset(self.blackout_providers),
+                blackout_calls=self.blackout_calls,
+                permanent_blackout_providers=frozenset(self.permanent_blackouts),
+            )
+        return EngineConfig(
+            parallelism=self.parallelism,
+            cache_size=self.cache_size,
+            retry=RetryPolicy(
+                seed=self.seed,
+                max_attempts=self.max_attempts,
+                base_delay=self.retry_base_delay,
+            ),
+            fault_plan=fault_plan,
+            breaker=BreakerPolicy(
+                failure_threshold=self.failure_threshold,
+                probe_interval=self.probe_interval,
+            ),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """The finalized outcome of one campaign.
+
+    Attributes:
+        campaign_id: The campaign.
+        seed: Its master seed.
+        status: ``complete`` or ``degraded``.
+        reports: Per-module generation reports, planned order (only the
+            modules that completed).
+        skipped: Skipped module id -> reason, planned order — the
+            degradation manifest's core.
+        breaker_states: Per-provider circuit snapshot at finalize time.
+        n_planned: Modules the campaign set out to annotate.
+    """
+
+    campaign_id: str
+    seed: int
+    status: str
+    reports: "dict[str, GenerationReport]" = field(default_factory=dict)
+    skipped: "dict[str, str]" = field(default_factory=dict)
+    breaker_states: "dict[str, dict]" = field(default_factory=dict)
+    n_planned: int = 0
+
+    @property
+    def n_examples(self) -> int:
+        return sum(report.n_examples for report in self.reports.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of planned modules that completed."""
+        return len(self.reports) / self.n_planned if self.n_planned else 1.0
+
+    def digest(self) -> str:
+        """Content digest over every journaled report, planned order.
+
+        Two campaigns that annotated the same modules to the same
+        examples share a digest — the byte-identity witness for
+        kill/resume testing.
+        """
+        canonical = json.dumps(
+            [report_to_dict(report) for report in self.reports.values()],
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CampaignRunner:
+    """Runs, resumes and finalizes campaigns over a module list."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        catalog: "list[Module]",
+        pool: InstancePool,
+        journal: CampaignJournal,
+        config: CampaignConfig = CampaignConfig(),
+        clock: Callable[[], float] = default_clock,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Args:
+            ctx: Execution context (universe + ontology).
+            catalog: The planned modules (``config.limit`` truncates).
+            pool: The annotated instance pool.
+            journal: The write-ahead journal (shared across processes
+                via its SQLite file).
+            config: Campaign knobs; persisted on ``run`` so ``resume``
+                in a fresh process reconstructs the same engine.
+            clock: Monotonic clock, injectable for tests.
+            sleep: Sleep function for probe rounds, injectable for tests.
+        """
+        self.ctx = ctx
+        self.modules = list(catalog[: config.limit] if config.limit else catalog)
+        self.by_id = {module.module_id: module for module in self.modules}
+        self.journal = journal
+        self.config = config
+        self._clock = clock
+        self._sleep = sleep
+        self.engine = InvocationEngine(
+            config.engine_config(), clock=clock, sleep=sleep
+        )
+        self.generator = ExampleGenerator(
+            ctx, pool, seed=config.seed, engine=self.engine
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, campaign_id: str) -> CampaignResult:
+        """Start a fresh campaign and drive it to a finalized result."""
+        self.journal.create(
+            campaign_id,
+            self.config.seed,
+            [module.module_id for module in self.modules],
+            self.config.to_dict(),
+        )
+        self._execute(campaign_id, self.modules)
+        return self.finalize(campaign_id)
+
+    def resume(self, campaign_id: str) -> CampaignResult:
+        """Continue a journaled campaign: re-run every module without a
+        committed report (including previously skipped ones), then
+        finalize.
+
+        Raises:
+            UnknownCampaignError: No such campaign in the journal.
+            KeyError: The journal plans a module this runner's catalog
+                does not supply.
+        """
+        meta = self.journal.meta(campaign_id)
+        entries = self.journal.entries(campaign_id)
+        pending = [
+            self.by_id[module_id]
+            for module_id in meta.module_ids
+            if entries.get(module_id) is None
+            or entries[module_id].status == "skipped"
+        ]
+        self.journal.set_status(campaign_id, "running")
+        self._execute(campaign_id, pending)
+        return self.finalize(campaign_id)
+
+    # ------------------------------------------------------------------
+    def _execute(self, campaign_id: str, pending: "list[Module]") -> None:
+        start = self._clock()
+        pending = list(pending)
+        while pending:
+            unreachable = [
+                module
+                for module in self.engine.scheduler.map(
+                    lambda module: self._attempt(campaign_id, module), pending
+                )
+                if module is not None
+            ]
+            if not unreachable:
+                return
+            deadline = self.config.deadline
+            budget_left = (
+                deadline is not None and self._clock() - start < deadline
+            )
+            if not budget_left:
+                for module in unreachable:
+                    self.journal.record_skipped(
+                        campaign_id,
+                        module.module_id,
+                        f"provider {module.provider} unreachable "
+                        f"(breaker {self.engine.breaker.state(module.provider).value})",
+                    )
+                return
+            self._sleep(self.config.probe_interval)
+            pending = unreachable
+
+    def _attempt(self, campaign_id: str, module: Module) -> "Module | None":
+        """Generate one module; journal on completion, else hand the
+        module back for the next probe round."""
+        report = self.generator.generate(module)
+        if report.complete:
+            self.journal.record_done(campaign_id, report)
+            return None
+        return module
+
+    # ------------------------------------------------------------------
+    def finalize(self, campaign_id: str) -> CampaignResult:
+        """Assemble the campaign's result in planned order and persist
+        its terminal status (``complete`` / ``degraded``)."""
+        meta = self.journal.meta(campaign_id)
+        entries = self.journal.entries(campaign_id)
+        reports: dict[str, GenerationReport] = {}
+        skipped: dict[str, str] = {}
+        for module_id in meta.module_ids:
+            entry = entries.get(module_id)
+            if entry is not None and entry.status == "done":
+                reports[module_id] = entry.report
+            else:
+                detail = entry.detail if entry is not None else "never attempted"
+                skipped[module_id] = detail
+        status = COMPLETE if not skipped else DEGRADED
+        self.journal.set_status(campaign_id, status)
+        return CampaignResult(
+            campaign_id=campaign_id,
+            seed=meta.seed,
+            status=status,
+            reports=reports,
+            skipped=skipped,
+            breaker_states=(
+                self.engine.breaker.snapshot() if self.engine.breaker else {}
+            ),
+            n_planned=len(meta.module_ids),
+        )
+
+
+# ----------------------------------------------------------------------
+def render_campaign_report(result: CampaignResult) -> str:
+    """The campaign's final report.
+
+    Deterministic for complete campaigns: only journaled, planned-order
+    content appears (no wall-clock, no telemetry), so a killed-and-
+    resumed campaign renders byte-identically to an uninterrupted one.
+    Degraded campaigns get the degradation manifest appended.
+    """
+    lines = [
+        f"Campaign {result.campaign_id} (seed {result.seed})",
+        f"  modules annotated: {len(result.reports)}/{result.n_planned}",
+        f"  data examples:     {result.n_examples}",
+        f"  content digest:    {result.digest()}",
+    ]
+    for module_id, report in result.reports.items():
+        lines.append(
+            f"    {module_id:<34} examples={report.n_examples:<4} "
+            f"invalid={report.invalid_combinations}"
+        )
+    lines.append(f"  status: {result.status}")
+    if result.skipped:
+        lines.append("")
+        lines.append("Degradation manifest")
+        lines.append(
+            f"  coverage impact:  {len(result.skipped)}/{result.n_planned} "
+            f"modules skipped ({1.0 - result.coverage:.0%} of the plan)"
+        )
+        lines.append("  skipped modules:")
+        for module_id, reason in result.skipped.items():
+            lines.append(f"    {module_id:<34} {reason}")
+        if result.breaker_states:
+            lines.append("  breaker states:")
+            for provider, state in result.breaker_states.items():
+                lines.append(
+                    f"    {provider:<16} {state['state']} "
+                    f"(opened {state['times_opened']}x, "
+                    f"{state['fast_failures']} fast failures)"
+                )
+    return "\n".join(lines)

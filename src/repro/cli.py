@@ -12,14 +12,19 @@ Subcommands::
     repro-cli validate WORKFLOW_FILE                statically check a workflow
     repro-cli report [--seed S]                     full paper-vs-measured report
     repro-cli engine-stats [--parallelism N] ...    invocation-engine telemetry
+    repro-cli campaign run --db FILE ID             crash-safe catalog campaign
+    repro-cli campaign resume --db FILE ID          continue a killed campaign
+    repro-cli campaign status --db FILE [ID]        journal progress
 
-All state is rebuilt deterministically from the seed; nothing is cached
-on disk.
+All state is rebuilt deterministically from the seed; the one thing kept
+on disk is the campaign journal (``campaign --db``), which is exactly
+what makes kill/resume possible.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.composition import CompositionAdvisor
@@ -212,6 +217,17 @@ def cmd_engine_stats(args: argparse.Namespace) -> int:
     if not 0.0 <= args.fault_rate <= 1.0:
         raise SystemExit("error: --fault-rate must lie in [0, 1]")
     ctx, catalog, pool = _world(args.seed)
+    if args.module:
+        by_id = {module.module_id: module for module in catalog}
+        unknown = [module_id for module_id in args.module if module_id not in by_id]
+        if unknown:
+            print(
+                f"error: no module {', '.join(sorted(unknown))!s} "
+                "(try `repro-cli list`)",
+                file=sys.stderr,
+            )
+            return 2
+        catalog = [by_id[module_id] for module_id in args.module]
     if args.limit is not None:
         catalog = catalog[: args.limit]
     fault_plan = None
@@ -235,12 +251,153 @@ def cmd_engine_stats(args: argparse.Namespace) -> int:
     for _pass in range(args.repeat):
         reports = generator.generate_many(catalog)
     n_examples = sum(r.n_examples for r in reports.values())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "modules": len(reports),
+                    "passes": args.repeat,
+                    "examples_per_pass": n_examples,
+                    "stats": engine.stats(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(
         f"{len(reports)} modules x {args.repeat} pass(es): "
         f"{n_examples} data examples per pass"
     )
     print()
     print(engine.render_stats())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignConfig,
+        CampaignJournal,
+        CampaignRunner,
+        render_campaign_report,
+    )
+
+    config = CampaignConfig(
+        seed=args.seed,
+        parallelism=args.parallelism,
+        cache_size=args.cache_size if args.cache_size > 0 else None,
+        fault_rate=args.fault_rate,
+        latency_ms=args.latency_ms,
+        blackout_providers=tuple(args.blackout),
+        blackout_calls=args.blackout_calls,
+        permanent_blackouts=tuple(args.permanent_blackout),
+        failure_threshold=args.failure_threshold,
+        probe_interval=args.probe_interval,
+        deadline=args.deadline,
+        limit=args.limit,
+    )
+    ctx, catalog, pool = _world(args.seed)
+    journal = CampaignJournal(args.db)
+    try:
+        runner = CampaignRunner(ctx, catalog, pool, journal, config)
+        try:
+            result = runner.run(args.campaign_id)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(render_campaign_report(result))
+    finally:
+        journal.close()
+    return 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignConfig,
+        CampaignJournal,
+        CampaignRunner,
+        UnknownCampaignError,
+        render_campaign_report,
+    )
+
+    journal = CampaignJournal(args.db)
+    try:
+        try:
+            meta = journal.meta(args.campaign_id)
+        except UnknownCampaignError:
+            print(
+                f"error: no campaign {args.campaign_id!r} in {args.db} "
+                "(try `repro-cli campaign status`)",
+                file=sys.stderr,
+            )
+            return 2
+        config = CampaignConfig.from_dict(meta.config)
+        ctx, catalog, pool = _world(meta.seed)
+        runner = CampaignRunner(ctx, catalog, pool, journal, config)
+        result = runner.resume(args.campaign_id)
+        print(render_campaign_report(result))
+    finally:
+        journal.close()
+    return 0
+
+
+def _campaign_progress(journal, meta) -> dict:
+    entries = journal.entries(meta.campaign_id)
+    done = [e for e in entries.values() if e.status == "done"]
+    skipped = {
+        e.module_id: e.detail for e in entries.values() if e.status == "skipped"
+    }
+    return {
+        "campaign_id": meta.campaign_id,
+        "seed": meta.seed,
+        "status": meta.status,
+        "n_planned": len(meta.module_ids),
+        "n_done": len(done),
+        "n_skipped": len(skipped),
+        "n_pending": len(meta.module_ids) - len(done) - len(skipped),
+        "n_examples": sum(entry.report.n_examples for entry in done),
+        "skipped": skipped,
+    }
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignJournal, UnknownCampaignError
+
+    journal = CampaignJournal(args.db)
+    try:
+        if args.campaign_id is not None:
+            try:
+                metas = [journal.meta(args.campaign_id)]
+            except UnknownCampaignError:
+                print(
+                    f"error: no campaign {args.campaign_id!r} in {args.db}",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            metas = journal.campaigns()
+        progress = [_campaign_progress(journal, meta) for meta in metas]
+    finally:
+        journal.close()
+    if args.json:
+        payload = progress[0] if args.campaign_id is not None else progress
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not progress:
+        print(f"no campaigns in {args.db}")
+        return 0
+    for entry in progress:
+        print(
+            f"{entry['campaign_id']:<20} {entry['status']:<9} "
+            f"done {entry['n_done']}/{entry['n_planned']}  "
+            f"skipped {entry['n_skipped']}  pending {entry['n_pending']}  "
+            f"examples {entry['n_examples']}"
+        )
+        for module_id, reason in entry["skipped"].items():
+            print(f"    skipped {module_id:<30} {reason}")
     return 0
 
 
@@ -311,7 +468,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="injected mean latency per call, in ms")
     p.add_argument("--limit", type=int, default=None,
                    help="only process the first N catalog modules")
+    p.add_argument("--module", action="append", default=[],
+                   help="only process this module id (repeatable); unknown "
+                        "ids exit nonzero")
+    p.add_argument("--json", action="store_true",
+                   help="print the full stats snapshot as JSON")
     p.set_defaults(func=cmd_engine_stats)
+
+    p = commands.add_parser(
+        "campaign",
+        help="crash-safe whole-catalog generation campaigns",
+    )
+    campaign_commands = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = campaign_commands.add_parser("run", help="start a journaled campaign")
+    c.add_argument("campaign_id")
+    c.add_argument("--db", required=True, help="journal SQLite file")
+    c.add_argument("--limit", type=int, default=None,
+                   help="only campaign the first N catalog modules")
+    c.add_argument("--parallelism", type=int, default=1)
+    c.add_argument("--cache-size", type=int, default=4096)
+    c.add_argument("--fault-rate", type=float, default=0.0,
+                   help="injected transient failure probability")
+    c.add_argument("--latency-ms", type=float, default=0.0)
+    c.add_argument("--blackout", action="append", default=[],
+                   help="provider that starts blacked out (repeatable)")
+    c.add_argument("--blackout-calls", type=int, default=3,
+                   help="failing calls served per blackout before recovery")
+    c.add_argument("--permanent-blackout", action="append", default=[],
+                   help="provider that never recovers (repeatable)")
+    c.add_argument("--failure-threshold", type=int, default=3,
+                   help="consecutive failures tripping the breaker")
+    c.add_argument("--probe-interval", type=float, default=0.1,
+                   help="breaker probe / campaign re-probe interval, seconds")
+    c.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock budget for unreachable modules, seconds")
+    c.set_defaults(func=cmd_campaign_run)
+
+    c = campaign_commands.add_parser(
+        "resume", help="continue a killed or degraded campaign"
+    )
+    c.add_argument("campaign_id")
+    c.add_argument("--db", required=True, help="journal SQLite file")
+    c.set_defaults(func=cmd_campaign_resume)
+
+    c = campaign_commands.add_parser("status", help="journal progress")
+    c.add_argument("campaign_id", nargs="?", default=None)
+    c.add_argument("--db", required=True, help="journal SQLite file")
+    c.add_argument("--json", action="store_true",
+                   help="print progress as JSON")
+    c.set_defaults(func=cmd_campaign_status)
 
     return parser
 

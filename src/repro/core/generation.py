@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from repro.core.examples import Binding, DataExample
 from repro.core.partitioning import parameter_partitions
 from repro.engine import BatchScheduler, InvocationEngine
-from repro.modules.errors import ModuleInvocationError
+from repro.modules.errors import ModuleInvocationError, ModuleUnavailableError
 from repro.modules.model import Module, ModuleContext
 from repro.pool.pool import InstancePool
 from repro.values import TypedValue
@@ -47,6 +47,10 @@ class GenerationReport:
             compatible realization (phase 2 failures).
         invalid_combinations: Number of combinations that terminated
             abnormally (phase 3 rejections).
+        unavailable_combinations: Combinations the provider never
+            answered (availability failures surviving the engine's retry
+            stack).  A nonzero count means the report is *incomplete* —
+            a resilient campaign will want to revisit this module.
     """
 
     module_id: str
@@ -54,10 +58,16 @@ class GenerationReport:
     selected: dict[str, dict[str, TypedValue]] = field(default_factory=dict)
     unrealized_partitions: list[tuple[str, str]] = field(default_factory=list)
     invalid_combinations: int = 0
+    unavailable_combinations: int = 0
 
     @property
     def n_examples(self) -> int:
         return len(self.examples)
+
+    @property
+    def complete(self) -> bool:
+        """True when every attempted combination got an answer."""
+        return self.unavailable_combinations == 0
 
 
 class ExampleGenerator:
@@ -110,6 +120,12 @@ class ExampleGenerator:
             bindings = {b.parameter: b.value for b in combination}
             try:
                 outputs = self.engine.invoke(module, self.ctx, bindings)
+            except ModuleUnavailableError:
+                # The provider never answered: this is missing coverage,
+                # not a rejection — kept out of the abnormal-termination
+                # accounting so the paper's invalid counts stay honest.
+                report.unavailable_combinations += 1
+                continue
             except ModuleInvocationError:
                 report.invalid_combinations += 1
                 continue

@@ -8,8 +8,9 @@ calls flow through::
     generator / bus / experiments
             │
             ▼
-    InvocationEngine        telemetry around every call
+    InvocationEngine        telemetry + module health around every call
         InvocationCache     (module_id, canonical bindings) → outcome
+        CircuitBreakingInvoker  per-provider fast-fail (closed/open/half-open)
         RetryingInvoker     backoff + deadline for transient failures
         FaultInjectingInvoker   seeded decay weather for tests/benches
         DirectInvoker       the real supply-interface round trip
@@ -21,8 +22,16 @@ plus a :class:`BatchScheduler` that fans generation over modules on a
 thread pool while keeping reports bit-identical to a serial run.
 """
 
+from repro.engine.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakingInvoker,
+    CircuitOpenError,
+)
 from repro.engine.cache import CachedOutcome, CacheStats, InvocationCache, canonical_key
 from repro.engine.faults import FaultInjectingInvoker, FaultPlan, InjectedFaultError
+from repro.engine.health import HealthRecord, ModuleHealthRegistry
 from repro.engine.invoker import (
     DirectInvoker,
     EngineConfig,
@@ -40,19 +49,26 @@ from repro.engine.telemetry import (
 
 __all__ = [
     "BatchScheduler",
+    "BreakerPolicy",
+    "BreakerState",
     "CachedOutcome",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitBreakingInvoker",
+    "CircuitOpenError",
     "DeadlineExceededError",
     "DirectInvoker",
     "EngineConfig",
     "EngineEvent",
     "FaultInjectingInvoker",
     "FaultPlan",
+    "HealthRecord",
     "InjectedFaultError",
     "InvocationCache",
     "InvocationEngine",
     "Invoker",
     "LatencyHistogram",
+    "ModuleHealthRegistry",
     "RetryingInvoker",
     "RetryPolicy",
     "Telemetry",

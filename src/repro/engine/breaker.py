@@ -1,0 +1,251 @@
+"""Per-provider circuit breaker for the invocation engine.
+
+The decay phenomenon of §6 is provider-granular: when a provider goes
+dark, *every* module it supplies fails, and a harvesting campaign that
+keeps calling it burns a full retry budget per invocation for nothing.
+The breaker is the classic three-state machine, keyed per provider:
+
+* **closed** — calls flow through; consecutive availability failures are
+  counted, and reaching ``failure_threshold`` trips the breaker open;
+* **open** — calls fail fast with :class:`CircuitOpenError` *without*
+  touching the wrapped invoker (and therefore without consuming any
+  retry budget), until ``probe_interval`` seconds have elapsed;
+* **half-open** — the next call is admitted as a probe; a failure
+  re-opens the breaker, while ``half_open_successes`` consecutive
+  successes close it again.
+
+Placement matters: the breaker wraps the *retrying* invoker, so one
+tripped provider costs at most ``failure_threshold`` fully-retried calls
+plus one probe per ``probe_interval`` — O(probe interval), not O(catalog).
+
+Only :class:`~repro.modules.errors.ModuleUnavailableError` counts as a
+failure.  An abnormal termination (``InvalidInputError``) is a *response*:
+the provider answered, so it feeds the success path.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.telemetry import default_clock
+from repro.modules.errors import ModuleUnavailableError
+from repro.modules.model import Module, ModuleContext
+from repro.values import TypedValue
+
+
+class CircuitOpenError(ModuleUnavailableError):
+    """Fast failure served by an open circuit — the provider was not
+    called.  Subclasses :class:`ModuleUnavailableError` so every existing
+    caller keeps treating it as an availability failure."""
+
+
+class BreakerState(enum.Enum):
+    """The three states of one provider's circuit."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs of one circuit breaker.
+
+    Attributes:
+        failure_threshold: Consecutive availability failures that trip a
+            closed circuit open.
+        probe_interval: Seconds an open circuit waits before admitting a
+            probe call (the open → half-open transition).
+        half_open_successes: Consecutive probe successes that close a
+            half-open circuit.
+    """
+
+    failure_threshold: int = 5
+    probe_interval: float = 30.0
+    half_open_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.probe_interval < 0:
+            raise ValueError("probe_interval must be non-negative")
+        if self.half_open_successes < 1:
+            raise ValueError("half_open_successes must be at least 1")
+
+
+@dataclass
+class _Circuit:
+    """Mutable state of one provider's circuit."""
+
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    consecutive_successes: int = 0
+    opened_at: float = 0.0
+    times_opened: int = 0
+    fast_failures: int = 0
+
+
+class CircuitBreaker:
+    """A thread-safe set of per-provider circuits under one policy."""
+
+    def __init__(
+        self,
+        policy: BreakerPolicy = BreakerPolicy(),
+        clock: Callable[[], float] = default_clock,
+        on_transition: "Callable[[str, BreakerState, BreakerState], None] | None" = None,
+    ) -> None:
+        """Args:
+            policy: Thresholds and probe timing.
+            clock: Monotonic clock, injectable for tests.
+            on_transition: Called as ``(provider, old_state, new_state)``
+                on every state change (telemetry hook).
+        """
+        self.policy = policy
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._circuits: dict[str, _Circuit] = {}
+
+    # ------------------------------------------------------------------
+    def _circuit(self, provider: str) -> _Circuit:
+        circuit = self._circuits.get(provider)
+        if circuit is None:
+            circuit = _Circuit()
+            self._circuits[provider] = circuit
+        return circuit
+
+    def _transition(self, provider: str, circuit: _Circuit, new: BreakerState) -> None:
+        old = circuit.state
+        if old is new:
+            return
+        circuit.state = new
+        if new is BreakerState.OPEN:
+            circuit.opened_at = self._clock()
+            circuit.times_opened += 1
+            circuit.consecutive_successes = 0
+        elif new is BreakerState.CLOSED:
+            circuit.consecutive_failures = 0
+            circuit.consecutive_successes = 0
+        if self._on_transition is not None:
+            self._on_transition(provider, old, new)
+
+    # ------------------------------------------------------------------
+    def state(self, provider: str) -> BreakerState:
+        """The provider's current state (an unseen provider is closed)."""
+        with self._lock:
+            circuit = self._circuits.get(provider)
+            return circuit.state if circuit else BreakerState.CLOSED
+
+    def allow(self, provider: str) -> bool:
+        """Admit or fast-fail a call to ``provider``.
+
+        An open circuit whose probe interval has elapsed transitions to
+        half-open and admits the call as a probe.
+        """
+        with self._lock:
+            circuit = self._circuit(provider)
+            if circuit.state is BreakerState.OPEN:
+                waited = self._clock() - circuit.opened_at
+                if waited >= self.policy.probe_interval:
+                    self._transition(provider, circuit, BreakerState.HALF_OPEN)
+                    return True
+                circuit.fast_failures += 1
+                return False
+            return True
+
+    def record_success(self, provider: str) -> None:
+        """Feed one successful (answered) call into the circuit."""
+        with self._lock:
+            circuit = self._circuit(provider)
+            circuit.consecutive_failures = 0
+            if circuit.state is BreakerState.HALF_OPEN:
+                circuit.consecutive_successes += 1
+                if circuit.consecutive_successes >= self.policy.half_open_successes:
+                    self._transition(provider, circuit, BreakerState.CLOSED)
+
+    def record_failure(self, provider: str) -> None:
+        """Feed one availability failure into the circuit."""
+        with self._lock:
+            circuit = self._circuit(provider)
+            circuit.consecutive_failures += 1
+            if circuit.state is BreakerState.HALF_OPEN:
+                self._transition(provider, circuit, BreakerState.OPEN)
+            elif (
+                circuit.state is BreakerState.CLOSED
+                and circuit.consecutive_failures >= self.policy.failure_threshold
+            ):
+                self._transition(provider, circuit, BreakerState.OPEN)
+
+    # ------------------------------------------------------------------
+    def open_providers(self) -> "list[str]":
+        """Providers whose circuit is currently not closed, sorted."""
+        with self._lock:
+            return sorted(
+                provider
+                for provider, circuit in self._circuits.items()
+                if circuit.state is not BreakerState.CLOSED
+            )
+
+    def snapshot(self) -> "dict[str, dict]":
+        """JSON-compatible per-provider circuit state."""
+        with self._lock:
+            return {
+                provider: {
+                    "state": circuit.state.value,
+                    "consecutive_failures": circuit.consecutive_failures,
+                    "times_opened": circuit.times_opened,
+                    "fast_failures": circuit.fast_failures,
+                }
+                for provider, circuit in sorted(self._circuits.items())
+            }
+
+
+class CircuitBreakingInvoker:
+    """Wraps an invoker with a per-provider :class:`CircuitBreaker`.
+
+    Sits *outside* the retry layer: a fast failure never reaches (and
+    never re-arms) the retry policy, which is the whole point.
+    """
+
+    def __init__(
+        self,
+        inner,
+        breaker: CircuitBreaker,
+        on_fast_fail: "Callable[[Module], None] | None" = None,
+    ) -> None:
+        self.inner = inner
+        self.breaker = breaker
+        self._on_fast_fail = on_fast_fail
+
+    def invoke(
+        self, module: Module, ctx: ModuleContext, bindings: dict[str, TypedValue]
+    ) -> dict[str, TypedValue]:
+        """Invoke through the circuit.
+
+        Raises:
+            CircuitOpenError: The provider's circuit is open; the call
+                was not attempted.
+            ModuleInvocationError: Whatever the wrapped invoker raises.
+        """
+        provider = module.provider
+        if not self.breaker.allow(provider):
+            if self._on_fast_fail is not None:
+                self._on_fast_fail(module)
+            raise CircuitOpenError(
+                f"{module.module_id}: circuit open for provider {provider}"
+            )
+        try:
+            outputs = self.inner.invoke(module, ctx, bindings)
+        except ModuleUnavailableError:
+            self.breaker.record_failure(provider)
+            raise
+        except Exception:
+            # The provider answered, just not happily (invalid input,
+            # transport-level complaint): the circuit stays healthy.
+            self.breaker.record_success(provider)
+            raise
+        self.breaker.record_success(provider)
+        return outputs

@@ -8,8 +8,14 @@ that would travel to a SOAP/REST endpoint — which already sorts keys and
 normalizes payloads.
 
 Abnormal terminations are memoized too (*negative caching*): an input
-combination a module rejects is rejected forever, so replaying the
-:class:`~repro.modules.errors.InvalidInputError` saves the round trip.
+combination a module rejects is rejected forever — as long as the module
+itself stays the same.  A *repaired* module (§6: a provider re-supplies
+a fixed implementation) may start accepting combinations it used to
+reject, so negative entries carry a **generation stamp** and an optional
+**TTL**: :meth:`InvocationCache.bump_generation` lazily expires the
+negative entries of a repaired module (or of the whole cache), and a
+``negative_ttl`` re-opens every rejection for revisiting after it ages
+out.  Positive entries are true functions of the inputs and never expire.
 Availability failures are **not** cached — provider decay (§6) is a
 transient property of the provider, not of the input combination.
 """
@@ -20,6 +26,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.engine.telemetry import default_clock
 from repro.modules.errors import InvalidInputError
 from repro.modules.interfaces import bindings_to_wire
 from repro.modules.model import Module
@@ -39,6 +46,7 @@ class CacheStats:
     negative_hits: int = 0
     misses: int = 0
     evictions: int = 0
+    negative_expired: int = 0
 
     @property
     def lookups(self) -> int:
@@ -53,11 +61,17 @@ class CacheStats:
 @dataclass(frozen=True)
 class CachedOutcome:
     """The memoized result of one invocation: either the output bindings
-    or the permanent failure the module answered with."""
+    or the permanent failure the module answered with.
+
+    Negative outcomes additionally remember *when* (``stored_at``, on
+    the cache's clock) and *under which generation* they were stored, so
+    TTL expiry and repair-driven invalidation can revisit them."""
 
     outputs: "dict[str, TypedValue] | None" = None
     error_type: "type[InvalidInputError] | None" = None
     error_message: str = ""
+    stored_at: float = 0.0
+    generation: int = 0
 
     @property
     def is_failure(self) -> bool:
@@ -82,13 +96,31 @@ class CachedOutcome:
 
 
 class InvocationCache:
-    """A bounded, thread-safe LRU cache of invocation outcomes."""
+    """A bounded, thread-safe LRU cache of invocation outcomes.
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    Args:
+        maxsize: LRU capacity.
+        negative_ttl: Seconds a negative entry stays replayable; ``None``
+            keeps rejections forever (positive entries never expire).
+        clock: The clock negative entries are stamped with, injectable
+            for tests.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        negative_ttl: "float | None" = None,
+        clock=default_clock,
+    ) -> None:
         if maxsize <= 0:
             raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        if negative_ttl is not None and negative_ttl <= 0:
+            raise ValueError(f"negative_ttl must be positive, got {negative_ttl}")
         self.maxsize = maxsize
+        self.negative_ttl = negative_ttl
+        self.generation = 0
         self.stats = CacheStats()
+        self._clock = clock
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple[str, str], CachedOutcome]" = OrderedDict()
 
@@ -97,12 +129,29 @@ class InvocationCache:
             return len(self._entries)
 
     # ------------------------------------------------------------------
+    def _negative_entry_stale(self, outcome: CachedOutcome) -> bool:
+        if not outcome.is_failure:
+            return False
+        if outcome.generation < self.generation:
+            return True
+        return (
+            self.negative_ttl is not None
+            and self._clock() - outcome.stored_at >= self.negative_ttl
+        )
+
     def lookup(self, key: tuple[str, str]) -> "CachedOutcome | None":
         """The cached outcome for ``key`` (freshened to most-recent), or
-        ``None`` on a miss.  Stats are updated either way."""
+        ``None`` on a miss.  A negative entry past its TTL or from an
+        older generation is dropped and reported as a miss — the module
+        may have been repaired since the rejection was observed."""
         with self._lock:
             outcome = self._entries.get(key)
             if outcome is None:
+                self.stats.misses += 1
+                return None
+            if self._negative_entry_stale(outcome):
+                del self._entries[key]
+                self.stats.negative_expired += 1
                 self.stats.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -122,7 +171,12 @@ class InvocationCache:
         """Memoize an abnormal termination (negative caching)."""
         self._store(
             key,
-            CachedOutcome(error_type=type(error), error_message=str(error)),
+            CachedOutcome(
+                error_type=type(error),
+                error_message=str(error),
+                stored_at=self._clock(),
+                generation=self.generation,
+            ),
         )
 
     def _store(self, key: tuple[str, str], outcome: CachedOutcome) -> None:
@@ -145,4 +199,30 @@ class InvocationCache:
             doomed = [key for key in self._entries if key[0] == module_id]
             for key in doomed:
                 del self._entries[key]
+            return len(doomed)
+
+    def bump_generation(self, module_id: "str | None" = None) -> int:
+        """Re-open negative classifications after a repair event.
+
+        With a ``module_id``, that module's negative entries are dropped
+        eagerly (its positive entries stay — normal terminations remain
+        functions of the inputs).  Without one, the cache's generation
+        counter is bumped and *every* outstanding negative entry expires
+        lazily on its next lookup.
+
+        Returns:
+            The number of entries dropped eagerly (0 for a global bump).
+        """
+        with self._lock:
+            if module_id is None:
+                self.generation += 1
+                return 0
+            doomed = [
+                key
+                for key, outcome in self._entries.items()
+                if key[0] == module_id and outcome.is_failure
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.negative_expired += len(doomed)
             return len(doomed)

@@ -48,6 +48,8 @@ class FaultPlan:
         blackout_providers: Providers that start blacked out.
         blackout_calls: Failing calls served per blacked-out provider
             before it recovers.
+        permanent_blackout_providers: Providers that never recover —
+            the §6 shutdown a circuit breaker must contain.
     """
 
     seed: int = 2014
@@ -56,6 +58,7 @@ class FaultPlan:
     latency_jitter: float = 0.25
     blackout_providers: frozenset = frozenset()
     blackout_calls: int = 3
+    permanent_blackout_providers: frozenset = frozenset()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.transient_failure_rate <= 1.0:
@@ -105,7 +108,9 @@ class FaultInjectingInvoker:
                 jitter = 1.0 + plan.latency_jitter * self._rng.uniform(-1.0, 1.0)
                 latency_s = plan.latency_ms * jitter / 1000.0
             remaining = self._blackout_remaining.get(module.provider, 0)
-            if remaining > 0:
+            if module.provider in plan.permanent_blackout_providers:
+                fault = f"provider {module.provider} permanently dark"
+            elif remaining > 0:
                 self._blackout_remaining[module.provider] = remaining - 1
                 fault = f"provider {module.provider} blacked out"
             elif plan.transient_failure_rate and (

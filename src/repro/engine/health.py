@@ -1,0 +1,201 @@
+"""Per-module health accounting for long-running campaigns.
+
+Decay detection in the reproduction so far is *static*: a module is dead
+when its catalog entry says so.  A real registry operator learns about
+decay the other way round — from the observed behavior of harvesting
+runs (§6).  The health registry accumulates per-module outcome and
+latency statistics as the engine invokes, rolls them up per provider,
+and feeds :func:`repro.workflow.monitoring.analyze_decay`, so the decay
+report can be driven by what a campaign actually saw.
+
+A module is considered **observed-dead** once its ``dead_after`` most
+recent final outcomes were all availability failures.  Transient blips
+that a retry policy rode out never reach the registry (the engine only
+accounts final outcomes), so a healthy-but-flaky module stays healthy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HealthRecord:
+    """Accumulated observations of one module.
+
+    Attributes:
+        module_id: The observed module.
+        provider: Its provider (the breaker / decay aggregation key).
+        ok: Normal terminations.
+        invalid: Abnormal terminations (the module answered).
+        unavailable: Availability failures (including breaker fast-fails).
+        transport_errors: Transport-layer failures.
+        consecutive_failures: Current run of trailing availability
+            failures; reset by any answered call.
+        total_latency_ms: Sum of observed call latencies.
+        max_latency_ms: Worst observed call latency.
+    """
+
+    module_id: str
+    provider: str
+    ok: int = 0
+    invalid: int = 0
+    unavailable: int = 0
+    transport_errors: int = 0
+    consecutive_failures: int = 0
+    total_latency_ms: float = 0.0
+    max_latency_ms: float = 0.0
+
+    @property
+    def calls(self) -> int:
+        return self.ok + self.invalid + self.unavailable + self.transport_errors
+
+    @property
+    def answered(self) -> int:
+        """Calls the provider actually responded to (well or badly)."""
+        return self.ok + self.invalid
+
+    @property
+    def availability(self) -> float:
+        """Fraction of calls the provider answered."""
+        calls = self.calls
+        return self.answered / calls if calls else 1.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        calls = self.calls
+        return self.total_latency_ms / calls if calls else 0.0
+
+
+class ModuleHealthRegistry:
+    """Thread-safe per-module health stats, fed by the engine.
+
+    Args:
+        dead_after: Trailing availability failures after which a module
+            counts as observed-dead.
+    """
+
+    def __init__(self, dead_after: int = 3) -> None:
+        if dead_after < 1:
+            raise ValueError("dead_after must be at least 1")
+        self.dead_after = dead_after
+        self._lock = threading.Lock()
+        self._records: dict[str, HealthRecord] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, module_id: str, provider: str, outcome: str, latency_ms: float = 0.0
+    ) -> None:
+        """Record one final invocation outcome.
+
+        Args:
+            module_id: The module invoked.
+            provider: Its provider.
+            outcome: The engine's accounting label — ``ok`` / ``invalid``
+                / ``unavailable`` / ``transport_error``.
+            latency_ms: Wall-clock cost of the call.
+        """
+        with self._lock:
+            record = self._records.get(module_id)
+            if record is None:
+                record = HealthRecord(module_id=module_id, provider=provider)
+                self._records[module_id] = record
+            if outcome == "ok":
+                record.ok += 1
+                record.consecutive_failures = 0
+            elif outcome == "invalid":
+                record.invalid += 1
+                record.consecutive_failures = 0
+            elif outcome == "unavailable":
+                record.unavailable += 1
+                record.consecutive_failures += 1
+            else:
+                record.transport_errors += 1
+            record.total_latency_ms += latency_ms
+            record.max_latency_ms = max(record.max_latency_ms, latency_ms)
+
+    # ------------------------------------------------------------------
+    def record(self, module_id: str) -> "HealthRecord | None":
+        """The record of one module, or ``None`` if never observed."""
+        with self._lock:
+            return self._records.get(module_id)
+
+    def records(self) -> "list[HealthRecord]":
+        """All records, sorted by module id."""
+        with self._lock:
+            return [self._records[key] for key in sorted(self._records)]
+
+    def is_dead(self, module_id: str) -> bool:
+        """True when the module's trailing ``dead_after`` outcomes were
+        all availability failures."""
+        with self._lock:
+            record = self._records.get(module_id)
+            return (
+                record is not None
+                and record.consecutive_failures >= self.dead_after
+            )
+
+    def dead_modules(self) -> "list[str]":
+        """Observed-dead module ids, sorted."""
+        with self._lock:
+            return sorted(
+                module_id
+                for module_id, record in self._records.items()
+                if record.consecutive_failures >= self.dead_after
+            )
+
+    def provider_summary(self) -> "dict[str, dict]":
+        """Per-provider rollup: calls, answered, availability, dead."""
+        summary: dict[str, dict] = {}
+        for record in self.records():
+            entry = summary.setdefault(
+                record.provider,
+                {"calls": 0, "answered": 0, "modules": 0, "dead_modules": 0},
+            )
+            entry["calls"] += record.calls
+            entry["answered"] += record.answered
+            entry["modules"] += 1
+            if record.consecutive_failures >= self.dead_after:
+                entry["dead_modules"] += 1
+        for entry in summary.values():
+            entry["availability"] = (
+                entry["answered"] / entry["calls"] if entry["calls"] else 1.0
+            )
+        return summary
+
+    def snapshot(self) -> dict:
+        """JSON-compatible registry state."""
+        return {
+            "n_modules": len(self),
+            "dead_modules": self.dead_modules(),
+            "providers": self.provider_summary(),
+        }
+
+    def render(self, limit: int = 8) -> str:
+        """Operator-facing summary of observed campaign health."""
+        dead = self.dead_modules()
+        lines = [
+            "Module health — observed by the engine",
+            f"  modules observed:  {len(self)}",
+            f"  observed-dead:     {len(dead)}",
+        ]
+        for module_id in dead[:limit]:
+            lines.append(f"    {module_id}")
+        unhealthy = [
+            (provider, entry)
+            for provider, entry in sorted(self.provider_summary().items())
+            if entry["availability"] < 1.0
+        ]
+        if unhealthy:
+            lines.append("  degraded providers:")
+            for provider, entry in unhealthy:
+                lines.append(
+                    f"    {provider:<16} availability "
+                    f"{entry['availability']:.0%} over {entry['calls']} calls"
+                )
+        return "\n".join(lines)

@@ -8,11 +8,16 @@ they hold an engine and call :meth:`InvocationEngine.invoke`.
 
 The stack, innermost first::
 
-    DirectInvoker            the real supply-interface round trip
-      FaultInjectingInvoker  (optional) seeded decay weather
-        RetryingInvoker      (optional) backoff + deadline
-          InvocationCache    (optional) memoization, checked first
-            Telemetry        always-on accounting around the whole call
+    DirectInvoker              the real supply-interface round trip
+      FaultInjectingInvoker    (optional) seeded decay weather
+        RetryingInvoker        (optional) backoff + deadline
+          CircuitBreakingInvoker  (optional) per-provider fast-fail
+            InvocationCache    (optional) memoization, checked first
+              Telemetry        always-on accounting around the whole call
+
+The breaker deliberately sits *outside* the retry layer: once a
+provider's circuit is open, calls fail fast without consuming any retry
+budget — a blacked-out provider costs O(probe interval), not O(catalog).
 """
 
 from __future__ import annotations
@@ -21,8 +26,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, runtime_checkable
 
+from repro.engine.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakingInvoker,
+)
 from repro.engine.cache import InvocationCache, canonical_key
 from repro.engine.faults import FaultInjectingInvoker, FaultPlan
+from repro.engine.health import ModuleHealthRegistry
 from repro.engine.retry import RetryingInvoker, RetryPolicy
 from repro.engine.scheduler import BatchScheduler
 from repro.engine.telemetry import Telemetry, default_clock
@@ -73,14 +85,20 @@ class EngineConfig:
         parallelism: Worker threads of the batch scheduler (1 = serial).
         cache_size: LRU capacity of the invocation cache; ``None``
             disables caching entirely.
+        negative_ttl: Seconds a negative-cache entry stays replayable;
+            ``None`` keeps rejections until a repair bumps the cache
+            generation.
         retry: Retry policy for transient failures; ``None`` disables.
         fault_plan: Seeded fault injection; ``None`` disables.
+        breaker: Per-provider circuit-breaker policy; ``None`` disables.
     """
 
     parallelism: int = 1
     cache_size: "int | None" = None
+    negative_ttl: "float | None" = None
     retry: "RetryPolicy | None" = None
     fault_plan: "FaultPlan | None" = None
+    breaker: "BreakerPolicy | None" = None
 
 
 class InvocationEngine:
@@ -91,19 +109,23 @@ class InvocationEngine:
         config: EngineConfig = EngineConfig(),
         invoker: "Invoker | None" = None,
         telemetry: "Telemetry | None" = None,
+        health: "ModuleHealthRegistry | None" = None,
         clock: Callable[[], float] = default_clock,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         """Args:
-            config: Cache / retry / fault / parallelism knobs.
+            config: Cache / retry / fault / breaker / parallelism knobs.
             invoker: Innermost invoker (default: :class:`DirectInvoker`).
             telemetry: Shared telemetry sink (default: a fresh one).
+            health: Module-health registry fed with every final outcome
+                (default: a fresh one).
             clock: Monotonic clock, injectable for tests.
             sleep: Sleep function used by retry backoff and injected
                 latency, injectable for tests.
         """
         self.config = config
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.health = health if health is not None else ModuleHealthRegistry()
         self.scheduler = BatchScheduler(config.parallelism)
         self._clock = clock
 
@@ -121,9 +143,22 @@ class InvocationEngine:
                 on_retry=self._note_retry,
                 on_exhausted=self._note_exhausted,
             )
+        self.breaker = (
+            CircuitBreaker(
+                config.breaker, clock=clock, on_transition=self._note_transition
+            )
+            if config.breaker is not None
+            else None
+        )
+        if self.breaker is not None:
+            stack = CircuitBreakingInvoker(
+                stack, self.breaker, on_fast_fail=self._note_fast_fail
+            )
         self.invoker = stack
         self.cache = (
-            InvocationCache(config.cache_size)
+            InvocationCache(
+                config.cache_size, negative_ttl=config.negative_ttl, clock=clock
+            )
             if config.cache_size is not None
             else None
         )
@@ -148,6 +183,21 @@ class InvocationEngine:
         self.telemetry.event(
             "retry_exhausted", module.module_id, type(error).__name__
         )
+
+    def _note_transition(
+        self, provider: str, old: BreakerState, new: BreakerState
+    ) -> None:
+        if new is BreakerState.OPEN:
+            self.telemetry.incr("breaker_opened")
+        elif new is BreakerState.CLOSED:
+            self.telemetry.incr("breaker_closed")
+        self.telemetry.event(
+            "breaker_transition", provider, f"{old.value} -> {new.value}"
+        )
+
+    def _note_fast_fail(self, module: Module) -> None:
+        self.telemetry.incr("breaker_fast_fails")
+        self.telemetry.event("breaker_fast_fail", module.module_id, module.provider)
 
     # ------------------------------------------------------------------
     def invoke(
@@ -200,6 +250,7 @@ class InvocationEngine:
         self.telemetry.incr(outcome)
         self.telemetry.record_latency(latency_ms)
         self.telemetry.event("call", module.module_id, detail or outcome, latency_ms)
+        self.health.observe(module.module_id, module.provider, outcome, latency_ms)
 
     # ------------------------------------------------------------------
     def map(self, fn, items) -> list:
@@ -207,7 +258,7 @@ class InvocationEngine:
         return self.scheduler.map(fn, items)
 
     def stats(self) -> dict:
-        """Merged snapshot: telemetry plus cache accounting."""
+        """Merged snapshot: telemetry plus cache / breaker / health."""
         snapshot = self.telemetry.snapshot()
         if self.cache is not None:
             snapshot["cache"] = {
@@ -217,8 +268,12 @@ class InvocationEngine:
                 "negative_hits": self.cache.stats.negative_hits,
                 "misses": self.cache.stats.misses,
                 "evictions": self.cache.stats.evictions,
+                "negative_expired": self.cache.stats.negative_expired,
                 "hit_rate": self.cache.stats.hit_rate,
             }
+        if self.breaker is not None:
+            snapshot["breaker"] = self.breaker.snapshot()
+        snapshot["health"] = self.health.snapshot()
         return snapshot
 
     def render_stats(self) -> str:
@@ -230,6 +285,10 @@ class InvocationEngine:
                 f"  cache size:      {len(self.cache)}/{self.cache.maxsize} "
                 f"entries, hit rate {stats.hit_rate:.1%}"
             )
+        if self.breaker is not None:
+            open_providers = self.breaker.open_providers()
+            label = ", ".join(open_providers) if open_providers else "none"
+            lines.append(f"  breaker:         open circuits: {label}")
         lines.append(
             f"  scheduler:       parallelism {self.scheduler.parallelism}"
         )

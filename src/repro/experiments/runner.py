@@ -56,7 +56,13 @@ def run_all(setup: ExperimentSetup) -> str:
 def _decay_section(setup: ExperimentSetup) -> str:
     from repro.workflow.monitoring import analyze_decay, render_decay_report
 
-    report = analyze_decay(setup.repository.workflows, setup.modules_by_id)
+    # Observed campaign health feeds the decay analysis: a module whose
+    # trailing calls all went unanswered is decayed even before anyone
+    # flips its catalog entry.  Under the default (healthy) weather the
+    # health registry adds nothing and the report is unchanged.
+    report = analyze_decay(
+        setup.repository.workflows, setup.modules_by_id, health=setup.health
+    )
     return render_decay_report(report)
 
 

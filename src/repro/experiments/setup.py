@@ -21,7 +21,14 @@ from functools import lru_cache
 
 from repro.core.generation import ExampleGenerator, GenerationReport
 from repro.core.matching import MatchReport, find_matches
-from repro.engine import EngineConfig, InvocationEngine, Telemetry
+from repro.engine import (
+    EngineConfig,
+    FaultPlan,
+    InvocationEngine,
+    ModuleHealthRegistry,
+    RetryPolicy,
+    Telemetry,
+)
 from repro.core.metrics import ModuleEvaluation, evaluate_module
 from repro.core.repair import RepairResult, WorkflowRepairer
 from repro.modules.catalog.decayed import DECAYED_PROVIDERS, build_decayed_modules
@@ -70,6 +77,11 @@ class ExperimentSetup:
     def telemetry(self) -> Telemetry:
         """The engine's accounting (the report's invocation-cost data)."""
         return self.generator.engine.telemetry
+
+    @property
+    def health(self) -> ModuleHealthRegistry:
+        """Observed per-module health of every generation call."""
+        return self.generator.engine.health
 
     @property
     def repository(self) -> Repository:
@@ -149,7 +161,11 @@ def build_setup(
             provenance part of the instance pool.
         engine_config: Invocation-engine knobs; the default enables the
             memoizing cache (pure win: module behaviors are
-            deterministic) and keeps the scheduler serial.
+            deterministic) and keeps the scheduler serial.  The CI
+            fault-matrix job sets ``REPRO_FAULT_RATE`` (and optionally
+            ``REPRO_FAULT_SEED``) to run the whole suite under seeded
+            transient-failure weather with a retry policy riding it out
+            — every paper-facing number must survive unchanged.
     """
     ctx = default_context(seed)
     catalog = build_catalog()
@@ -173,7 +189,7 @@ def build_setup(
     n_harvested = pool.harvest(traces)
 
     if engine_config is None:
-        engine_config = EngineConfig(cache_size=4096)
+        engine_config = _default_engine_config(seed)
     engine = InvocationEngine(engine_config)
     generator = ExampleGenerator(ctx, pool, engine=engine)
     reports = generator.generate_many(catalog)
@@ -199,6 +215,29 @@ def build_setup(
         evaluations=evaluations,
         registry=registry,
         decayed=decayed,
+    )
+
+
+def _default_engine_config(seed: int) -> EngineConfig:
+    """The default engine stack, honoring the fault-matrix environment.
+
+    ``REPRO_FAULT_RATE`` > 0 injects seeded transient failures under a
+    generous fast retry policy: every call still succeeds eventually, so
+    the deterministic reports are unchanged while the whole resilience
+    stack is exercised on every invocation of the tier-1 suite.
+    """
+    import os
+
+    rate = float(os.environ.get("REPRO_FAULT_RATE", "0") or 0)
+    if rate <= 0:
+        return EngineConfig(cache_size=4096)
+    fault_seed = int(os.environ.get("REPRO_FAULT_SEED", str(seed)))
+    return EngineConfig(
+        cache_size=4096,
+        retry=RetryPolicy(
+            seed=fault_seed, max_attempts=8, base_delay=0.0005, jitter=0.1
+        ),
+        fault_plan=FaultPlan(seed=fault_seed, transient_failure_rate=rate),
     )
 
 

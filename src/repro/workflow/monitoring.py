@@ -7,12 +7,20 @@ our repository: given the module registry and the workflow collection, it
 attributes every broken workflow to the providers and modules responsible
 and summarizes the blast radius of each shutdown — the report a registry
 operator would publish after a decay event.
+
+Decay is detected two ways, and :func:`analyze_decay` merges them: the
+*static* catalog flag (``module.available``) and — when a module-health
+registry is passed — the *observed* campaign health: a module whose
+trailing invocations all went unanswered counts as decayed even if no
+one has flipped its catalog entry yet.  That is the §6 monitoring loop
+closed: long-running annotation campaigns feed the decay report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine.health import ModuleHealthRegistry
 from repro.modules.model import Module
 from repro.workflow.model import Workflow
 
@@ -28,6 +36,8 @@ class DecayReport:
         by_module: Unavailable module id -> number of workflows using it.
         single_point_failures: Workflows broken by exactly one
             unavailable module (the directly repairable population).
+        observed_dead: Modules classified dead from campaign health
+            observations rather than the static catalog flag.
     """
 
     n_workflows: int
@@ -35,6 +45,7 @@ class DecayReport:
     by_provider: dict[str, int] = field(default_factory=dict)
     by_module: dict[str, int] = field(default_factory=dict)
     single_point_failures: int = 0
+    observed_dead: list[str] = field(default_factory=list)
 
     @property
     def broken_fraction(self) -> float:
@@ -50,10 +61,24 @@ class DecayReport:
 
 
 def analyze_decay(
-    workflows: "list[Workflow]", modules: dict[str, Module]
+    workflows: "list[Workflow]",
+    modules: dict[str, Module],
+    health: "ModuleHealthRegistry | None" = None,
 ) -> DecayReport:
-    """Attribute broken workflows to unavailable modules and providers."""
-    report = DecayReport(n_workflows=len(workflows), n_broken=0)
+    """Attribute broken workflows to unavailable modules and providers.
+
+    Args:
+        workflows: The collection to examine.
+        modules: Live modules by id.
+        health: Optional campaign-health registry; its observed-dead
+            modules count as decayed alongside the static catalog flag.
+    """
+    observed_dead = set(health.dead_modules()) if health is not None else set()
+    report = DecayReport(
+        n_workflows=len(workflows),
+        n_broken=0,
+        observed_dead=sorted(observed_dead),
+    )
     for workflow in workflows:
         culprits: set[str] = set()
         providers: set[str] = set()
@@ -62,7 +87,7 @@ def analyze_decay(
             if module is None:
                 culprits.add(module_id)
                 providers.add("(unknown provider)")
-            elif not module.available:
+            elif not module.available or module_id in observed_dead:
                 culprits.add(module_id)
                 providers.add(module.provider)
         if not culprits:
@@ -85,8 +110,13 @@ def render_decay_report(report: DecayReport, limit: int = 8) -> str:
         f"  broken:                  {report.n_broken} "
         f"({report.broken_fraction:.0%})",
         f"  single-point failures:   {report.single_point_failures}",
-        "  blast radius by provider:",
     ]
+    if report.observed_dead:
+        lines.append(
+            f"  observed-dead modules:   {len(report.observed_dead)} "
+            "(from campaign health)"
+        )
+    lines.append("  blast radius by provider:")
     for provider, count in report.top_providers():
         lines.append(f"    {provider:<16} {count} workflows")
     lines.append(f"  most damaging modules (top {limit}):")

@@ -1,0 +1,330 @@
+"""Tests of the campaign layer: journal, checkpoint/resume byte-identity,
+graceful degradation, and the kill -9 smoke test."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignJournal,
+    CampaignRunner,
+    UnknownCampaignError,
+    render_campaign_report,
+    report_from_dict,
+    report_to_dict,
+)
+
+LIMIT = 5
+
+# The slice the checkpoint tests campaign over: small enough to re-run
+# per boundary, wide enough to span two providers (EBI, Manchester-lab).
+BASE = dict(limit=LIMIT, retry_base_delay=0.0, probe_interval=0.05)
+
+
+def make_runner(ctx, catalog, pool, journal, **overrides):
+    return CampaignRunner(
+        ctx, catalog, pool, journal, CampaignConfig(**{**BASE, **overrides})
+    )
+
+
+@pytest.fixture
+def journal(tmp_path):
+    journal = CampaignJournal(tmp_path / "journal.sqlite")
+    yield journal
+    journal.close()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(ctx, catalog, pool, tmp_path_factory):
+    """The reference: one campaign driven to completion without incident."""
+    path = tmp_path_factory.mktemp("campaign") / "reference.sqlite"
+    journal = CampaignJournal(path)
+    try:
+        result = make_runner(ctx, catalog, pool, journal).run("ref")
+    finally:
+        journal.close()
+    return result, render_campaign_report(result)
+
+
+# ----------------------------------------------------------------------
+# Journal persistence
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_report_round_trips_through_json(self, uninterrupted):
+        result, _ = uninterrupted
+        for report in result.reports.values():
+            wire = json.loads(json.dumps(report_to_dict(report)))
+            rebuilt = report_from_dict(wire)
+            assert report_to_dict(rebuilt) == report_to_dict(report)
+            assert rebuilt.n_examples == report.n_examples
+            assert rebuilt.selected == report.selected
+            assert rebuilt.unrealized_partitions == report.unrealized_partitions
+
+    def test_create_meta_and_status(self, journal):
+        journal.create("c1", 7, ["m1", "m2"], {"limit": 2})
+        meta = journal.meta("c1")
+        assert meta.seed == 7
+        assert meta.status == "running"
+        assert meta.module_ids == ("m1", "m2")
+        assert meta.config == {"limit": 2}
+        journal.set_status("c1", "complete")
+        assert journal.meta("c1").status == "complete"
+
+    def test_duplicate_campaign_is_rejected(self, journal):
+        journal.create("c1", 1, [])
+        with pytest.raises(ValueError, match="already exists"):
+            journal.create("c1", 1, [])
+
+    def test_unknown_campaign_raises(self, journal):
+        with pytest.raises(UnknownCampaignError):
+            journal.meta("nope")
+        with pytest.raises(UnknownCampaignError):
+            journal.set_status("nope", "complete")
+
+    def test_bad_status_is_rejected(self, journal):
+        journal.create("c1", 1, [])
+        with pytest.raises(ValueError):
+            journal.set_status("c1", "exploded")
+
+    def test_done_replaces_skipped(self, journal, uninterrupted):
+        result, _ = uninterrupted
+        module_id, report = next(iter(result.reports.items()))
+        journal.create("c1", 1, [module_id])
+        journal.record_skipped("c1", module_id, "provider dark")
+        entry = journal.entries("c1")[module_id]
+        assert entry.status == "skipped" and entry.detail == "provider dark"
+        journal.record_done("c1", report)
+        entry = journal.entries("c1")[module_id]
+        assert entry.status == "done"
+        assert report_to_dict(entry.report) == report_to_dict(report)
+
+    def test_campaigns_listing(self, journal):
+        journal.create("b", 1, [])
+        journal.create("a", 2, [])
+        assert [meta.campaign_id for meta in journal.campaigns()] == ["a", "b"]
+
+    def test_config_round_trips(self):
+        config = CampaignConfig(
+            seed=9, permanent_blackouts=("EBI",), deadline=2.5, limit=10
+        )
+        assert CampaignConfig.from_dict(config.to_dict()) == config
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume byte-identity
+# ----------------------------------------------------------------------
+class _KilledMidRun(RuntimeError):
+    """Stands in for SIGKILL: raised *before* a journal write commits."""
+
+
+class _CrashingJournal(CampaignJournal):
+    """Dies at a chosen journal boundary, like a kill -9 would."""
+
+    def __init__(self, path, crash_after: int) -> None:
+        super().__init__(path)
+        self.crash_after = crash_after
+        self.done_writes = 0
+
+    def record_done(self, campaign_id, report):
+        if self.done_writes >= self.crash_after:
+            raise _KilledMidRun(f"killed before write {self.done_writes + 1}")
+        super().record_done(campaign_id, report)
+        self.done_writes += 1
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("boundary", range(LIMIT))
+    def test_kill_at_every_journal_boundary_then_resume(
+        self, ctx, catalog, pool, tmp_path, uninterrupted, boundary
+    ):
+        """A campaign killed after N journal commits and resumed in a
+        fresh runner renders byte-identically to the uninterrupted run."""
+        _, reference_text = uninterrupted
+        path = tmp_path / "killed.sqlite"
+        crashing = _CrashingJournal(path, crash_after=boundary)
+        with pytest.raises(_KilledMidRun):
+            make_runner(ctx, catalog, pool, crashing).run("ref")
+        crashing.close()
+
+        journal = CampaignJournal(path)
+        try:
+            assert len(journal.entries("ref")) == boundary  # WAL held up
+            result = make_runner(ctx, catalog, pool, journal).resume("ref")
+        finally:
+            journal.close()
+        assert result.status == "complete"
+        assert render_campaign_report(result) == reference_text
+
+    def test_resume_of_a_finished_campaign_is_idempotent(
+        self, ctx, catalog, pool, tmp_path, uninterrupted
+    ):
+        _, reference_text = uninterrupted
+        path = tmp_path / "done.sqlite"
+        journal = CampaignJournal(path)
+        try:
+            make_runner(ctx, catalog, pool, journal).run("ref")
+            result = make_runner(ctx, catalog, pool, journal).resume("ref")
+        finally:
+            journal.close()
+        assert render_campaign_report(result) == reference_text
+
+    def test_resume_unknown_campaign(self, ctx, catalog, pool, journal):
+        with pytest.raises(UnknownCampaignError):
+            make_runner(ctx, catalog, pool, journal).resume("nope")
+
+    def test_finite_blackout_is_ridden_out_by_probe_rounds(
+        self, ctx, catalog, pool, journal, uninterrupted
+    ):
+        """A provider dark for more calls than one retry budget stalls the
+        first pass; the probe rounds ride it out and the final report is
+        still byte-identical to fair-weather."""
+        _, reference_text = uninterrupted
+        result = make_runner(
+            ctx,
+            catalog,
+            pool,
+            journal,
+            blackout_providers=("EBI",),
+            blackout_calls=4,
+            max_attempts=2,
+            failure_threshold=2,
+            deadline=30.0,
+        ).run("ref")
+        assert result.status == "complete"
+        assert render_campaign_report(result) == reference_text
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_permanent_blackout_degrades_with_manifest(
+        self, ctx, catalog, pool, journal
+    ):
+        dark = "EBI"
+        planned = catalog[:LIMIT]
+        dark_ids = [m.module_id for m in planned if m.provider == dark]
+        assert dark_ids, "the test slice must contain the dark provider"
+        runner = make_runner(
+            ctx,
+            catalog,
+            pool,
+            journal,
+            permanent_blackouts=(dark,),
+            failure_threshold=1,  # trip on the first dark call
+            probe_interval=60.0,  # no probes inside the test window
+            deadline=None,  # skip after the first pass
+        )
+        result = runner.run("dark")
+
+        assert result.status == "degraded"
+        assert sorted(result.skipped) == sorted(dark_ids)
+        for reason in result.skipped.values():
+            assert f"provider {dark} unreachable" in reason
+            assert "breaker open" in reason
+        assert result.breaker_states[dark]["state"] == "open"
+        assert result.coverage == pytest.approx(1 - len(dark_ids) / LIMIT)
+        # Containment: the open circuit capped the wasted provider round
+        # trips at threshold × retry budget for the *whole* campaign.
+        telemetry = runner.engine.telemetry
+        assert (
+            telemetry.counter("faults_injected")
+            == runner.config.failure_threshold * runner.config.max_attempts
+        )
+        assert telemetry.counter("breaker_fast_fails") > 0
+        assert journal.meta("dark").status == "degraded"
+
+        text = render_campaign_report(result)
+        assert "Degradation manifest" in text
+        assert f"coverage impact:  {len(dark_ids)}/{LIMIT} modules skipped" in text
+        for module_id in dark_ids:
+            assert module_id in text
+        assert "opened 1x" in text
+
+    def test_resume_after_repair_completes_the_campaign(
+        self, ctx, catalog, pool, journal, uninterrupted
+    ):
+        """Once the provider is back, resuming the degraded campaign
+        converges on the same content as a never-degraded one."""
+        reference, _ = uninterrupted
+        make_runner(
+            ctx,
+            catalog,
+            pool,
+            journal,
+            permanent_blackouts=("EBI",),
+            probe_interval=60.0,
+        ).run("dark")
+        result = make_runner(ctx, catalog, pool, journal).resume("dark")
+        assert result.status == "complete"
+        assert not result.skipped
+        assert result.digest() == reference.digest()
+        assert journal.meta("dark").status == "complete"
+
+
+# ----------------------------------------------------------------------
+# The kill -9 smoke test (ISSUE satellite): a real process, a real SIGKILL
+# ----------------------------------------------------------------------
+def _cli(tmp_path, *args):
+    root = Path(__file__).resolve().parents[1]
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        cwd=root,
+        env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        timeout=300,
+    )
+
+
+def test_sigkill_mid_campaign_then_resume_matches_serial_run(tmp_path):
+    root = Path(__file__).resolve().parents[1]
+    db = tmp_path / "killed.sqlite"
+    flags = ["--limit", "10", "--latency-ms", "10"]
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "campaign", "run", "smoke",
+         "--db", str(db), *flags],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        cwd=root,
+        env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    try:
+        # Wait for at least two journaled modules, then kill -9.
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            done = 0
+            if db.exists():
+                try:
+                    done = sqlite3.connect(db).execute(
+                        "SELECT COUNT(*) FROM campaign_entries "
+                        "WHERE status = 'done'"
+                    ).fetchone()[0]
+                except sqlite3.OperationalError:
+                    done = 0  # schema not committed yet
+            if done >= 2 or victim.poll() is not None:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("campaign never journaled progress")
+    finally:
+        victim.kill()  # SIGKILL
+        victim.wait()
+
+    resumed = _cli(tmp_path, "campaign", "resume", "smoke", "--db", str(db))
+    assert resumed.returncode == 0, resumed.stderr
+    reference = _cli(
+        tmp_path, "campaign", "run", "smoke",
+        "--db", str(tmp_path / "reference.sqlite"), *flags,
+    )
+    assert reference.returncode == 0, reference.stderr
+    assert resumed.stdout == reference.stdout  # byte-identical report
+    assert "status: complete" in resumed.stdout

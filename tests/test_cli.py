@@ -151,3 +151,97 @@ class TestEngineStats:
         ]) == 0
         out = capsys.readouterr().out
         assert "cache:           0 hits" in out
+
+
+class TestEngineStatsJson:
+    def test_json_output_is_parseable(self, capsys):
+        import json
+
+        assert main(["engine-stats", "--limit", "5", "--repeat", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["modules"] == 5
+        assert payload["passes"] == 1
+        assert "cache" in payload["stats"]
+        assert "health" in payload["stats"]
+
+    def test_module_filter(self, capsys):
+        import json
+
+        assert main([
+            "engine-stats", "--module", "ret.get_uniprot_record", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["modules"] == 1
+
+    def test_unknown_module_exits_nonzero(self, capsys):
+        assert main(["engine-stats", "--module", "no.such"]) == 2
+        assert "no module" in capsys.readouterr().err
+
+
+class TestCampaignCli:
+    def _db(self, tmp_path):
+        return str(tmp_path / "campaigns.sqlite")
+
+    def test_run_status_resume_round_trip(self, capsys, tmp_path):
+        import json
+
+        db = self._db(tmp_path)
+        assert main(["campaign", "run", "c1", "--db", db, "--limit", "4"]) == 0
+        run_out = capsys.readouterr().out
+        assert "Campaign c1 (seed 2014)" in run_out
+        assert "modules annotated: 4/4" in run_out
+        assert "status: complete" in run_out
+
+        assert main(["campaign", "status", "c1", "--db", db]) == 0
+        status_out = capsys.readouterr().out
+        assert "done 4/4" in status_out
+        assert "complete" in status_out
+
+        assert main(["campaign", "status", "c1", "--db", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_done"] == 4
+        assert payload["n_pending"] == 0
+        assert payload["status"] == "complete"
+
+        # Resuming a finished campaign re-renders the identical report.
+        assert main(["campaign", "resume", "c1", "--db", db]) == 0
+        assert capsys.readouterr().out == run_out
+
+    def test_duplicate_campaign_id_exits_nonzero(self, capsys, tmp_path):
+        db = self._db(tmp_path)
+        assert main(["campaign", "run", "c1", "--db", db, "--limit", "2"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", "c1", "--db", db, "--limit", "2"]) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_unknown_campaign_exits_nonzero(self, capsys, tmp_path):
+        db = self._db(tmp_path)
+        assert main(["campaign", "status", "ghost", "--db", db]) == 2
+        assert "no campaign 'ghost'" in capsys.readouterr().err
+        assert main(["campaign", "resume", "ghost", "--db", db]) == 2
+        assert "no campaign 'ghost'" in capsys.readouterr().err
+
+    def test_status_without_campaigns(self, capsys, tmp_path):
+        import json
+
+        db = self._db(tmp_path)
+        assert main(["campaign", "status", "--db", db]) == 0
+        assert "no campaigns" in capsys.readouterr().out
+        assert main(["campaign", "status", "--db", db, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_degraded_campaign_renders_manifest(self, capsys, tmp_path):
+        db = self._db(tmp_path)
+        assert main([
+            "campaign", "run", "dark", "--db", db, "--limit", "4",
+            "--permanent-blackout", "EBI", "--failure-threshold", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "status: degraded" in out
+        assert "Degradation manifest" in out
+        assert "coverage impact:  3/4 modules skipped" in out
+        assert "provider EBI unreachable (breaker open)" in out
+        assert main(["campaign", "status", "dark", "--db", db]) == 0
+        status_out = capsys.readouterr().out
+        assert "degraded" in status_out
+        assert "skipped xf.uniprot_to_fasta" in status_out

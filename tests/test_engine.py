@@ -438,3 +438,93 @@ class TestInvocationEngine:
         text = engine.render_stats()
         assert "cache size" in text
         assert "parallelism 3" in text
+
+
+# ----------------------------------------------------------------------
+# Negative-cache TTL and generation stamps (repair-driven revisiting)
+# ----------------------------------------------------------------------
+class TestNegativeCacheExpiry:
+    def test_negative_entry_expires_after_ttl(self, module, good_bindings):
+        clock = FakeClock()
+        cache = InvocationCache(maxsize=8, negative_ttl=60.0, clock=clock)
+        key = canonical_key(module, good_bindings)
+        cache.store_failure(key, InvalidInputError("rejected"))
+        clock.now = 59.9
+        assert cache.lookup(key) is not None  # still replayable
+        clock.now = 60.0
+        assert cache.lookup(key) is None  # aged out: revisit the module
+        assert cache.stats.negative_expired == 1
+        assert cache.lookup(key) is None  # gone for good, plain miss
+        assert cache.stats.negative_expired == 1
+
+    def test_positive_entries_never_expire(self, module, good_bindings):
+        clock = FakeClock()
+        cache = InvocationCache(maxsize=8, negative_ttl=1.0, clock=clock)
+        key = canonical_key(module, good_bindings)
+        cache.store_success(key, {"out": "x"})
+        clock.now = 1e9
+        outcome = cache.lookup(key)
+        assert outcome is not None and outcome.replay() == {"out": "x"}
+
+    def test_module_bump_drops_only_that_modules_negatives(self):
+        cache = InvocationCache(maxsize=8)
+        cache.store_failure(("a", "{}"), InvalidInputError("no"))
+        cache.store_success(("a", '{"x": 1}'), {})
+        cache.store_failure(("b", "{}"), InvalidInputError("no"))
+        assert cache.bump_generation("a") == 1  # the repaired module
+        assert cache.lookup(("a", "{}")) is None
+        assert cache.lookup(("a", '{"x": 1}')) is not None  # positive kept
+        assert cache.lookup(("b", "{}")) is not None  # other module kept
+
+    def test_global_bump_expires_negatives_lazily(self):
+        cache = InvocationCache(maxsize=8)
+        cache.store_failure(("a", "{}"), InvalidInputError("no"))
+        cache.store_success(("b", "{}"), {})
+        assert cache.bump_generation() == 0  # nothing dropped eagerly
+        assert cache.lookup(("a", "{}")) is None  # lazily expired
+        assert cache.stats.negative_expired == 1
+        assert cache.lookup(("b", "{}")) is not None
+        # A rejection stored *after* the bump is current again.
+        cache.store_failure(("a", "{}"), InvalidInputError("still no"))
+        assert cache.lookup(("a", "{}")) is not None
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            InvocationCache(maxsize=8, negative_ttl=0)
+
+    def test_engine_revisits_rejections_after_ttl(
+        self, module, ctx, good_bindings
+    ):
+        """End to end: a repaired module's rejection is re-asked once the
+        negative TTL lapses, and the fresh answer is cached."""
+        clock = FakeClock()
+        inner = ScriptedInvoker(
+            [InvalidInputError("broken build")], outputs={"ok": 1}
+        )
+        engine = InvocationEngine(
+            EngineConfig(cache_size=16, negative_ttl=30.0),
+            invoker=inner,
+            clock=clock,
+        )
+        with pytest.raises(InvalidInputError):
+            engine.invoke(module, ctx, good_bindings)
+        with pytest.raises(InvalidInputError):  # replayed, no call
+            engine.invoke(module, ctx, good_bindings)
+        assert inner.calls == 1
+        clock.now = 30.0  # the module was repaired meanwhile
+        assert engine.invoke(module, ctx, good_bindings) == {"ok": 1}
+        assert inner.calls == 2
+        assert engine.stats()["cache"]["negative_expired"] == 1
+
+    def test_engine_bump_generation_revisits_immediately(
+        self, module, ctx, good_bindings
+    ):
+        inner = ScriptedInvoker(
+            [InvalidInputError("broken build")], outputs={"ok": 1}
+        )
+        engine = InvocationEngine(EngineConfig(cache_size=16), invoker=inner)
+        with pytest.raises(InvalidInputError):
+            engine.invoke(module, ctx, good_bindings)
+        engine.cache.bump_generation(module.module_id)
+        assert engine.invoke(module, ctx, good_bindings) == {"ok": 1}
+        assert inner.calls == 2

@@ -1,0 +1,407 @@
+"""Tests of the resilience layer: circuit breaker, module health, and
+the retry × blackout interplay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakingInvoker,
+    CircuitOpenError,
+    EngineConfig,
+    FaultPlan,
+    InvocationEngine,
+    ModuleHealthRegistry,
+    RetryPolicy,
+)
+from repro.modules.errors import InvalidInputError, ModuleUnavailableError
+
+
+class ScriptedInvoker:
+    """An invoker that replays a script of outcomes, then succeeds."""
+
+    def __init__(self, script=(), outputs=None):
+        self.script = list(script)
+        self.outputs = outputs if outputs is not None else {}
+        self.calls = 0
+
+    def invoke(self, module, ctx, bindings):
+        self.calls += 1
+        if self.script:
+            outcome = self.script.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+        return dict(self.outputs)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.slept: list[float] = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+@pytest.fixture
+def module(catalog_by_id):
+    return catalog_by_id["ret.get_uniprot_record"]
+
+
+@pytest.fixture
+def good_bindings(ctx, pool, module):
+    value = pool.get_instance(
+        module.inputs[0].concept, module.inputs[0].structural
+    )
+    assert value is not None
+    return {module.inputs[0].name: value}
+
+
+# ----------------------------------------------------------------------
+# The breaker state machine
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_starts_closed_and_trips_at_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3), clock=clock)
+        assert breaker.state("EBI") is BreakerState.CLOSED
+        for _ in range(2):
+            breaker.record_failure("EBI")
+        assert breaker.state("EBI") is BreakerState.CLOSED
+        breaker.record_failure("EBI")
+        assert breaker.state("EBI") is BreakerState.OPEN
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure("EBI")
+        breaker.record_success("EBI")
+        breaker.record_failure("EBI")
+        assert breaker.state("EBI") is BreakerState.CLOSED
+
+    def test_open_fast_fails_until_probe_interval(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, probe_interval=10.0), clock=clock
+        )
+        breaker.record_failure("EBI")
+        assert not breaker.allow("EBI")
+        clock.now = 9.9
+        assert not breaker.allow("EBI")
+        clock.now = 10.0
+        assert breaker.allow("EBI")  # the probe
+        assert breaker.state("EBI") is BreakerState.HALF_OPEN
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, probe_interval=5.0), clock=clock
+        )
+        breaker.record_failure("EBI")
+        clock.now = 5.0
+        assert breaker.allow("EBI")
+        breaker.record_failure("EBI")
+        assert breaker.state("EBI") is BreakerState.OPEN
+        # The re-opened circuit waits a full probe interval again.
+        clock.now = 9.9
+        assert not breaker.allow("EBI")
+        clock.now = 10.0
+        assert breaker.allow("EBI")
+
+    def test_half_open_closes_after_enough_successes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(
+                failure_threshold=1, probe_interval=1.0, half_open_successes=2
+            ),
+            clock=clock,
+        )
+        breaker.record_failure("EBI")
+        clock.now = 1.0
+        assert breaker.allow("EBI")
+        breaker.record_success("EBI")
+        assert breaker.state("EBI") is BreakerState.HALF_OPEN
+        breaker.record_success("EBI")
+        assert breaker.state("EBI") is BreakerState.CLOSED
+
+    def test_circuits_are_per_provider(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1))
+        breaker.record_failure("EBI")
+        assert breaker.state("EBI") is BreakerState.OPEN
+        assert breaker.state("NCBI") is BreakerState.CLOSED
+        assert breaker.open_providers() == ["EBI"]
+
+    def test_transitions_are_reported(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, probe_interval=1.0),
+            clock=clock,
+            on_transition=lambda p, old, new: seen.append((p, old, new)),
+        )
+        breaker.record_failure("EBI")
+        clock.now = 1.0
+        breaker.allow("EBI")
+        breaker.record_success("EBI")
+        breaker.record_success("EBI")
+        states = [(old.value, new.value) for _p, old, new in seen]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+
+    def test_snapshot_counts_fast_failures(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1))
+        breaker.record_failure("EBI")
+        for _ in range(4):
+            breaker.allow("EBI")
+        snap = breaker.snapshot()
+        assert snap["EBI"]["state"] == "open"
+        assert snap["EBI"]["fast_failures"] == 4
+        assert snap["EBI"]["times_opened"] == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(probe_interval=-1)
+        with pytest.raises(ValueError):
+            BreakerPolicy(half_open_successes=0)
+
+
+# ----------------------------------------------------------------------
+# The breaking invoker
+# ----------------------------------------------------------------------
+class TestCircuitBreakingInvoker:
+    def test_open_circuit_never_reaches_the_inner_invoker(
+        self, module, ctx, good_bindings
+    ):
+        clock = FakeClock()
+        inner = ScriptedInvoker([ModuleUnavailableError("down")] * 50)
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2, probe_interval=1000.0), clock=clock
+        )
+        invoker = CircuitBreakingInvoker(inner, breaker)
+        for _ in range(2):
+            with pytest.raises(ModuleUnavailableError):
+                invoker.invoke(module, ctx, good_bindings)
+        for _ in range(20):
+            with pytest.raises(CircuitOpenError):
+                invoker.invoke(module, ctx, good_bindings)
+        # 22 caller-visible failures, but only 2 provider round trips.
+        assert inner.calls == 2
+
+    def test_invalid_input_counts_as_an_answer(self, module, ctx, good_bindings):
+        inner = ScriptedInvoker(
+            [ModuleUnavailableError("down"), InvalidInputError("bad")] * 3
+        )
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        invoker = CircuitBreakingInvoker(inner, breaker)
+        for error in (ModuleUnavailableError, InvalidInputError) * 3:
+            with pytest.raises(error):
+                invoker.invoke(module, ctx, good_bindings)
+        # The rejections keep resetting the failure run: never trips.
+        assert breaker.state(module.provider) is BreakerState.CLOSED
+
+    def test_probe_success_readmits_the_provider(self, module, ctx, good_bindings):
+        clock = FakeClock()
+        inner = ScriptedInvoker(
+            [ModuleUnavailableError("down")] * 2, outputs={"ok": 1}
+        )
+        breaker = CircuitBreaker(
+            BreakerPolicy(
+                failure_threshold=2, probe_interval=5.0, half_open_successes=1
+            ),
+            clock=clock,
+        )
+        invoker = CircuitBreakingInvoker(inner, breaker)
+        for _ in range(2):
+            with pytest.raises(ModuleUnavailableError):
+                invoker.invoke(module, ctx, good_bindings)
+        assert breaker.state(module.provider) is BreakerState.OPEN
+        clock.now = 5.0
+        assert invoker.invoke(module, ctx, good_bindings) == {"ok": 1}
+        assert breaker.state(module.provider) is BreakerState.CLOSED
+
+
+# ----------------------------------------------------------------------
+# Retry × blackout interplay (satellite)
+# ----------------------------------------------------------------------
+class TestRetryBlackoutInterplay:
+    def test_retry_rides_out_exactly_blackout_calls_failures(
+        self, module, ctx, good_bindings
+    ):
+        """A blackout of N calls costs exactly N failed attempts; the
+        (N+1)-th attempt is the recovery."""
+        blackout_calls = 3
+        clock = FakeClock()
+        engine = InvocationEngine(
+            EngineConfig(
+                retry=RetryPolicy(max_attempts=blackout_calls + 1),
+                fault_plan=FaultPlan(
+                    blackout_providers=frozenset({module.provider}),
+                    blackout_calls=blackout_calls,
+                ),
+            ),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        outputs = engine.invoke(module, ctx, good_bindings)
+        assert outputs  # the real module answered after the blackout
+        assert engine.telemetry.counter("faults_injected") == blackout_calls
+        assert engine.telemetry.counter("retries") == blackout_calls
+        assert engine.telemetry.counter("ok") == 1
+
+    def test_one_fewer_attempt_than_the_blackout_fails(
+        self, module, ctx, good_bindings
+    ):
+        blackout_calls = 3
+        clock = FakeClock()
+        engine = InvocationEngine(
+            EngineConfig(
+                retry=RetryPolicy(max_attempts=blackout_calls),
+                fault_plan=FaultPlan(
+                    blackout_providers=frozenset({module.provider}),
+                    blackout_calls=blackout_calls,
+                ),
+            ),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        with pytest.raises(ModuleUnavailableError):
+            engine.invoke(module, ctx, good_bindings)
+        assert engine.telemetry.counter("retries_exhausted") == 1
+
+    def test_breaker_caps_total_calls_to_an_open_provider(
+        self, module, ctx, good_bindings
+    ):
+        """With a provider permanently dark, the breaker bounds the
+        provider round trips at threshold × retry budget; every further
+        invocation is a fast failure that costs nothing."""
+        clock = FakeClock()
+        max_attempts, threshold = 3, 2
+        engine = InvocationEngine(
+            EngineConfig(
+                retry=RetryPolicy(max_attempts=max_attempts),
+                fault_plan=FaultPlan(
+                    permanent_blackout_providers=frozenset({module.provider}),
+                ),
+                breaker=BreakerPolicy(
+                    failure_threshold=threshold, probe_interval=1000.0
+                ),
+            ),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        for _ in range(50):
+            with pytest.raises(ModuleUnavailableError):
+                engine.invoke(module, ctx, good_bindings)
+        assert (
+            engine.telemetry.counter("faults_injected")
+            == max_attempts * threshold
+        )
+        assert engine.telemetry.counter("breaker_fast_fails") == 50 - threshold
+        assert engine.telemetry.counter("breaker_opened") == 1
+
+    def test_probe_interval_bounds_wasted_calls_over_time(
+        self, module, ctx, good_bindings
+    ):
+        """Across a long dark period, provider round trips grow with the
+        number of probe intervals, not with the number of invocations."""
+        clock = FakeClock()
+        engine = InvocationEngine(
+            EngineConfig(
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+                fault_plan=FaultPlan(
+                    permanent_blackout_providers=frozenset({module.provider}),
+                ),
+                breaker=BreakerPolicy(failure_threshold=1, probe_interval=10.0),
+            ),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        for step in range(100):
+            clock.now = step * 1.0  # 100 invocations over 10 probe windows
+            with pytest.raises(ModuleUnavailableError):
+                engine.invoke(module, ctx, good_bindings)
+        # 1 trip call + ~1 probe per 10s window, each costing 2 attempts.
+        assert engine.telemetry.counter("faults_injected") <= 2 * 11
+
+
+# ----------------------------------------------------------------------
+# Module health
+# ----------------------------------------------------------------------
+class TestModuleHealth:
+    def test_outcomes_accumulate(self):
+        health = ModuleHealthRegistry()
+        health.observe("m1", "EBI", "ok", 2.0)
+        health.observe("m1", "EBI", "invalid", 1.0)
+        health.observe("m1", "EBI", "unavailable", 0.0)
+        record = health.record("m1")
+        assert record.calls == 3
+        assert record.answered == 2
+        assert record.availability == pytest.approx(2 / 3)
+        assert record.mean_latency_ms == pytest.approx(1.0)
+
+    def test_dead_needs_consecutive_failures(self):
+        health = ModuleHealthRegistry(dead_after=3)
+        for _ in range(2):
+            health.observe("m1", "EBI", "unavailable")
+        health.observe("m1", "EBI", "ok")
+        for _ in range(2):
+            health.observe("m1", "EBI", "unavailable")
+        assert not health.is_dead("m1")
+        health.observe("m1", "EBI", "unavailable")
+        assert health.is_dead("m1")
+        assert health.dead_modules() == ["m1"]
+
+    def test_provider_rollup(self):
+        health = ModuleHealthRegistry(dead_after=1)
+        health.observe("m1", "EBI", "ok")
+        health.observe("m2", "EBI", "unavailable")
+        health.observe("m3", "NCBI", "ok")
+        summary = health.provider_summary()
+        assert summary["EBI"]["calls"] == 2
+        assert summary["EBI"]["availability"] == 0.5
+        assert summary["EBI"]["dead_modules"] == 1
+        assert summary["NCBI"]["availability"] == 1.0
+        assert "observed-dead:     1" in health.render()
+
+    def test_engine_feeds_health(self, module, ctx, good_bindings):
+        engine = InvocationEngine()
+        engine.invoke(module, ctx, good_bindings)
+        with pytest.raises(InvalidInputError):
+            engine.invoke(module, ctx, {})
+        record = engine.health.record(module.module_id)
+        assert record.ok == 1
+        assert record.invalid == 1
+        assert engine.stats()["health"]["n_modules"] == 1
+
+    def test_health_drives_decay_analysis(self, catalog_by_id):
+        from repro.workflow.model import Step, Workflow
+        from repro.workflow.monitoring import analyze_decay
+
+        module = catalog_by_id["ret.get_uniprot_record"]
+        workflow = Workflow(
+            "w1", "uses m", steps=(Step("a", module.module_id),)
+        )
+        health = ModuleHealthRegistry(dead_after=2)
+        report = analyze_decay([workflow], catalog_by_id, health=health)
+        assert report.n_broken == 0
+        for _ in range(2):
+            health.observe(module.module_id, module.provider, "unavailable")
+        report = analyze_decay([workflow], catalog_by_id, health=health)
+        assert report.n_broken == 1
+        assert report.observed_dead == [module.module_id]
+        assert report.by_provider == {module.provider: 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModuleHealthRegistry(dead_after=0)
