@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench bench-engine report engine-stats campaign examples all clean
+.PHONY: install test test-faults test-hangs bench bench-engine report engine-stats campaign examples all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,14 @@ test:
 # fault-matrix job): every deterministic report must survive unchanged.
 test-faults:
 	REPRO_FAULT_RATE=0.05 REPRO_FAULT_SEED=2014 $(PYTHON) -m pytest tests/ -x -q
+
+# The tier-1 suite with every call stalled and the watchdog armed well
+# above the stall (the CI hang-matrix job): every invocation crosses the
+# watchdog's worker thread, nothing times out, nothing changes.
+test-hangs:
+	REPRO_FAULT_RATE=0.05 REPRO_FAULT_SEED=2014 \
+	REPRO_STALL_MS=0.5 REPRO_WATCHDOG_BUDGET=10 \
+		$(PYTHON) -m pytest tests/ -x -q
 
 # Plain invocation (no --benchmark-only): works with or without the
 # optional pytest-benchmark plugin — benchmarks/conftest.py provides a

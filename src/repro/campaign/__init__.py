@@ -5,8 +5,13 @@ that survives the §6 world::
 
     CampaignRunner          run / resume / finalize over a planned module list
         CampaignJournal     SQLite write-ahead journal of per-module reports
-        InvocationEngine    cache + retry + circuit breaker + health
+        InvocationEngine    cache + retry + breaker + watchdog + conformance
     render_campaign_report  deterministic final report + degradation manifest
+
+Byzantine modules — ones that hang, answer with the wrong arity, or
+answer nondeterministically — produce *quarantined* examples: journaled
+and counted (``timed_out_combinations`` / ``quarantined_combinations``)
+but never admitted to annotations or matching.
 
 ``repro-cli campaign run`` can be killed at any journal boundary;
 ``campaign resume`` completes the remainder and the finalized report is

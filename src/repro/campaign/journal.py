@@ -24,6 +24,7 @@ from pathlib import Path
 
 from repro.core.examples import Binding, DataExample
 from repro.core.generation import GenerationReport
+from repro.core.quarantine import QuarantinedExample
 from repro.modules.interfaces import value_from_wire, value_to_wire
 from repro.values import TypedValue
 
@@ -96,6 +97,15 @@ def report_to_dict(report: GenerationReport) -> dict:
         "unrealized_partitions": [list(pair) for pair in report.unrealized_partitions],
         "invalid_combinations": report.invalid_combinations,
         "unavailable_combinations": report.unavailable_combinations,
+        "quarantined": [
+            {
+                "inputs": [_binding_to_dict(b) for b in record.inputs],
+                "outputs": [_binding_to_dict(b) for b in record.outputs],
+                "cause": record.cause,
+                "detail": record.detail,
+            }
+            for record in report.quarantined
+        ],
     }
 
 
@@ -124,6 +134,17 @@ def report_from_dict(data: dict) -> GenerationReport:
         ],
         invalid_combinations=data["invalid_combinations"],
         unavailable_combinations=data["unavailable_combinations"],
+        # PR-2-era journals predate quarantine; default to none.
+        quarantined=[
+            QuarantinedExample(
+                module_id=module_id,
+                inputs=tuple(_binding_from_dict(b) for b in record["inputs"]),
+                outputs=tuple(_binding_from_dict(b) for b in record["outputs"]),
+                cause=record["cause"],
+                detail=record["detail"],
+            )
+            for record in data.get("quarantined", [])
+        ],
     )
 
 

@@ -43,12 +43,15 @@ from repro.campaign.journal import (
     report_to_dict,
 )
 from repro.core.generation import ExampleGenerator, GenerationReport
+from repro.core.quarantine import QuarantineLog
 from repro.engine import (
     BreakerPolicy,
+    ConformancePolicy,
     EngineConfig,
     FaultPlan,
     InvocationEngine,
     RetryPolicy,
+    WatchdogPolicy,
 )
 from repro.engine.telemetry import default_clock
 from repro.modules.model import Module, ModuleContext
@@ -76,6 +79,22 @@ class CampaignConfig:
         deadline: Wall-clock budget for riding out unreachable modules;
             ``None`` skips them after the first pass.
         limit: Only campaign the first N planned modules.
+        watchdog_budget: Hard wall-clock budget per invocation, in
+            seconds; ``None`` disables the watchdog.
+        conformance: Validate every successful invocation's outputs
+            against the module's declared interface (on by default —
+            the whole catalog conforms, so honest modules pay only the
+            check).
+        probe_rate: Fraction of successful combinations to double-invoke
+            for nondeterminism (0 disables).
+        hang_providers: Providers whose calls hang (testing).
+        stall_providers: Providers whose calls stall ``stall_ms``
+            (testing); empty stalls every provider when ``stall_ms > 0``.
+        stall_ms: Fixed extra delay per stalled call (testing).
+        corrupt_providers: Providers whose outputs lose a parameter
+            (testing).
+        nondeterministic_providers: Providers whose outputs vary per
+            call (testing).
     """
 
     seed: int = 2014
@@ -92,6 +111,14 @@ class CampaignConfig:
     probe_interval: float = 0.1
     deadline: "float | None" = None
     limit: "int | None" = None
+    watchdog_budget: "float | None" = None
+    conformance: bool = True
+    probe_rate: float = 0.0
+    hang_providers: tuple = ()
+    stall_providers: tuple = ()
+    stall_ms: float = 0.0
+    corrupt_providers: tuple = ()
+    nondeterministic_providers: tuple = ()
 
     def to_dict(self) -> dict:
         return {
@@ -109,13 +136,28 @@ class CampaignConfig:
             "probe_interval": self.probe_interval,
             "deadline": self.deadline,
             "limit": self.limit,
+            "watchdog_budget": self.watchdog_budget,
+            "conformance": self.conformance,
+            "probe_rate": self.probe_rate,
+            "hang_providers": list(self.hang_providers),
+            "stall_providers": list(self.stall_providers),
+            "stall_ms": self.stall_ms,
+            "corrupt_providers": list(self.corrupt_providers),
+            "nondeterministic_providers": list(self.nondeterministic_providers),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignConfig":
         data = dict(data)
-        data["blackout_providers"] = tuple(data.get("blackout_providers", ()))
-        data["permanent_blackouts"] = tuple(data.get("permanent_blackouts", ()))
+        for key in (
+            "blackout_providers",
+            "permanent_blackouts",
+            "hang_providers",
+            "stall_providers",
+            "corrupt_providers",
+            "nondeterministic_providers",
+        ):
+            data[key] = tuple(data.get(key, ()))
         return cls(**data)
 
     # ------------------------------------------------------------------
@@ -127,6 +169,10 @@ class CampaignConfig:
             or self.latency_ms > 0
             or self.blackout_providers
             or self.permanent_blackouts
+            or self.hang_providers
+            or self.stall_ms > 0
+            or self.corrupt_providers
+            or self.nondeterministic_providers
         ):
             fault_plan = FaultPlan(
                 seed=self.seed,
@@ -135,6 +181,13 @@ class CampaignConfig:
                 blackout_providers=frozenset(self.blackout_providers),
                 blackout_calls=self.blackout_calls,
                 permanent_blackout_providers=frozenset(self.permanent_blackouts),
+                hang_providers=frozenset(self.hang_providers),
+                stall_providers=frozenset(self.stall_providers),
+                stall_ms=self.stall_ms,
+                corrupt_output_providers=frozenset(self.corrupt_providers),
+                nondeterministic_providers=frozenset(
+                    self.nondeterministic_providers
+                ),
             )
         return EngineConfig(
             parallelism=self.parallelism,
@@ -148,6 +201,16 @@ class CampaignConfig:
             breaker=BreakerPolicy(
                 failure_threshold=self.failure_threshold,
                 probe_interval=self.probe_interval,
+            ),
+            conformance=(
+                ConformancePolicy(probe_rate=self.probe_rate, probe_seed=self.seed)
+                if self.conformance
+                else None
+            ),
+            watchdog=(
+                WatchdogPolicy(budget=self.watchdog_budget)
+                if self.watchdog_budget is not None
+                else None
             ),
         )
 
@@ -179,6 +242,28 @@ class CampaignResult:
     @property
     def n_examples(self) -> int:
         return sum(report.n_examples for report in self.reports.values())
+
+    @property
+    def timed_out_combinations(self) -> int:
+        """Combinations the watchdog abandoned, over all reports."""
+        return sum(
+            report.timed_out_combinations for report in self.reports.values()
+        )
+
+    @property
+    def quarantined_combinations(self) -> int:
+        """Semantically quarantined combinations, over all reports."""
+        return sum(
+            report.quarantined_combinations for report in self.reports.values()
+        )
+
+    def quarantine_log(self) -> QuarantineLog:
+        """Every quarantined example of the campaign, planned order —
+        the feed for :func:`repro.workflow.monitoring.analyze_decay`."""
+        log = QuarantineLog()
+        for report in self.reports.values():
+            log.ingest_report(report)
+        return log
 
     @property
     def coverage(self) -> float:
@@ -355,11 +440,21 @@ def render_campaign_report(result: CampaignResult) -> str:
         f"  data examples:     {result.n_examples}",
         f"  content digest:    {result.digest()}",
     ]
-    for module_id, report in result.reports.items():
+    if result.timed_out_combinations or result.quarantined_combinations:
         lines.append(
+            f"  withheld:          {result.timed_out_combinations} timed out, "
+            f"{result.quarantined_combinations} quarantined"
+        )
+    for module_id, report in result.reports.items():
+        line = (
             f"    {module_id:<34} examples={report.n_examples:<4} "
             f"invalid={report.invalid_combinations}"
         )
+        if report.timed_out_combinations:
+            line += f" timed_out={report.timed_out_combinations}"
+        if report.quarantined_combinations:
+            line += f" quarantined={report.quarantined_combinations}"
+        lines.append(line)
     lines.append(f"  status: {result.status}")
     if result.skipped:
         lines.append("")

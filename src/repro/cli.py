@@ -208,7 +208,14 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_engine_stats(args: argparse.Namespace) -> int:
     """Run generation through a tuned engine and print its telemetry."""
     from repro.core.generation import ExampleGenerator
-    from repro.engine import EngineConfig, FaultPlan, InvocationEngine, RetryPolicy
+    from repro.engine import (
+        ConformancePolicy,
+        EngineConfig,
+        FaultPlan,
+        InvocationEngine,
+        RetryPolicy,
+        WatchdogPolicy,
+    )
 
     if args.repeat < 1:
         raise SystemExit("error: --repeat must be at least 1")
@@ -244,6 +251,16 @@ def cmd_engine_stats(args: argparse.Namespace) -> int:
             cache_size=args.cache_size if args.cache_size > 0 else None,
             retry=retry,
             fault_plan=fault_plan,
+            conformance=(
+                ConformancePolicy(probe_rate=args.probe_rate, probe_seed=args.seed)
+                if not args.no_conformance
+                else None
+            ),
+            watchdog=(
+                WatchdogPolicy(budget=args.watchdog_budget)
+                if args.watchdog_budget is not None
+                else None
+            ),
         )
     )
     generator = ExampleGenerator(ctx, pool, engine=engine)
@@ -298,6 +315,14 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         probe_interval=args.probe_interval,
         deadline=args.deadline,
         limit=args.limit,
+        watchdog_budget=args.watchdog_budget,
+        conformance=not args.no_conformance,
+        probe_rate=args.probe_rate,
+        hang_providers=tuple(args.hang),
+        stall_providers=tuple(args.stall),
+        stall_ms=args.stall_ms,
+        corrupt_providers=tuple(args.corrupt_output),
+        nondeterministic_providers=tuple(args.nondeterministic),
     )
     ctx, catalog, pool = _world(args.seed)
     journal = CampaignJournal(args.db)
@@ -359,6 +384,12 @@ def _campaign_progress(journal, meta) -> dict:
         "n_skipped": len(skipped),
         "n_pending": len(meta.module_ids) - len(done) - len(skipped),
         "n_examples": sum(entry.report.n_examples for entry in done),
+        "timed_out_combinations": sum(
+            entry.report.timed_out_combinations for entry in done
+        ),
+        "quarantined_combinations": sum(
+            entry.report.quarantined_combinations for entry in done
+        ),
         "skipped": skipped,
     }
 
@@ -390,12 +421,18 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         print(f"no campaigns in {args.db}")
         return 0
     for entry in progress:
-        print(
+        line = (
             f"{entry['campaign_id']:<20} {entry['status']:<9} "
             f"done {entry['n_done']}/{entry['n_planned']}  "
             f"skipped {entry['n_skipped']}  pending {entry['n_pending']}  "
             f"examples {entry['n_examples']}"
         )
+        if entry["timed_out_combinations"] or entry["quarantined_combinations"]:
+            line += (
+                f"  timed_out {entry['timed_out_combinations']}  "
+                f"quarantined {entry['quarantined_combinations']}"
+            )
+        print(line)
         for module_id, reason in entry["skipped"].items():
             print(f"    skipped {module_id:<30} {reason}")
     return 0
@@ -471,6 +508,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--module", action="append", default=[],
                    help="only process this module id (repeatable); unknown "
                         "ids exit nonzero")
+    p.add_argument("--watchdog-budget", type=float, default=None,
+                   help="hard wall-clock budget per invocation, seconds")
+    p.add_argument("--probe-rate", type=float, default=0.0,
+                   help="fraction of successful combinations to double-invoke "
+                        "for nondeterminism")
+    p.add_argument("--no-conformance", action="store_true",
+                   help="disable output-conformance validation")
     p.add_argument("--json", action="store_true",
                    help="print the full stats snapshot as JSON")
     p.set_defaults(func=cmd_engine_stats)
@@ -503,6 +547,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="breaker probe / campaign re-probe interval, seconds")
     c.add_argument("--deadline", type=float, default=None,
                    help="wall-clock budget for unreachable modules, seconds")
+    c.add_argument("--watchdog-budget", type=float, default=None,
+                   help="hard wall-clock budget per invocation, seconds")
+    c.add_argument("--probe-rate", type=float, default=0.0,
+                   help="fraction of successful combinations to double-invoke "
+                        "for nondeterminism")
+    c.add_argument("--no-conformance", action="store_true",
+                   help="disable output-conformance validation")
+    c.add_argument("--hang", action="append", default=[],
+                   help="provider whose calls hang (repeatable; testing)")
+    c.add_argument("--stall", action="append", default=[],
+                   help="provider whose calls stall --stall-ms (repeatable)")
+    c.add_argument("--stall-ms", type=float, default=0.0,
+                   help="fixed extra delay per stalled call, ms")
+    c.add_argument("--corrupt-output", action="append", default=[],
+                   help="provider whose outputs lose a parameter (repeatable)")
+    c.add_argument("--nondeterministic", action="append", default=[],
+                   help="provider whose outputs vary per call (repeatable)")
     c.set_defaults(func=cmd_campaign_run)
 
     c = campaign_commands.add_parser(

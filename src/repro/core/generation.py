@@ -28,8 +28,17 @@ from dataclasses import dataclass, field
 
 from repro.core.examples import Binding, DataExample
 from repro.core.partitioning import parameter_partitions
+from repro.core.quarantine import (
+    CAUSE_TIMEOUT,
+    QuarantinedExample,
+)
 from repro.engine import BatchScheduler, InvocationEngine
-from repro.modules.errors import ModuleInvocationError, ModuleUnavailableError
+from repro.modules.errors import (
+    MalformedOutputError,
+    ModuleInvocationError,
+    ModuleTimeoutError,
+    ModuleUnavailableError,
+)
 from repro.modules.model import Module, ModuleContext
 from repro.pool.pool import InstancePool
 from repro.values import TypedValue
@@ -51,6 +60,13 @@ class GenerationReport:
             answered (availability failures surviving the engine's retry
             stack).  A nonzero count means the report is *incomplete* —
             a resilient campaign will want to revisit this module.
+        quarantined: Combinations withheld from the evidence base — the
+            watchdog abandoned them or the outputs failed conformance.
+            Unlike unavailability these do *not* make the report
+            incomplete: a wedged or lying module is decayed, not busy,
+            and re-probing it would burn the campaign deadline for the
+            same verdict.  Campaigns journal them and the decay monitor
+            surfaces the modules for repair.
     """
 
     module_id: str
@@ -59,10 +75,23 @@ class GenerationReport:
     unrealized_partitions: list[tuple[str, str]] = field(default_factory=list)
     invalid_combinations: int = 0
     unavailable_combinations: int = 0
+    quarantined: list[QuarantinedExample] = field(default_factory=list)
 
     @property
     def n_examples(self) -> int:
         return len(self.examples)
+
+    @property
+    def timed_out_combinations(self) -> int:
+        """Combinations the watchdog abandoned (quarantine cause
+        ``timeout``)."""
+        return sum(1 for record in self.quarantined if record.cause == CAUSE_TIMEOUT)
+
+    @property
+    def quarantined_combinations(self) -> int:
+        """Combinations quarantined for *semantic* causes — malformed or
+        nondeterministic outputs; disjoint from the timeout count."""
+        return sum(1 for record in self.quarantined if record.semantic)
 
     @property
     def complete(self) -> bool:
@@ -120,11 +149,41 @@ class ExampleGenerator:
             bindings = {b.parameter: b.value for b in combination}
             try:
                 outputs = self.engine.invoke(module, self.ctx, bindings)
+            except ModuleTimeoutError as error:
+                # The watchdog abandoned the call: the combination is
+                # quarantined, not revisited — a wedged module is decay,
+                # and the campaign must keep its deadline.
+                report.quarantined.append(
+                    QuarantinedExample(
+                        module_id=module.module_id,
+                        inputs=tuple(combination),
+                        cause=CAUSE_TIMEOUT,
+                        detail=str(error),
+                    )
+                )
+                continue
             except ModuleUnavailableError:
                 # The provider never answered: this is missing coverage,
                 # not a rejection — kept out of the abnormal-termination
                 # accounting so the paper's invalid counts stay honest.
                 report.unavailable_combinations += 1
+                continue
+            except MalformedOutputError as error:
+                # The module answered but the outputs violate its own
+                # declared interface: quarantined with the lying outputs
+                # attached as evidence, never admitted as an example.
+                report.quarantined.append(
+                    QuarantinedExample(
+                        module_id=module.module_id,
+                        inputs=tuple(combination),
+                        cause=error.cause,
+                        detail=str(error),
+                        outputs=tuple(
+                            Binding(parameter=name, value=value)
+                            for name, value in sorted(error.outputs.items())
+                        ),
+                    )
+                )
                 continue
             except ModuleInvocationError:
                 report.invalid_combinations += 1

@@ -1,0 +1,169 @@
+"""Quarantine: evidence that must never become evidence.
+
+The generation heuristic (§3.2) turns normally terminating invocations
+into data examples, and everything downstream trusts them: the semantic
+annotations of §5 and the Figure-8 behavior matches of §6 are only as
+good as the examples they read.  A byzantine module — one that hangs,
+returns the wrong arity, emits values outside its annotated domain, or
+answers nondeterministically — would poison all of it through a single
+admitted example.
+
+A :class:`QuarantinedExample` is the residue of such an invocation: the
+input combination, the (possibly empty) nonconforming outputs, and a
+stable *cause* label.  Campaigns journal quarantined examples alongside
+real ones so the evidence survives kill/resume, but nothing downstream
+ever admits them — they exist to be *counted* and *investigated*, not
+matched.
+
+Causes split along the availability/semantics line:
+
+* :data:`CAUSE_TIMEOUT` — the watchdog abandoned the call.  This is an
+  availability signal; it feeds the health registry's observed-dead
+  accounting, not the semantically-decayed list.
+* :data:`CAUSE_MALFORMED` / :data:`CAUSE_NONDETERMINISTIC` — the module
+  answered and lied.  These mark the module **semantically decayed**
+  for :func:`repro.workflow.monitoring.analyze_decay`: the provider
+  looks healthy to every availability probe, yet its module can no
+  longer be trusted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.examples import Binding
+
+#: The watchdog abandoned the call — availability, not semantics.
+CAUSE_TIMEOUT = "timeout"
+#: The outputs violated the declared interface (arity / structure / domain).
+CAUSE_MALFORMED = "malformed-output"
+#: Two invocations on identical inputs disagreed.
+CAUSE_NONDETERMINISTIC = "nondeterministic"
+
+#: Causes that mark a module semantically decayed (it answered, wrongly).
+SEMANTIC_CAUSES = frozenset({CAUSE_MALFORMED, CAUSE_NONDETERMINISTIC})
+
+
+@dataclass(frozen=True)
+class QuarantinedExample:
+    """One input combination withheld from the evidence base.
+
+    Attributes:
+        module_id: The module whose invocation was quarantined.
+        inputs: The input bindings of the combination, in the same shape
+            a :class:`~repro.core.examples.DataExample` would carry.
+        cause: One of :data:`CAUSE_TIMEOUT`, :data:`CAUSE_MALFORMED`,
+            :data:`CAUSE_NONDETERMINISTIC`.
+        detail: The error message the engine raised.
+        outputs: The nonconforming output bindings when the module did
+            answer; empty for timeouts.
+    """
+
+    module_id: str
+    inputs: tuple[Binding, ...]
+    cause: str
+    detail: str = ""
+    outputs: tuple[Binding, ...] = ()
+
+    @property
+    def semantic(self) -> bool:
+        """True when the cause marks semantic (not availability) decay."""
+        return self.cause in SEMANTIC_CAUSES
+
+    def render(self, width: int = 48) -> str:
+        """Human-readable one-quarantine card."""
+        lines = [f"Quarantined [{self.cause}] {self.module_id}"]
+        for binding in self.inputs:
+            lines.append(
+                f"  in  {binding.parameter:<12} = {binding.value.render(width)}"
+            )
+        for binding in self.outputs:
+            lines.append(
+                f"  out {binding.parameter:<12} = {binding.value.render(width)}"
+            )
+        if self.detail:
+            lines.append(f"  why {self.detail}")
+        return "\n".join(lines)
+
+
+class QuarantineLog:
+    """A thread-safe accumulator of quarantined examples.
+
+    Campaigns build one from their journaled reports; the decay monitor
+    reads :meth:`semantically_decayed` off it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[QuarantinedExample] = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def add(self, record: QuarantinedExample) -> None:
+        """Append one quarantined example."""
+        with self._lock:
+            self._records.append(record)
+
+    def extend(self, records) -> None:
+        """Append many quarantined examples."""
+        with self._lock:
+            self._records.extend(records)
+
+    def ingest_report(self, report) -> int:
+        """Pull the quarantined examples out of one generation report.
+
+        Returns:
+            The number of records ingested.
+        """
+        records = list(report.quarantined)
+        self.extend(records)
+        return len(records)
+
+    # ------------------------------------------------------------------
+    def records(self) -> "tuple[QuarantinedExample, ...]":
+        """Every quarantined example, in ingestion order."""
+        with self._lock:
+            return tuple(self._records)
+
+    def by_module(self) -> "dict[str, list[QuarantinedExample]]":
+        """Quarantined examples grouped by module id (sorted keys)."""
+        grouped: dict[str, list[QuarantinedExample]] = {}
+        for record in self.records():
+            grouped.setdefault(record.module_id, []).append(record)
+        return {module_id: grouped[module_id] for module_id in sorted(grouped)}
+
+    def counts_by_cause(self) -> "dict[str, int]":
+        """How many examples each cause quarantined (sorted keys)."""
+        counts: dict[str, int] = {}
+        for record in self.records():
+            counts[record.cause] = counts.get(record.cause, 0) + 1
+        return {cause: counts[cause] for cause in sorted(counts)}
+
+    def semantically_decayed(self) -> "list[str]":
+        """Module ids with at least one *semantic* quarantine, sorted.
+
+        Timeout-only modules are excluded: a wedged module is an
+        availability problem (the health registry's observed-dead path
+        covers it), not evidence that its answers are wrong.
+        """
+        return sorted(
+            {record.module_id for record in self.records() if record.semantic}
+        )
+
+    def render(self) -> str:
+        """Operator-facing quarantine summary."""
+        records = self.records()
+        lines = [
+            "Quarantine — examples withheld from the evidence base",
+            f"  quarantined:       {len(records)}",
+        ]
+        for cause, count in self.counts_by_cause().items():
+            lines.append(f"    {cause:<18} {count}")
+        decayed = self.semantically_decayed()
+        lines.append(f"  semantically decayed modules: {len(decayed)}")
+        for module_id in decayed:
+            lines.append(f"    {module_id}")
+        return "\n".join(lines)

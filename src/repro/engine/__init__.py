@@ -12,6 +12,8 @@ calls flow through::
         InvocationCache     (module_id, canonical bindings) → outcome
         CircuitBreakingInvoker  per-provider fast-fail (closed/open/half-open)
         RetryingInvoker     backoff + deadline for transient failures
+        WatchdogInvoker     hard wall-clock budget, abandoned-call accounting
+        ConformingInvoker   output validation + nondeterminism probes
         FaultInjectingInvoker   seeded decay weather for tests/benches
         DirectInvoker       the real supply-interface round trip
             │
@@ -30,6 +32,11 @@ from repro.engine.breaker import (
     CircuitOpenError,
 )
 from repro.engine.cache import CachedOutcome, CacheStats, InvocationCache, canonical_key
+from repro.engine.conformance import (
+    ConformancePolicy,
+    ConformanceStats,
+    ConformingInvoker,
+)
 from repro.engine.faults import FaultInjectingInvoker, FaultPlan, InjectedFaultError
 from repro.engine.health import HealthRecord, ModuleHealthRegistry
 from repro.engine.invoker import (
@@ -46,6 +53,7 @@ from repro.engine.telemetry import (
     Telemetry,
     default_clock,
 )
+from repro.engine.watchdog import WatchdogInvoker, WatchdogPolicy, WatchdogStats
 
 __all__ = [
     "BatchScheduler",
@@ -56,6 +64,9 @@ __all__ = [
     "CircuitBreaker",
     "CircuitBreakingInvoker",
     "CircuitOpenError",
+    "ConformancePolicy",
+    "ConformanceStats",
+    "ConformingInvoker",
     "DeadlineExceededError",
     "DirectInvoker",
     "EngineConfig",
@@ -72,6 +83,9 @@ __all__ = [
     "RetryingInvoker",
     "RetryPolicy",
     "Telemetry",
+    "WatchdogInvoker",
+    "WatchdogPolicy",
+    "WatchdogStats",
     "canonical_key",
     "default_clock",
 ]

@@ -22,20 +22,54 @@ transient property of the provider, not of the input combination.
 
 from __future__ import annotations
 
+import json
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.engine.telemetry import default_clock
 from repro.modules.errors import InvalidInputError
-from repro.modules.interfaces import bindings_to_wire
 from repro.modules.model import Module
 from repro.values import TypedValue
 
 
+def _canonical_payload(payload):
+    """Normalize a payload for keying.
+
+    ``json.dumps`` would emit the non-standard ``NaN`` token for a NaN
+    float — and NaN's ``x != x`` semantics make it a hazard anywhere a
+    payload is compared rather than serialized — so NaN is replaced by a
+    tagged, self-equal token.  Tuples are canonicalized recursively (the
+    wire form renders them as JSON arrays anyway).
+    """
+    if isinstance(payload, float) and math.isnan(payload):
+        return {"__float__": "nan"}
+    if isinstance(payload, (tuple, list)):
+        return [_canonical_payload(item) for item in payload]
+    return payload
+
+
 def canonical_key(module: Module, bindings: dict[str, TypedValue]) -> tuple[str, str]:
-    """The cache key of one invocation: module id + canonical wire form."""
-    return module.module_id, bindings_to_wire(bindings)
+    """The cache key of one invocation: module id + canonical bindings.
+
+    The canonical form is deliberately self-contained rather than
+    delegating to the wire serialization: parameter insertion order is
+    erased by sorting, and NaN payloads are normalized to a self-equal
+    token so identical inputs always key identically.
+    """
+    document = json.dumps(
+        {
+            name: {
+                "payload": _canonical_payload(value.payload),
+                "structural": value.structural.name,
+                "concept": value.concept,
+            }
+            for name, value in sorted(bindings.items())
+        },
+        sort_keys=True,
+    )
+    return module.module_id, document
 
 
 @dataclass

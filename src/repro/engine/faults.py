@@ -12,7 +12,21 @@ wraps any invoker and manufactures the same weather from a seed:
   modelling the network round trip the simulators don't have;
 * *provider blackouts* — the first ``blackout_calls`` calls to a
   blacked-out provider fail, after which the provider "recovers" —
-  exactly the shape a retry policy must ride out.
+  exactly the shape a retry policy must ride out;
+* *hangs* — calls to a hung provider block on real wall-clock for
+  ``hang_duration_s`` before failing: the silent stall only a watchdog
+  budget can contain (tests call :meth:`FaultInjectingInvoker.release_hangs`
+  in teardown so abandoned worker threads drain promptly);
+* *stalls* — a fixed, jitter-free extra delay per call, modelling a
+  degraded-but-answering provider; used by the CI hang matrix to run
+  the whole suite under the watchdog without changing any outcome;
+* *byzantine outputs* — providers whose modules answer but lie:
+  ``corrupt_output_providers`` drop an output parameter (wrong arity),
+  ``nondeterministic_providers`` perturb outputs with a per-combination
+  call counter so two invocations on identical bindings disagree.  The
+  counter is keyed by ``(module_id, canonical bindings)`` — *not* a
+  global sequence — so the first answer for a combination is identical
+  across call orders, retries and campaign resumes.
 
 Because the RNG is seeded and consulted under a lock in call order, a
 serial run of a fault plan is reproducible; tests assert exact outcomes.
@@ -27,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.modules.errors import ModuleUnavailableError
+from repro.modules.interfaces import bindings_to_wire
 from repro.modules.model import Module, ModuleContext
 from repro.values import TypedValue
 
@@ -50,6 +65,20 @@ class FaultPlan:
             before it recovers.
         permanent_blackout_providers: Providers that never recover —
             the §6 shutdown a circuit breaker must contain.
+        hang_providers: Providers whose calls block on real wall-clock
+            for ``hang_duration_s`` before failing — only a watchdog
+            budget bounds them.
+        hang_duration_s: How long a hung call blocks, in seconds.
+        stall_providers: Providers whose calls sleep an extra fixed
+            ``stall_ms`` before proceeding normally; empty means the
+            stall (when ``stall_ms > 0``) applies to every provider.
+        stall_ms: Fixed, jitter-free extra delay per stalled call.
+        corrupt_output_providers: Providers whose successful outputs
+            lose their last (sorted) output parameter — a wrong-arity
+            lie the conformance checker must catch.
+        nondeterministic_providers: Providers whose successful outputs
+            are perturbed by a per-combination call counter, so repeat
+            invocations on identical bindings disagree.
     """
 
     seed: int = 2014
@@ -59,12 +88,22 @@ class FaultPlan:
     blackout_providers: frozenset = frozenset()
     blackout_calls: int = 3
     permanent_blackout_providers: frozenset = frozenset()
+    hang_providers: frozenset = frozenset()
+    hang_duration_s: float = 60.0
+    stall_providers: frozenset = frozenset()
+    stall_ms: float = 0.0
+    corrupt_output_providers: frozenset = frozenset()
+    nondeterministic_providers: frozenset = frozenset()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.transient_failure_rate <= 1.0:
             raise ValueError("transient_failure_rate must lie in [0, 1]")
         if self.latency_ms < 0:
             raise ValueError("latency_ms must be non-negative")
+        if self.hang_duration_s <= 0:
+            raise ValueError("hang_duration_s must be positive")
+        if self.stall_ms < 0:
+            raise ValueError("stall_ms must be non-negative")
 
 
 class FaultInjectingInvoker:
@@ -86,11 +125,27 @@ class FaultInjectingInvoker:
         self._blackout_remaining = {
             provider: plan.blackout_calls for provider in plan.blackout_providers
         }
+        # Per-(module_id, canonical-bindings) call counters for the
+        # nondeterministic perturbation; content-keyed so call order,
+        # retries and resume cannot shift the nonce of a combination's
+        # first answer.
+        self._call_nonce: dict[tuple[str, str], int] = {}
+        # Hung calls wait on this real-time event; tests set it in
+        # teardown so abandoned watchdog workers drain promptly.
+        self._hang_release = threading.Event()
 
     def blackout_remaining(self, provider: str) -> int:
         """Failing calls the blackout on ``provider`` still has to serve."""
         with self._lock:
             return self._blackout_remaining.get(provider, 0)
+
+    def release_hangs(self) -> None:
+        """Unblock every in-flight and future hung call immediately.
+
+        Hung calls still fail (they were going to fail after
+        ``hang_duration_s`` anyway) — they just stop occupying threads.
+        """
+        self._hang_release.set()
 
     def invoke(
         self, module: Module, ctx: ModuleContext, bindings: dict[str, TypedValue]
@@ -121,8 +176,60 @@ class FaultInjectingInvoker:
                 fault = None
         if latency_s:
             self._sleep(latency_s)
+        if module.provider in plan.hang_providers:
+            # Real wall-clock, deliberately not the injectable sleep: the
+            # watchdog's thread-join timeout is what must contain this.
+            self._hang_release.wait(plan.hang_duration_s)
+            detail = f"provider {module.provider} hung for {plan.hang_duration_s}s"
+            if self._on_fault is not None:
+                self._on_fault(module, detail)
+            raise InjectedFaultError(f"{module.module_id}: {detail}")
+        if plan.stall_ms > 0 and (
+            not plan.stall_providers or module.provider in plan.stall_providers
+        ):
+            self._sleep(plan.stall_ms / 1000.0)
         if fault is not None:
             if self._on_fault is not None:
                 self._on_fault(module, fault)
             raise InjectedFaultError(f"{module.module_id}: {fault}")
-        return self.inner.invoke(module, ctx, bindings)
+        outputs = self.inner.invoke(module, ctx, bindings)
+        if module.provider in plan.corrupt_output_providers and outputs:
+            outputs = dict(outputs)
+            del outputs[sorted(outputs)[-1]]
+        if module.provider in plan.nondeterministic_providers and outputs:
+            outputs = self._perturb_outputs(module, bindings, outputs)
+        return outputs
+
+    def _perturb_outputs(
+        self,
+        module: Module,
+        bindings: dict[str, TypedValue],
+        outputs: dict[str, TypedValue],
+    ) -> dict[str, TypedValue]:
+        """Stamp the first (sorted) output with this combination's call
+        nonce, so identical questions get different answers per call but
+        any given call number answers identically across runs."""
+        key = (module.module_id, bindings_to_wire(bindings))
+        with self._lock:
+            nonce = self._call_nonce.get(key, 0)
+            self._call_nonce[key] = nonce + 1
+        name = sorted(outputs)[0]
+        value = outputs[name]
+        outputs = dict(outputs)
+        outputs[name] = TypedValue(
+            _perturb_payload(value.payload, nonce), value.structural, value.concept
+        )
+        return outputs
+
+
+def _perturb_payload(payload, nonce: int):
+    """A deterministic, type-preserving perturbation by ``nonce``."""
+    if isinstance(payload, str):
+        return f"{payload}#run{nonce}"
+    if isinstance(payload, bool):
+        return payload if nonce % 2 == 0 else not payload
+    if isinstance(payload, (int, float)):
+        return payload + nonce
+    if isinstance(payload, tuple):
+        return tuple(_perturb_payload(item, nonce) for item in payload)
+    return payload

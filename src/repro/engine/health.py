@@ -30,6 +30,16 @@ class HealthRecord:
         ok: Normal terminations.
         invalid: Abnormal terminations (the module answered).
         unavailable: Availability failures (including breaker fast-fails).
+        timeouts: Watchdog abandonments — the module never answered
+            inside its wall-clock budget.  Counted separately from plain
+            unavailability so a wedged-but-alive provider is
+            distinguishable from a dark one, but like unavailability it
+            extends ``consecutive_failures`` (no answer is no answer).
+        malformed: Normal terminations whose outputs violated the
+            declared interface (conformance rejections, nondeterminism
+            included).  The provider *answered*, so this resets
+            ``consecutive_failures`` — a lying module is semantically
+            decayed, not observed-dead.
         transport_errors: Transport-layer failures.
         consecutive_failures: Current run of trailing availability
             failures; reset by any answered call.
@@ -42,6 +52,8 @@ class HealthRecord:
     ok: int = 0
     invalid: int = 0
     unavailable: int = 0
+    timeouts: int = 0
+    malformed: int = 0
     transport_errors: int = 0
     consecutive_failures: int = 0
     total_latency_ms: float = 0.0
@@ -49,12 +61,19 @@ class HealthRecord:
 
     @property
     def calls(self) -> int:
-        return self.ok + self.invalid + self.unavailable + self.transport_errors
+        return (
+            self.ok
+            + self.invalid
+            + self.unavailable
+            + self.timeouts
+            + self.malformed
+            + self.transport_errors
+        )
 
     @property
     def answered(self) -> int:
         """Calls the provider actually responded to (well or badly)."""
-        return self.ok + self.invalid
+        return self.ok + self.invalid + self.malformed
 
     @property
     def availability(self) -> float:
@@ -97,7 +116,8 @@ class ModuleHealthRegistry:
             module_id: The module invoked.
             provider: Its provider.
             outcome: The engine's accounting label — ``ok`` / ``invalid``
-                / ``unavailable`` / ``transport_error``.
+                / ``unavailable`` / ``timeout`` / ``malformed`` /
+                ``transport_error``.
             latency_ms: Wall-clock cost of the call.
         """
         with self._lock:
@@ -114,6 +134,12 @@ class ModuleHealthRegistry:
             elif outcome == "unavailable":
                 record.unavailable += 1
                 record.consecutive_failures += 1
+            elif outcome == "timeout":
+                record.timeouts += 1
+                record.consecutive_failures += 1
+            elif outcome == "malformed":
+                record.malformed += 1
+                record.consecutive_failures = 0
             else:
                 record.transport_errors += 1
             record.total_latency_ms += latency_ms
@@ -155,10 +181,19 @@ class ModuleHealthRegistry:
         for record in self.records():
             entry = summary.setdefault(
                 record.provider,
-                {"calls": 0, "answered": 0, "modules": 0, "dead_modules": 0},
+                {
+                    "calls": 0,
+                    "answered": 0,
+                    "timeouts": 0,
+                    "malformed": 0,
+                    "modules": 0,
+                    "dead_modules": 0,
+                },
             )
             entry["calls"] += record.calls
             entry["answered"] += record.answered
+            entry["timeouts"] += record.timeouts
+            entry["malformed"] += record.malformed
             entry["modules"] += 1
             if record.consecutive_failures >= self.dead_after:
                 entry["dead_modules"] += 1
@@ -197,5 +232,17 @@ class ModuleHealthRegistry:
                 lines.append(
                     f"    {provider:<16} availability "
                     f"{entry['availability']:.0%} over {entry['calls']} calls"
+                )
+        byzantine = [
+            (provider, entry)
+            for provider, entry in sorted(self.provider_summary().items())
+            if entry["timeouts"] or entry["malformed"]
+        ]
+        if byzantine:
+            lines.append("  byzantine providers:")
+            for provider, entry in byzantine:
+                lines.append(
+                    f"    {provider:<16} {entry['timeouts']} timeouts, "
+                    f"{entry['malformed']} malformed outputs"
                 )
         return "\n".join(lines)

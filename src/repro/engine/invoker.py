@@ -10,14 +10,19 @@ The stack, innermost first::
 
     DirectInvoker              the real supply-interface round trip
       FaultInjectingInvoker    (optional) seeded decay weather
-        RetryingInvoker        (optional) backoff + deadline
-          CircuitBreakingInvoker  (optional) per-provider fast-fail
-            InvocationCache    (optional) memoization, checked first
-              Telemetry        always-on accounting around the whole call
+        ConformingInvoker      (optional) output validation + probes
+          WatchdogInvoker      (optional) hard wall-clock budget
+            RetryingInvoker    (optional) backoff + deadline
+              CircuitBreakingInvoker  (optional) per-provider fast-fail
+                InvocationCache    (optional) memoization, checked first
+                  Telemetry        always-on accounting around the call
 
 The breaker deliberately sits *outside* the retry layer: once a
 provider's circuit is open, calls fail fast without consuming any retry
 budget — a blacked-out provider costs O(probe interval), not O(catalog).
+The conformance checker sits *inside* the watchdog (probe re-invocations
+count against the same budget) and *outside* the fault injector (so
+injected output corruption is caught exactly like a real lying module).
 """
 
 from __future__ import annotations
@@ -33,14 +38,18 @@ from repro.engine.breaker import (
     CircuitBreakingInvoker,
 )
 from repro.engine.cache import InvocationCache, canonical_key
+from repro.engine.conformance import ConformancePolicy, ConformingInvoker
 from repro.engine.faults import FaultInjectingInvoker, FaultPlan
 from repro.engine.health import ModuleHealthRegistry
 from repro.engine.retry import RetryingInvoker, RetryPolicy
 from repro.engine.scheduler import BatchScheduler
 from repro.engine.telemetry import Telemetry, default_clock
+from repro.engine.watchdog import WatchdogInvoker, WatchdogPolicy
 from repro.modules.errors import (
     InvalidInputError,
+    MalformedOutputError,
     ModuleInvocationError,
+    ModuleTimeoutError,
     ModuleUnavailableError,
 )
 from repro.modules.interfaces import invoke_via_interface
@@ -91,6 +100,10 @@ class EngineConfig:
         retry: Retry policy for transient failures; ``None`` disables.
         fault_plan: Seeded fault injection; ``None`` disables.
         breaker: Per-provider circuit-breaker policy; ``None`` disables.
+        conformance: Output-conformance validation (and optional
+            nondeterminism probing); ``None`` disables.
+        watchdog: Hard wall-clock budget per invocation; ``None``
+            disables.
     """
 
     parallelism: int = 1
@@ -99,6 +112,8 @@ class EngineConfig:
     retry: "RetryPolicy | None" = None
     fault_plan: "FaultPlan | None" = None
     breaker: "BreakerPolicy | None" = None
+    conformance: "ConformancePolicy | None" = None
+    watchdog: "WatchdogPolicy | None" = None
 
 
 class InvocationEngine:
@@ -130,9 +145,20 @@ class InvocationEngine:
         self._clock = clock
 
         stack: Invoker = invoker if invoker is not None else DirectInvoker()
+        self.fault_injector = None
         if config.fault_plan is not None:
-            stack = FaultInjectingInvoker(
+            stack = self.fault_injector = FaultInjectingInvoker(
                 stack, config.fault_plan, sleep=sleep, on_fault=self._note_fault
+            )
+        self.conformance = None
+        if config.conformance is not None:
+            stack = self.conformance = ConformingInvoker(
+                stack, config.conformance, on_violation=self._note_violation
+            )
+        self.watchdog = None
+        if config.watchdog is not None:
+            stack = self.watchdog = WatchdogInvoker(
+                stack, config.watchdog, on_timeout=self._note_timeout
             )
         if config.retry is not None:
             stack = RetryingInvoker(
@@ -169,6 +195,18 @@ class InvocationEngine:
     def _note_fault(self, module: Module, detail: str) -> None:
         self.telemetry.incr("faults_injected")
         self.telemetry.event("fault_injected", module.module_id, detail)
+
+    def _note_timeout(self, module: Module, budget: float) -> None:
+        self.telemetry.incr("watchdog_timeouts")
+        self.telemetry.event(
+            "watchdog_timeout", module.module_id, f"budget {budget:.3f}s"
+        )
+
+    def _note_violation(self, module: Module, error: MalformedOutputError) -> None:
+        self.telemetry.incr("conformance_violations")
+        self.telemetry.event(
+            "conformance_violation", module.module_id, type(error).__name__
+        )
 
     def _note_retry(
         self, module: Module, attempt: int, error: ModuleUnavailableError
@@ -208,7 +246,11 @@ class InvocationEngine:
         Raises:
             InvalidInputError: Abnormal termination (possibly replayed
                 from the negative cache).
+            ModuleTimeoutError: The watchdog abandoned the call.
             ModuleUnavailableError: Transient failure surviving retries.
+            MalformedOutputError: The outputs violate the declared
+                interface (never cached — the module answered, but the
+                answer must not be admitted anywhere).
         """
         if self.cache is not None:
             key = canonical_key(module, bindings)
@@ -233,9 +275,19 @@ class InvocationEngine:
             if key is not None:
                 self.cache.store_failure(key, error)
             raise
+        except ModuleTimeoutError as error:
+            # No answer inside the budget: transient, never cached.
+            self._account("timeout", module, start, type(error).__name__)
+            raise
         except ModuleUnavailableError as error:
             # Transient: never cached.
             self._account("unavailable", module, start, type(error).__name__)
+            raise
+        except MalformedOutputError as error:
+            # The module answered but lied: quarantine material, never
+            # cached (a repair should get a fresh look) and never
+            # admitted as a success.
+            self._account("malformed", module, start, type(error).__name__)
             raise
         except ModuleInvocationError as error:
             self._account("transport_error", module, start, type(error).__name__)
@@ -273,6 +325,10 @@ class InvocationEngine:
             }
         if self.breaker is not None:
             snapshot["breaker"] = self.breaker.snapshot()
+        if self.watchdog is not None:
+            snapshot["watchdog"] = self.watchdog.snapshot()
+        if self.conformance is not None:
+            snapshot["conformance"] = self.conformance.snapshot()
         snapshot["health"] = self.health.snapshot()
         return snapshot
 
@@ -289,6 +345,20 @@ class InvocationEngine:
             open_providers = self.breaker.open_providers()
             label = ", ".join(open_providers) if open_providers else "none"
             lines.append(f"  breaker:         open circuits: {label}")
+        if self.watchdog is not None:
+            stats = self.watchdog.stats
+            lines.append(
+                f"  watchdog:        budget {self.watchdog.policy.budget:g}s, "
+                f"{stats.timeouts} timeouts "
+                f"({stats.abandoned_in_flight} abandoned calls in flight)"
+            )
+        if self.conformance is not None:
+            stats = self.conformance.stats
+            lines.append(
+                f"  conformance:     {stats.checked} checked, "
+                f"{stats.violations} violations, "
+                f"{stats.probes} probes ({stats.unstable} unstable)"
+            )
         lines.append(
             f"  scheduler:       parallelism {self.scheduler.parallelism}"
         )

@@ -104,12 +104,23 @@ class LatencyHistogram:
 
 
 class Telemetry:
-    """Counters + latency histogram + a bounded structured event log."""
+    """Counters + latency histogram + a bounded structured event log.
 
-    def __init__(self, max_events: int = 1000) -> None:
+    The event log is a ring buffer: once ``max_events`` entries have
+    accumulated, each new event silently displaces the oldest and
+    ``dropped_events`` is incremented — a week-long campaign keeps a
+    bounded memory footprint, and the counter tells the operator how
+    much history the window has already shed.
+    """
+
+    def __init__(self, max_events: int = 10_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be at least 1")
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self.histogram = LatencyHistogram()
+        self.max_events = max_events
+        self.dropped_events = 0
         self._events: deque[EngineEvent] = deque(maxlen=max_events)
 
     # ------------------------------------------------------------------
@@ -129,6 +140,10 @@ class Telemetry:
         latency_ms: float | None = None,
     ) -> None:
         with self._lock:
+            # deque(maxlen=...) evicts silently; count the displacement
+            # before appending so the drop is observable.
+            if len(self._events) == self.max_events:
+                self.dropped_events += 1
             self._events.append(
                 EngineEvent(
                     kind=kind, module_id=module_id,
@@ -163,6 +178,8 @@ class Telemetry:
                     "buckets": self.histogram.buckets(),
                 },
                 "n_events": len(self._events),
+                "max_events": self.max_events,
+                "dropped_events": self.dropped_events,
             }
 
     # ------------------------------------------------------------------
@@ -176,7 +193,9 @@ class Telemetry:
             f"  module calls:    {calls} "
             f"({counters.get('ok', 0)} ok, "
             f"{counters.get('invalid', 0)} invalid, "
-            f"{counters.get('unavailable', 0)} unavailable)",
+            f"{counters.get('unavailable', 0)} unavailable, "
+            f"{counters.get('timeout', 0)} timed out, "
+            f"{counters.get('malformed', 0)} malformed)",
             f"  cache:           {counters.get('cache_hits', 0)} hits "
             f"({counters.get('cache_negative_hits', 0)} negative) / "
             f"{counters.get('cache_misses', 0)} misses, "
@@ -186,6 +205,11 @@ class Telemetry:
             f"{counters.get('deadlines_exceeded', 0)} past deadline)",
             f"  injected faults: {counters.get('faults_injected', 0)}",
         ]
+        if snap["dropped_events"]:
+            lines.append(
+                f"  event log:       {snap['n_events']} kept "
+                f"(ring buffer full, {snap['dropped_events']} dropped)"
+            )
         latency = snap["latency"]
         if latency["count"]:
             lines.append(

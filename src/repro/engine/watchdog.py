@@ -1,0 +1,153 @@
+"""Watchdog: a hard wall-clock budget around every invocation.
+
+PR 2 hardened campaigns against modules that fail *loudly* — the breaker
+and retry layers contain providers that answer with errors.  A decayed
+module can also fail *silently*: it terminates normally eventually, but
+only after hanging for minutes, and a single wedged endpoint then stalls
+a whole harvesting campaign (§6's decay phenomenon at its most
+pathological).  The watchdog executes the wrapped invoker on a worker
+thread and waits at most ``budget`` seconds:
+
+* the call finishes in time — its outcome (value or exception) is
+  relayed untouched;
+* the budget elapses — the call is **abandoned** (the worker thread is
+  left to finish on its own; Python cannot safely kill it) and a
+  :class:`~repro.modules.errors.ModuleTimeoutError` is raised.  Since
+  that subclasses ``ModuleUnavailableError``, the breaker counts it
+  toward tripping the provider's circuit, the retry layer may retry it,
+  and the health registry books a no-answer outcome.
+
+Abandoned calls are accounted: ``abandoned_in_flight`` is the number of
+worker threads still running past their budget (a persistently wedged
+provider shows a growing backlog until its circuit opens), and
+``abandoned_completed`` counts the ones that eventually came back.
+Worker threads are daemons, so a wedged call never blocks process exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.modules.errors import ModuleTimeoutError
+from repro.modules.model import Module, ModuleContext
+from repro.values import TypedValue
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Tuning knobs of one watchdog.
+
+    Attributes:
+        budget: Hard wall-clock budget per invocation, in seconds.  The
+            budget covers the whole wrapped stack below the watchdog —
+            injected weather, conformance probes and the supply-interface
+            round trip alike.
+    """
+
+    budget: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"watchdog budget must be positive, got {self.budget}")
+
+
+@dataclass
+class WatchdogStats:
+    """Abandoned-call accounting of one watchdog.
+
+    Attributes:
+        timeouts: Calls that exceeded the budget and were abandoned.
+        abandoned_in_flight: Abandoned worker threads still running.
+        abandoned_completed: Abandoned calls that eventually finished
+            (their late result is discarded).
+    """
+
+    timeouts: int = 0
+    abandoned_in_flight: int = 0
+    abandoned_completed: int = 0
+
+
+class WatchdogInvoker:
+    """Wraps an invoker with a :class:`WatchdogPolicy` wall-clock budget."""
+
+    def __init__(
+        self,
+        inner,
+        policy: WatchdogPolicy,
+        on_timeout: "Callable[[Module, float], None] | None" = None,
+    ) -> None:
+        """Args:
+            inner: The invoker to budget.
+            policy: The wall-clock budget.
+            on_timeout: Called as ``(module, budget)`` on every abandoned
+                call (telemetry hook).
+        """
+        self.inner = inner
+        self.policy = policy
+        self.stats = WatchdogStats()
+        self._on_timeout = on_timeout
+        self._lock = threading.Lock()
+
+    def invoke(
+        self, module: Module, ctx: ModuleContext, bindings: dict[str, TypedValue]
+    ) -> dict[str, TypedValue]:
+        """Invoke under the budget.
+
+        Raises:
+            ModuleTimeoutError: The budget elapsed; the call was
+                abandoned on its worker thread.
+            ModuleInvocationError: Whatever the wrapped invoker raised
+                within the budget.
+        """
+        outcome: dict = {}
+        done = threading.Event()
+        abandoned = threading.Event()
+
+        def run() -> None:
+            try:
+                outcome["outputs"] = self.inner.invoke(module, ctx, bindings)
+            except BaseException as error:  # relayed, not swallowed
+                outcome["error"] = error
+            finally:
+                done.set()
+                if abandoned.is_set():
+                    with self._lock:
+                        self.stats.abandoned_in_flight -= 1
+                        self.stats.abandoned_completed += 1
+
+        worker = threading.Thread(
+            target=run, name=f"watchdog-{module.module_id}", daemon=True
+        )
+        worker.start()
+        if not done.wait(self.policy.budget):
+            # The order matters: mark abandoned first, then re-check done
+            # — a worker finishing in the gap must not leak an in-flight
+            # count it will never decrement.
+            abandoned.set()
+            if not done.is_set():
+                with self._lock:
+                    self.stats.timeouts += 1
+                    self.stats.abandoned_in_flight += 1
+                if self._on_timeout is not None:
+                    self._on_timeout(module, self.policy.budget)
+                raise ModuleTimeoutError(
+                    f"{module.module_id}: no answer within "
+                    f"{self.policy.budget:.3f}s (call abandoned)",
+                    budget=self.policy.budget,
+                )
+            abandoned.clear()
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["outputs"]
+
+    def snapshot(self) -> dict:
+        """JSON-compatible abandoned-call accounting."""
+        with self._lock:
+            return {
+                "budget_s": self.policy.budget,
+                "timeouts": self.stats.timeouts,
+                "abandoned_in_flight": self.stats.abandoned_in_flight,
+                "abandoned_completed": self.stats.abandoned_completed,
+            }

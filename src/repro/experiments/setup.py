@@ -28,6 +28,7 @@ from repro.engine import (
     ModuleHealthRegistry,
     RetryPolicy,
     Telemetry,
+    WatchdogPolicy,
 )
 from repro.core.metrics import ModuleEvaluation, evaluate_module
 from repro.core.repair import RepairResult, WorkflowRepairer
@@ -219,25 +220,38 @@ def build_setup(
 
 
 def _default_engine_config(seed: int) -> EngineConfig:
-    """The default engine stack, honoring the fault-matrix environment.
+    """The default engine stack, honoring the CI weather environment.
 
     ``REPRO_FAULT_RATE`` > 0 injects seeded transient failures under a
     generous fast retry policy: every call still succeeds eventually, so
     the deterministic reports are unchanged while the whole resilience
     stack is exercised on every invocation of the tier-1 suite.
+
+    ``REPRO_STALL_MS`` > 0 additionally stalls every call by that fixed
+    delay and ``REPRO_WATCHDOG_BUDGET`` arms the watchdog (seconds; it
+    also arms on its own).  The CI hang matrix sets a stall well below
+    the budget: every call crosses the watchdog's worker thread, no call
+    times out, and the paper-facing reports must again survive
+    unchanged.
     """
     import os
 
     rate = float(os.environ.get("REPRO_FAULT_RATE", "0") or 0)
-    if rate <= 0:
-        return EngineConfig(cache_size=4096)
+    stall_ms = float(os.environ.get("REPRO_STALL_MS", "0") or 0)
+    budget = float(os.environ.get("REPRO_WATCHDOG_BUDGET", "0") or 0)
+    watchdog = WatchdogPolicy(budget=budget) if budget > 0 else None
+    if rate <= 0 and stall_ms <= 0:
+        return EngineConfig(cache_size=4096, watchdog=watchdog)
     fault_seed = int(os.environ.get("REPRO_FAULT_SEED", str(seed)))
     return EngineConfig(
         cache_size=4096,
         retry=RetryPolicy(
             seed=fault_seed, max_attempts=8, base_delay=0.0005, jitter=0.1
         ),
-        fault_plan=FaultPlan(seed=fault_seed, transient_failure_rate=rate),
+        fault_plan=FaultPlan(
+            seed=fault_seed, transient_failure_rate=rate, stall_ms=stall_ms
+        ),
+        watchdog=watchdog,
     )
 
 

@@ -31,6 +31,53 @@ class ModuleUnavailableError(ModuleInvocationError):
     """The module's provider no longer supplies it (workflow decay, §6)."""
 
 
+class ModuleTimeoutError(ModuleUnavailableError):
+    """The invocation exceeded its wall-clock budget and was abandoned by
+    the watchdog.  Subclasses :class:`ModuleUnavailableError`: a module
+    that never answers inside its budget is, to every caller, a module
+    that never answered — it feeds the circuit breaker's failure
+    predicate and the health registry's no-answer accounting.
+
+    Attributes:
+        budget: The wall-clock budget that elapsed, in seconds.
+    """
+
+    def __init__(self, message: str, budget: float = 0.0) -> None:
+        super().__init__(message)
+        self.budget = budget
+
+
+class MalformedOutputError(ModuleInvocationError):
+    """The module terminated normally but its outputs violate the declared
+    interface: wrong arity or parameter names, incompatible structural
+    types, or values outside the annotated semantic domain.
+
+    Deliberately *not* an :class:`InvalidInputError` (the inputs were
+    fine — the module lied) and not a :class:`ModuleUnavailableError`
+    (the provider answered, so circuits stay closed and nothing is
+    retried).  Callers quarantine the combination instead of admitting a
+    data example.
+
+    Attributes:
+        outputs: The nonconforming output bindings, when captured.
+        cause: Stable quarantine-cause label (``malformed-output``).
+    """
+
+    cause = "malformed-output"
+
+    def __init__(self, message: str, outputs: "dict | None" = None) -> None:
+        super().__init__(message)
+        self.outputs = dict(outputs) if outputs else {}
+
+
+class NondeterministicOutputError(MalformedOutputError):
+    """An opt-in conformance probe re-invoked the module on identical
+    bindings and obtained different canonical outputs — the module is
+    unstable and its examples cannot be trusted as behavior evidence."""
+
+    cause = "nondeterministic"
+
+
 class TransportError(ModuleInvocationError):
     """A failure in the (simulated) transport layer."""
 

@@ -8,18 +8,23 @@ attributes every broken workflow to the providers and modules responsible
 and summarizes the blast radius of each shutdown — the report a registry
 operator would publish after a decay event.
 
-Decay is detected two ways, and :func:`analyze_decay` merges them: the
-*static* catalog flag (``module.available``) and — when a module-health
-registry is passed — the *observed* campaign health: a module whose
-trailing invocations all went unanswered counts as decayed even if no
-one has flipped its catalog entry yet.  That is the §6 monitoring loop
-closed: long-running annotation campaigns feed the decay report.
+Decay is detected three ways, and :func:`analyze_decay` merges them:
+the *static* catalog flag (``module.available``); — when a
+module-health registry is passed — the *observed* campaign health: a
+module whose trailing invocations all went unanswered counts as decayed
+even if no one has flipped its catalog entry yet; and — when a
+quarantine log is passed — *semantic* decay: a module that still
+answers every probe but whose outputs failed conformance (wrong arity,
+wrong domain, nondeterministic), which no availability monitor would
+ever flag.  That is the §6 monitoring loop closed on both axes:
+long-running annotation campaigns feed the decay report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.quarantine import QuarantineLog
 from repro.engine.health import ModuleHealthRegistry
 from repro.modules.model import Module
 from repro.workflow.model import Workflow
@@ -38,6 +43,10 @@ class DecayReport:
             unavailable module (the directly repairable population).
         observed_dead: Modules classified dead from campaign health
             observations rather than the static catalog flag.
+        semantically_decayed: Modules whose campaign outputs were
+            quarantined for semantic causes (malformed or
+            nondeterministic) — alive to every availability probe, yet
+            no longer trustworthy.
     """
 
     n_workflows: int
@@ -46,6 +55,7 @@ class DecayReport:
     by_module: dict[str, int] = field(default_factory=dict)
     single_point_failures: int = 0
     observed_dead: list[str] = field(default_factory=list)
+    semantically_decayed: list[str] = field(default_factory=list)
 
     @property
     def broken_fraction(self) -> float:
@@ -64,6 +74,7 @@ def analyze_decay(
     workflows: "list[Workflow]",
     modules: dict[str, Module],
     health: "ModuleHealthRegistry | None" = None,
+    quarantine: "QuarantineLog | None" = None,
 ) -> DecayReport:
     """Attribute broken workflows to unavailable modules and providers.
 
@@ -72,12 +83,19 @@ def analyze_decay(
         modules: Live modules by id.
         health: Optional campaign-health registry; its observed-dead
             modules count as decayed alongside the static catalog flag.
+        quarantine: Optional campaign quarantine log; its semantically
+            decayed modules (conformance failures — not timeouts, which
+            the health registry already covers) count as decayed too.
     """
     observed_dead = set(health.dead_modules()) if health is not None else set()
+    semantically_decayed = (
+        set(quarantine.semantically_decayed()) if quarantine is not None else set()
+    )
     report = DecayReport(
         n_workflows=len(workflows),
         n_broken=0,
         observed_dead=sorted(observed_dead),
+        semantically_decayed=sorted(semantically_decayed),
     )
     for workflow in workflows:
         culprits: set[str] = set()
@@ -87,7 +105,11 @@ def analyze_decay(
             if module is None:
                 culprits.add(module_id)
                 providers.add("(unknown provider)")
-            elif not module.available or module_id in observed_dead:
+            elif (
+                not module.available
+                or module_id in observed_dead
+                or module_id in semantically_decayed
+            ):
                 culprits.add(module_id)
                 providers.add(module.provider)
         if not culprits:
@@ -116,6 +138,13 @@ def render_decay_report(report: DecayReport, limit: int = 8) -> str:
             f"  observed-dead modules:   {len(report.observed_dead)} "
             "(from campaign health)"
         )
+    if report.semantically_decayed:
+        lines.append(
+            f"  semantically decayed:    {len(report.semantically_decayed)} "
+            "(from campaign quarantine)"
+        )
+        for module_id in report.semantically_decayed[:limit]:
+            lines.append(f"    {module_id}")
     lines.append("  blast radius by provider:")
     for provider, count in report.top_providers():
         lines.append(f"    {provider:<16} {count} workflows")

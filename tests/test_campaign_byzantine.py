@@ -1,0 +1,280 @@
+"""The byzantine acceptance e2e: a seeded campaign over a catalog slice
+whose providers hang, answer with the wrong arity, and answer
+nondeterministically — the campaign completes within its deadline with
+zero hangs, reports per-cause counts, admits no quarantined example, and
+a killed-and-resumed run renders byte-identically."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignJournal,
+    CampaignRunner,
+    render_campaign_report,
+)
+from repro.core.quarantine import (
+    CAUSE_MALFORMED,
+    CAUSE_NONDETERMINISTIC,
+    CAUSE_TIMEOUT,
+)
+from repro.workflow.model import Step, Workflow
+from repro.workflow.monitoring import analyze_decay
+
+# The byzantine weather over the first 12 planned modules, whose
+# providers are exactly EBI (hangs), Manchester-lab (wrong arity) and
+# NCBI (nondeterministic).  One attempt per call and a breaker threshold
+# above the failure count keep every module journaled as *done*: a
+# byzantine module is decayed evidence, not a degradation.
+BYZ = dict(
+    limit=12,
+    max_attempts=1,
+    retry_base_delay=0.0,
+    failure_threshold=99,
+    probe_interval=0.05,
+    watchdog_budget=0.05,
+    probe_rate=1.0,
+    hang_providers=("EBI",),
+    corrupt_providers=("Manchester-lab",),
+    nondeterministic_providers=("NCBI",),
+)
+
+DEADLINE_S = 30.0
+
+
+def make_runner(ctx, catalog, pool, journal, **overrides):
+    return CampaignRunner(
+        ctx, catalog, pool, journal, CampaignConfig(**{**BYZ, **overrides})
+    )
+
+
+def _release(runner):
+    if runner.engine.fault_injector is not None:
+        runner.engine.fault_injector.release_hangs()
+
+
+@pytest.fixture(scope="module")
+def byzantine_reference(ctx, catalog, pool, tmp_path_factory):
+    """The reference: one byzantine campaign driven to completion."""
+    path = tmp_path_factory.mktemp("byzantine") / "reference.sqlite"
+    journal = CampaignJournal(path)
+    runner = make_runner(ctx, catalog, pool, journal)
+    started = time.monotonic()
+    try:
+        result = runner.run("byz")
+    finally:
+        _release(runner)
+        journal.close()
+    return result, render_campaign_report(result), time.monotonic() - started
+
+
+class _KilledMidRun(RuntimeError):
+    """Stands in for SIGKILL: raised *before* a journal write commits."""
+
+
+class _CrashingJournal(CampaignJournal):
+    """Dies at a chosen journal boundary, like a kill -9 would."""
+
+    def __init__(self, path, crash_after: int) -> None:
+        super().__init__(path)
+        self.crash_after = crash_after
+        self.done_writes = 0
+
+    def record_done(self, campaign_id, report):
+        if self.done_writes >= self.crash_after:
+            raise _KilledMidRun(f"killed before write {self.done_writes + 1}")
+        super().record_done(campaign_id, report)
+        self.done_writes += 1
+
+
+class TestByzantineCampaign:
+    def test_completes_within_deadline_despite_hangs(self, byzantine_reference):
+        result, _, elapsed = byzantine_reference
+        assert result.status == "complete"
+        assert not result.skipped
+        assert elapsed < DEADLINE_S
+
+    def test_per_cause_counts(self, byzantine_reference):
+        result, _, _ = byzantine_reference
+        assert result.timed_out_combinations == 5
+        assert result.quarantined_combinations == 7
+        log = result.quarantine_log()
+        assert len(log) == 12
+        assert log.counts_by_cause() == {
+            CAUSE_MALFORMED: 5,
+            CAUSE_NONDETERMINISTIC: 2,
+            CAUSE_TIMEOUT: 5,
+        }
+
+    def test_no_byzantine_module_produced_admitted_examples(
+        self, byzantine_reference
+    ):
+        result, _, _ = byzantine_reference
+        # Every planned module is byzantine: zero admitted examples, and
+        # no quarantined input combination leaks into any example list.
+        assert sum(r.n_examples for r in result.reports.values()) == 0
+        for report in result.reports.values():
+            admitted = {
+                tuple((b.parameter, b.value.payload) for b in e.inputs)
+                for e in report.examples
+            }
+            for record in report.quarantined:
+                withheld = tuple(
+                    (b.parameter, b.value.payload) for b in record.inputs
+                )
+                assert withheld not in admitted
+
+    def test_quarantine_feeds_the_decay_monitor(
+        self, byzantine_reference, catalog
+    ):
+        result, _, _ = byzantine_reference
+        log = result.quarantine_log()
+        by_provider = {
+            m.module_id: m.provider for m in catalog[: BYZ["limit"]]
+        }
+        decayed = log.semantically_decayed()
+        # Lying providers are semantically decayed; hanging ones are an
+        # availability problem, not a semantic one.
+        assert decayed
+        assert {by_provider[m] for m in decayed} == {"Manchester-lab", "NCBI"}
+
+        modules = {m.module_id: m for m in catalog}
+        liar = decayed[0]
+        wedged = next(
+            r.module_id for r in log.records() if r.cause == CAUSE_TIMEOUT
+        )
+        workflows = [
+            Workflow("w-liar", "w-liar", (Step("s", liar),)),
+            Workflow("w-wedged", "w-wedged", (Step("s", wedged),)),
+        ]
+        report = analyze_decay(workflows, modules, quarantine=log)
+        assert report.semantically_decayed == decayed
+        assert liar in report.by_module
+        assert wedged not in report.by_module  # health's job, not ours
+        assert report.n_broken == 1
+
+    def test_report_renders_withheld_counts(self, byzantine_reference):
+        _, text, _ = byzantine_reference
+        assert "withheld:          5 timed out, 7 quarantined" in text
+        assert "timed_out=" in text and "quarantined=" in text
+
+    def test_kill_then_resume_is_byte_identical_and_quarantine_aware(
+        self, ctx, catalog, pool, tmp_path, byzantine_reference
+    ):
+        reference, reference_text, _ = byzantine_reference
+        path = tmp_path / "killed.sqlite"
+        crashing = _CrashingJournal(path, crash_after=6)
+        runner = make_runner(ctx, catalog, pool, crashing)
+        try:
+            with pytest.raises(_KilledMidRun):
+                runner.run("byz")
+        finally:
+            _release(runner)
+            crashing.close()
+
+        journal = CampaignJournal(path)
+        runner = make_runner(ctx, catalog, pool, journal)
+        try:
+            result = runner.resume("byz")
+        finally:
+            _release(runner)
+            journal.close()
+        assert result.status == "complete"
+        assert result.digest() == reference.digest()
+        assert render_campaign_report(result) == reference_text
+        assert result.timed_out_combinations == 5
+        assert result.quarantined_combinations == 7
+
+
+# ----------------------------------------------------------------------
+# The real thing: a subprocess campaign under byzantine flags, SIGKILLed
+# mid-run, resumed, and compared byte-for-byte against a serial run.
+# ----------------------------------------------------------------------
+BYZ_FLAGS = [
+    "--limit", "12",
+    "--latency-ms", "10",
+    "--watchdog-budget", "0.1",
+    "--probe-rate", "1.0",
+    "--hang", "EBI",
+    "--corrupt-output", "Manchester-lab",
+    "--nondeterministic", "NCBI",
+    "--failure-threshold", "99",
+    "--probe-interval", "0.05",
+]
+
+
+def _cli(*args):
+    root = Path(__file__).resolve().parents[1]
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        cwd=root,
+        env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        timeout=300,
+    )
+
+
+def test_sigkill_mid_byzantine_campaign_then_resume(tmp_path):
+    root = Path(__file__).resolve().parents[1]
+    db = tmp_path / "killed.sqlite"
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "campaign", "run", "byz",
+         "--db", str(db), *BYZ_FLAGS],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        cwd=root,
+        env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    try:
+        # Wait for at least two journaled modules, then kill -9.
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            done = 0
+            if db.exists():
+                try:
+                    done = sqlite3.connect(db).execute(
+                        "SELECT COUNT(*) FROM campaign_entries "
+                        "WHERE status = 'done'"
+                    ).fetchone()[0]
+                except sqlite3.OperationalError:
+                    done = 0  # schema not committed yet
+            if done >= 2 or victim.poll() is not None:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("campaign never journaled progress")
+    finally:
+        victim.kill()  # SIGKILL
+        victim.wait()
+
+    resumed = _cli("campaign", "resume", "byz", "--db", str(db))
+    assert resumed.returncode == 0, resumed.stderr
+    reference_db = tmp_path / "reference.sqlite"
+    reference = _cli(
+        "campaign", "run", "byz", "--db", str(reference_db), *BYZ_FLAGS
+    )
+    assert reference.returncode == 0, reference.stderr
+    assert resumed.stdout == reference.stdout  # byte-identical report
+    assert "status: complete" in resumed.stdout
+    assert "withheld:" in resumed.stdout
+
+    # campaign status --json carries the per-cause counters.
+    status = _cli("campaign", "status", "--db", str(db), "--json")
+    assert status.returncode == 0, status.stderr
+    payload = json.loads(status.stdout)
+    entry = next(e for e in payload if e["campaign_id"] == "byz")
+    assert entry["timed_out_combinations"] == 5
+    assert entry["quarantined_combinations"] == 7
+
+    text_status = _cli("campaign", "status", "--db", str(db))
+    assert "timed_out 5" in text_status.stdout
+    assert "quarantined 7" in text_status.stdout

@@ -151,6 +151,54 @@ class TestInvocationCache:
         backward = {name: values[name] for name in reversed(names)}
         assert canonical_key(module, forward) == canonical_key(module, backward)
 
+    def test_canonical_key_survives_dict_insertion_order(self, catalog):
+        """Two bindings dicts with the same content but different
+        insertion histories must produce the same cache key."""
+        from repro.values import INTEGER, STRING, TypedValue
+
+        module = catalog[0]
+        a = TypedValue(payload="x", structural=STRING, concept=None)
+        b = TypedValue(payload=3, structural=INTEGER, concept=None)
+        grown = {"p": a}
+        grown["q"] = b
+        grown["p"] = a  # rewrite does not move the key in a dict
+        assert canonical_key(module, {"q": b, "p": a}) == canonical_key(
+            module, grown
+        )
+
+    def test_canonical_key_normalizes_nan_payloads(self, catalog):
+        """NaN != NaN, but two NaN-carrying bindings are the *same*
+        combination — and the key must stay valid JSON (no bare NaN
+        token)."""
+        import json
+
+        from repro.values import FLOAT, TypedValue
+
+        module = catalog[0]
+        nan_a = TypedValue(payload=float("nan"), structural=FLOAT, concept=None)
+        nan_b = TypedValue(payload=float("nan"), structural=FLOAT, concept=None)
+        finite = TypedValue(payload=1.5, structural=FLOAT, concept=None)
+        key_a = canonical_key(module, {"x": nan_a})
+        key_b = canonical_key(module, {"x": nan_b})
+        assert key_a == key_b
+        assert key_a != canonical_key(module, {"x": finite})
+        json.loads(key_a[1])  # strict JSON, round-trippable
+
+    def test_canonical_key_normalizes_nan_inside_tuples(self, catalog):
+        from repro.values import FLOAT, TypedValue, list_of
+
+        module = catalog[0]
+        kind = list_of(FLOAT)
+        first = TypedValue(
+            payload=(1.0, float("nan")), structural=kind, concept=None
+        )
+        second = TypedValue(
+            payload=(1.0, float("nan")), structural=kind, concept=None
+        )
+        assert canonical_key(module, {"xs": first}) == canonical_key(
+            module, {"xs": second}
+        )
+
 
 # ----------------------------------------------------------------------
 # Retry
@@ -342,6 +390,27 @@ class TestTelemetry:
         text = telemetry.render()
         assert "module calls:    1" in text
         assert "latency" in text
+
+    def test_ring_buffer_counts_dropped_events(self):
+        telemetry = Telemetry(max_events=3)
+        for index in range(10):
+            telemetry.event("call", f"m{index}")
+        assert telemetry.dropped_events == 7
+        snap = telemetry.snapshot()
+        assert snap["max_events"] == 3
+        assert snap["dropped_events"] == 7
+        assert snap["n_events"] == 3
+        assert "ring buffer full, 7 dropped" in telemetry.render()
+
+    def test_drop_line_only_appears_when_events_were_dropped(self):
+        telemetry = Telemetry(max_events=3)
+        telemetry.event("call", "m0")
+        assert telemetry.dropped_events == 0
+        assert "dropped" not in telemetry.render()
+
+    def test_max_events_validation(self):
+        with pytest.raises(ValueError, match="max_events"):
+            Telemetry(max_events=0)
 
     def test_thread_safety_under_concurrent_increments(self):
         import threading

@@ -1,0 +1,210 @@
+"""Tests of the watchdog: hard wall-clock budgets, abandoned-call
+accounting, and the timeout path through the assembled engine."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    DirectInvoker,
+    EngineConfig,
+    FaultPlan,
+    InvocationEngine,
+    WatchdogInvoker,
+    WatchdogPolicy,
+)
+from repro.engine.breaker import BreakerPolicy, CircuitOpenError
+from repro.modules.errors import (
+    InvalidInputError,
+    ModuleTimeoutError,
+    ModuleUnavailableError,
+)
+
+BUDGET = 0.05
+
+
+class BlockingInvoker:
+    """An invoker that blocks until released, then succeeds."""
+
+    def __init__(self, outputs=None):
+        self.release = threading.Event()
+        self.outputs = outputs if outputs is not None else {}
+        self.calls = 0
+
+    def invoke(self, module, ctx, bindings):
+        self.calls += 1
+        self.release.wait(30.0)
+        return dict(self.outputs)
+
+
+class RaisingInvoker:
+    def __init__(self, error):
+        self.error = error
+
+    def invoke(self, module, ctx, bindings):
+        raise self.error
+
+
+def _drain(watchdog, timeout=5.0):
+    """Wait until no abandoned worker is still in flight."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if watchdog.stats.abandoned_in_flight == 0:
+            return
+        time.sleep(0.005)
+    pytest.fail("abandoned workers never drained")
+
+
+@pytest.fixture
+def module(catalog_by_id):
+    return catalog_by_id["ret.get_uniprot_record"]
+
+
+@pytest.fixture
+def good_bindings(ctx, pool, module):
+    value = pool.get_instance(
+        module.inputs[0].concept, module.inputs[0].structural
+    )
+    assert value is not None
+    return {module.inputs[0].name: value}
+
+
+class TestWatchdogInvoker:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            WatchdogPolicy(budget=0.0)
+        with pytest.raises(ValueError, match="budget"):
+            WatchdogPolicy(budget=-1.0)
+
+    def test_fast_call_passes_through(self, module, ctx, good_bindings):
+        direct = DirectInvoker()
+        watchdog = WatchdogInvoker(direct, WatchdogPolicy(budget=10.0))
+        assert watchdog.invoke(module, ctx, good_bindings) == direct.invoke(
+            module, ctx, good_bindings
+        )
+        assert watchdog.stats.timeouts == 0
+        assert watchdog.stats.abandoned_in_flight == 0
+
+    def test_hang_is_abandoned_with_budget_attached(
+        self, module, ctx, good_bindings
+    ):
+        inner = BlockingInvoker()
+        watchdog = WatchdogInvoker(inner, WatchdogPolicy(budget=BUDGET))
+        try:
+            with pytest.raises(ModuleTimeoutError) as excinfo:
+                watchdog.invoke(module, ctx, good_bindings)
+        finally:
+            inner.release.set()
+        assert excinfo.value.budget == BUDGET
+        assert "abandoned" in str(excinfo.value)
+        assert isinstance(excinfo.value, ModuleUnavailableError)
+        assert watchdog.stats.timeouts == 1
+
+    def test_abandoned_call_accounting_drains_on_completion(
+        self, module, ctx, good_bindings
+    ):
+        inner = BlockingInvoker()
+        watchdog = WatchdogInvoker(inner, WatchdogPolicy(budget=BUDGET))
+        with pytest.raises(ModuleTimeoutError):
+            watchdog.invoke(module, ctx, good_bindings)
+        assert watchdog.stats.abandoned_in_flight == 1
+        assert watchdog.stats.abandoned_completed == 0
+        inner.release.set()
+        _drain(watchdog)
+        assert watchdog.stats.abandoned_completed == 1
+        snap = watchdog.snapshot()
+        assert snap["budget_s"] == BUDGET
+        assert snap["timeouts"] == 1
+        assert snap["abandoned_in_flight"] == 0
+        assert snap["abandoned_completed"] == 1
+
+    def test_inner_exception_is_relayed_untouched(
+        self, module, ctx, good_bindings
+    ):
+        watchdog = WatchdogInvoker(
+            RaisingInvoker(InvalidInputError("bad accession")),
+            WatchdogPolicy(budget=10.0),
+        )
+        with pytest.raises(InvalidInputError, match="bad accession"):
+            watchdog.invoke(module, ctx, good_bindings)
+        assert watchdog.stats.timeouts == 0
+
+    def test_on_timeout_hook_fires(self, module, ctx, good_bindings):
+        seen = []
+        inner = BlockingInvoker()
+        watchdog = WatchdogInvoker(
+            inner,
+            WatchdogPolicy(budget=BUDGET),
+            on_timeout=lambda m, budget: seen.append((m.module_id, budget)),
+        )
+        try:
+            with pytest.raises(ModuleTimeoutError):
+                watchdog.invoke(module, ctx, good_bindings)
+        finally:
+            inner.release.set()
+        assert seen == [(module.module_id, BUDGET)]
+
+
+class TestEngineTimeoutPath:
+    def _engine(self, module, **config):
+        return InvocationEngine(
+            EngineConfig(
+                fault_plan=FaultPlan(
+                    hang_providers=frozenset({module.provider}),
+                    hang_duration_s=30.0,
+                ),
+                watchdog=WatchdogPolicy(budget=BUDGET),
+                **config,
+            )
+        )
+
+    def test_timeout_is_accounted_and_feeds_health(
+        self, module, ctx, good_bindings
+    ):
+        engine = self._engine(module)
+        try:
+            with pytest.raises(ModuleTimeoutError):
+                engine.invoke(module, ctx, good_bindings)
+        finally:
+            engine.fault_injector.release_hangs()
+        assert engine.telemetry.counter("watchdog_timeouts") == 1
+        assert engine.telemetry.counter("timeout") == 1
+        record = engine.health.record(module.module_id)
+        assert record.timeouts == 1
+        assert record.consecutive_failures == 1
+        assert record.answered == 0
+        text = engine.render_stats()
+        assert "watchdog" in text and "1 timeouts" in text
+
+    def test_timeouts_trip_the_breaker(self, module, ctx, good_bindings):
+        engine = self._engine(
+            module,
+            breaker=BreakerPolicy(failure_threshold=1, probe_interval=60.0),
+        )
+        try:
+            with pytest.raises(ModuleTimeoutError):
+                engine.invoke(module, ctx, good_bindings)
+            # The circuit is open: the next call fast-fails without
+            # spending another watchdog budget.
+            with pytest.raises(CircuitOpenError):
+                engine.invoke(module, ctx, good_bindings)
+        finally:
+            engine.fault_injector.release_hangs()
+        assert engine.breaker.open_providers() == [module.provider]
+        assert engine.telemetry.counter("breaker_fast_fails") == 1
+
+    def test_timeout_is_never_cached(self, module, ctx, good_bindings):
+        engine = self._engine(module, cache_size=64)
+        try:
+            for _ in range(2):
+                with pytest.raises(ModuleTimeoutError):
+                    engine.invoke(module, ctx, good_bindings)
+        finally:
+            engine.fault_injector.release_hangs()
+        # Both calls went through the stack; neither hit the cache.
+        assert engine.telemetry.counter("cache_misses") == 2
+        assert engine.telemetry.counter("cache_hits") == 0
+        assert engine.telemetry.counter("watchdog_timeouts") == 2

@@ -104,3 +104,117 @@ class TestDecayMonitoring:
         workflow = Workflow("w", "w", (Step("s", "gone.forever"),))
         report = analyze_decay([workflow], {})
         assert report.by_provider == {"(unknown provider)": 1}
+
+
+class TestDecaySignals:
+    """analyze_decay merges three decay signals: the static catalog flag,
+    observed campaign health (availability), and the campaign quarantine
+    (semantics).  Each must be distinguishable in the report."""
+
+    @pytest.fixture
+    def live_module(self, catalog):
+        module = catalog[0]
+        assert module.available
+        return module
+
+    @pytest.fixture
+    def workflow(self, live_module):
+        from repro.workflow.model import Step, Workflow
+
+        return Workflow("w", "w", (Step("s", live_module.module_id),))
+
+    def _quarantine(self, module_id, cause):
+        from repro.core.examples import Binding
+        from repro.core.quarantine import QuarantinedExample, QuarantineLog
+        from repro.values import STRING, TypedValue
+
+        log = QuarantineLog()
+        log.add(
+            QuarantinedExample(
+                module_id=module_id,
+                inputs=(
+                    Binding(
+                        parameter="in",
+                        value=TypedValue(
+                            payload="x", structural=STRING, concept=None
+                        ),
+                    ),
+                ),
+                cause=cause,
+            )
+        )
+        return log
+
+    def test_no_signals_mean_no_extra_decay(self, workflow, live_module):
+        report = analyze_decay([workflow], {live_module.module_id: live_module})
+        assert report.n_broken == 0
+        assert report.observed_dead == []
+        assert report.semantically_decayed == []
+
+    def test_observed_dead_from_health_only(self, workflow, live_module):
+        from repro.engine import ModuleHealthRegistry
+
+        health = ModuleHealthRegistry(dead_after=3)
+        for _ in range(3):
+            health.observe(live_module.module_id, live_module.provider, "timeout")
+        report = analyze_decay(
+            [workflow], {live_module.module_id: live_module}, health=health
+        )
+        assert report.observed_dead == [live_module.module_id]
+        assert report.semantically_decayed == []
+        assert report.n_broken == 1
+        assert report.by_provider == {live_module.provider: 1}
+
+    def test_semantic_decay_from_quarantine_only(self, workflow, live_module):
+        from repro.core.quarantine import CAUSE_MALFORMED
+
+        quarantine = self._quarantine(live_module.module_id, CAUSE_MALFORMED)
+        report = analyze_decay(
+            [workflow],
+            {live_module.module_id: live_module},
+            quarantine=quarantine,
+        )
+        assert report.observed_dead == []
+        assert report.semantically_decayed == [live_module.module_id]
+        assert report.n_broken == 1
+
+    def test_timeout_quarantine_is_not_semantic_decay(
+        self, workflow, live_module
+    ):
+        from repro.core.quarantine import CAUSE_TIMEOUT
+
+        quarantine = self._quarantine(live_module.module_id, CAUSE_TIMEOUT)
+        report = analyze_decay(
+            [workflow],
+            {live_module.module_id: live_module},
+            quarantine=quarantine,
+        )
+        assert report.semantically_decayed == []
+        assert report.n_broken == 0  # a timeout alone breaks nothing here
+
+    def test_both_signals_merge(self, catalog):
+        from repro.core.quarantine import CAUSE_NONDETERMINISTIC
+        from repro.engine import ModuleHealthRegistry
+        from repro.workflow.model import Step, Workflow
+
+        dead, flaky = catalog[0], catalog[1]
+        health = ModuleHealthRegistry(dead_after=2)
+        for _ in range(2):
+            health.observe(dead.module_id, dead.provider, "unavailable")
+        quarantine = self._quarantine(flaky.module_id, CAUSE_NONDETERMINISTIC)
+        workflow = Workflow(
+            "w", "w", (Step("s1", dead.module_id), Step("s2", flaky.module_id))
+        )
+        report = analyze_decay(
+            [workflow],
+            {m.module_id: m for m in (dead, flaky)},
+            health=health,
+            quarantine=quarantine,
+        )
+        assert report.observed_dead == [dead.module_id]
+        assert report.semantically_decayed == [flaky.module_id]
+        assert report.n_broken == 1
+        assert report.single_point_failures == 0  # two culprits, one workflow
+        text = render_decay_report(report)
+        assert "observed-dead modules:   1" in text
+        assert "semantically decayed:    1" in text

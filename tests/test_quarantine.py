@@ -1,0 +1,163 @@
+"""Tests of the quarantine layer: the QuarantinedExample record, the
+QuarantineLog accumulator, and generation reports that withhold
+byzantine evidence instead of admitting it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.examples import Binding
+from repro.core.generation import ExampleGenerator
+from repro.core.quarantine import (
+    CAUSE_MALFORMED,
+    CAUSE_NONDETERMINISTIC,
+    CAUSE_TIMEOUT,
+    QuarantinedExample,
+    QuarantineLog,
+)
+from repro.engine import (
+    ConformancePolicy,
+    EngineConfig,
+    FaultPlan,
+    InvocationEngine,
+    WatchdogPolicy,
+)
+from repro.values import STRING, TypedValue
+
+
+def _record(module_id, cause, parameter="in", payload="x", outputs=()):
+    value = TypedValue(payload=payload, structural=STRING, concept=None)
+    return QuarantinedExample(
+        module_id=module_id,
+        inputs=(Binding(parameter=parameter, value=value),),
+        cause=cause,
+        detail=f"{module_id} failed",
+        outputs=outputs,
+    )
+
+
+class TestQuarantinedExample:
+    def test_semantic_split(self):
+        assert not _record("m", CAUSE_TIMEOUT).semantic
+        assert _record("m", CAUSE_MALFORMED).semantic
+        assert _record("m", CAUSE_NONDETERMINISTIC).semantic
+
+    def test_render_shows_cause_inputs_and_detail(self):
+        value = TypedValue(payload="lie", structural=STRING, concept=None)
+        record = _record(
+            "xf.liar",
+            CAUSE_MALFORMED,
+            outputs=(Binding(parameter="out", value=value),),
+        )
+        text = record.render()
+        assert "[malformed-output] xf.liar" in text
+        assert "in  " in text and "out " in text
+        assert "xf.liar failed" in text
+
+
+class TestQuarantineLog:
+    def test_accumulates_and_groups(self):
+        log = QuarantineLog()
+        log.add(_record("m1", CAUSE_TIMEOUT))
+        log.extend([_record("m2", CAUSE_MALFORMED), _record("m1", CAUSE_TIMEOUT)])
+        assert len(log) == 3
+        grouped = log.by_module()
+        assert list(grouped) == ["m1", "m2"]
+        assert len(grouped["m1"]) == 2
+        assert log.counts_by_cause() == {
+            CAUSE_MALFORMED: 1,
+            CAUSE_TIMEOUT: 2,
+        }
+
+    def test_timeout_only_modules_are_not_semantically_decayed(self):
+        log = QuarantineLog()
+        log.add(_record("m.wedged", CAUSE_TIMEOUT))
+        log.add(_record("m.liar", CAUSE_MALFORMED))
+        log.add(_record("m.flaky", CAUSE_NONDETERMINISTIC))
+        log.add(_record("m.liar", CAUSE_MALFORMED))  # dedup to one id
+        assert log.semantically_decayed() == ["m.flaky", "m.liar"]
+
+    def test_render(self):
+        log = QuarantineLog()
+        log.add(_record("m.liar", CAUSE_MALFORMED))
+        text = log.render()
+        assert "quarantined:       1" in text
+        assert CAUSE_MALFORMED in text
+        assert "m.liar" in text
+
+
+class TestGenerationQuarantine:
+    @pytest.fixture
+    def module(self, catalog_by_id):
+        return catalog_by_id["ret.get_uniprot_record"]
+
+    def _generate(self, ctx, pool, module, fault_field):
+        engine = InvocationEngine(
+            EngineConfig(
+                fault_plan=FaultPlan(
+                    **{fault_field: frozenset({module.provider})},
+                    hang_duration_s=30.0,
+                ),
+                conformance=ConformancePolicy(probe_rate=1.0),
+                watchdog=WatchdogPolicy(budget=0.05),
+            )
+        )
+        generator = ExampleGenerator(ctx, pool, engine=engine)
+        try:
+            return generator.generate(module)
+        finally:
+            if engine.fault_injector is not None:
+                engine.fault_injector.release_hangs()
+
+    def test_hanging_module_yields_timeout_quarantines(self, ctx, pool, module):
+        report = self._generate(ctx, pool, module, "hang_providers")
+        assert report.examples == []
+        assert report.timed_out_combinations == len(report.quarantined) > 0
+        assert report.quarantined_combinations == 0
+        for record in report.quarantined:
+            assert record.cause == CAUSE_TIMEOUT
+            assert record.outputs == ()
+            assert record.inputs  # the combination survives for forensics
+        # A wedged module is decayed, not busy: the report is *done*.
+        assert report.complete
+
+    def test_lying_module_yields_semantic_quarantines(self, ctx, pool, module):
+        report = self._generate(ctx, pool, module, "corrupt_output_providers")
+        assert report.examples == []
+        assert report.quarantined_combinations == len(report.quarantined) > 0
+        assert report.timed_out_combinations == 0
+        for record in report.quarantined:
+            assert record.cause == CAUSE_MALFORMED
+            # Single-output catalog modules lose their only output to the
+            # arity lie; the detail names the mismatch instead.
+            assert "output names" in record.detail
+        assert report.complete
+
+    def test_nondeterministic_module_captures_the_first_answer(
+        self, ctx, pool, module
+    ):
+        report = self._generate(ctx, pool, module, "nondeterministic_providers")
+        assert report.examples == []
+        assert report.quarantined_combinations == len(report.quarantined) > 0
+        for record in report.quarantined:
+            assert record.cause == CAUSE_NONDETERMINISTIC
+            assert record.outputs  # the disputed answer is captured
+        assert report.complete
+
+    def test_quarantine_log_ingests_reports(self, ctx, pool, module):
+        report = self._generate(ctx, pool, module, "corrupt_output_providers")
+        log = QuarantineLog()
+        assert log.ingest_report(report) == len(report.quarantined)
+        assert log.semantically_decayed() == [module.module_id]
+
+    def test_honest_module_quarantines_nothing(self, ctx, pool, module):
+        engine = InvocationEngine(
+            EngineConfig(
+                conformance=ConformancePolicy(probe_rate=1.0),
+                watchdog=WatchdogPolicy(budget=30.0),
+            )
+        )
+        report = ExampleGenerator(ctx, pool, engine=engine).generate(module)
+        assert report.quarantined == []
+        assert report.n_examples > 0
+        assert report.complete
