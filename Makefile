@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-hangs bench bench-engine report engine-stats campaign examples all clean
+.PHONY: install test test-faults test-hangs bench bench-engine report engine-stats campaign examples docs-check all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,12 @@ campaign:
 
 report:
 	$(PYTHON) -m repro.experiments.runner
+
+# Docs drift gate (the CI docs job): Markdown links and path references
+# resolve, documented repro-cli subcommands exist (and every real one is
+# documented), and the API reference's doctest examples pass.
+docs-check:
+	$(PYTHON) tools/check_docs.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script > /dev/null || exit 1; done

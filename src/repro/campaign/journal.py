@@ -49,6 +49,17 @@ CREATE TABLE IF NOT EXISTS campaign_entries (
     report_json TEXT NOT NULL,
     PRIMARY KEY (campaign_id, module_id)
 );
+CREATE TABLE IF NOT EXISTS campaign_spans (
+    span_seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id TEXT NOT NULL REFERENCES campaigns(campaign_id),
+    module_id TEXT NOT NULL,
+    outcome TEXT NOT NULL,
+    start_ms REAL NOT NULL,
+    duration_ms REAL NOT NULL,
+    span_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS campaign_spans_by_campaign
+    ON campaign_spans (campaign_id, module_id);
 """
 
 
@@ -291,6 +302,64 @@ class CampaignJournal:
                 "INSERT OR REPLACE INTO campaign_entries VALUES (?, ?, ?, ?, ?)",
                 (campaign_id, module_id, "skipped", reason, "{}"),
             )
+
+    # ------------------------------------------------------------------
+    # Spans (the campaign flight recorder)
+    # ------------------------------------------------------------------
+    def record_span(self, campaign_id: str, span: dict) -> None:
+        """Commit one completed invocation span tree.
+
+        Each span is its own committed transaction — exactly like report
+        entries — so a SIGKILLed campaign keeps every trace that finished
+        before the kill.  Spans are *observations*, not results: they
+        live in their own table and never feed report reassembly, so the
+        kill/resume byte-identity guarantee is untouched.
+        """
+        payload = json.dumps(span, sort_keys=True)
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT INTO campaign_spans "
+                "(campaign_id, module_id, outcome, start_ms, duration_ms, span_json) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    span.get("module_id", ""),
+                    span.get("outcome", "ok"),
+                    span.get("start_ms", 0.0),
+                    span.get("duration_ms", 0.0),
+                    payload,
+                ),
+            )
+
+    def spans(
+        self, campaign_id: str, module_id: "str | None" = None
+    ) -> "list[dict]":
+        """Journaled span trees of one campaign, recording order.
+
+        Args:
+            campaign_id: The campaign.
+            module_id: Restrict to one module's invocations.
+        """
+        query = (
+            "SELECT span_json FROM campaign_spans WHERE campaign_id = ?"
+        )
+        params: tuple = (campaign_id,)
+        if module_id is not None:
+            query += " AND module_id = ?"
+            params += (module_id,)
+        query += " ORDER BY span_seq"
+        with self._lock:
+            rows = self._connection.execute(query, params).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def span_count(self, campaign_id: str) -> int:
+        """Journaled spans of one campaign."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM campaign_spans WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
+        return row[0]
 
     def entries(self, campaign_id: str) -> "dict[str, JournalEntry]":
         """All journaled entries of one campaign, keyed by module id."""

@@ -95,6 +95,9 @@ class CampaignConfig:
             (testing).
         nondeterministic_providers: Providers whose outputs vary per
             call (testing).
+        trace: Record one span tree per invocation and journal every
+            completed trace (the flight recorder).  Off by default —
+            the untraced engine pays no tracing cost.
     """
 
     seed: int = 2014
@@ -119,6 +122,7 @@ class CampaignConfig:
     stall_ms: float = 0.0
     corrupt_providers: tuple = ()
     nondeterministic_providers: tuple = ()
+    trace: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -144,6 +148,7 @@ class CampaignConfig:
             "stall_ms": self.stall_ms,
             "corrupt_providers": list(self.corrupt_providers),
             "nondeterministic_providers": list(self.nondeterministic_providers),
+            "trace": self.trace,
         }
 
     @classmethod
@@ -212,6 +217,7 @@ class CampaignConfig:
                 if self.watchdog_budget is not None
                 else None
             ),
+            tracing=self.trace,
         )
 
 
@@ -323,6 +329,17 @@ class CampaignRunner:
         )
 
     # ------------------------------------------------------------------
+    def _arm_recorder(self, campaign_id: str) -> None:
+        """Point the tracer's sink at this campaign's journal.
+
+        The campaign id is only known at ``run``/``resume`` time, so the
+        flight recorder is installed here rather than at construction.
+        """
+        if self.engine.tracer is not None:
+            from repro.obs.recorder import FlightRecorder
+
+            self.engine.tracer.sink = FlightRecorder(self.journal, campaign_id)
+
     def run(self, campaign_id: str) -> CampaignResult:
         """Start a fresh campaign and drive it to a finalized result."""
         self.journal.create(
@@ -331,6 +348,7 @@ class CampaignRunner:
             [module.module_id for module in self.modules],
             self.config.to_dict(),
         )
+        self._arm_recorder(campaign_id)
         self._execute(campaign_id, self.modules)
         return self.finalize(campaign_id)
 
@@ -353,6 +371,7 @@ class CampaignRunner:
             or entries[module_id].status == "skipped"
         ]
         self.journal.set_status(campaign_id, "running")
+        self._arm_recorder(campaign_id)
         self._execute(campaign_id, pending)
         return self.finalize(campaign_id)
 

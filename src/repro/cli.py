@@ -12,7 +12,9 @@ Subcommands::
     repro-cli validate WORKFLOW_FILE                statically check a workflow
     repro-cli report [--seed S]                     full paper-vs-measured report
     repro-cli engine-stats [--parallelism N] ...    invocation-engine telemetry
-    repro-cli campaign run --db FILE ID             crash-safe catalog campaign
+    repro-cli metrics [--json] [--serve]            Prometheus / JSON export
+    repro-cli trace ID --db FILE [--slowest N]      campaign span timeline
+    repro-cli campaign run --db FILE ID [--trace]   crash-safe catalog campaign
     repro-cli campaign resume --db FILE ID          continue a killed campaign
     repro-cli campaign status --db FILE [ID]        journal progress
 
@@ -205,8 +207,17 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_engine_stats(args: argparse.Namespace) -> int:
-    """Run generation through a tuned engine and print its telemetry."""
+class _UnknownModuleError(Exception):
+    """A ``--module`` id the catalog does not supply (exit code 2)."""
+
+
+def _tuned_generation(args: argparse.Namespace, tracing: bool = False):
+    """Run ``--repeat`` generation passes through a tuned engine.
+
+    The shared workload behind ``engine-stats`` and ``metrics``: build
+    an engine from the command-line knobs, drive generation over the
+    (possibly restricted) catalog, and hand back ``(engine, reports)``.
+    """
     from repro.core.generation import ExampleGenerator
     from repro.engine import (
         ConformancePolicy,
@@ -223,17 +234,17 @@ def cmd_engine_stats(args: argparse.Namespace) -> int:
         raise SystemExit("error: --parallelism must be at least 1")
     if not 0.0 <= args.fault_rate <= 1.0:
         raise SystemExit("error: --fault-rate must lie in [0, 1]")
+    if args.max_events < 1:
+        raise SystemExit("error: --max-events must be at least 1")
     ctx, catalog, pool = _world(args.seed)
     if args.module:
         by_id = {module.module_id: module for module in catalog}
         unknown = [module_id for module_id in args.module if module_id not in by_id]
         if unknown:
-            print(
+            raise _UnknownModuleError(
                 f"error: no module {', '.join(sorted(unknown))!s} "
-                "(try `repro-cli list`)",
-                file=sys.stderr,
+                "(try `repro-cli list`)"
             )
-            return 2
         catalog = [by_id[module_id] for module_id in args.module]
     if args.limit is not None:
         catalog = catalog[: args.limit]
@@ -261,13 +272,38 @@ def cmd_engine_stats(args: argparse.Namespace) -> int:
                 if args.watchdog_budget is not None
                 else None
             ),
+            tracing=tracing,
+            max_events=args.max_events,
         )
     )
     generator = ExampleGenerator(ctx, pool, engine=engine)
     reports = None
     for _pass in range(args.repeat):
         reports = generator.generate_many(catalog)
+    return engine, reports
+
+
+def _warn_dropped_events(stats: dict) -> None:
+    """Tell the operator when the telemetry window is already lossy."""
+    dropped = stats.get("dropped_events", 0)
+    if dropped:
+        print(
+            f"warning: telemetry ring buffer overflowed — {dropped} events "
+            f"dropped (raise --max-events to keep more history)",
+            file=sys.stderr,
+        )
+
+
+def cmd_engine_stats(args: argparse.Namespace) -> int:
+    """Run generation through a tuned engine and print its telemetry."""
+    try:
+        engine, reports = _tuned_generation(args)
+    except _UnknownModuleError as error:
+        print(error, file=sys.stderr)
+        return 2
     n_examples = sum(r.n_examples for r in reports.values())
+    stats = engine.stats()
+    _warn_dropped_events(stats)
     if args.json:
         print(
             json.dumps(
@@ -275,7 +311,7 @@ def cmd_engine_stats(args: argparse.Namespace) -> int:
                     "modules": len(reports),
                     "passes": args.repeat,
                     "examples_per_pass": n_examples,
-                    "stats": engine.stats(),
+                    "stats": stats,
                 },
                 indent=2,
                 sort_keys=True,
@@ -288,6 +324,75 @@ def cmd_engine_stats(args: argparse.Namespace) -> int:
     )
     print()
     print(engine.render_stats())
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Export the engine's telemetry for scraping (Prometheus / JSON)."""
+    from repro.obs import MetricsExporter, MetricsServer
+
+    try:
+        engine, _reports = _tuned_generation(args)
+    except _UnknownModuleError as error:
+        print(error, file=sys.stderr)
+        return 2
+    exporter = MetricsExporter(engine)
+    _warn_dropped_events(engine.stats())
+    if args.serve:
+        with MetricsServer(exporter, port=args.port) as server:
+            print(
+                f"serving http://{server.host}:{server.port}/metrics "
+                f"(and /metrics.json)",
+                file=sys.stderr,
+            )
+            try:
+                if args.serve_for is not None:
+                    import time as _time
+
+                    _time.sleep(args.serve_for)
+                else:  # pragma: no cover - interactive
+                    import threading
+
+                    threading.Event().wait()
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                pass
+        return 0
+    if args.json:
+        print(exporter.to_json())
+    else:
+        print(exporter.to_prometheus(), end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Reconstruct a campaign's span timeline from its journal."""
+    from repro.campaign import CampaignJournal, UnknownCampaignError
+    from repro.obs import load_spans, render_trace
+
+    journal = CampaignJournal(args.db)
+    try:
+        try:
+            journal.meta(args.campaign_id)
+        except UnknownCampaignError:
+            print(
+                f"error: no campaign {args.campaign_id!r} in {args.db} "
+                "(try `repro-cli campaign status`)",
+                file=sys.stderr,
+            )
+            return 2
+        spans = load_spans(journal, args.campaign_id, module_id=args.module)
+    finally:
+        journal.close()
+    if args.json:
+        print(
+            json.dumps([span.to_dict() for span in spans], indent=2, sort_keys=True)
+        )
+        return 0
+    print(
+        render_trace(
+            spans, args.campaign_id, slowest=args.slowest, limit=args.limit
+        )
+    )
     return 0
 
 
@@ -323,6 +428,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         stall_ms=args.stall_ms,
         corrupt_providers=tuple(args.corrupt_output),
         nondeterministic_providers=tuple(args.nondeterministic),
+        trace=args.trace,
     )
     ctx, catalog, pool = _world(args.seed)
     journal = CampaignJournal(args.db)
@@ -489,35 +595,75 @@ def build_parser() -> argparse.ArgumentParser:
     p = commands.add_parser("report", help="full reproduction report")
     p.set_defaults(func=cmd_report)
 
+    def add_engine_args(p: argparse.ArgumentParser) -> None:
+        """Tuned-engine knobs shared by ``engine-stats`` and ``metrics``."""
+        p.add_argument("--parallelism", type=int, default=1,
+                       help="scheduler worker threads")
+        p.add_argument("--cache-size", type=int, default=4096,
+                       help="invocation cache capacity (0 disables)")
+        p.add_argument("--repeat", type=int, default=2,
+                       help="generation passes over the catalog "
+                            "(>=2 shows cache hits)")
+        p.add_argument("--fault-rate", type=float, default=0.0,
+                       help="injected transient failure probability")
+        p.add_argument("--latency-ms", type=float, default=0.0,
+                       help="injected mean latency per call, in ms")
+        p.add_argument("--limit", type=int, default=None,
+                       help="only process the first N catalog modules")
+        p.add_argument("--module", action="append", default=[],
+                       help="only process this module id (repeatable); unknown "
+                            "ids exit nonzero")
+        p.add_argument("--watchdog-budget", type=float, default=None,
+                       help="hard wall-clock budget per invocation, seconds")
+        p.add_argument("--probe-rate", type=float, default=0.0,
+                       help="fraction of successful combinations to "
+                            "double-invoke for nondeterminism")
+        p.add_argument("--no-conformance", action="store_true",
+                       help="disable output-conformance validation")
+        p.add_argument("--max-events", type=int, default=10_000,
+                       help="telemetry event-log ring-buffer capacity")
+
     p = commands.add_parser(
         "engine-stats",
         help="run generation through the invocation engine and print telemetry",
     )
-    p.add_argument("--parallelism", type=int, default=1,
-                   help="scheduler worker threads")
-    p.add_argument("--cache-size", type=int, default=4096,
-                   help="invocation cache capacity (0 disables)")
-    p.add_argument("--repeat", type=int, default=2,
-                   help="generation passes over the catalog (>=2 shows cache hits)")
-    p.add_argument("--fault-rate", type=float, default=0.0,
-                   help="injected transient failure probability")
-    p.add_argument("--latency-ms", type=float, default=0.0,
-                   help="injected mean latency per call, in ms")
-    p.add_argument("--limit", type=int, default=None,
-                   help="only process the first N catalog modules")
-    p.add_argument("--module", action="append", default=[],
-                   help="only process this module id (repeatable); unknown "
-                        "ids exit nonzero")
-    p.add_argument("--watchdog-budget", type=float, default=None,
-                   help="hard wall-clock budget per invocation, seconds")
-    p.add_argument("--probe-rate", type=float, default=0.0,
-                   help="fraction of successful combinations to double-invoke "
-                        "for nondeterminism")
-    p.add_argument("--no-conformance", action="store_true",
-                   help="disable output-conformance validation")
+    add_engine_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the full stats snapshot as JSON")
     p.set_defaults(func=cmd_engine_stats)
+
+    p = commands.add_parser(
+        "metrics",
+        help="export engine telemetry (Prometheus text format / JSON)",
+    )
+    add_engine_args(p)
+    p.add_argument("--prometheus", action="store_true",
+                   help="Prometheus text exposition format (the default)")
+    p.add_argument("--json", action="store_true",
+                   help="full stats snapshot as JSON instead")
+    p.add_argument("--serve", action="store_true",
+                   help="serve /metrics over HTTP instead of printing")
+    p.add_argument("--port", type=int, default=9464,
+                   help="scrape-endpoint port (0 picks a free one)")
+    p.add_argument("--serve-for", type=float, default=None,
+                   help="serve for N seconds, then exit (default: forever)")
+    p.set_defaults(func=cmd_metrics)
+
+    p = commands.add_parser(
+        "trace",
+        help="reconstruct a campaign's span timeline from its journal",
+    )
+    p.add_argument("campaign_id")
+    p.add_argument("--db", required=True, help="journal SQLite file")
+    p.add_argument("--module", default=None,
+                   help="only this module's invocations")
+    p.add_argument("--slowest", type=int, default=None,
+                   help="show only the N slowest invocations' span trees")
+    p.add_argument("--limit", type=int, default=None,
+                   help="show only the first N span trees (timeline order)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw span trees as JSON")
+    p.set_defaults(func=cmd_trace)
 
     p = commands.add_parser(
         "campaign",
@@ -564,6 +710,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="provider whose outputs lose a parameter (repeatable)")
     c.add_argument("--nondeterministic", action="append", default=[],
                    help="provider whose outputs vary per call (repeatable)")
+    c.add_argument("--trace", action="store_true",
+                   help="journal one span tree per invocation "
+                        "(inspect with `repro-cli trace`)")
     c.set_defaults(func=cmd_campaign_run)
 
     c = campaign_commands.add_parser(

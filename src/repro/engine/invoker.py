@@ -104,6 +104,14 @@ class EngineConfig:
             nondeterminism probing); ``None`` disables.
         watchdog: Hard wall-clock budget per invocation; ``None``
             disables.
+        tracing: Build a per-invocation span tree around every call
+            (:mod:`repro.obs.tracing`).  Off by default — the untraced
+            stack is byte-identical to the pre-observability one and
+            pays no tracing cost at all.
+        max_events: Ring-buffer capacity of the telemetry event log
+            (evictions are counted in ``dropped_events``).
+        max_traces: Ring-buffer capacity for completed traces kept in
+            memory when tracing is on.
     """
 
     parallelism: int = 1
@@ -114,6 +122,9 @@ class EngineConfig:
     breaker: "BreakerPolicy | None" = None
     conformance: "ConformancePolicy | None" = None
     watchdog: "WatchdogPolicy | None" = None
+    tracing: bool = False
+    max_events: int = 10_000
+    max_traces: int = 1000
 
 
 class InvocationEngine:
@@ -125,6 +136,7 @@ class InvocationEngine:
         invoker: "Invoker | None" = None,
         telemetry: "Telemetry | None" = None,
         health: "ModuleHealthRegistry | None" = None,
+        tracer=None,
         clock: Callable[[], float] = default_clock,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -134,32 +146,67 @@ class InvocationEngine:
             telemetry: Shared telemetry sink (default: a fresh one).
             health: Module-health registry fed with every final outcome
                 (default: a fresh one).
+            tracer: Span recorder (:class:`repro.obs.tracing.Tracer`);
+                passing one implies tracing even when ``config.tracing``
+                is false.  With neither, the stack is built untraced and
+                the hot path performs no tracing work.
             clock: Monotonic clock, injectable for tests.
             sleep: Sleep function used by retry backoff and injected
                 latency, injectable for tests.
         """
         self.config = config
-        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(max_events=config.max_events)
+        )
         self.health = health if health is not None else ModuleHealthRegistry()
         self.scheduler = BatchScheduler(config.parallelism)
         self._clock = clock
+        if tracer is None and config.tracing:
+            from repro.obs.tracing import Tracer
+
+            tracer = Tracer(clock=clock, max_traces=config.max_traces)
+        self.tracer = tracer
+
+        def traced(layer: str, inner: Invoker) -> Invoker:
+            return tracer.wrap(layer, inner) if tracer is not None else inner
 
         stack: Invoker = invoker if invoker is not None else DirectInvoker()
+        # The ``direct`` span separates the supply-interface round trip
+        # from everything stacked on top of it.  In a bare stack there
+        # is no "on top": the root span already times the direct call
+        # exactly, so wrapping it would double the tracing cost of
+        # every invocation to record a span that duplicates its parent.
+        layered = (
+            config.cache_size is not None
+            or config.fault_plan is not None
+            or config.conformance is not None
+            or config.watchdog is not None
+            or config.retry is not None
+            or config.breaker is not None
+        )
+        if layered:
+            stack = traced("direct", stack)
         self.fault_injector = None
         if config.fault_plan is not None:
             stack = self.fault_injector = FaultInjectingInvoker(
                 stack, config.fault_plan, sleep=sleep, on_fault=self._note_fault
             )
+            stack = traced("faults", stack)
         self.conformance = None
         if config.conformance is not None:
             stack = self.conformance = ConformingInvoker(
                 stack, config.conformance, on_violation=self._note_violation
             )
+            stack = traced("conformance", stack)
         self.watchdog = None
         if config.watchdog is not None:
             stack = self.watchdog = WatchdogInvoker(
-                stack, config.watchdog, on_timeout=self._note_timeout
+                stack, config.watchdog, on_timeout=self._note_timeout,
+                tracer=tracer,
             )
+            stack = traced("watchdog", stack)
         if config.retry is not None:
             stack = RetryingInvoker(
                 stack,
@@ -169,6 +216,7 @@ class InvocationEngine:
                 on_retry=self._note_retry,
                 on_exhausted=self._note_exhausted,
             )
+            stack = traced("retry", stack)
         self.breaker = (
             CircuitBreaker(
                 config.breaker, clock=clock, on_transition=self._note_transition
@@ -180,6 +228,7 @@ class InvocationEngine:
             stack = CircuitBreakingInvoker(
                 stack, self.breaker, on_fast_fail=self._note_fast_fail
             )
+            stack = traced("breaker", stack)
         self.invoker = stack
         self.cache = (
             InvocationCache(
@@ -215,6 +264,8 @@ class InvocationEngine:
         self.telemetry.event(
             "retry", module.module_id, f"attempt {attempt}: {type(error).__name__}"
         )
+        if self.tracer is not None:
+            self.tracer.incr_root("retries")
 
     def _note_exhausted(self, module: Module, error: ModuleUnavailableError) -> None:
         self.telemetry.incr("retries_exhausted")
@@ -252,17 +303,48 @@ class InvocationEngine:
                 interface (never cached — the module answered, but the
                 answer must not be admitted anywhere).
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._invoke(module, ctx, bindings, None)
+        # The attribute dict is live for the duration of the call: the
+        # cache lookup below and the retry hook annotate it before
+        # close_root seals it into the exported trace.
+        attributes = {"provider": module.provider}
+        token = tracer.open_root(attributes)
+        try:
+            outputs = self._invoke(module, ctx, bindings, attributes)
+        except BaseException as error:
+            tracer.close_root(
+                module.module_id, token, type(error).__name__, str(error)
+            )
+            raise
+        tracer.close_root(module.module_id, token)
+        return outputs
+
+    def _invoke(
+        self,
+        module: Module,
+        ctx: ModuleContext,
+        bindings: dict[str, TypedValue],
+        trace_attrs: "dict | None",
+    ) -> dict[str, TypedValue]:
         if self.cache is not None:
             key = canonical_key(module, bindings)
             outcome = self.cache.lookup(key)
             if outcome is not None:
                 if outcome.is_failure:
                     self.telemetry.incr("cache_negative_hits")
+                    disposition = "negative-hit"
                 else:
                     self.telemetry.incr("cache_hits")
+                    disposition = "hit"
                 self.telemetry.event("cache_hit", module.module_id)
+                if trace_attrs is not None:
+                    trace_attrs["cache"] = disposition
                 return outcome.replay()
             self.telemetry.incr("cache_misses")
+            if trace_attrs is not None:
+                trace_attrs["cache"] = "miss"
         else:
             key = None
 
@@ -329,6 +411,8 @@ class InvocationEngine:
             snapshot["watchdog"] = self.watchdog.snapshot()
         if self.conformance is not None:
             snapshot["conformance"] = self.conformance.snapshot()
+        if self.tracer is not None:
+            snapshot["tracing"] = self.tracer.snapshot()
         snapshot["health"] = self.health.snapshot()
         return snapshot
 

@@ -102,6 +102,18 @@ class LatencyHistogram:
             if count
         }
 
+    def cumulative_buckets(self) -> "list[tuple[str, int]]":
+        """Every bucket with its cumulative count, Prometheus-style:
+        ``[("0.05", n), ..., ("1000", n), ("+Inf", total)]``.  The
+        ``+Inf`` entry always equals :attr:`count`."""
+        cumulative: "list[tuple[str, int]]" = []
+        seen = 0
+        for bound, bucket_count in zip(self.BOUNDS_MS, self._counts):
+            seen += bucket_count
+            cumulative.append((f"{bound:g}", seen))
+        cumulative.append(("+Inf", self.count))
+        return cumulative
+
 
 class Telemetry:
     """Counters + latency histogram + a bounded structured event log.
@@ -171,11 +183,16 @@ class Telemetry:
                 "counters": dict(self._counters),
                 "latency": {
                     "count": self.histogram.count,
+                    "sum_ms": self.histogram.sum_ms,
                     "mean_ms": self.histogram.mean_ms,
                     "p50_ms": self.histogram.quantile(0.5),
                     "p95_ms": self.histogram.quantile(0.95),
                     "max_ms": self.histogram.max_ms,
                     "buckets": self.histogram.buckets(),
+                    "cumulative_buckets": [
+                        list(pair)
+                        for pair in self.histogram.cumulative_buckets()
+                    ],
                 },
                 "n_events": len(self._events),
                 "max_events": self.max_events,
@@ -205,11 +222,14 @@ class Telemetry:
             f"{counters.get('deadlines_exceeded', 0)} past deadline)",
             f"  injected faults: {counters.get('faults_injected', 0)}",
         ]
-        if snap["dropped_events"]:
-            lines.append(
-                f"  event log:       {snap['n_events']} kept "
-                f"(ring buffer full, {snap['dropped_events']} dropped)"
-            )
+        # The event log line always appears: an operator must see the
+        # ring buffer's fill level *and* how much history it has already
+        # shed, not only once the window overflowed.
+        dropped = snap["dropped_events"]
+        line = f"  event log:       {snap['n_events']}/{snap['max_events']} kept"
+        if dropped:
+            line += f" (ring buffer full, {dropped} dropped)"
+        lines.append(line)
         latency = snap["latency"]
         if latency["count"]:
             lines.append(

@@ -77,17 +77,25 @@ class WatchdogInvoker:
         inner,
         policy: WatchdogPolicy,
         on_timeout: "Callable[[Module, float], None] | None" = None,
+        tracer=None,
     ) -> None:
         """Args:
             inner: The invoker to budget.
             policy: The wall-clock budget.
             on_timeout: Called as ``(module, budget)`` on every abandoned
                 call (telemetry hook).
+            tracer: Optional :class:`repro.obs.tracing.Tracer`.  The
+                spans recorded on the worker thread are handed back to
+                the caller through a fork/join pair so the layers below
+                the watchdog stay attached to the same span tree
+                despite the thread hop; abandoned calls deposit late
+                spans that are dropped and counted instead.
         """
         self.inner = inner
         self.policy = policy
         self.stats = WatchdogStats()
         self._on_timeout = on_timeout
+        self._tracer = tracer
         self._lock = threading.Lock()
 
     def invoke(
@@ -104,13 +112,21 @@ class WatchdogInvoker:
         outcome: dict = {}
         done = threading.Event()
         abandoned = threading.Event()
+        tracer = self._tracer
+        fork = tracer.fork() if tracer is not None else None
 
         def run() -> None:
+            if tracer is not None:
+                tracer.seed(fork)
             try:
                 outcome["outputs"] = self.inner.invoke(module, ctx, bindings)
             except BaseException as error:  # relayed, not swallowed
                 outcome["error"] = error
             finally:
+                # Deposit before done.set(): a caller woken by ``done``
+                # must find the worker's spans already in the fork.
+                if tracer is not None:
+                    tracer.unseed(fork)
                 done.set()
                 if abandoned.is_set():
                     with self._lock:
@@ -127,6 +143,8 @@ class WatchdogInvoker:
             # count it will never decrement.
             abandoned.set()
             if not done.is_set():
+                if tracer is not None:
+                    tracer.abandon(fork)
                 with self._lock:
                     self.stats.timeouts += 1
                     self.stats.abandoned_in_flight += 1
@@ -138,6 +156,8 @@ class WatchdogInvoker:
                     budget=self.policy.budget,
                 )
             abandoned.clear()
+        if tracer is not None:
+            tracer.join(fork)
         if "error" in outcome:
             raise outcome["error"]
         return outcome["outputs"]

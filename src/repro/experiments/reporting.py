@@ -34,6 +34,28 @@ def fmt_pct(value: float) -> str:
     return f"{100 * value:.2f}"
 
 
+def render_phase_breakdown(
+    phases: "list[tuple[str, float]]",
+    title: str = "Where the time went — per-phase cost",
+) -> str:
+    """Render the report's per-phase wall-clock breakdown.
+
+    Args:
+        phases: ``(phase name, cost in seconds)`` pairs, run order.
+        title: Table title.
+
+    Each row shows the phase's cost and its share of the total, so a
+    reader can see at a glance which experiment dominates a report run.
+    """
+    total = sum(cost for _name, cost in phases)
+    rows = [
+        [name, f"{cost * 1000:.1f}", f"{100 * cost / total:.1f}" if total else "0.0"]
+        for name, cost in phases
+    ]
+    rows.append(["total", f"{total * 1000:.1f}", "100.0" if total else "0.0"])
+    return render_table(title, ["phase", "ms", "share %"], rows)
+
+
 def render_bar_chart(
     title: str,
     series: "list[tuple[str, float]]",

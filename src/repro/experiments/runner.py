@@ -16,10 +16,24 @@ from repro.experiments.coverage import render_coverage, run_coverage
 from repro.experiments.describer import render_describer, run_describer
 from repro.experiments.figure5 import render_figure5, run_figure5
 from repro.experiments.figure8 import render_figure8, run_figure8
+from repro.engine.telemetry import default_clock
+from repro.experiments.reporting import render_phase_breakdown
 from repro.experiments.setup import ExperimentSetup, default_setup
 from repro.experiments.table1 import render_table1, run_table1
 from repro.experiments.table2 import render_table2, run_table2
 from repro.experiments.table3 import render_table3, run_table3
+
+
+#: The report's phases, run order: ``(name, run, render)``.
+PHASES = [
+    ("table3", run_table3, render_table3),
+    ("coverage", run_coverage, render_coverage),
+    ("table1", run_table1, render_table1),
+    ("table2", run_table2, render_table2),
+    ("figure5", run_figure5, render_figure5),
+    ("figure8", run_figure8, render_figure8),
+    ("describer", run_describer, render_describer),
+]
 
 
 def run_all(setup: ExperimentSetup) -> str:
@@ -28,28 +42,23 @@ def run_all(setup: ExperimentSetup) -> str:
         f"Reproduction report (seed {setup.seed}) — Belhajjame, EDBT 2014",
         f"pool: {len(setup.pool)} annotated instances "
         f"({setup.n_harvested} harvested from provenance)",
-        "",
-        render_table3(run_table3(setup)),
-        "",
-        render_coverage(run_coverage(setup)),
-        "",
-        render_table1(run_table1(setup)),
-        "",
-        render_table2(run_table2(setup)),
-        "",
-        render_figure5(run_figure5(setup)),
-        "",
-        render_figure8(run_figure8(setup)),
-        "",
-        render_describer(run_describer(setup)),
-        "",
-        _decay_section(setup),
-        "",
-        # Invocation-cost accounting comes last: by now every generation
-        # pass (catalog + decayed pre-decay examples) has gone through
-        # the engine, so the counters describe the whole run.
-        setup.engine.render_stats(),
     ]
+    costs: "list[tuple[str, float]]" = []
+    for name, run, render in PHASES:
+        start = default_clock()
+        rendered = render(run(setup))
+        costs.append((name, default_clock() - start))
+        sections.extend(["", rendered])
+    start = default_clock()
+    decay = _decay_section(setup)
+    costs.append(("decay", default_clock() - start))
+    sections.extend(["", decay])
+    # Invocation-cost accounting comes last: by now every generation
+    # pass (catalog + decayed pre-decay examples) has gone through
+    # the engine, so the counters describe the whole run — followed by
+    # the per-phase breakdown of this report's own wall-clock.
+    sections.extend(["", setup.engine.render_stats()])
+    sections.extend(["", render_phase_breakdown(costs)])
     return "\n".join(sections)
 
 

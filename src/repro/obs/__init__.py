@@ -1,0 +1,35 @@
+"""Observability: tracing, metrics export, campaign flight recorder.
+
+Three views onto the invocation engine, layered on the telemetry the
+engine already keeps:
+
+* :mod:`repro.obs.tracing` — one span tree per invocation, with
+  per-layer wall-clock cost and outcome;
+* :mod:`repro.obs.metrics` — the engine's stats snapshot in Prometheus
+  text exposition format or JSON, plus a stdlib scrape endpoint;
+* :mod:`repro.obs.recorder` — spans persisted into the SQLite campaign
+  journal, reconstructable after a crash.
+"""
+
+from repro.obs.metrics import (
+    MetricsExporter,
+    MetricsServer,
+    escape_label_value,
+    render_prometheus,
+)
+from repro.obs.recorder import FlightRecorder, load_spans, render_trace
+from repro.obs.tracing import LAYERS, Span, Tracer, TracingInvoker
+
+__all__ = [
+    "LAYERS",
+    "Span",
+    "Tracer",
+    "TracingInvoker",
+    "MetricsExporter",
+    "MetricsServer",
+    "escape_label_value",
+    "render_prometheus",
+    "FlightRecorder",
+    "load_spans",
+    "render_trace",
+]

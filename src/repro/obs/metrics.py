@@ -1,0 +1,402 @@
+"""Metrics export: the engine's telemetry in scrape-friendly formats.
+
+The engine already *keeps* every number an operator needs (counters,
+latency histogram, breaker circuits, watchdog and conformance stats,
+module health); this module makes them *leave the process* — as
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ for
+scraping during a long campaign, or as JSON for everything else.  The
+rendering is a pure function of :meth:`InvocationEngine.stats`'s
+snapshot dict, so it works equally on a live engine and on a snapshot
+deserialized from elsewhere.
+
+Metric naming follows the Prometheus conventions:
+
+``repro_invocations_total{outcome=...}``
+    Final invocation outcomes (``ok`` / ``invalid`` / ``unavailable`` /
+    ``timeout`` / ``malformed`` / ``transport_error``).
+``repro_invocation_latency_ms`` (histogram)
+    Fixed buckets from :class:`~repro.engine.telemetry.LatencyHistogram`
+    (0.05 ms .. 1 s, plus ``+Inf``), with ``_sum`` and ``_count``.
+``repro_engine_events_total{event=...}``
+    Every other engine counter (retries, cache hits, fault injections,
+    breaker transitions, ...), keyed by counter name.
+``repro_cache_*``, ``repro_watchdog_*``, ``repro_conformance_*``
+    Layer accounting, present when the layer is configured.
+``repro_breaker_state{provider=...}``
+    0 = closed, 1 = open, 2 = half-open; plus per-provider open/fast-fail
+    totals.
+``repro_provider_availability{provider=...}``, ``repro_dead_modules``
+    The health registry's provider rollup and observed-dead gauge.
+``repro_telemetry_dropped_events_total``, ``repro_tracing_*``
+    How much history the bounded buffers have already shed — an
+    exporter must say when its own window is lossy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+#: Breaker state encoding of ``repro_breaker_state``.
+BREAKER_STATE_CODES = {"closed": 0, "open": 1, "half-open": 2}
+
+#: The content type Prometheus scrapers expect.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label_value(value: str) -> str:
+    r"""Escape a label value per the text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping:
+
+    >>> escape_label_value('plain')
+    'plain'
+    >>> escape_label_value('a"b\\c\nd')
+    'a\\"b\\\\c\\nd'
+    """
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _fmt(value) -> str:
+    """Render a sample value: integers bare, floats in full precision."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Lines:
+    """Accumulates exposition lines, emitting HELP/TYPE once per metric."""
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
+        self._lines: "list[str]" = []
+        self._declared: "set[str]" = set()
+
+    def declare(self, name: str, kind: str, help_text: str) -> str:
+        metric = f"{self.namespace}_{name}"
+        if metric not in self._declared:
+            self._declared.add(metric)
+            self._lines.append(f"# HELP {metric} {help_text}")
+            self._lines.append(f"# TYPE {metric} {kind}")
+        return metric
+
+    def sample(
+        self, metric: str, value, labels: "dict[str, str] | None" = None
+    ) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{escape_label_value(str(val))}"'
+                for key, val in labels.items()
+            )
+            self._lines.append(f"{metric}{{{rendered}}} {_fmt(value)}")
+        else:
+            self._lines.append(f"{metric} {_fmt(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+#: Engine counters that are per-outcome invocation tallies rather than
+#: free-form events.
+_OUTCOME_COUNTERS = (
+    "ok",
+    "invalid",
+    "unavailable",
+    "timeout",
+    "malformed",
+    "transport_error",
+)
+
+
+def render_prometheus(stats: dict, namespace: str = "repro") -> str:
+    """Render one engine stats snapshot as Prometheus text exposition.
+
+    Args:
+        stats: The dict :meth:`InvocationEngine.stats` returns (layer
+            sections are optional — absent layers are simply skipped).
+        namespace: Metric-name prefix.
+
+    Returns:
+        A scrape body terminated by a newline, parseable under the
+        text-format rules (HELP/TYPE comments, escaped label values,
+        cumulative histogram with a ``+Inf`` bucket).
+    """
+    out = _Lines(namespace)
+    counters = dict(stats.get("counters", {}))
+
+    metric = out.declare(
+        "invocations_total", "counter", "Final invocation outcomes."
+    )
+    for outcome in _OUTCOME_COUNTERS:
+        out.sample(metric, counters.pop(outcome, 0), {"outcome": outcome})
+
+    latency = stats.get("latency")
+    if latency is not None:
+        metric = out.declare(
+            "invocation_latency_ms",
+            "histogram",
+            "Wall-clock invocation latency, milliseconds.",
+        )
+        for bound, cumulative in latency.get("cumulative_buckets", []):
+            out.sample(f"{metric}_bucket", cumulative, {"le": str(bound)})
+        out.sample(f"{metric}_sum", latency.get("sum_ms", 0.0))
+        out.sample(f"{metric}_count", latency.get("count", 0))
+
+    metric = out.declare(
+        "engine_events_total", "counter", "Engine bookkeeping counters, by name."
+    )
+    for name in sorted(counters):
+        out.sample(metric, counters[name], {"event": name})
+
+    metric = out.declare(
+        "telemetry_dropped_events_total",
+        "counter",
+        "Telemetry events shed by the bounded ring buffer.",
+    )
+    out.sample(metric, stats.get("dropped_events", 0))
+
+    cache = stats.get("cache")
+    if cache is not None:
+        for name, kind, help_text, key in (
+            ("cache_entries", "gauge", "Entries currently cached.", "size"),
+            ("cache_capacity", "gauge", "Cache LRU capacity.", "maxsize"),
+            ("cache_hits_total", "counter", "Positive cache hits.", "hits"),
+            ("cache_negative_hits_total", "counter",
+             "Replayed negative entries.", "negative_hits"),
+            ("cache_misses_total", "counter", "Cache misses.", "misses"),
+            ("cache_evictions_total", "counter", "LRU evictions.", "evictions"),
+        ):
+            out.sample(out.declare(name, kind, help_text), cache.get(key, 0))
+
+    watchdog = stats.get("watchdog")
+    if watchdog is not None:
+        out.sample(
+            out.declare("watchdog_budget_seconds", "gauge",
+                        "Wall-clock budget per invocation."),
+            watchdog.get("budget_s", 0.0),
+        )
+        out.sample(
+            out.declare("watchdog_timeouts_total", "counter",
+                        "Invocations abandoned past their budget."),
+            watchdog.get("timeouts", 0),
+        )
+        out.sample(
+            out.declare("watchdog_abandoned_in_flight", "gauge",
+                        "Abandoned worker threads still running."),
+            watchdog.get("abandoned_in_flight", 0),
+        )
+
+    conformance = stats.get("conformance")
+    if conformance is not None:
+        out.sample(
+            out.declare("conformance_checked_total", "counter",
+                        "Successful invocations validated."),
+            conformance.get("checked", 0),
+        )
+        metric = out.declare(
+            "conformance_violations_total", "counter",
+            "Interface violations, by kind.",
+        )
+        for kind in ("arity", "structure", "semantic"):
+            out.sample(
+                metric, conformance.get(f"{kind}_violations", 0), {"kind": kind}
+            )
+        out.sample(
+            out.declare("conformance_probes_total", "counter",
+                        "Nondeterminism double-invocations."),
+            conformance.get("probes", 0),
+        )
+        out.sample(
+            out.declare("conformance_unstable_total", "counter",
+                        "Probes whose answers disagreed."),
+            conformance.get("unstable", 0),
+        )
+
+    breaker = stats.get("breaker")
+    if breaker is not None:
+        state_metric = out.declare(
+            "breaker_state", "gauge",
+            "Circuit state per provider (0 closed, 1 open, 2 half-open).",
+        )
+        opened_metric = out.declare(
+            "breaker_opened_total", "counter", "Times each circuit tripped open."
+        )
+        fast_metric = out.declare(
+            "breaker_fast_failures_total", "counter",
+            "Calls fast-failed by an open circuit.",
+        )
+        for provider, circuit in sorted(breaker.items()):
+            labels = {"provider": provider}
+            out.sample(
+                state_metric,
+                BREAKER_STATE_CODES.get(circuit.get("state", "closed"), 0),
+                labels,
+            )
+            out.sample(opened_metric, circuit.get("times_opened", 0), labels)
+            out.sample(fast_metric, circuit.get("fast_failures", 0), labels)
+
+    health = stats.get("health")
+    if health is not None:
+        out.sample(
+            out.declare("observed_modules", "gauge",
+                        "Modules the health registry has seen."),
+            health.get("n_modules", 0),
+        )
+        out.sample(
+            out.declare("dead_modules", "gauge",
+                        "Modules currently observed-dead."),
+            len(health.get("dead_modules", [])),
+        )
+        availability_metric = out.declare(
+            "provider_availability", "gauge",
+            "Fraction of calls each provider answered.",
+        )
+        calls_metric = out.declare(
+            "provider_calls_total", "counter", "Final outcomes per provider."
+        )
+        for provider, entry in sorted(health.get("providers", {}).items()):
+            labels = {"provider": provider}
+            out.sample(availability_metric, entry.get("availability", 1.0), labels)
+            out.sample(calls_metric, entry.get("calls", 0), labels)
+
+    tracing = stats.get("tracing")
+    if tracing is not None:
+        out.sample(
+            out.declare("tracing_traces_kept", "gauge",
+                        "Completed traces in the ring buffer."),
+            tracing.get("traces_kept", 0),
+        )
+        out.sample(
+            out.declare("tracing_dropped_traces_total", "counter",
+                        "Traces shed by the bounded ring buffer."),
+            tracing.get("dropped_traces", 0),
+        )
+        out.sample(
+            out.declare("tracing_late_spans_total", "counter",
+                        "Spans dropped because their parent was abandoned."),
+            tracing.get("late_spans", 0),
+        )
+
+    return out.text()
+
+
+class MetricsExporter:
+    """Snapshots one engine's telemetry in exportable formats.
+
+    The exporter holds no state of its own: every call re-snapshots the
+    engine, so scraping a long campaign always sees current numbers.
+
+    Args:
+        engine: The :class:`~repro.engine.invoker.InvocationEngine` (or
+            anything with a ``stats() -> dict`` method).
+        namespace: Prometheus metric-name prefix.
+    """
+
+    def __init__(self, engine, namespace: str = "repro") -> None:
+        self.engine = engine
+        self.namespace = namespace
+
+    def snapshot(self) -> dict:
+        """The engine's merged stats snapshot (JSON-compatible)."""
+        return self.engine.stats()
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        return render_prometheus(self.snapshot(), namespace=self.namespace)
+
+
+class MetricsServer:
+    """A stdlib scrape endpoint for long-running campaigns.
+
+    Serves ``GET /metrics`` (Prometheus text format) and
+    ``GET /metrics.json`` (the full stats snapshot) from a daemon
+    thread; anything else is a 404.  Binding port 0 picks a free
+    ephemeral port — read :attr:`port` after construction.
+
+    Usage::
+
+        with MetricsServer(MetricsExporter(engine)) as server:
+            print(f"scrape http://{server.host}:{server.port}/metrics")
+            ...  # run the campaign
+
+    Args:
+        exporter: A :class:`MetricsExporter` (or anything with
+            ``to_prometheus()`` / ``to_json()``).
+        host: Bind address (loopback by default — exposing an engine's
+            internals beyond the machine is an explicit decision).
+        port: TCP port; 0 for ephemeral.
+    """
+
+    def __init__(
+        self, exporter, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.exporter = exporter
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                if self.path in ("/metrics", "/"):
+                    body = server.exporter.to_prometheus().encode("utf-8")
+                    content_type = PROMETHEUS_CONTENT_TYPE
+                elif self.path == "/metrics.json":
+                    body = server.exporter.to_json().encode("utf-8")
+                    content_type = "application/json; charset=utf-8"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # quiet by default
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

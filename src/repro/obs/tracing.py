@@ -1,0 +1,481 @@
+"""Per-invocation tracing: one span tree per module call.
+
+The engine's telemetry (PR 1) answers *how much* — counters and latency
+histograms over the whole run.  It cannot answer *where one slow or
+failing invocation spent its time*: was it retry backoff, watchdog
+budget, a conformance probe, or the supply-interface round trip itself?
+Tracing answers that question.  Every invocation that flows through a
+tracing-enabled :class:`~repro.engine.invoker.InvocationEngine` yields
+one **span tree**::
+
+    invoke  ret.get_uniprot_record        ok      3.41ms  cache=miss
+      breaker                             ok      3.38ms
+        retry                             ok      3.36ms
+          watchdog                        ok      3.30ms
+            conformance                   ok      3.21ms
+              faults                      ok      3.10ms
+                direct                    ok      3.02ms
+
+The root span carries the correlation attributes (module id, provider,
+cache/breaker disposition, retry attempts); each child is one invoker
+layer with its own wall-clock cost and outcome, so per-layer overhead is
+the *difference* between adjacent spans.  A retried call shows multiple
+watchdog subtrees under the retry span; a conformance probe shows two
+inner subtrees under the conformance span.
+
+Design constraints, in order:
+
+* **Zero cost when disabled.**  A tracer is threaded through the stack
+  only when one is configured; without it the engine builds the exact
+  pre-observability stack and the hot path performs no tracing work.
+* **Cheap when enabled.**  The recorder exploits that a layer's inner
+  spans always *complete* before the layer itself does: each thread
+  keeps a flat ``pending`` list of completed spans, opening a span is
+  just a clock read plus a list-length mark, and closing it claims
+  everything recorded past the mark as children.  No span objects, no
+  parent pointers and no locks exist on the hot path — one small tuple
+  per span, built once at close time.
+* **Thread-correct.**  The batch scheduler invokes from worker threads
+  (each has its own ``pending`` list) and the watchdog runs the inner
+  stack on its own worker thread; the spans recorded there are handed
+  back to the caller through a :class:`_Fork` (:meth:`Tracer.fork` /
+  :meth:`Tracer.join`) so the tree stays connected across the hop.
+* **Abandonment-safe.**  A watchdog-abandoned call keeps running after
+  its trace was exported; its late spans are dropped (and counted in
+  ``late_spans``) instead of mutating an already-exported tree.
+* **Bounded.**  Completed traces land in a ring buffer (``max_traces``)
+  with an eviction counter, exactly like the telemetry event log; a
+  sink callback (the campaign flight recorder) can persist every trace
+  as it completes.  The ring stores the packed tuple form directly —
+  tuples of atomics are *untracked* by CPython's garbage collector, so
+  retaining a thousand trees does not tax every collection of an
+  unrelated workload.
+
+Packed form, position by position (see :func:`_unpack`)::
+
+    (name, module_id, start_ms, duration_ms, outcome, detail,
+     attribute_items, children)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable
+
+from repro.engine.telemetry import default_clock
+
+#: Layer names, outermost first, as they appear in a full span tree.
+LAYERS: tuple[str, ...] = (
+    "invoke",
+    "breaker",
+    "retry",
+    "watchdog",
+    "conformance",
+    "faults",
+    "direct",
+)
+
+
+class Span:
+    """One timed operation inside an invocation.
+
+    Spans are the *read-side* representation: the recorder itself works
+    on packed tuples (the module docstring's wire layout) and only
+    materializes ``Span`` trees when someone looks —
+    :meth:`Tracer.traces`, the sink callback, or
+    :func:`repro.obs.recorder.load_spans`.
+
+    Attributes:
+        name: The invoker layer (``invoke`` for the engine root,
+            otherwise one of ``breaker`` / ``retry`` / ``watchdog`` /
+            ``conformance`` / ``faults`` / ``direct``).
+        module_id: The module the invocation concerns.
+        start_ms: Start time in milliseconds on the tracer's clock —
+            a shared monotonic origin, so spans of one process order
+            and align across trees.
+        duration_ms: Wall-clock cost.
+        outcome: ``"ok"``, or the exception class name that crossed
+            this layer.
+        detail: Free-form context (the exception message, usually).
+        attributes: Correlation data (provider, cache disposition,
+            retry attempts, ...) — JSON-compatible scalar values only.
+        children: Nested spans, completion order (sort by ``start_ms``
+            for a timeline); an empty tuple for a leaf.
+    """
+
+    # Class-level defaults: assigned through an instance only when the
+    # value differs (most spans are ok, detail-less leaves).
+    duration_ms: float = 0.0
+    outcome: str = "ok"
+    detail: str = ""
+    children: "tuple | list[Span]" = ()
+
+    def __init__(
+        self,
+        name: str,
+        module_id: str,
+        start_ms: float,
+        attributes: "dict | None" = None,
+    ) -> None:
+        self.name = name
+        self.module_id = module_id
+        self.start_ms = start_ms
+        self.attributes = attributes if attributes is not None else {}
+
+    def __repr__(self) -> str:  # debugging aid, not the wire format
+        return (
+            f"Span(name={self.name!r}, module_id={self.module_id!r}, "
+            f"outcome={self.outcome!r}, duration_ms={self.duration_ms!r}, "
+            f"children={len(self.children)})"
+        )
+
+    def __eq__(self, other) -> bool:
+        """Structural equality over the serialized form (tests compare
+        reconstructed trees against live ones)."""
+        if not isinstance(other, Span):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    __hash__ = None  # mutable; unhashable like any dataclass with eq
+
+    # ------------------------------------------------------------------
+    @property
+    def tree_size(self) -> int:
+        """Spans in this subtree, the root included."""
+        return 1 + sum(child.tree_size for child in self.children)
+
+    def find(self, name: str) -> "list[Span]":
+        """Every span named ``name`` in this subtree, depth-first."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def walk(self, depth: int = 0):
+        """Yield ``(depth, span)`` pairs depth-first, children by start
+        time."""
+        yield depth, self
+        for child in sorted(self.children, key=lambda span: span.start_ms):
+            yield from child.walk(depth + 1)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible form (the flight-recorder wire format)."""
+        data: dict = {
+            "name": self.name,
+            "module_id": self.module_id,
+            "start_ms": self.start_ms,
+            "duration_ms": self.duration_ms,
+            "outcome": self.outcome,
+        }
+        if self.detail:
+            data["detail"] = self.detail
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from its journaled form."""
+        span = cls(
+            name=data["name"],
+            module_id=data["module_id"],
+            start_ms=data["start_ms"],
+            attributes=dict(data.get("attributes", {})),
+        )
+        span.duration_ms = data["duration_ms"]
+        span.outcome = data["outcome"]
+        detail = data.get("detail", "")
+        if detail:
+            span.detail = detail
+        children = data.get("children")
+        if children:
+            span.children = [cls.from_dict(child) for child in children]
+        return span
+
+
+def _unpack(packed: tuple) -> Span:
+    """Materialize a :class:`Span` tree from its packed recorder form."""
+    name, module_id, start_ms, duration_ms, outcome, detail, attrs, children = packed
+    span = Span(name, module_id, start_ms, dict(attrs))
+    span.duration_ms = duration_ms
+    if outcome != "ok":
+        span.outcome = outcome
+    if detail:
+        span.detail = detail
+    if children:
+        span.children = [_unpack(child) for child in children]
+    return span
+
+
+class _Fork:
+    """Hand-off point for spans recorded on a watchdog worker thread.
+
+    The worker's completed spans cannot be claimed by the caller's
+    ``pending`` list directly — the two threads race when the watchdog
+    abandons the call.  The fork is the synchronization point: the
+    worker deposits its spans (:meth:`Tracer.unseed`), the caller
+    either claims them (:meth:`Tracer.join`) or marks the trace closed
+    (:meth:`Tracer.abandon`), and whoever arrives second sees the
+    other's decision under the tracer lock.
+    """
+
+    __slots__ = ("finished", "adopted")
+
+    def __init__(self) -> None:
+        self.finished = False
+        self.adopted: tuple = ()
+
+
+class Tracer:
+    """Builds span trees around invocations, one tree per engine call.
+
+    Thread model: every thread owns a flat ``pending`` list of completed
+    spans; claiming children and recording a finished span touch only
+    that list, so the hot path is lock-free.  The tracer-wide lock
+    guards the completed-trace ring buffer and the watchdog hand-off.
+
+    Args:
+        clock: Monotonic clock shared with the engine, injectable for
+            tests.
+        sink: Called with every completed root span (the flight
+            recorder); exceptions from the sink propagate to the
+            invoking thread.
+        max_traces: Ring-buffer capacity for completed traces kept in
+            memory; older traces are evicted and counted in
+            ``dropped_traces``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = default_clock,
+        sink: "Callable[[Span], None] | None" = None,
+        max_traces: int = 1000,
+    ) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be at least 1")
+        self._clock = clock
+        self.sink = sink
+        self.max_traces = max_traces
+        self.dropped_traces = 0
+        self.late_spans = 0
+        # deque(maxlen): eviction is O(1) — a full ring must not make
+        # every subsequent trace pay a linear shift.  Entries are packed
+        # tuples, kept off the garbage collector's books (module
+        # docstring, "Bounded").
+        self._traces: "deque[tuple]" = deque(maxlen=max_traces)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._origin = clock()
+
+    # ------------------------------------------------------------------
+    # The hot path: open/close for layer spans, the *_root variants for
+    # the engine's enclosing span.  A token is ``(mark, start_ms)``:
+    # the pending-list length at open time plus the start stamp.
+    # ------------------------------------------------------------------
+    def open(self) -> "tuple[int, float]":
+        """Open a layer span on this thread.  Lock-free."""
+        local = self._local
+        pending = getattr(local, "pending", None)
+        if pending is None:
+            pending = local.pending = []
+        return len(pending), (self._clock() - self._origin) * 1000.0
+
+    def close(
+        self,
+        name: str,
+        module_id: str,
+        token: "tuple[int, float]",
+        outcome: str = "ok",
+        detail: str = "",
+    ) -> None:
+        """Close a layer span: everything recorded past the token's
+        mark completed inside this span and becomes its children.
+        Lock-free."""
+        mark, start_ms = token
+        duration_ms = (self._clock() - self._origin) * 1000.0 - start_ms
+        pending = self._local.pending
+        if len(pending) > mark:
+            children = tuple(pending[mark:])
+            del pending[mark:]
+        else:
+            children = ()
+        pending.append(
+            (name, module_id, start_ms, duration_ms, outcome, detail, (), children)
+        )
+
+    def open_root(self, attributes: dict) -> "tuple[int, float]":
+        """Open the engine's enclosing span.  ``attributes`` is the
+        live correlation dict — the engine annotates it during the call
+        (cache disposition, retry count) and :meth:`close_root` seals
+        it into the exported trace."""
+        local = self._local
+        pending = getattr(local, "pending", None)
+        if pending is None:
+            pending = local.pending = []
+        local.root_attrs = attributes
+        return len(pending), (self._clock() - self._origin) * 1000.0
+
+    def close_root(
+        self,
+        module_id: str,
+        token: "tuple[int, float]",
+        outcome: str = "ok",
+        detail: str = "",
+    ) -> None:
+        """Close the enclosing span and export the completed trace:
+        ring buffer (eviction counted) plus sink, if one is set."""
+        mark, start_ms = token
+        duration_ms = (self._clock() - self._origin) * 1000.0 - start_ms
+        local = self._local
+        pending = local.pending
+        if len(pending) > mark:
+            children = tuple(pending[mark:])
+            del pending[mark:]
+        else:
+            children = ()
+        attributes = local.root_attrs
+        local.root_attrs = None
+        packed = (
+            "invoke",
+            module_id,
+            start_ms,
+            duration_ms,
+            outcome,
+            detail,
+            tuple(attributes.items()) if attributes else (),
+            children,
+        )
+        with self._lock:
+            # Deque eviction is silent; count it.
+            if len(self._traces) == self.max_traces:
+                self.dropped_traces += 1
+            self._traces.append(packed)
+            sink = self.sink
+        if sink is not None:
+            sink(_unpack(packed))
+
+    def annotate_root(self, key: str, value) -> None:
+        """Set an attribute on this thread's active root span, if any."""
+        attrs = getattr(self._local, "root_attrs", None)
+        if attrs is not None:
+            attrs[key] = value
+
+    def incr_root(self, key: str, amount: int = 1) -> None:
+        """Increment a numeric attribute on this thread's active root
+        span, if any (used for retry counting)."""
+        attrs = getattr(self._local, "root_attrs", None)
+        if attrs is not None:
+            attrs[key] = attrs.get(key, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Cross-thread hand-off (the watchdog hop)
+    # ------------------------------------------------------------------
+    def fork(self) -> _Fork:
+        """Create the hand-off point for one watchdog worker.  Called
+        on the waiting thread before the worker is spawned."""
+        return _Fork()
+
+    def seed(self, fork: _Fork) -> None:
+        """Start recording on a watchdog worker thread.  The worker
+        gets a fresh pending list — its spans belong to the fork, not
+        to whatever a reused thread recorded before."""
+        self._local.pending = []
+
+    def unseed(self, fork: _Fork) -> None:
+        """Deposit this worker thread's completed spans into the fork.
+        If the caller already abandoned the call, the spans are late:
+        dropped and counted, never attached to the exported trace."""
+        local = self._local
+        pending = local.pending
+        local.pending = []
+        if not pending:
+            return
+        with self._lock:
+            if fork.finished:
+                self.late_spans += len(pending)
+            else:
+                fork.adopted = tuple(pending)
+
+    def join(self, fork: _Fork) -> None:
+        """Claim the worker's deposited spans onto the calling thread
+        (the watchdog's layer span then claims them as children)."""
+        with self._lock:
+            fork.finished = True
+            adopted = fork.adopted
+            fork.adopted = ()
+        if adopted:
+            self._local.pending.extend(adopted)
+
+    def abandon(self, fork: _Fork) -> None:
+        """Close the fork without claiming: the budget elapsed and the
+        trace will be exported without the worker's spans.  A deposit
+        that already arrived is late; later deposits will see the
+        ``finished`` flag themselves."""
+        with self._lock:
+            fork.finished = True
+            if fork.adopted:
+                self.late_spans += len(fork.adopted)
+                fork.adopted = ()
+
+    # ------------------------------------------------------------------
+    def wrap(self, layer: str, inner) -> "TracingInvoker":
+        """Wrap ``inner`` so every call opens a ``layer`` span."""
+        return TracingInvoker(self, layer, inner)
+
+    def traces(self) -> "tuple[Span, ...]":
+        """The completed root spans still in the ring buffer, oldest
+        first.  Materialized from the packed form on every call — fresh
+        trees each time, so mutating a returned span never corrupts
+        the ring."""
+        with self._lock:
+            packed = tuple(self._traces)
+        return tuple(_unpack(entry) for entry in packed)
+
+    def clear(self) -> None:
+        """Drop every completed trace (the counters survive)."""
+        with self._lock:
+            self._traces.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-compatible tracer accounting."""
+        with self._lock:
+            return {
+                "traces_kept": len(self._traces),
+                "max_traces": self.max_traces,
+                "dropped_traces": self.dropped_traces,
+                "late_spans": self.late_spans,
+            }
+
+
+class TracingInvoker:
+    """Wraps one invoker layer so every call becomes a span.
+
+    The wrapper is transparent: outputs and exceptions pass through
+    untouched; the span records the layer's wall-clock cost and the
+    exception class, if any, that crossed it.
+    """
+
+    def __init__(self, tracer: Tracer, layer: str, inner) -> None:
+        self.tracer = tracer
+        self.layer = layer
+        self.inner = inner
+        # Hot path: bind the methods once instead of three attribute
+        # lookups per call.
+        self._open = tracer.open
+        self._close = tracer.close
+        self._invoke = inner.invoke
+
+    def invoke(self, module, ctx, bindings):
+        token = self._open()
+        module_id = module.module_id
+        try:
+            outputs = self._invoke(module, ctx, bindings)
+        except BaseException as error:
+            self._close(self.layer, module_id, token, type(error).__name__, str(error))
+            raise
+        self._close(self.layer, module_id, token, "ok")
+        return outputs

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Docs drift checker: fail CI when documentation and code disagree.
+
+Three checks over the repository's Markdown (stdlib only, no network):
+
+1. **Links and path references resolve.**  Every relative Markdown
+   link target and every inline-code reference to a repository path
+   (``docs/...``, ``src/...``, ``tests/...``, ...) must exist on disk.
+2. **Documented CLI exists.**  Every ``repro-cli <subcommand>``
+   mention must name a real subcommand of ``repro.cli.build_parser()``,
+   and every real subcommand must be documented somewhere — a new
+   command cannot ship undocumented, a renamed one cannot leave stale
+   walkthroughs behind.
+3. **Doctests pass.**  Fenced ``python`` blocks containing ``>>>``
+   prompts (currently in ``docs/API.md``) are executed with
+   :mod:`doctest`; examples in the API reference must actually work.
+
+Run directly (``python tools/check_docs.py``) or via ``make
+docs-check``.  Exit status is the number of failing checks.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+#: The Markdown surface under contract.
+DOC_FILES = sorted(
+    [
+        *REPO.glob("*.md"),
+        *(REPO / "docs").glob("*.md"),
+        *(REPO / "related").glob("README.md"),
+    ]
+)
+
+#: Inline-code path references worth resolving: `dir/...` for the
+#: repository's real top-level directories, plus repository-root files.
+_PATH_REF = re.compile(
+    r"`((?:docs|examples|benchmarks|tests|tools|src|\.github)/[A-Za-z0-9_./\-]+)`"
+)
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CLI_MENTION = re.compile(r"repro-cli (?:campaign )?([a-z][a-z-]*)")
+_CLI_BRACES = re.compile(r"repro-cli \{([^}]*)\}")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_code_blocks(text: str):
+    """Yield ``(language, first_line_number, body)`` per fenced block."""
+    language, start, body = None, 0, []
+    for number, line in enumerate(text.splitlines(), 1):
+        match = _FENCE.match(line)
+        if match and language is None:
+            language, start, body = match.group(1) or "", number + 1, []
+        elif line.strip() == "```" and language is not None:
+            yield language, start, "\n".join(body) + "\n"
+            language = None
+        elif language is not None:
+            body.append(line)
+
+
+# ----------------------------------------------------------------------
+# Check 1: links + path references
+# ----------------------------------------------------------------------
+def check_links() -> "list[str]":
+    problems = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        targets = set()
+        for target in _MD_LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            targets.add(target.split("#", 1)[0])
+        targets.update(_PATH_REF.findall(text))
+        for target in sorted(targets):
+            if not target:
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                resolved = (REPO / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: broken reference {target!r}"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Check 2: documented CLI == real CLI
+# ----------------------------------------------------------------------
+def _parser_subcommands() -> "set[str]":
+    import argparse
+
+    from repro.cli import build_parser
+
+    names: "set[str]" = set()
+
+    def visit(parser) -> None:
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for name, sub in action.choices.items():
+                    names.add(name)
+                    visit(sub)
+
+    visit(build_parser())
+    return names
+
+
+def check_cli() -> "list[str]":
+    real = _parser_subcommands()
+    problems = []
+    mentioned: "set[str]" = set()
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        found = set(_CLI_MENTION.findall(text))
+        for braces in _CLI_BRACES.findall(text):
+            found.update(
+                word.strip() for word in braces.split(",") if word.strip()
+            )
+        for name in sorted(found):
+            if name == "campaign":
+                continue  # the group itself; run/resume/status match too
+            if name not in real:
+                problems.append(
+                    f"{doc.relative_to(REPO)}: `repro-cli {name}` is not a "
+                    f"real subcommand (have: {', '.join(sorted(real))})"
+                )
+        mentioned.update(found & real)
+    undocumented = real - mentioned
+    for name in sorted(undocumented):
+        problems.append(
+            f"subcommand `repro-cli {name}` exists but is documented in "
+            f"none of the checked Markdown files"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Check 3: doctests in fenced python blocks
+# ----------------------------------------------------------------------
+def check_doctests() -> "list[str]":
+    problems = []
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False)
+    blocks = 0
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for language, line, body in iter_code_blocks(text):
+            if language != "python" or ">>>" not in body:
+                continue
+            blocks += 1
+            name = f"{doc.relative_to(REPO)}:{line}"
+            test = parser.get_doctest(body, {}, name, str(doc), line)
+            result = runner.run(test, clear_globs=True)
+            if result.failed:
+                problems.append(
+                    f"{name}: {result.failed}/{result.attempted} doctest "
+                    f"example(s) failed (run `python -m doctest` style "
+                    f"output above)"
+                )
+    if blocks == 0:
+        problems.append(
+            "no doctest blocks found in the docs — docs/API.md is expected "
+            "to carry runnable `>>>` examples"
+        )
+    return problems
+
+
+def main() -> int:
+    checks = [
+        ("links/path references", check_links),
+        ("CLI subcommands", check_cli),
+        ("doctests", check_doctests),
+    ]
+    failed = 0
+    for label, check in checks:
+        problems = check()
+        if problems:
+            failed += 1
+            print(f"FAIL {label}:")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {label}")
+    if failed:
+        print(f"\n{failed} docs check(s) failed")
+    else:
+        print(f"\nall docs checks passed over {len(DOC_FILES)} files")
+    return failed
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
