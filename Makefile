@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-hangs bench bench-engine report engine-stats campaign examples docs-check all clean
+.PHONY: install test test-faults test-hangs slo-smoke bench bench-engine report engine-stats campaign examples docs-check all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,14 @@ test-hangs:
 	REPRO_FAULT_RATE=0.05 REPRO_FAULT_SEED=2014 \
 	REPRO_STALL_MS=0.5 REPRO_WATCHDOG_BUDGET=10 \
 		$(PYTHON) -m pytest tests/ -x -q
+
+# Longitudinal acceptance smoke (the CI slo-smoke job): a faulted
+# campaign with --trace and --sample armed fires availability and
+# drift alerts, gets SIGKILLed mid-run, resumes byte-identical, and
+# the snapshot timeline + alert history reconstruct from the journal
+# alone.
+slo-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_obs_longitudinal.py
 
 # Plain invocation (no --benchmark-only): works with or without the
 # optional pytest-benchmark plugin — benchmarks/conftest.py provides a

@@ -18,6 +18,13 @@ but never admitted to annotations or matching.
 byte-identical to an uninterrupted run.  Providers that stay dark past
 the deadline end up in the degradation manifest instead of failing the
 campaign.
+
+With ``sample_interval`` set, the runner also journals a longitudinal
+snapshot timeline and SLO alert history (:mod:`repro.obs.timeseries`,
+:mod:`repro.obs.slo`) — observations in their own tables, never part of
+report reassembly, so byte-identity is unaffected.  ``baseline`` diffs
+every fresh report against an earlier campaign's examples and raises
+behavior-drift alerts (:mod:`repro.obs.drift`).
 """
 
 from repro.campaign.journal import (

@@ -60,6 +60,26 @@ CREATE TABLE IF NOT EXISTS campaign_spans (
 );
 CREATE INDEX IF NOT EXISTS campaign_spans_by_campaign
     ON campaign_spans (campaign_id, module_id);
+CREATE TABLE IF NOT EXISTS campaign_snapshots (
+    snap_seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id TEXT NOT NULL,
+    t_ms REAL NOT NULL,
+    snapshot_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS campaign_snapshots_by_campaign
+    ON campaign_snapshots (campaign_id);
+CREATE TABLE IF NOT EXISTS campaign_alerts (
+    alert_seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id TEXT NOT NULL,
+    slo TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    subject TEXT NOT NULL,
+    state TEXT NOT NULL CHECK (state IN ('firing', 'resolved')),
+    t_ms REAL NOT NULL,
+    detail TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS campaign_alerts_by_campaign
+    ON campaign_alerts (campaign_id);
 """
 
 
@@ -360,6 +380,116 @@ class CampaignJournal:
                 (campaign_id,),
             ).fetchone()
         return row[0]
+
+    # ------------------------------------------------------------------
+    # Snapshots (the longitudinal time-series, PR 5)
+    # ------------------------------------------------------------------
+    def record_snapshot(self, campaign_id: str, t_ms: float, snapshot: dict) -> None:
+        """Commit one time-series sample.
+
+        Exactly the span discipline: each snapshot is its own committed
+        transaction, so a SIGKILLed campaign keeps every sample taken
+        before the kill and the time line reconstructs from the journal
+        file alone.  Snapshots are observations — they never feed report
+        reassembly, so sampling cannot perturb kill/resume byte-identity.
+        """
+        payload = json.dumps(snapshot, sort_keys=True)
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT INTO campaign_snapshots (campaign_id, t_ms, snapshot_json) "
+                "VALUES (?, ?, ?)",
+                (campaign_id, t_ms, payload),
+            )
+
+    def snapshots(self, campaign_id: str) -> "list[dict]":
+        """The journaled time-series of one campaign, recording order.
+
+        Each dict is one sample as the sampler committed it; a resumed
+        campaign appends to the same time line (its samples carry a
+        fresh ``run`` stamp, so per-process segments stay separable).
+        """
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT snapshot_json FROM campaign_snapshots "
+                "WHERE campaign_id = ? ORDER BY snap_seq",
+                (campaign_id,),
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def snapshot_count(self, campaign_id: str) -> int:
+        """Journaled samples of one campaign."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM campaign_snapshots WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
+        return row[0]
+
+    # ------------------------------------------------------------------
+    # Alerts (the SLO / drift alert history, PR 5)
+    # ------------------------------------------------------------------
+    def record_alert(self, campaign_id: str, event: dict) -> None:
+        """Commit one alert lifecycle event (``firing`` or ``resolved``).
+
+        The journal keeps the full event *history*; current alert state
+        is a fold over it (:func:`repro.obs.slo.alert_states`), so a
+        killed campaign's alerts reconstruct from the file alone.
+        """
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT INTO campaign_alerts "
+                "(campaign_id, slo, kind, subject, state, t_ms, detail) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    event.get("slo", ""),
+                    event.get("kind", ""),
+                    event.get("subject", ""),
+                    event.get("state", "firing"),
+                    event.get("t_ms", 0.0),
+                    event.get("detail", ""),
+                ),
+            )
+
+    def alerts(self, campaign_id: str) -> "list[dict]":
+        """The alert event history of one campaign, recording order."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT slo, kind, subject, state, t_ms, detail "
+                "FROM campaign_alerts WHERE campaign_id = ? ORDER BY alert_seq",
+                (campaign_id,),
+            ).fetchall()
+        return [
+            {
+                "slo": row[0],
+                "kind": row[1],
+                "subject": row[2],
+                "state": row[3],
+                "t_ms": row[4],
+                "detail": row[5],
+            }
+            for row in rows
+        ]
+
+    # ------------------------------------------------------------------
+    def progress_counts(self, campaign_id: str) -> "dict[str, int]":
+        """Cheap per-status entry counts (no report deserialization).
+
+        The sampler calls this once per campaign round; parsing every
+        journaled report JSON there would make sampling O(results), not
+        O(1) queries.
+        """
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT status, COUNT(*) FROM campaign_entries "
+                "WHERE campaign_id = ? GROUP BY status",
+                (campaign_id,),
+            ).fetchall()
+        counts = {status: count for status, count in rows}
+        return {
+            "n_done": counts.get("done", 0),
+            "n_skipped": counts.get("skipped", 0),
+        }
 
     def entries(self, campaign_id: str) -> "dict[str, JournalEntry]":
         """All journaled entries of one campaign, keyed by module id."""

@@ -98,6 +98,14 @@ class CampaignConfig:
         trace: Record one span tree per invocation and journal every
             completed trace (the flight recorder).  Off by default —
             the untraced engine pays no tracing cost.
+        sample_interval: Seconds between longitudinal samples
+            (:mod:`repro.obs.timeseries`); 0 disables sampling.  When
+            enabled, every sample is journaled and the SLO evaluator
+            runs over the ring, journaling alert transitions.
+        baseline: Campaign id (in the same journal) whose reports are
+            the behavioral baseline; at finalize, each fresh report is
+            diffed against it (:mod:`repro.obs.drift`) and drifting
+            modules raise drift alerts.  Empty disables.
     """
 
     seed: int = 2014
@@ -123,6 +131,8 @@ class CampaignConfig:
     corrupt_providers: tuple = ()
     nondeterministic_providers: tuple = ()
     trace: bool = False
+    sample_interval: float = 0.0
+    baseline: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -149,6 +159,8 @@ class CampaignConfig:
             "corrupt_providers": list(self.corrupt_providers),
             "nondeterministic_providers": list(self.nondeterministic_providers),
             "trace": self.trace,
+            "sample_interval": self.sample_interval,
+            "baseline": self.baseline,
         }
 
     @classmethod
@@ -235,6 +247,8 @@ class CampaignResult:
             degradation manifest's core.
         breaker_states: Per-provider circuit snapshot at finalize time.
         n_planned: Modules the campaign set out to annotate.
+        drift: Per-module :class:`repro.obs.drift.DriftReport` list when
+            the campaign ran against a baseline, module-id order.
     """
 
     campaign_id: str
@@ -244,6 +258,7 @@ class CampaignResult:
     skipped: "dict[str, str]" = field(default_factory=dict)
     breaker_states: "dict[str, dict]" = field(default_factory=dict)
     n_planned: int = 0
+    drift: "list" = field(default_factory=list)
 
     @property
     def n_examples(self) -> int:
@@ -327,6 +342,10 @@ class CampaignRunner:
         self.generator = ExampleGenerator(
             ctx, pool, seed=config.seed, engine=self.engine
         )
+        #: The longitudinal sampler, armed per campaign when
+        #: ``config.sample_interval > 0`` (see :meth:`_arm_sampler`).
+        self.sampler = None
+        self._last_sample_at: "float | None" = None
 
     # ------------------------------------------------------------------
     def _arm_recorder(self, campaign_id: str) -> None:
@@ -340,6 +359,41 @@ class CampaignRunner:
 
             self.engine.tracer.sink = FlightRecorder(self.journal, campaign_id)
 
+    def _arm_sampler(self, campaign_id: str) -> None:
+        """Install the longitudinal sampler + SLO evaluator.
+
+        Lazy like :meth:`_arm_recorder`: the obs layer is only imported
+        when sampling is configured, and the campaign id is only known
+        at ``run``/``resume`` time.  The first sample lands immediately
+        so every timeline starts with a zero-point for the run segment.
+        """
+        if self.config.sample_interval <= 0:
+            return
+        from repro.obs.slo import SLOEvaluator
+        from repro.obs.timeseries import CampaignSampler
+
+        self.sampler = CampaignSampler(
+            self.engine,
+            journal=self.journal,
+            campaign_id=campaign_id,
+            evaluator=SLOEvaluator(),
+            clock=self._clock,
+        )
+        self.sampler.sample()
+        self._last_sample_at = self._clock()
+
+    def _maybe_sample(self) -> None:
+        """Take one sample if armed and the interval has elapsed."""
+        if self.sampler is None:
+            return
+        now = self._clock()
+        if (
+            self._last_sample_at is None
+            or now - self._last_sample_at >= self.config.sample_interval
+        ):
+            self.sampler.sample()
+            self._last_sample_at = now
+
     def run(self, campaign_id: str) -> CampaignResult:
         """Start a fresh campaign and drive it to a finalized result."""
         self.journal.create(
@@ -349,6 +403,7 @@ class CampaignRunner:
             self.config.to_dict(),
         )
         self._arm_recorder(campaign_id)
+        self._arm_sampler(campaign_id)
         self._execute(campaign_id, self.modules)
         return self.finalize(campaign_id)
 
@@ -372,6 +427,7 @@ class CampaignRunner:
         ]
         self.journal.set_status(campaign_id, "running")
         self._arm_recorder(campaign_id)
+        self._arm_sampler(campaign_id)
         self._execute(campaign_id, pending)
         return self.finalize(campaign_id)
 
@@ -387,6 +443,7 @@ class CampaignRunner:
                 )
                 if module is not None
             ]
+            self._maybe_sample()
             if not unreachable:
                 return
             deadline = self.config.deadline
@@ -431,6 +488,11 @@ class CampaignRunner:
                 skipped[module_id] = detail
         status = COMPLETE if not skipped else DEGRADED
         self.journal.set_status(campaign_id, status)
+        drift = self._evaluate_drift(campaign_id, reports)
+        if self.sampler is not None:
+            # Close the timeline with a terminal sample so post-mortem
+            # reconstruction sees the finalized progress counts.
+            self.sampler.sample()
         return CampaignResult(
             campaign_id=campaign_id,
             seed=meta.seed,
@@ -441,7 +503,40 @@ class CampaignRunner:
                 self.engine.breaker.snapshot() if self.engine.breaker else {}
             ),
             n_planned=len(meta.module_ids),
+            drift=drift,
         )
+
+    def _evaluate_drift(
+        self, campaign_id: str, reports: "dict[str, GenerationReport]"
+    ) -> "list":
+        """Diff fresh reports against the configured baseline campaign
+        and journal drift-alert transitions.
+
+        Alert events are deduplicated against the journal's current
+        fold, so a resumed campaign re-running finalize does not append
+        a second ``firing`` event for an already-firing module.
+        """
+        if not self.config.baseline:
+            return []
+        from repro.obs.drift import campaign_drift
+        from repro.obs.slo import SLOEvaluator, alert_states
+
+        drift = campaign_drift(self.journal, self.config.baseline, reports)
+        evaluator = (
+            self.sampler.evaluator
+            if self.sampler is not None and self.sampler.evaluator is not None
+            else SLOEvaluator()
+        )
+        t_ms = self.sampler.elapsed_ms() if self.sampler is not None else 0.0
+        existing = alert_states(self.journal.alerts(campaign_id))
+        for report in drift:
+            event = evaluator.register_drift(report, t_ms)
+            if event is None:
+                continue
+            prior = existing.get((event["slo"], event["subject"]))
+            if prior is None or prior["state"] != event["state"]:
+                self.journal.record_alert(campaign_id, event)
+        return drift
 
 
 # ----------------------------------------------------------------------
@@ -474,6 +569,11 @@ def render_campaign_report(result: CampaignResult) -> str:
         if report.quarantined_combinations:
             line += f" quarantined={report.quarantined_combinations}"
         lines.append(line)
+    if result.drift:
+        from repro.obs.drift import render_drift
+
+        lines.append("")
+        lines.append(render_drift(result.drift))
     lines.append(f"  status: {result.status}")
     if result.skipped:
         lines.append("")

@@ -14,6 +14,8 @@ Subcommands::
     repro-cli engine-stats [--parallelism N] ...    invocation-engine telemetry
     repro-cli metrics [--json] [--serve]            Prometheus / JSON export
     repro-cli trace ID --db FILE [--slowest N]      campaign span timeline
+    repro-cli top ID --db FILE [--once]             live campaign dashboard
+    repro-cli alerts ID --db FILE [--firing]        journaled SLO / drift alerts
     repro-cli campaign run --db FILE ID [--trace]   crash-safe catalog campaign
     repro-cli campaign resume --db FILE ID          continue a killed campaign
     repro-cli campaign status --db FILE [ID]        journal progress
@@ -396,6 +398,76 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_campaign_journal(args: argparse.Namespace):
+    """Open the journal and verify the campaign exists (exit 2 on miss)."""
+    from repro.campaign import CampaignJournal, UnknownCampaignError
+
+    journal = CampaignJournal(args.db)
+    try:
+        journal.meta(args.campaign_id)
+    except UnknownCampaignError:
+        journal.close()
+        print(
+            f"error: no campaign {args.campaign_id!r} in {args.db} "
+            "(try `repro-cli campaign status`)",
+            file=sys.stderr,
+        )
+        return None
+    return journal
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a campaign's journal."""
+    from repro.obs import Dashboard
+
+    journal = _open_campaign_journal(args)
+    if journal is None:
+        return 2
+    try:
+        dashboard = Dashboard(journal, args.campaign_id, interval=args.interval)
+        if args.once:
+            dashboard.render_once()
+        else:  # pragma: no cover - interactive loop; --once covers rendering
+            try:
+                dashboard.run(iterations=args.iterations)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        journal.close()
+    return 0
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    """Journaled alert history: current states, firing set, or gauges."""
+    from repro.obs import render_alerts, render_prometheus
+    from repro.obs.slo import alert_states
+
+    journal = _open_campaign_journal(args)
+    if journal is None:
+        return 2
+    try:
+        events = journal.alerts(args.campaign_id)
+    finally:
+        journal.close()
+    if args.prometheus:
+        states = alert_states(events)
+        n_firing = sum(
+            1 for state in states.values() if state["state"] == "firing"
+        )
+        section = {
+            "alerts": [states[key] for key in sorted(states)],
+            "burn_rates": [],
+            "n_firing": n_firing,
+        }
+        print(render_prometheus({"slo": section}), end="")
+        return 0
+    if args.json:
+        print(json.dumps(events, indent=2, sort_keys=True))
+        return 0
+    print(render_alerts(events, firing_only=args.firing))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Campaigns
 # ----------------------------------------------------------------------
@@ -429,6 +501,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         corrupt_providers=tuple(args.corrupt_output),
         nondeterministic_providers=tuple(args.nondeterministic),
         trace=args.trace,
+        sample_interval=args.sample,
+        baseline=args.baseline,
     )
     ctx, catalog, pool = _world(args.seed)
     journal = CampaignJournal(args.db)
@@ -666,6 +740,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_trace)
 
     p = commands.add_parser(
+        "top",
+        help="live terminal dashboard over a campaign's journal",
+    )
+    p.add_argument("campaign_id")
+    p.add_argument("--db", required=True, help="journal SQLite file")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between journal polls")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (CI / scripting)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop the live loop after N ticks")
+    p.set_defaults(func=cmd_top)
+
+    p = commands.add_parser(
+        "alerts",
+        help="journaled SLO / drift alert history of a campaign",
+    )
+    p.add_argument("campaign_id")
+    p.add_argument("--db", required=True, help="journal SQLite file")
+    p.add_argument("--firing", action="store_true",
+                   help="only alerts currently firing")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw event history as JSON")
+    p.add_argument("--prometheus", action="store_true",
+                   help="current alert states as Prometheus gauges")
+    p.set_defaults(func=cmd_alerts)
+
+    p = commands.add_parser(
         "campaign",
         help="crash-safe whole-catalog generation campaigns",
     )
@@ -713,6 +815,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--trace", action="store_true",
                    help="journal one span tree per invocation "
                         "(inspect with `repro-cli trace`)")
+    c.add_argument("--sample", type=float, default=0.0, metavar="SECONDS",
+                   help="journal a longitudinal snapshot + SLO evaluation "
+                        "every N seconds (watch with `repro-cli top`)")
+    c.add_argument("--baseline", default="",
+                   help="campaign id whose reports are the behavioral "
+                        "baseline; drifted modules raise drift alerts")
     c.set_defaults(func=cmd_campaign_run)
 
     c = campaign_commands.add_parser(

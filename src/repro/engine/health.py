@@ -101,6 +101,17 @@ class ModuleHealthRegistry:
         self.dead_after = dead_after
         self._lock = threading.Lock()
         self._records: dict[str, HealthRecord] = {}
+        # Provider-rollup memoization: the summary is recomputed only
+        # when an observation has landed since the last computation, so
+        # repeated readers (decay analysis, the metrics exporter, the
+        # campaign sampler) pay O(modules) once per batch of
+        # observations instead of per call.
+        self._generation = 0
+        self._summary_generation = -1
+        self._summary: dict[str, dict] = {}
+        #: Times the rollup was actually recomputed (regression tests
+        #: pin that readers are O(modules), not O(invocations)).
+        self.rollup_computations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -144,6 +155,7 @@ class ModuleHealthRegistry:
                 record.transport_errors += 1
             record.total_latency_ms += latency_ms
             record.max_latency_ms = max(record.max_latency_ms, latency_ms)
+            self._generation += 1
 
     # ------------------------------------------------------------------
     def record(self, module_id: str) -> "HealthRecord | None":
@@ -176,32 +188,47 @@ class ModuleHealthRegistry:
             )
 
     def provider_summary(self) -> "dict[str, dict]":
-        """Per-provider rollup: calls, answered, availability, dead."""
-        summary: dict[str, dict] = {}
-        for record in self.records():
-            entry = summary.setdefault(
-                record.provider,
-                {
-                    "calls": 0,
-                    "answered": 0,
-                    "timeouts": 0,
-                    "malformed": 0,
-                    "modules": 0,
-                    "dead_modules": 0,
-                },
-            )
-            entry["calls"] += record.calls
-            entry["answered"] += record.answered
-            entry["timeouts"] += record.timeouts
-            entry["malformed"] += record.malformed
-            entry["modules"] += 1
-            if record.consecutive_failures >= self.dead_after:
-                entry["dead_modules"] += 1
-        for entry in summary.values():
-            entry["availability"] = (
-                entry["answered"] / entry["calls"] if entry["calls"] else 1.0
-            )
-        return summary
+        """Per-provider rollup: calls, answered, availability, dead.
+
+        Memoized per observation generation: the rollup recomputes only
+        when :meth:`observe` has landed since the last computation, and
+        every call hands out fresh entry dicts so a caller mutating its
+        copy cannot poison the cache.
+        """
+        with self._lock:
+            if self._summary_generation != self._generation:
+                summary: dict[str, dict] = {}
+                for module_id in sorted(self._records):
+                    record = self._records[module_id]
+                    entry = summary.setdefault(
+                        record.provider,
+                        {
+                            "calls": 0,
+                            "answered": 0,
+                            "timeouts": 0,
+                            "malformed": 0,
+                            "modules": 0,
+                            "dead_modules": 0,
+                        },
+                    )
+                    entry["calls"] += record.calls
+                    entry["answered"] += record.answered
+                    entry["timeouts"] += record.timeouts
+                    entry["malformed"] += record.malformed
+                    entry["modules"] += 1
+                    if record.consecutive_failures >= self.dead_after:
+                        entry["dead_modules"] += 1
+                for entry in summary.values():
+                    entry["availability"] = (
+                        entry["answered"] / entry["calls"] if entry["calls"] else 1.0
+                    )
+                self._summary = summary
+                self._summary_generation = self._generation
+                self.rollup_computations += 1
+            return {
+                provider: dict(entry)
+                for provider, entry in self._summary.items()
+            }
 
     def snapshot(self) -> dict:
         """JSON-compatible registry state."""

@@ -1,7 +1,8 @@
-"""Observability: tracing, metrics export, campaign flight recorder.
+"""Observability: tracing, metrics, flight recorder, and the
+longitudinal layer (time-series, SLOs, drift, dashboard).
 
-Three views onto the invocation engine, layered on the telemetry the
-engine already keeps:
+Point-in-time views onto the invocation engine, layered on the
+telemetry the engine already keeps:
 
 * :mod:`repro.obs.tracing` — one span tree per invocation, with
   per-layer wall-clock cost and outcome;
@@ -9,8 +10,29 @@ engine already keeps:
   text exposition format or JSON, plus a stdlib scrape endpoint;
 * :mod:`repro.obs.recorder` — spans persisted into the SQLite campaign
   journal, reconstructable after a crash.
+
+Longitudinal views, answering "is it getting worse?" while a campaign
+is still running:
+
+* :mod:`repro.obs.timeseries` — a periodic sampler snapshotting engine
+  + campaign state into a bounded ring and the ``campaign_snapshots``
+  journal table, with rate/delta derivation;
+* :mod:`repro.obs.slo` — declarative SLOs evaluated with multi-window
+  burn rates, emitting a journaled firing→resolved alert lifecycle;
+* :mod:`repro.obs.drift` — per-module behavioral drift via the §6
+  matcher over regenerated data examples;
+* :mod:`repro.obs.dashboard` — a stdlib-only live terminal dashboard
+  over the journal (``repro-cli top``).
 """
 
+from repro.obs.dashboard import Dashboard, render_dashboard
+from repro.obs.drift import (
+    DriftDetector,
+    DriftReport,
+    campaign_drift,
+    classify_example_sets,
+    render_drift,
+)
 from repro.obs.metrics import (
     MetricsExporter,
     MetricsServer,
@@ -18,6 +40,23 @@ from repro.obs.metrics import (
     render_prometheus,
 )
 from repro.obs.recorder import FlightRecorder, load_spans, render_trace
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    Alert,
+    SLOEvaluator,
+    alert_states,
+    firing_alerts,
+    render_alerts,
+)
+from repro.obs.timeseries import (
+    CampaignSampler,
+    TimeSeriesRing,
+    load_snapshots,
+    rebuild_ring,
+    render_timeline,
+    sample_rates,
+)
 from repro.obs.tracing import LAYERS, Span, Tracer, TracingInvoker
 
 __all__ = [
@@ -32,4 +71,24 @@ __all__ = [
     "FlightRecorder",
     "load_spans",
     "render_trace",
+    "CampaignSampler",
+    "TimeSeriesRing",
+    "load_snapshots",
+    "rebuild_ring",
+    "render_timeline",
+    "sample_rates",
+    "SLO",
+    "DEFAULT_SLOS",
+    "Alert",
+    "SLOEvaluator",
+    "alert_states",
+    "firing_alerts",
+    "render_alerts",
+    "DriftDetector",
+    "DriftReport",
+    "campaign_drift",
+    "classify_example_sets",
+    "render_drift",
+    "Dashboard",
+    "render_dashboard",
 ]

@@ -1,0 +1,209 @@
+"""A stdlib-only live terminal dashboard for running campaigns.
+
+``repro-cli top`` for the reproduction: everything is read from the
+campaign journal (meta, progress rollups, the snapshot timeline, the
+alert history), so the dashboard can watch a campaign running in
+*another process* — or post-mortem a SIGKILLed one — with no shared
+memory and no extra instrumentation.
+
+No curses: the live loop redraws by moving the cursor up over the
+previous frame with ANSI escapes, and **snapshot-diffs** — a tick whose
+rendered frame is identical to the previous one skips the redraw
+entirely, so an idle campaign doesn't flicker.  ``--once`` renders a
+single frame with no escapes at all, which is what CI and tests use.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.obs.slo import FIRING, alert_states
+from repro.obs.timeseries import sample_rates
+
+#: Frame width the progress bar is fitted to.
+DEFAULT_WIDTH = 72
+
+
+def _progress_bar(done: int, skipped: int, planned: int, width: int) -> str:
+    if planned <= 0:
+        return "[" + " " * width + "]"
+    filled = round(width * done / planned)
+    dashed = round(width * skipped / planned)
+    dashed = min(dashed, width - filled)
+    return "[" + "#" * filled + "-" * dashed + "." * (width - filled - dashed) + "]"
+
+
+def render_dashboard(
+    meta,
+    progress: dict,
+    samples: "list[dict]",
+    alert_events: "list[dict]",
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """One dashboard frame, pure over journal-derived state.
+
+    Args:
+        meta: The :class:`~repro.campaign.journal.CampaignMeta` row.
+        progress: ``{"n_done", "n_skipped"}`` counts.
+        samples: Journaled snapshot timeline (oldest first).
+        alert_events: Journaled alert history (recording order).
+        width: Total frame width.
+    """
+    planned = len(meta.module_ids)
+    done = progress.get("n_done", 0)
+    skipped = progress.get("n_skipped", 0)
+    pending = max(0, planned - done - skipped)
+    lines = [
+        f"repro top — campaign {meta.campaign_id} "
+        f"(seed {meta.seed}, status {meta.status})",
+        f"  progress   {_progress_bar(done, skipped, planned, width - 24)} "
+        f"{done}/{planned} done",
+        f"             {skipped} skipped, {pending} pending",
+    ]
+    last = samples[-1] if samples else None
+    if last is None:
+        lines.append("  samples    none journaled yet")
+    else:
+        lines.append(
+            f"  samples    {len(samples)} journaled "
+            f"(run {last['run']}, t+{last['t_ms'] / 1000.0:.1f}s)"
+        )
+        counters = last["counters"]
+        rate_label = ""
+        if len(samples) >= 2:
+            rates = sample_rates(samples[-2], last)
+            if rates:
+                rate_label = (
+                    f" | {rates['calls_per_s']:.1f} calls/s, "
+                    f"{rates['done_per_s']:.2f} modules/s"
+                )
+        calls = counters.get("calls", 0)
+        ok = counters.get("ok", 0)
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        lines.append(
+            f"  calls      {calls} total, {ok} ok, "
+            f"cache hit {hit_rate:.0%}{rate_label}"
+        )
+        latency = last["latency"]
+        if latency["count"]:
+            lines.append(
+                f"  latency    p95 {latency['p95_ms']:g}ms  "
+                f"max {latency['max_ms']:.1f}ms over {latency['count']} calls"
+            )
+        breaker = last.get("breaker") or {}
+        not_closed = {
+            provider: circuit["state"]
+            for provider, circuit in breaker.items()
+            if circuit["state"] != "closed"
+        }
+        if breaker:
+            label = (
+                ", ".join(f"{p} {s}" for p, s in sorted(not_closed.items()))
+                if not_closed
+                else "all closed"
+            )
+            lines.append(f"  breakers   {label}")
+        health = last.get("health") or {}
+        if health:
+            dead = health.get("dead_modules", [])
+            lines.append(
+                f"  health     {health.get('n_modules', 0)} modules observed, "
+                f"{len(dead)} observed-dead"
+            )
+            degraded = [
+                (provider, entry)
+                for provider, entry in sorted(
+                    health.get("providers", {}).items()
+                )
+                if entry["availability"] < 1.0
+            ]
+            for provider, entry in degraded[:4]:
+                lines.append(
+                    f"             ! {provider:<16} availability "
+                    f"{entry['availability']:.0%} over {entry['calls']} calls"
+                )
+    states = alert_states(alert_events)
+    firing = [states[key] for key in sorted(states) if states[key]["state"] == FIRING]
+    lines.append(
+        f"  alerts     {len(firing)} firing / {len(states)} tracked"
+    )
+    for event in firing[:6]:
+        lines.append(
+            f"    FIRING   {event['slo']:<16} {event['subject']:<24} "
+            f"{event['detail']}"
+        )
+    return "\n".join(lines)
+
+
+class Dashboard:
+    """Live dashboard over a campaign journal.
+
+    Args:
+        journal: The campaign journal to poll.
+        campaign_id: The campaign to watch.
+        stream: Where frames go (stdout).
+        interval: Seconds between polls in live mode.
+        clock / sleeper: Injectable for tests.
+    """
+
+    def __init__(
+        self,
+        journal,
+        campaign_id: str,
+        stream=None,
+        interval: float = 2.0,
+        sleeper=time.sleep,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.journal = journal
+        self.campaign_id = campaign_id
+        self.stream = stream if stream is not None else sys.stdout
+        self.interval = interval
+        self.sleeper = sleeper
+        #: Frames actually redrawn (diffing suppresses identical ones).
+        self.redraws = 0
+
+    # ------------------------------------------------------------------
+    def frame(self) -> str:
+        """Render one frame from the journal's current state."""
+        meta = self.journal.meta(self.campaign_id)
+        progress = self.journal.progress_counts(self.campaign_id)
+        samples = self.journal.snapshots(self.campaign_id)
+        alerts = self.journal.alerts(self.campaign_id)
+        return render_dashboard(meta, progress, samples, alerts)
+
+    def render_once(self) -> str:
+        """The ``--once`` path: one frame, no escapes, returned and
+        written to the stream."""
+        frame = self.frame()
+        self.redraws += 1
+        print(frame, file=self.stream)
+        return frame
+
+    def run(self, iterations: "int | None" = None) -> None:
+        """Live loop: poll, diff, redraw in place until the campaign
+        leaves the ``running`` state (or ``iterations`` ticks elapse)."""
+        previous: "str | None" = None
+        ticks = 0
+        while True:
+            frame = self.frame()
+            if frame != previous:
+                if previous is not None:
+                    # Move up over the previous frame and clear it.
+                    height = previous.count("\n") + 1
+                    self.stream.write(f"\x1b[{height}A\x1b[J")
+                self.stream.write(frame + "\n")
+                self.stream.flush()
+                self.redraws += 1
+                previous = frame
+            ticks += 1
+            if iterations is not None and ticks >= iterations:
+                return
+            status = self.journal.meta(self.campaign_id).status
+            if status != "running" and previous is not None:
+                return
+            self.sleeper(self.interval)

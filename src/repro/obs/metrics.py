@@ -31,6 +31,10 @@ Metric naming follows the Prometheus conventions:
 ``repro_telemetry_dropped_events_total``, ``repro_tracing_*``
     How much history the bounded buffers have already shed — an
     exporter must say when its own window is lossy.
+``repro_slo_burn_rate{slo=...,subject=...,window=...}``, ``repro_slo_alert_firing{...}``
+    Burn-rate gauges and the alert lifecycle from
+    :class:`repro.obs.slo.SLOEvaluator`, present when the stats snapshot
+    carries an ``slo`` section (merged in by the campaign sampler).
 """
 
 from __future__ import annotations
@@ -283,6 +287,34 @@ def render_prometheus(stats: dict, namespace: str = "repro") -> str:
             out.declare("tracing_late_spans_total", "counter",
                         "Spans dropped because their parent was abandoned."),
             tracing.get("late_spans", 0),
+        )
+
+    slo = stats.get("slo")
+    if slo is not None:
+        burn_metric = out.declare(
+            "slo_burn_rate", "gauge",
+            "Error-budget burn rate per SLO subject and window.",
+        )
+        for entry in slo.get("burn_rates", []):
+            labels = {"slo": entry["slo"], "subject": entry["subject"]}
+            out.sample(burn_metric, entry.get("fast", 0.0),
+                       {**labels, "window": "fast"})
+            out.sample(burn_metric, entry.get("slow", 0.0),
+                       {**labels, "window": "slow"})
+        alert_metric = out.declare(
+            "slo_alert_firing", "gauge",
+            "1 while the (slo, subject) alert is firing, 0 once resolved.",
+        )
+        for event in slo.get("alerts", []):
+            out.sample(
+                alert_metric,
+                1 if event.get("state") == "firing" else 0,
+                {"slo": event["slo"], "subject": event["subject"]},
+            )
+        out.sample(
+            out.declare("slo_alerts_firing", "gauge",
+                        "Alerts currently firing."),
+            slo.get("n_firing", 0),
         )
 
     return out.text()

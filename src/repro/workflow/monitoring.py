@@ -8,16 +8,21 @@ attributes every broken workflow to the providers and modules responsible
 and summarizes the blast radius of each shutdown — the report a registry
 operator would publish after a decay event.
 
-Decay is detected three ways, and :func:`analyze_decay` merges them:
+Decay is detected four ways, and :func:`analyze_decay` merges them:
 the *static* catalog flag (``module.available``); — when a
 module-health registry is passed — the *observed* campaign health: a
 module whose trailing invocations all went unanswered counts as decayed
-even if no one has flipped its catalog entry yet; and — when a
+even if no one has flipped its catalog entry yet; — when a
 quarantine log is passed — *semantic* decay: a module that still
 answers every probe but whose outputs failed conformance (wrong arity,
 wrong domain, nondeterministic), which no availability monitor would
-ever flag.  That is the §6 monitoring loop closed on both axes:
-long-running annotation campaigns feed the decay report.
+ever flag; and — when a journaled alert history is passed —
+*longitudinal* decay: modules with a firing behavior-drift alert
+(their regenerated examples no longer match their baseline, §6) and
+providers with a firing availability burn-rate alert, whose modules
+are effectively dark even if no individual record has tripped the
+health registry yet.  That is the §6 monitoring loop closed on every
+axis: long-running annotation campaigns feed the decay report.
 """
 
 from __future__ import annotations
@@ -47,6 +52,10 @@ class DecayReport:
             quarantined for semantic causes (malformed or
             nondeterministic) — alive to every availability probe, yet
             no longer trustworthy.
+        drifting: Modules with a firing behavior-drift alert — their
+            regenerated data examples no longer match the baseline.
+        alerting_providers: Providers with a firing availability
+            burn-rate alert; their modules count as decayed.
     """
 
     n_workflows: int
@@ -56,6 +65,8 @@ class DecayReport:
     single_point_failures: int = 0
     observed_dead: list[str] = field(default_factory=list)
     semantically_decayed: list[str] = field(default_factory=list)
+    drifting: list[str] = field(default_factory=list)
+    alerting_providers: list[str] = field(default_factory=list)
 
     @property
     def broken_fraction(self) -> float:
@@ -75,6 +86,7 @@ def analyze_decay(
     modules: dict[str, Module],
     health: "ModuleHealthRegistry | None" = None,
     quarantine: "QuarantineLog | None" = None,
+    alerts: "list[dict] | None" = None,
 ) -> DecayReport:
     """Attribute broken workflows to unavailable modules and providers.
 
@@ -86,16 +98,33 @@ def analyze_decay(
         quarantine: Optional campaign quarantine log; its semantically
             decayed modules (conformance failures — not timeouts, which
             the health registry already covers) count as decayed too.
+        alerts: Optional journaled alert-event history (what
+            ``CampaignJournal.alerts`` returns, or the ``alerts`` list
+            of :meth:`repro.obs.slo.SLOEvaluator.snapshot`).  Modules
+            with a firing drift alert, and every module of a provider
+            with a firing availability alert, count as decayed.
     """
     observed_dead = set(health.dead_modules()) if health is not None else set()
     semantically_decayed = (
         set(quarantine.semantically_decayed()) if quarantine is not None else set()
     )
+    drifting: set[str] = set()
+    alerting_providers: set[str] = set()
+    if alerts:
+        from repro.obs.slo import firing_alerts
+
+        for event in firing_alerts(alerts):
+            if event["kind"] == "drift":
+                drifting.add(event["subject"])
+            elif event["kind"] == "availability" and event["subject"] != "campaign":
+                alerting_providers.add(event["subject"])
     report = DecayReport(
         n_workflows=len(workflows),
         n_broken=0,
         observed_dead=sorted(observed_dead),
         semantically_decayed=sorted(semantically_decayed),
+        drifting=sorted(drifting),
+        alerting_providers=sorted(alerting_providers),
     )
     for workflow in workflows:
         culprits: set[str] = set()
@@ -109,6 +138,8 @@ def analyze_decay(
                 not module.available
                 or module_id in observed_dead
                 or module_id in semantically_decayed
+                or module_id in drifting
+                or module.provider in alerting_providers
             ):
                 culprits.add(module_id)
                 providers.add(module.provider)
@@ -145,6 +176,19 @@ def render_decay_report(report: DecayReport, limit: int = 8) -> str:
         )
         for module_id in report.semantically_decayed[:limit]:
             lines.append(f"    {module_id}")
+    if report.drifting:
+        lines.append(
+            f"  drifting modules:        {len(report.drifting)} "
+            "(firing drift alerts)"
+        )
+        for module_id in report.drifting[:limit]:
+            lines.append(f"    {module_id}")
+    if report.alerting_providers:
+        lines.append(
+            "  alerting providers:      "
+            + ", ".join(report.alerting_providers)
+            + " (availability burn rate)"
+        )
     lines.append("  blast radius by provider:")
     for provider, count in report.top_providers():
         lines.append(f"    {provider:<16} {count} workflows")

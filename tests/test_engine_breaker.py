@@ -405,3 +405,34 @@ class TestModuleHealth:
     def test_validation(self):
         with pytest.raises(ValueError):
             ModuleHealthRegistry(dead_after=0)
+
+    def test_rollup_memoized_per_observation_generation(self):
+        """Repeated readers are O(modules) once per batch of
+        observations — not O(invocations) and not per call."""
+        health = ModuleHealthRegistry()
+        for index in range(20):
+            health.observe(f"m{index}", "EBI", "ok")
+        first = health.provider_summary()
+        assert health.rollup_computations == 1
+        # Quiet registry: any number of reads reuses the rollup.
+        for _ in range(50):
+            assert health.provider_summary() == first
+        assert health.rollup_computations == 1
+        # One new observation invalidates it exactly once.
+        health.observe("m0", "EBI", "unavailable")
+        changed = health.provider_summary()
+        health.provider_summary()
+        assert health.rollup_computations == 2
+        assert changed["EBI"]["calls"] == first["EBI"]["calls"] + 1
+
+    def test_rollup_hands_out_fresh_copies(self):
+        health = ModuleHealthRegistry()
+        health.observe("m1", "EBI", "ok")
+        stolen = health.provider_summary()
+        stolen["EBI"]["calls"] = 10_000
+        stolen["EBI"]["availability"] = 0.0
+        clean = health.provider_summary()
+        assert clean["EBI"]["calls"] == 1
+        assert clean["EBI"]["availability"] == 1.0
+        # Mutating the copy never forced a recomputation either.
+        assert health.rollup_computations == 1

@@ -1,0 +1,184 @@
+"""The live dashboard: pure frame rendering, journal-backed polling,
+snapshot-diff redraw suppression, and terminal-state exit."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignJournal, CampaignRunner
+from repro.campaign.journal import CampaignMeta
+from repro.obs.dashboard import Dashboard, _progress_bar, render_dashboard
+from tests.test_obs_timeseries import make_sample, provider_entry
+
+
+def meta(status="running", modules=("m1", "m2", "m3", "m4")):
+    return CampaignMeta(
+        campaign_id="c",
+        seed=2014,
+        status=status,
+        module_ids=list(modules),
+        config={},
+    )
+
+
+FIRING_EVENT = {
+    "slo": "availability",
+    "kind": "availability",
+    "subject": "EBI",
+    "state": "firing",
+    "t_ms": 50.0,
+    "detail": "burn fast=100.0",
+}
+
+
+# ----------------------------------------------------------------------
+class TestProgressBar:
+    def test_empty_plan(self):
+        assert _progress_bar(0, 0, 0, 10) == "[" + " " * 10 + "]"
+
+    def test_fill_and_skip_partition(self):
+        bar = _progress_bar(2, 1, 4, 8)
+        assert bar.count("#") == 4
+        assert bar.count("-") == 2
+        assert bar.count(".") == 2
+
+
+class TestRenderDashboard:
+    def test_frame_without_samples(self):
+        frame = render_dashboard(meta(), {"n_done": 0, "n_skipped": 0}, [], [])
+        assert "campaign c" in frame and "status running" in frame
+        assert "0/4 done" in frame
+        assert "none journaled yet" in frame
+        assert "0 firing / 0 tracked" in frame
+
+    def test_frame_with_samples_rates_and_alerts(self):
+        first = make_sample(
+            seq=0,
+            t_ms=1000.0,
+            counters={"calls": 10, "ok": 9, "cache_hits": 1, "cache_misses": 9},
+            progress={"n_planned": 4, "n_done": 1, "n_skipped": 0, "n_pending": 3},
+        )
+        second = make_sample(
+            seq=1,
+            t_ms=3000.0,
+            counters={"calls": 30, "ok": 27, "cache_hits": 6, "cache_misses": 24},
+            latency={"count": 30, "sum_ms": 90.0, "p95_ms": 12.0, "max_ms": 40.0,
+                     "cumulative_buckets": [["250", 30], ["+Inf", 30]]},
+            providers={"EBI": provider_entry(20, 10)},
+            progress={"n_planned": 4, "n_done": 3, "n_skipped": 0, "n_pending": 1},
+        )
+        second["breaker"] = {
+            "EBI": {"state": "open"},
+            "NCBI": {"state": "closed"},
+        }
+        second["health"]["n_modules"] = 5
+        frame = render_dashboard(
+            meta(), {"n_done": 3, "n_skipped": 0}, [first, second], [FIRING_EVENT]
+        )
+        assert "2 journaled" in frame
+        assert "10.0 calls/s" in frame and "1.00 modules/s" in frame
+        assert "cache hit 20%" in frame
+        assert "p95 12ms" in frame
+        assert "breakers   EBI open" in frame
+        assert "! EBI" in frame and "availability 50%" in frame
+        assert "1 firing / 1 tracked" in frame
+        assert "FIRING   availability" in frame
+
+    def test_resolved_alerts_counted_but_not_listed(self):
+        resolved = dict(FIRING_EVENT, state="resolved", t_ms=99.0)
+        frame = render_dashboard(meta(), {}, [], [FIRING_EVENT, resolved])
+        assert "0 firing / 1 tracked" in frame
+        assert "FIRING" not in frame.split("alerts")[1]
+
+    def test_all_closed_breakers(self):
+        sample = make_sample()
+        sample["breaker"] = {"EBI": {"state": "closed"}}
+        frame = render_dashboard(meta(), {}, [sample], [])
+        assert "breakers   all closed" in frame
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def finished_journal(ctx, catalog, pool, tmp_path):
+    journal = CampaignJournal(tmp_path / "dash.sqlite")
+    config = CampaignConfig(
+        limit=2, retry_base_delay=0.0, sample_interval=0.0001
+    )
+    CampaignRunner(ctx, catalog, pool, journal, config).run("c")
+    yield journal
+    journal.close()
+
+
+class TestDashboard:
+    def test_rejects_degenerate_interval(self, finished_journal):
+        with pytest.raises(ValueError):
+            Dashboard(finished_journal, "c", interval=0.0)
+
+    def test_render_once_writes_one_plain_frame(self, finished_journal):
+        stream = io.StringIO()
+        dashboard = Dashboard(finished_journal, "c", stream=stream)
+        frame = dashboard.render_once()
+        assert "campaign c" in frame
+        assert "status complete" in frame
+        assert "\x1b" not in stream.getvalue()
+        assert stream.getvalue() == frame + "\n"
+        assert dashboard.redraws == 1
+
+    def test_run_diffs_identical_frames(self, finished_journal):
+        stream = io.StringIO()
+        sleeps = []
+        dashboard = Dashboard(
+            finished_journal, "c", stream=stream,
+            interval=0.01, sleeper=sleeps.append,
+        )
+        dashboard.run(iterations=3)
+        # A static journal draws once; later identical ticks are skipped.
+        assert dashboard.redraws == 1
+        assert stream.getvalue().count("repro top") == 1
+
+    def test_run_exits_when_campaign_leaves_running_state(self, finished_journal):
+        stream = io.StringIO()
+        sleeps = []
+        dashboard = Dashboard(
+            finished_journal, "c", stream=stream,
+            interval=0.01, sleeper=sleeps.append,
+        )
+        dashboard.run()  # unbounded: must exit because status is terminal
+        assert dashboard.redraws == 1
+        assert sleeps == []
+
+    def test_run_redraws_with_cursor_escapes_on_change(self, finished_journal):
+        stream = io.StringIO()
+
+        class FlippingJournal:
+            """Delegates to the real journal but flips the status so the
+            second tick renders a different frame."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.ticks = 0
+
+            def meta(self, campaign_id):
+                row = self.inner.meta(campaign_id)
+                self.ticks += 1
+                status = "running" if self.ticks <= 2 else row.status
+                return CampaignMeta(
+                    campaign_id=row.campaign_id,
+                    seed=row.seed,
+                    status=status,
+                    module_ids=row.module_ids,
+                    config=row.config,
+                )
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        dashboard = Dashboard(
+            FlippingJournal(finished_journal), "c", stream=stream,
+            interval=0.01, sleeper=lambda _s: None,
+        )
+        dashboard.run(iterations=2)
+        assert dashboard.redraws == 2
+        assert "\x1b[" in stream.getvalue()

@@ -1,0 +1,191 @@
+"""Behavioral drift: the §6 agreement rule turned inward, live
+regeneration through the resilient engine, and campaign-level diffing
+against a journaled baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignJournal, CampaignRunner
+from repro.core.examples import Binding, DataExample
+from repro.core.generation import ExampleGenerator
+from repro.core.matching import MatchKind
+from repro.engine.faults import FaultPlan
+from repro.engine.invoker import EngineConfig, InvocationEngine
+from repro.engine.retry import RetryPolicy
+from repro.obs.drift import (
+    DriftDetector,
+    campaign_drift,
+    classify_example_sets,
+    input_key,
+    render_drift,
+)
+from repro.values import StructuralType, TypedValue
+
+STRING = StructuralType(name="String", base="String")
+
+
+def example(module_id, inp, out):
+    return DataExample(
+        module_id=module_id,
+        inputs=(Binding("record", TypedValue(inp, STRING, "SequenceRecord")),),
+        outputs=(Binding("converted", TypedValue(out, STRING, "SequenceRecord")),),
+    )
+
+
+# ----------------------------------------------------------------------
+class TestClassification:
+    def test_equivalent_when_every_baseline_input_reproduces(self):
+        baseline = [example("m", "a", "A"), example("m", "b", "B")]
+        current = [example("m", "b", "B"), example("m", "a", "A")]
+        report = classify_example_sets("m", baseline, current)
+        assert report.kind is MatchKind.EQUIVALENT
+        assert not report.drifted
+        assert (report.n_agreeing, report.n_changed, report.n_lost) == (2, 0, 0)
+
+    def test_extra_current_inputs_do_not_demote_equivalence(self):
+        baseline = [example("m", "a", "A")]
+        current = [example("m", "a", "A"), example("m", "z", "Z")]
+        report = classify_example_sets("m", baseline, current)
+        assert report.kind is MatchKind.EQUIVALENT
+        assert report.n_current == 2
+
+    def test_overlapping_when_some_outputs_changed(self):
+        baseline = [example("m", "a", "A"), example("m", "b", "B")]
+        current = [example("m", "a", "A"), example("m", "b", "CHANGED")]
+        report = classify_example_sets("m", baseline, current)
+        assert report.kind is MatchKind.OVERLAPPING
+        assert report.drifted
+        assert report.n_changed == 1
+
+    def test_disjoint_when_nothing_agrees(self):
+        baseline = [example("m", "a", "A")]
+        current = [example("m", "a", "WRONG")]
+        report = classify_example_sets("m", baseline, current)
+        assert report.kind is MatchKind.DISJOINT
+
+    def test_lost_inputs_count_as_drift(self):
+        baseline = [example("m", "a", "A"), example("m", "b", "B")]
+        report = classify_example_sets("m", baseline, [example("m", "a", "A")])
+        assert report.kind is MatchKind.OVERLAPPING
+        assert report.n_lost == 1
+
+    def test_empty_baseline_is_an_error(self):
+        with pytest.raises(ValueError):
+            classify_example_sets("m", [], [example("m", "a", "A")])
+
+    def test_input_key_is_order_insensitive_and_nan_safe(self):
+        a = DataExample(
+            module_id="m",
+            inputs=(
+                Binding("x", TypedValue(1, STRING)),
+                Binding("y", TypedValue(float("nan"), STRING)),
+            ),
+            outputs=(),
+        )
+        b = DataExample(
+            module_id="m",
+            inputs=(
+                Binding("y", TypedValue(float("nan"), STRING)),
+                Binding("x", TypedValue(1, STRING)),
+            ),
+            outputs=(),
+        )
+        assert input_key(a) == input_key(b)
+
+    def test_describe_and_render(self):
+        baseline = [example("m", "a", "A")]
+        drifted = classify_example_sets("m", baseline, [example("m", "a", "X")])
+        clean = classify_example_sets("ok", baseline, baseline)
+        text = render_drift([drifted, clean])
+        assert "1/2 modules drifted" in text
+        assert "! m" in text and "disjoint: 0/1" in text
+        assert "  ok" in text
+        assert "No modules compared" in render_drift([])
+
+
+# ----------------------------------------------------------------------
+def fast_engine(**fault_kw):
+    retry = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+    plan = FaultPlan(**fault_kw) if fault_kw else None
+    return InvocationEngine(EngineConfig(retry=retry, fault_plan=plan))
+
+
+@pytest.fixture(scope="module")
+def baseline_examples(ctx, catalog_by_id, pool):
+    module = catalog_by_id["xf.fasta_uppercase"]
+    report = ExampleGenerator(ctx, pool, engine=InvocationEngine()).generate(module)
+    assert report.examples, "fixture module must yield baseline examples"
+    return module, list(report.examples)
+
+
+class TestDriftDetector:
+    def test_stable_module_is_equivalent(self, ctx, baseline_examples):
+        module, baseline = baseline_examples
+        detector = DriftDetector(ctx, engine=fast_engine())
+        report = detector.check(module, baseline)
+        assert report.kind is MatchKind.EQUIVALENT
+        assert report.n_lost == 0
+
+    def test_nondeterministic_provider_reads_as_drift(self, ctx, baseline_examples):
+        module, baseline = baseline_examples
+        detector = DriftDetector(
+            ctx,
+            engine=fast_engine(nondeterministic_providers=frozenset({"EBI"})),
+        )
+        report = detector.check(module, baseline)
+        assert report.drifted
+        assert report.kind is MatchKind.DISJOINT
+        assert report.n_changed == report.n_baseline
+
+    def test_dark_provider_loses_every_input(self, ctx, baseline_examples):
+        module, baseline = baseline_examples
+        detector = DriftDetector(
+            ctx,
+            engine=fast_engine(permanent_blackout_providers=frozenset({"EBI"})),
+        )
+        report = detector.check(module, baseline)
+        assert report.kind is MatchKind.DISJOINT
+        assert report.n_lost == report.n_baseline
+        assert report.n_current == 0
+
+    def test_default_engine_is_constructed(self, ctx, baseline_examples):
+        module, baseline = baseline_examples
+        report = DriftDetector(ctx).check(module, baseline)
+        assert report.kind is MatchKind.EQUIVALENT
+
+
+# ----------------------------------------------------------------------
+class TestCampaignDrift:
+    def test_identical_campaigns_are_equivalent(self, ctx, catalog, pool, tmp_path):
+        journal = CampaignJournal(tmp_path / "drift.sqlite")
+        config = CampaignConfig(limit=2, retry_base_delay=0.0)
+        try:
+            runner = CampaignRunner(ctx, catalog, pool, journal, config)
+            runner.run("baseline")
+            fresh = CampaignRunner(ctx, catalog, pool, journal, config)
+            result = fresh.run("fresh")
+            reports = {
+                module_id: entry.report
+                for module_id, entry in journal.entries("fresh").items()
+            }
+            drift = campaign_drift(journal, "baseline", reports)
+            assert len(drift) == 2
+            assert all(r.kind is MatchKind.EQUIVALENT for r in drift)
+            assert [r.module_id for r in drift] == sorted(r.module_id for r in drift)
+            # The runner with config.baseline wires the same comparison in.
+            assert result.drift == []
+        finally:
+            journal.close()
+
+    def test_modules_missing_from_baseline_are_skipped(self, tmp_path, ctx, catalog, pool):
+        journal = CampaignJournal(tmp_path / "skip.sqlite")
+        try:
+            runner = CampaignRunner(
+                ctx, catalog, pool, journal, CampaignConfig(limit=1, retry_base_delay=0.0)
+            )
+            runner.run("tiny-baseline")
+            reports = {"not.in.baseline": None}
+            assert campaign_drift(journal, "tiny-baseline", reports) == []
+        finally:
+            journal.close()

@@ -316,3 +316,77 @@ class TestMetricsCli:
         decoded = json.loads(capsys.readouterr().out)
         assert decoded["stats"]["dropped_events"] > 0
         assert decoded["stats"]["max_events"] == 2
+
+    def test_metrics_warns_when_events_dropped(self, capsys):
+        """Regression: the *metrics* path warns about a lossy telemetry
+        window exactly like ``engine-stats`` does, on stderr, with the
+        exposition on stdout untouched."""
+        from repro.cli import main
+
+        assert main(
+            ["metrics", "--limit", "20", "--repeat", "2", "--max-events", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "telemetry ring buffer overflowed" in captured.err
+        assert "--max-events" in captured.err
+        types, samples = parse_exposition(captured.out)
+        assert samples[("repro_telemetry_dropped_events_total", ())] > 0
+
+    def test_metrics_json_warns_on_stderr_keeps_stdout_parseable(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["metrics", "--limit", "20", "--repeat", "2",
+             "--max-events", "2", "--json"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "telemetry ring buffer overflowed" in captured.err
+        json.loads(captured.out)  # the warning never corrupts stdout
+
+
+# ----------------------------------------------------------------------
+# Scrape-under-load: rendering must never expose a torn histogram
+# ----------------------------------------------------------------------
+class TestConcurrentScrape:
+    def test_histogram_never_torn_while_engine_is_invoking(self, setup):
+        """Scrape repeatedly while a writer thread drives generation:
+        every exposition must parse, every histogram's cumulative
+        buckets must be monotone non-decreasing, and the ``+Inf`` bucket
+        must equal ``_count`` — a torn read (half-updated buckets vs a
+        newer count) violates one of those."""
+        import threading
+
+        engine = InvocationEngine(EngineConfig(parallelism=2))
+        generator = ExampleGenerator(setup.ctx, setup.pool, engine=engine)
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            while not stop.is_set():
+                try:
+                    generator.generate_many(setup.catalog[:4])
+                except Exception as error:  # pragma: no cover - diagnostic
+                    failures.append(error)
+                    return
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            scrapes = 0
+            while scrapes < 40 and thread.is_alive():
+                text = render_prometheus(engine.stats())
+                types, samples = parse_exposition(text)
+                buckets = _bucket_samples(samples, "repro_invocation_latency_ms")
+                assert buckets, "histogram must be exported"
+                values = [value for _le, value in buckets]
+                assert values == sorted(values), f"non-monotone buckets: {buckets}"
+                assert buckets[-1][0] == "+Inf"
+                assert buckets[-1][1] == samples[
+                    ("repro_invocation_latency_ms_count", ())
+                ]
+                scrapes += 1
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not failures, failures
+        assert scrapes == 40

@@ -1,0 +1,290 @@
+"""SLO burn-rate evaluation: window math per kind, the firing→resolved
+lifecycle, transition-only event emission, drift registration, and
+journal-fold reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import MatchKind
+from repro.obs.drift import DriftReport
+from repro.obs.metrics import render_prometheus
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    SLOEvaluator,
+    alert_states,
+    firing_alerts,
+    render_alerts,
+    window_burns,
+)
+from repro.obs.timeseries import TimeSeriesRing
+from tests.test_obs_timeseries import make_sample, provider_entry
+
+
+def availability_slo(**kw):
+    defaults = dict(
+        name="availability",
+        kind="availability",
+        objective=0.99,
+        budget=0.01,
+        fast_window=3,
+        slow_window=5,
+        fast_burn=10.0,
+        slow_burn=2.0,
+        per_provider=True,
+    )
+    defaults.update(kw)
+    return SLO(**defaults)
+
+
+def drift_report(module_id="m", kind=MatchKind.DISJOINT):
+    return DriftReport(
+        module_id=module_id,
+        kind=kind,
+        n_baseline=2,
+        n_current=2,
+        n_agreeing=0 if kind is not MatchKind.EQUIVALENT else 2,
+        n_changed=2 if kind is not MatchKind.EQUIVALENT else 0,
+        n_lost=0,
+    )
+
+
+# ----------------------------------------------------------------------
+class TestSLOValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            availability_slo(kind="nonsense")
+
+    def test_rejects_budget_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            availability_slo(budget=0.0)
+        with pytest.raises(ValueError):
+            availability_slo(budget=1.5)
+
+    def test_rejects_degenerate_windows(self):
+        with pytest.raises(ValueError):
+            availability_slo(fast_window=1)
+        with pytest.raises(ValueError):
+            availability_slo(fast_window=6, slow_window=5)
+
+    def test_default_slo_names_unique(self):
+        names = [slo.name for slo in DEFAULT_SLOS]
+        assert len(names) == len(set(names))
+        SLOEvaluator()  # constructs without raising
+        with pytest.raises(ValueError):
+            SLOEvaluator((availability_slo(), availability_slo()))
+
+
+# ----------------------------------------------------------------------
+class TestWindowBurns:
+    def test_availability_burn_per_provider(self):
+        slo = availability_slo()
+        window = [
+            make_sample(providers={"EBI": provider_entry(10, 10)}),
+            make_sample(
+                providers={
+                    "EBI": provider_entry(20, 15),  # 5/10 failed -> 0.5
+                    "NCBI": provider_entry(4, 4),  # all answered -> 0.0
+                }
+            ),
+        ]
+        burns = window_burns(slo, window)
+        assert burns["EBI"] == pytest.approx(50.0)  # 0.5 / 0.01
+        assert burns["NCBI"] == pytest.approx(0.0)
+
+    def test_quiet_window_yields_no_burns(self):
+        slo = availability_slo()
+        sample = make_sample(providers={"EBI": provider_entry(10, 10)})
+        assert window_burns(slo, [sample, sample]) == {}
+        assert window_burns(slo, [sample]) == {}
+
+    def test_latency_burn(self):
+        slo = SLO(name="lat", kind="latency_p95", objective=250.0, budget=0.05)
+        window = [
+            make_sample(
+                latency={"count": 0, "sum_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0,
+                         "cumulative_buckets": [["250", 0], ["+Inf", 0]]}
+            ),
+            make_sample(
+                latency={"count": 10, "sum_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0,
+                         "cumulative_buckets": [["250", 8], ["+Inf", 10]]}
+            ),
+        ]
+        burns = window_burns(slo, window)
+        assert burns["campaign"] == pytest.approx((2 / 10) / 0.05)
+
+    def test_conformance_burn(self):
+        slo = SLO(name="conf", kind="conformance", objective=0.999, budget=0.001)
+        window = [
+            make_sample(conformance={"checked": 100, "violations": 0}),
+            make_sample(conformance={"checked": 200, "violations": 5}),
+        ]
+        burns = window_burns(slo, window)
+        assert burns["campaign"] == pytest.approx((5 / 100) / 0.001)
+        # Engines without the conformance layer produce no burn.
+        assert window_burns(slo, [make_sample(), make_sample()]) == {}
+
+    def test_coverage_stall_burn(self):
+        slo = SLO(name="cov", kind="coverage_progress", objective=0.0, budget=0.5)
+        stalled = [
+            make_sample(progress={"n_planned": 5, "n_done": 2,
+                                  "n_skipped": 0, "n_pending": 3}),
+            make_sample(progress={"n_planned": 5, "n_done": 2,
+                                  "n_skipped": 0, "n_pending": 3}),
+        ]
+        assert window_burns(slo, stalled)["campaign"] == pytest.approx(2.0)
+        advancing = [stalled[0],
+                     make_sample(progress={"n_planned": 5, "n_done": 3,
+                                           "n_skipped": 0, "n_pending": 2})]
+        assert window_burns(slo, advancing)["campaign"] == 0.0
+        # A finished campaign is quiet, not stalled.
+        finished = [
+            make_sample(progress={"n_planned": 5, "n_done": 5,
+                                  "n_skipped": 0, "n_pending": 0})
+        ] * 2
+        assert window_burns(slo, finished)["campaign"] == 0.0
+
+    def test_window_truncated_at_resume_boundary(self):
+        slo = availability_slo()
+        window = [
+            make_sample(run=0, providers={"EBI": provider_entry(50, 0)}),
+            make_sample(run=1, providers={"EBI": provider_entry(2, 2)}),
+            make_sample(run=1, providers={"EBI": provider_entry(4, 4)}),
+        ]
+        # Only the run-1 segment is compared: no failures there.
+        assert window_burns(slo, window)["EBI"] == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+def failing_ring(n=6, provider="EBI"):
+    """A ring where every window shows total failure for one provider."""
+    ring = TimeSeriesRing()
+    for seq in range(n):
+        ring.append(
+            make_sample(
+                seq=seq,
+                t_ms=seq * 100.0,
+                providers={provider: provider_entry(10 * (seq + 1), 0)},
+            )
+        )
+    return ring
+
+
+class TestEvaluatorLifecycle:
+    def test_fires_once_and_stays_firing(self):
+        evaluator = SLOEvaluator((availability_slo(),))
+        ring = failing_ring()
+        events = evaluator.evaluate(ring)
+        assert [e["state"] for e in events] == ["firing"]
+        assert events[0]["subject"] == "EBI"
+        assert events[0]["kind"] == "availability"
+        # Sustained failure emits no further events.
+        assert evaluator.evaluate(ring) == []
+        assert [a.subject for a in evaluator.firing()] == ["EBI"]
+
+    def test_requires_both_windows(self):
+        # Fast window burns but the slow window is healthy: no alert.
+        slo = availability_slo(fast_window=2, slow_window=4, slow_burn=60.0)
+        ring = TimeSeriesRing()
+        for seq in range(4):
+            failed = 10 if seq >= 3 else 0
+            ring.append(
+                make_sample(
+                    seq=seq, t_ms=seq * 100.0,
+                    providers={"EBI": provider_entry(
+                        10 * (seq + 1), 10 * (seq + 1) - failed)},
+                )
+            )
+        evaluator = SLOEvaluator((slo,))
+        assert evaluator.evaluate(ring) == []
+        assert evaluator.firing() == []
+
+    def test_resolves_when_fast_window_back_under_budget(self):
+        evaluator = SLOEvaluator((availability_slo(),))
+        ring = failing_ring(4)
+        assert len(evaluator.evaluate(ring)) == 1
+        # Recovery: the provider answers everything from here on.
+        last = ring.last()
+        calls = last["health"]["providers"]["EBI"]["calls"]
+        for extra in range(1, 4):
+            entry = provider_entry(calls + 50 * extra, 50 * extra)
+            ring.append(
+                make_sample(seq=10 + extra, t_ms=1000.0 + extra * 100.0,
+                            providers={"EBI": entry})
+            )
+        events = evaluator.evaluate(ring)
+        assert [e["state"] for e in events] == ["resolved"]
+        assert evaluator.firing() == []
+        # Resolved is terminal until the next firing transition.
+        assert evaluator.evaluate(ring) == []
+
+    def test_empty_ring_is_a_no_op(self):
+        evaluator = SLOEvaluator()
+        assert evaluator.evaluate(TimeSeriesRing()) == []
+
+
+class TestDriftRegistration:
+    def test_drift_fires_once_then_resolves_on_equivalence(self):
+        evaluator = SLOEvaluator()
+        event = evaluator.register_drift(drift_report(), t_ms=10.0)
+        assert event["state"] == "firing" and event["kind"] == "drift"
+        assert event["slo"] == "behavior-drift" and event["subject"] == "m"
+        # Idempotent while still drifted.
+        assert evaluator.register_drift(drift_report(), t_ms=20.0) is None
+        resolved = evaluator.register_drift(
+            drift_report(kind=MatchKind.EQUIVALENT), t_ms=30.0
+        )
+        assert resolved["state"] == "resolved"
+        # Equivalent behavior with no prior alert stays silent.
+        assert (
+            evaluator.register_drift(
+                drift_report("other", MatchKind.EQUIVALENT), t_ms=40.0
+            )
+            is None
+        )
+
+
+# ----------------------------------------------------------------------
+class TestReconstruction:
+    EVENTS = [
+        {"slo": "availability", "kind": "availability", "subject": "EBI",
+         "state": "firing", "t_ms": 100.0, "detail": "burn"},
+        {"slo": "behavior-drift", "kind": "drift", "subject": "m1",
+         "state": "firing", "t_ms": 200.0, "detail": "disjoint"},
+        {"slo": "availability", "kind": "availability", "subject": "EBI",
+         "state": "resolved", "t_ms": 300.0, "detail": "recovered"},
+    ]
+
+    def test_last_event_wins(self):
+        states = alert_states(self.EVENTS)
+        assert states[("availability", "EBI")]["state"] == "resolved"
+        assert states[("behavior-drift", "m1")]["state"] == "firing"
+
+    def test_firing_alerts_filters_and_sorts(self):
+        firing = firing_alerts(self.EVENTS)
+        assert [e["subject"] for e in firing] == ["m1"]
+
+    def test_render_alerts(self):
+        text = render_alerts(self.EVENTS)
+        assert "1 firing" in text and "2 tracked" in text and "3 events" in text
+        assert "RESOLVED" in text and "behavior-drift" in text
+        only_firing = render_alerts(self.EVENTS, firing_only=True)
+        assert "EBI" not in only_firing and "m1" in only_firing
+        assert "No alert history" in render_alerts([])
+
+
+class TestSnapshotExport:
+    def test_snapshot_feeds_prometheus_gauges(self):
+        evaluator = SLOEvaluator((availability_slo(),))
+        evaluator.evaluate(failing_ring())
+        evaluator.register_drift(drift_report(), t_ms=500.0)
+        section = evaluator.snapshot()
+        assert section["n_firing"] == 2
+        assert any(b["subject"] == "EBI" for b in section["burn_rates"])
+        # Drift alerts export as alert gauges, not burn rates.
+        assert all(b["slo"] != "behavior-drift" for b in section["burn_rates"])
+        text = render_prometheus({"slo": section})
+        assert 'repro_slo_burn_rate{slo="availability",subject="EBI",window="fast"}' in text
+        assert 'repro_slo_alert_firing{slo="behavior-drift",subject="m"} 1' in text
+        assert "repro_slo_alerts_firing 2" in text
