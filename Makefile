@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-hangs slo-smoke bench bench-engine report engine-stats campaign examples docs-check all clean
+.PHONY: install test test-faults test-hangs slo-smoke serve-smoke bench bench-engine bench-serve serve report engine-stats campaign examples docs-check all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,23 @@ bench:
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/test_bench_engine.py -q -s
+
+# Serving-layer benchmark: 1000-client capacity phase (zero 5xx) and a
+# deliberate saturation phase (429 + Retry-After, bounded queue).
+# Writes the measured latency/throughput/shed numbers to BENCH_serve.json.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py
+
+# Serving acceptance smoke (the CI serve-smoke job): start a real
+# `repro-cli serve` process, fire a concurrent loadgen burst, scrape
+# /metrics, and assert the repro_http_* series and SLO gauges are there.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
+
+# The annotation service itself, journaled so `repro-cli top http-server
+# --db serve.sqlite` can watch it live.
+serve:
+	$(PYTHON) -m repro.cli serve --db serve.sqlite --sample 2 --register-all
 
 engine-stats:
 	$(PYTHON) -m repro.cli engine-stats

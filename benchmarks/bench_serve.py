@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Serving-layer benchmark: capacity and deliberate saturation.
+
+``make bench-serve`` runs two phases against in-process servers and
+writes the measured numbers to ``BENCH_serve.json``:
+
+* **capacity** — at least 1000 concurrent clients against a generously
+  provisioned, memoized server.  Acceptance: **zero 5xx**, zero
+  transport errors, every request answered.
+* **saturation** — a deliberately tiny admission envelope (2 inflight,
+  8 queued) with injected provider latency and memoization off, so the
+  offered load far exceeds capacity.  Acceptance: the overflow is shed
+  with **429 + Retry-After** (never unbounded queueing, never a 5xx),
+  while admitted requests still complete.
+
+The report carries p50/p95/p99 latency, throughput, and shed rate per
+phase, plus the acceptance verdicts, so regressions in the admission
+path show up as numbers — not anecdotes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.modules.catalog import default_catalog
+from repro.serve import (
+    AnnotationServer,
+    AnnotationService,
+    LoadProfile,
+    ServeConfig,
+    run_loadgen,
+)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def phase_capacity(module_ids) -> dict:
+    """>= 1000 concurrent clients, generous envelope, zero 5xx."""
+    service = AnnotationService(memoize=True, watchdog_budget=10.0)
+    config = ServeConfig(
+        max_inflight=64,
+        max_queue=4096,
+        queue_timeout=30.0,
+        rate=None,  # capacity is about admission, not tenant budgets
+    )
+    with AnnotationServer(service, config) as server:
+        profile = LoadProfile(
+            clients=1000,
+            requests_per_client=5,
+            mix={"generate": 0.5, "match": 0.2, "modules": 0.2, "healthz": 0.1},
+            module_ids=module_ids,
+            tenants=8,
+            timeout=60.0,
+        )
+        report = run_loadgen(server.host, server.port, profile)
+        snapshot = server.http_snapshot()
+    result = report.to_dict()
+    result["peak_inflight"] = snapshot["peak_inflight"]
+    result["peak_queue_depth"] = snapshot["peak_queue_depth"]
+    result["accepted"] = (
+        report.n_5xx == 0
+        and report.transport_errors == 0
+        and report.missing_retry_after == 0
+    )
+    return result
+
+
+def phase_saturation(module_ids) -> dict:
+    """Tiny envelope + slow providers: overflow shed with 429."""
+    service = AnnotationService(
+        memoize=False, latency_ms=25.0, watchdog_budget=10.0
+    )
+    config = ServeConfig(
+        max_inflight=2,
+        max_queue=8,
+        queue_timeout=0.05,
+        retry_after=0.25,
+        rate=None,
+    )
+    with AnnotationServer(service, config) as server:
+        profile = LoadProfile(
+            clients=200,
+            requests_per_client=5,
+            mix={"generate": 1.0},
+            module_ids=module_ids,
+            timeout=60.0,
+        )
+        report = run_loadgen(server.host, server.port, profile)
+        snapshot = server.http_snapshot()
+    result = report.to_dict()
+    result["peak_inflight"] = snapshot["peak_inflight"]
+    result["peak_queue_depth"] = snapshot["peak_queue_depth"]
+    result["server_shed_total"] = snapshot["shed_total"]
+    result["accepted"] = (
+        report.n_5xx == 0
+        and report.shed > 0
+        and report.missing_retry_after == 0
+        and snapshot["peak_queue_depth"] <= config.max_queue
+    )
+    return result
+
+
+def main() -> int:
+    module_ids = tuple(m.module_id for m in default_catalog())[:6]
+    print("bench-serve: capacity phase (1000 concurrent clients) ...")
+    capacity = phase_capacity(module_ids)
+    print(
+        f"  {capacity['total_requests']} requests, "
+        f"{capacity['throughput_rps']} req/s, "
+        f"p95 {capacity['latency_ms']['p95']}ms, "
+        f"5xx {capacity['n_5xx']}, accepted={capacity['accepted']}"
+    )
+    print("bench-serve: saturation phase (2 inflight / 8 queued) ...")
+    saturation = phase_saturation(module_ids)
+    print(
+        f"  {saturation['total_requests']} requests, "
+        f"shed {saturation['shed']} ({saturation['shed_rate']:.1%}), "
+        f"5xx {saturation['n_5xx']}, accepted={saturation['accepted']}"
+    )
+    payload = {
+        "benchmark": "serve",
+        "phases": {"capacity": capacity, "saturation": saturation},
+        "accepted": capacity["accepted"] and saturation["accepted"],
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"bench-serve: wrote {OUTPUT}")
+    if not payload["accepted"]:
+        print("bench-serve: FAIL — acceptance criteria not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

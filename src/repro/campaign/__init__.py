@@ -35,6 +35,7 @@ from repro.campaign.journal import (
     CampaignMeta,
     JournalEntry,
     UnknownCampaignError,
+    campaign_progress,
     report_from_dict,
     report_to_dict,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "CampaignRunner",
     "JournalEntry",
     "UnknownCampaignError",
+    "campaign_progress",
     "render_campaign_report",
     "report_from_dict",
     "report_to_dict",

@@ -508,3 +508,39 @@ class CampaignJournal:
                 module_id=module_id, status=status, detail=detail, report=report
             )
         return entries
+
+
+# ----------------------------------------------------------------------
+# Read-only progress rollup (CLI `campaign status`, HTTP campaign API).
+# ----------------------------------------------------------------------
+def campaign_progress(journal: CampaignJournal, meta: CampaignMeta) -> dict:
+    """One campaign's JSON-compatible progress rollup.
+
+    Everything is derived from the journal alone, so any read-only
+    consumer — ``repro-cli campaign status``, the serving layer's
+    ``GET /v1/campaigns/{id}`` — can report on a campaign running in a
+    different process (or post-mortem a killed one) without sharing any
+    state beyond the SQLite file.
+    """
+    entries = journal.entries(meta.campaign_id)
+    done = [e for e in entries.values() if e.status == "done"]
+    skipped = {
+        e.module_id: e.detail for e in entries.values() if e.status == "skipped"
+    }
+    return {
+        "campaign_id": meta.campaign_id,
+        "seed": meta.seed,
+        "status": meta.status,
+        "n_planned": len(meta.module_ids),
+        "n_done": len(done),
+        "n_skipped": len(skipped),
+        "n_pending": len(meta.module_ids) - len(done) - len(skipped),
+        "n_examples": sum(entry.report.n_examples for entry in done),
+        "timed_out_combinations": sum(
+            entry.report.timed_out_combinations for entry in done
+        ),
+        "quarantined_combinations": sum(
+            entry.report.quarantined_combinations for entry in done
+        ),
+        "skipped": skipped,
+    }

@@ -13,6 +13,8 @@ Subcommands::
     repro-cli report [--seed S]                     full paper-vs-measured report
     repro-cli engine-stats [--parallelism N] ...    invocation-engine telemetry
     repro-cli metrics [--json] [--serve]            Prometheus / JSON export
+    repro-cli serve [--port P] [--db FILE]          annotation HTTP service
+    repro-cli loadgen --port P [--clients N]        concurrent load harness
     repro-cli trace ID --db FILE [--slowest N]      campaign span timeline
     repro-cli top ID --db FILE [--once]             live campaign dashboard
     repro-cli alerts ID --db FILE [--firing]        journaled SLO / drift alerts
@@ -366,6 +368,106 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the annotation-as-a-service HTTP server."""
+    from repro.obs.metrics import ServeError
+    from repro.serve import AnnotationService, AnnotationServer, ServeConfig
+
+    service = AnnotationService(
+        seed=args.seed,
+        memoize=not args.no_memoize,
+        watchdog_budget=args.watchdog_budget,
+        latency_ms=args.latency_ms,
+        fault_rate=args.fault_rate,
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        rate=args.rate if args.rate > 0 else None,
+        burst=args.burst,
+        default_deadline_s=(
+            args.default_deadline_ms / 1000.0
+            if args.default_deadline_ms is not None
+            else None
+        ),
+        journal_db=args.db,
+        sample_interval=args.sample,
+        log_stream=sys.stderr if args.access_log else None,
+    )
+    if args.register_all:
+        for module in service.catalog:
+            service.register(module.module_id)
+    try:
+        server = AnnotationServer(service, config)
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with server:
+        print(
+            f"serving annotations on http://{server.host}:{server.port} "
+            f"(inflight {config.max_inflight}, queue {config.max_queue}, "
+            f"rate {config.rate if config.rate else 'unlimited'}/s per tenant)",
+            file=sys.stderr,
+        )
+        try:
+            if args.serve_for is not None:
+                import time as _time
+
+                _time.sleep(args.serve_for)
+            else:  # pragma: no cover - interactive
+                import threading
+
+                threading.Event().wait()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive concurrent load against a running annotation server."""
+    from repro.serve import LoadProfile, run_loadgen
+
+    mix: "dict[str, float]" = {}
+    for part in args.mix.split(","):
+        name, _, weight = part.partition("=")
+        try:
+            mix[name.strip()] = float(weight)
+        except ValueError:
+            print(
+                f"error: bad --mix entry {part!r} "
+                "(expected name=weight,name=weight,...)",
+                file=sys.stderr,
+            )
+            return 2
+    module_ids = tuple(args.module)
+    if not module_ids and args.modules > 0:
+        _ctx, catalog, _pool = _world(args.seed)
+        module_ids = tuple(m.module_id for m in catalog[: args.modules])
+    try:
+        profile = LoadProfile(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            mix=mix,
+            module_ids=module_ids,
+            tenants=args.tenants,
+            deadline_ms=args.deadline_ms,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+        report = run_loadgen(args.host, args.port, profile)
+    except (ValueError, OSError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 1 if report.n_5xx else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Reconstruct a campaign's span timeline from its journal."""
     from repro.campaign import CampaignJournal, UnknownCampaignError
@@ -549,33 +651,12 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
     return 0
 
 
-def _campaign_progress(journal, meta) -> dict:
-    entries = journal.entries(meta.campaign_id)
-    done = [e for e in entries.values() if e.status == "done"]
-    skipped = {
-        e.module_id: e.detail for e in entries.values() if e.status == "skipped"
-    }
-    return {
-        "campaign_id": meta.campaign_id,
-        "seed": meta.seed,
-        "status": meta.status,
-        "n_planned": len(meta.module_ids),
-        "n_done": len(done),
-        "n_skipped": len(skipped),
-        "n_pending": len(meta.module_ids) - len(done) - len(skipped),
-        "n_examples": sum(entry.report.n_examples for entry in done),
-        "timed_out_combinations": sum(
-            entry.report.timed_out_combinations for entry in done
-        ),
-        "quarantined_combinations": sum(
-            entry.report.quarantined_combinations for entry in done
-        ),
-        "skipped": skipped,
-    }
-
-
 def cmd_campaign_status(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignJournal, UnknownCampaignError
+    from repro.campaign import (
+        CampaignJournal,
+        UnknownCampaignError,
+        campaign_progress,
+    )
 
     journal = CampaignJournal(args.db)
     try:
@@ -590,7 +671,7 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
                 return 2
         else:
             metas = journal.campaigns()
-        progress = [_campaign_progress(journal, meta) for meta in metas]
+        progress = [campaign_progress(journal, meta) for meta in metas]
     finally:
         journal.close()
     if args.json:
@@ -722,6 +803,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--serve-for", type=float, default=None,
                    help="serve for N seconds, then exit (default: forever)")
     p.set_defaults(func=cmd_metrics)
+
+    p = commands.add_parser(
+        "serve",
+        help="run the annotation-as-a-service HTTP server",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8014,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="requests allowed to execute concurrently")
+    p.add_argument("--max-queue", type=int, default=32,
+                   help="requests allowed to wait for an execution slot")
+    p.add_argument("--queue-timeout", type=float, default=1.0,
+                   help="longest a queued request waits, seconds")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="per-tenant sustained requests/second (0 disables "
+                        "rate limiting)")
+    p.add_argument("--burst", type=float, default=100.0,
+                   help="per-tenant burst allowance")
+    p.add_argument("--default-deadline-ms", type=float, default=None,
+                   help="deadline applied when the client sends no "
+                        "X-Deadline-Ms header")
+    p.add_argument("--db", default=None,
+                   help="campaign journal file: enables /v1/campaigns/* and "
+                        "journals HTTP samples for `repro-cli top`/`alerts`")
+    p.add_argument("--sample", type=float, default=0.0, metavar="SECONDS",
+                   help="journal an HTTP sample + SLO evaluation every N "
+                        "seconds")
+    p.add_argument("--no-memoize", action="store_true",
+                   help="regenerate examples on every request (load testing)")
+    p.add_argument("--watchdog-budget", type=float, default=5.0,
+                   help="hard wall-clock budget per invocation, seconds")
+    p.add_argument("--latency-ms", type=float, default=0.0,
+                   help="injected mean provider latency per call, ms")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="injected transient provider failure probability")
+    p.add_argument("--register-all", action="store_true",
+                   help="pre-register the whole catalog at startup")
+    p.add_argument("--access-log", action="store_true",
+                   help="write JSON access-log lines to stderr")
+    p.add_argument("--serve-for", type=float, default=None,
+                   help="serve for N seconds, then exit (default: forever)")
+    p.set_defaults(func=cmd_serve)
+
+    p = commands.add_parser(
+        "loadgen",
+        help="drive concurrent load against a running annotation server",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, required=True, help="server port")
+    p.add_argument("--clients", type=int, default=100,
+                   help="concurrent simulated clients")
+    p.add_argument("--requests", type=int, default=10,
+                   help="requests each client issues")
+    p.add_argument("--mix", default="generate=0.6,match=0.2,modules=0.2",
+                   help="weighted endpoint mix "
+                        "(generate/match/modules/healthz)")
+    p.add_argument("--module", action="append", default=[],
+                   help="module id work requests draw from (repeatable)")
+    p.add_argument("--modules", type=int, default=4,
+                   help="use the first N catalog modules when no --module "
+                        "is given")
+    p.add_argument("--tenants", type=int, default=1,
+                   help="distinct X-Api-Key values, round-robin over clients")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="X-Deadline-Ms header per request")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="socket timeout per request, seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the load report as JSON")
+    p.set_defaults(func=cmd_loadgen)
 
     p = commands.add_parser(
         "trace",

@@ -53,7 +53,13 @@ from repro.engine.telemetry import (
     Telemetry,
     default_clock,
 )
-from repro.engine.watchdog import WatchdogInvoker, WatchdogPolicy, WatchdogStats
+from repro.engine.watchdog import (
+    WatchdogInvoker,
+    WatchdogPolicy,
+    WatchdogStats,
+    deadline_scope,
+    remaining_deadline,
+)
 
 __all__ = [
     "BatchScheduler",
@@ -87,5 +93,7 @@ __all__ = [
     "WatchdogPolicy",
     "WatchdogStats",
     "canonical_key",
+    "deadline_scope",
     "default_clock",
+    "remaining_deadline",
 ]

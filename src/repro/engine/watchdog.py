@@ -26,13 +26,62 @@ Worker threads are daemons, so a wedged call never blocks process exit.
 
 from __future__ import annotations
 
+import contextvars
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.engine.telemetry import default_clock
 from repro.modules.errors import ModuleTimeoutError
 from repro.modules.model import Module, ModuleContext
 from repro.values import TypedValue
+
+#: The ambient request deadline, as an *absolute* time on the engine's
+#: monotonic clock.  Serving-layer requests arm it with
+#: :func:`deadline_scope`; the watchdog clamps every per-invocation
+#: budget to whatever remains.  A context variable (not a thread-local)
+#: so nested scopes restore correctly and the value is invisible to
+#: unrelated threads — the watchdog reads it on the *calling* thread,
+#: before the worker hop, so no cross-thread propagation is needed.
+_REQUEST_DEADLINE: "contextvars.ContextVar[float | None]" = contextvars.ContextVar(
+    "repro_request_deadline", default=None
+)
+
+
+@contextmanager
+def deadline_scope(seconds: "float | None", clock: Callable[[], float] = default_clock):
+    """Arm a request deadline for the duration of the ``with`` block.
+
+    Everything invoked inside the block through a watchdog-equipped
+    engine runs under ``min(watchdog budget, remaining deadline)``; once
+    the deadline is exhausted further invocations fail immediately with
+    :class:`~repro.modules.errors.ModuleTimeoutError` instead of
+    starting work the caller will never wait for.  Nested scopes take
+    the *tighter* of the two deadlines.  ``seconds=None`` is a no-op, so
+    call sites can pass an optional deadline through unconditionally.
+    """
+    if seconds is None:
+        yield
+        return
+    requested = clock() + seconds
+    current = _REQUEST_DEADLINE.get()
+    token = _REQUEST_DEADLINE.set(
+        requested if current is None else min(current, requested)
+    )
+    try:
+        yield
+    finally:
+        _REQUEST_DEADLINE.reset(token)
+
+
+def remaining_deadline(clock: Callable[[], float] = default_clock) -> "float | None":
+    """Seconds left in the ambient request deadline, or ``None`` when no
+    scope is armed.  May be negative once the deadline has passed."""
+    deadline = _REQUEST_DEADLINE.get()
+    if deadline is None:
+        return None
+    return deadline - clock()
 
 
 @dataclass(frozen=True)
@@ -62,11 +111,15 @@ class WatchdogStats:
         abandoned_in_flight: Abandoned worker threads still running.
         abandoned_completed: Abandoned calls that eventually finished
             (their late result is discarded).
+        deadline_preempted: Calls refused before they started because the
+            ambient request deadline (:func:`deadline_scope`) was already
+            exhausted — no worker thread was ever spawned.
     """
 
     timeouts: int = 0
     abandoned_in_flight: int = 0
     abandoned_completed: int = 0
+    deadline_preempted: int = 0
 
 
 class WatchdogInvoker:
@@ -105,10 +158,26 @@ class WatchdogInvoker:
 
         Raises:
             ModuleTimeoutError: The budget elapsed; the call was
-                abandoned on its worker thread.
+                abandoned on its worker thread.  Also raised *before*
+                any work starts when an ambient request deadline
+                (:func:`deadline_scope`) is already exhausted.
             ModuleInvocationError: Whatever the wrapped invoker raised
                 within the budget.
         """
+        budget = self.policy.budget
+        remaining = remaining_deadline()
+        if remaining is not None:
+            if remaining <= 0:
+                with self._lock:
+                    self.stats.deadline_preempted += 1
+                if self._on_timeout is not None:
+                    self._on_timeout(module, 0.0)
+                raise ModuleTimeoutError(
+                    f"{module.module_id}: request deadline exhausted "
+                    f"before invocation started",
+                    budget=0.0,
+                )
+            budget = min(budget, remaining)
         outcome: dict = {}
         done = threading.Event()
         abandoned = threading.Event()
@@ -137,7 +206,7 @@ class WatchdogInvoker:
             target=run, name=f"watchdog-{module.module_id}", daemon=True
         )
         worker.start()
-        if not done.wait(self.policy.budget):
+        if not done.wait(budget):
             # The order matters: mark abandoned first, then re-check done
             # — a worker finishing in the gap must not leak an in-flight
             # count it will never decrement.
@@ -149,11 +218,11 @@ class WatchdogInvoker:
                     self.stats.timeouts += 1
                     self.stats.abandoned_in_flight += 1
                 if self._on_timeout is not None:
-                    self._on_timeout(module, self.policy.budget)
+                    self._on_timeout(module, budget)
                 raise ModuleTimeoutError(
                     f"{module.module_id}: no answer within "
-                    f"{self.policy.budget:.3f}s (call abandoned)",
-                    budget=self.policy.budget,
+                    f"{budget:.3f}s (call abandoned)",
+                    budget=budget,
                 )
             abandoned.clear()
         if tracer is not None:
@@ -170,4 +239,5 @@ class WatchdogInvoker:
                 "timeouts": self.stats.timeouts,
                 "abandoned_in_flight": self.stats.abandoned_in_flight,
                 "abandoned_completed": self.stats.abandoned_completed,
+                "deadline_preempted": self.stats.deadline_preempted,
             }

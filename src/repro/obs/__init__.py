@@ -36,6 +36,8 @@ from repro.obs.drift import (
 from repro.obs.metrics import (
     MetricsExporter,
     MetricsServer,
+    ServeError,
+    bind_threading_server,
     escape_label_value,
     render_prometheus,
 )
@@ -57,7 +59,13 @@ from repro.obs.timeseries import (
     render_timeline,
     sample_rates,
 )
-from repro.obs.tracing import LAYERS, Span, Tracer, TracingInvoker
+from repro.obs.tracing import (
+    LAYERS,
+    Span,
+    Tracer,
+    TracingInvoker,
+    ambient_span_attributes,
+)
 
 __all__ = [
     "LAYERS",
@@ -66,6 +74,9 @@ __all__ = [
     "TracingInvoker",
     "MetricsExporter",
     "MetricsServer",
+    "ServeError",
+    "bind_threading_server",
+    "ambient_span_attributes",
     "escape_label_value",
     "render_prometheus",
     "FlightRecorder",

@@ -125,6 +125,23 @@ def render_dashboard(
                     f"             ! {provider:<16} availability "
                     f"{entry['availability']:.0%} over {entry['calls']} calls"
                 )
+    http = (last or {}).get("http")
+    if http:
+        classes = http.get("status_classes", {})
+        lines.append(
+            f"  http       inflight {http.get('inflight', 0)}"
+            f"/{http.get('max_inflight', 0)}  "
+            f"queue {http.get('queue_depth', 0)}/{http.get('max_queue', 0)}  "
+            f"shed {http.get('shed_total', 0)}  "
+            f"rate-limited {http.get('rate_limited_total', 0)}"
+        )
+        latency = http.get("latency") or {}
+        lines.append(
+            f"             {http.get('requests_total', 0)} requests "
+            f"({classes.get('2xx', 0)} 2xx, {classes.get('4xx', 0)} 4xx, "
+            f"{classes.get('5xx', 0)} 5xx), "
+            f"p95 {latency.get('p95_ms', 0.0):g}ms"
+        )
     states = alert_states(alert_events)
     firing = [states[key] for key in sorted(states) if states[key]["state"] == FIRING]
     lines.append(

@@ -51,6 +51,50 @@ BREAKER_STATE_CODES = {"closed": 0, "open": 1, "half-open": 2}
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+class ServeError(RuntimeError):
+    """An HTTP server could not be brought up (or fell over) in a way
+    the operator must act on — most commonly the requested port is
+    already bound by another process.  Raised instead of letting a bare
+    ``OSError`` traceback escape, with the host/port in the message."""
+
+
+def bind_threading_server(
+    handler, host: str, port: int, what: str, backlog: int = 1024
+):
+    """Bind a :class:`ThreadingHTTPServer`, translating bind failures.
+
+    Args:
+        handler: The ``BaseHTTPRequestHandler`` subclass to serve.
+        host: Bind address.
+        port: TCP port (0 picks a free ephemeral port).
+        what: Human label for the server, used in error messages.
+        backlog: Listen backlog.  The socketserver default (5) drops
+            connections under a concurrent connect wavefront; a server
+            meant to shed load *explicitly* (429) must first accept the
+            connection.
+
+    Raises:
+        ServeError: The address is already in use or not bindable —
+            the message names the server, host and port so the operator
+            can find the squatter or pick another port.
+    """
+    import errno
+
+    class _Server(ThreadingHTTPServer):
+        request_queue_size = backlog
+
+    try:
+        return _Server((host, port), handler)
+    except OSError as error:
+        if error.errno in (errno.EADDRINUSE, errno.EACCES, errno.EADDRNOTAVAIL):
+            raise ServeError(
+                f"{what}: cannot bind {host}:{port} — "
+                f"{error.strerror or error} "
+                f"(is another process already listening on port {port}?)"
+            ) from error
+        raise
+
+
 def escape_label_value(value: str) -> str:
     r"""Escape a label value per the text exposition format.
 
@@ -289,6 +333,58 @@ def render_prometheus(stats: dict, namespace: str = "repro") -> str:
             tracing.get("late_spans", 0),
         )
 
+    http = stats.get("http")
+    if http is not None:
+        metric = out.declare(
+            "http_requests_total", "counter",
+            "HTTP requests served, by endpoint, method and status.",
+        )
+        for entry in http.get("requests", []):
+            out.sample(
+                metric,
+                entry["count"],
+                {
+                    "endpoint": entry["endpoint"],
+                    "method": entry["method"],
+                    "status": str(entry["status"]),
+                },
+            )
+        latency = http.get("latency")
+        if latency is not None:
+            metric = out.declare(
+                "http_request_latency_ms", "histogram",
+                "Wall-clock HTTP request latency, milliseconds.",
+            )
+            for bound, cumulative in latency.get("cumulative_buckets", []):
+                out.sample(f"{metric}_bucket", cumulative, {"le": str(bound)})
+            out.sample(f"{metric}_sum", latency.get("sum_ms", 0.0))
+            out.sample(f"{metric}_count", latency.get("count", 0))
+        for name, kind, help_text, key in (
+            ("http_inflight", "gauge",
+             "Requests currently executing past admission.", "inflight"),
+            ("http_inflight_limit", "gauge",
+             "Admission-control concurrency limit.", "max_inflight"),
+            ("http_queue_depth", "gauge",
+             "Requests waiting in the admission queue.", "queue_depth"),
+            ("http_queue_limit", "gauge",
+             "Admission queue capacity.", "max_queue"),
+            ("http_admitted_total", "counter",
+             "Requests admitted past the admission controller.",
+             "admitted_total"),
+            ("http_shed_total", "counter",
+             "Requests shed with 429 by admission control.", "shed_total"),
+            ("http_deadline_exceeded_total", "counter",
+             "Requests that exhausted their deadline (504).",
+             "deadline_exceeded_total"),
+        ):
+            out.sample(out.declare(name, kind, help_text), http.get(key, 0))
+        metric = out.declare(
+            "http_rate_limited_total", "counter",
+            "Requests rejected by per-tenant rate limits, by tenant.",
+        )
+        for tenant, entry in sorted(http.get("tenants", {}).items()):
+            out.sample(metric, entry.get("limited", 0), {"tenant": tenant})
+
     slo = stats.get("slo")
     if slo is not None:
         burn_metric = out.declare(
@@ -397,7 +493,7 @@ class MetricsServer:
             def log_message(self, *args) -> None:  # quiet by default
                 pass
 
-        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd = bind_threading_server(Handler, host, port, "metrics server")
         self._thread: "threading.Thread | None" = None
 
     @property

@@ -59,8 +59,10 @@ Packed form, position by position (see :func:`_unpack`)::
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from collections import deque
+from contextlib import contextmanager
 from typing import Callable
 
 from repro.engine.telemetry import default_clock
@@ -75,6 +77,35 @@ LAYERS: tuple[str, ...] = (
     "faults",
     "direct",
 )
+
+#: Ambient correlation attributes merged into every root span opened
+#: while the scope is active.  The serving layer uses this to stamp its
+#: per-request trace id onto the engine invocations a request triggers,
+#: so an access-log line joins against the span trees it caused.
+_AMBIENT_ATTRIBUTES: "contextvars.ContextVar[tuple[tuple[str, object], ...]]" = (
+    contextvars.ContextVar("repro_ambient_span_attributes", default=())
+)
+
+
+@contextmanager
+def ambient_span_attributes(**attributes):
+    """Attach correlation attributes to all root spans opened in scope.
+
+    Attributes are merged into the root span's attribute dict at
+    :meth:`Tracer.open_root` time without clobbering engine-set keys;
+    scopes nest (inner scopes add to, and may shadow, outer ones).  A
+    context variable keeps the scope invisible to unrelated threads —
+    exactly what a concurrent HTTP server needs, where many requests
+    drive one shared engine at once.  Cost when unused: one context-var
+    read per traced invocation, nothing at all on untraced engines.
+    """
+    token = _AMBIENT_ATTRIBUTES.set(
+        _AMBIENT_ATTRIBUTES.get() + tuple(attributes.items())
+    )
+    try:
+        yield
+    finally:
+        _AMBIENT_ATTRIBUTES.reset(token)
 
 
 class Span:
@@ -316,6 +347,8 @@ class Tracer:
         pending = getattr(local, "pending", None)
         if pending is None:
             pending = local.pending = []
+        for key, value in _AMBIENT_ATTRIBUTES.get():
+            attributes.setdefault(key, value)
         local.root_attrs = attributes
         return len(pending), (self._clock() - self._origin) * 1000.0
 

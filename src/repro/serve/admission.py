@@ -1,0 +1,166 @@
+"""Admission control: a bounded queue with explicit backpressure.
+
+A threaded HTTP server accepts one thread per connection, so without a
+gate the number of in-flight generation/matching requests is bounded
+only by the OS — exactly the unbounded queueing that melts a service
+under a traffic spike.  The :class:`AdmissionController` is that gate:
+
+* at most ``max_inflight`` requests execute concurrently;
+* at most ``max_queue`` more may *wait* (each for at most
+  ``queue_timeout`` seconds, clamped to the request's own deadline);
+* everything beyond that is **shed immediately** with
+  :class:`SaturatedError`, which the serving layer turns into
+  ``429 Too Many Requests`` + a ``Retry-After`` hint.
+
+Shedding early is the point: a saturated service that answers "come
+back in a second" in microseconds stays alive and keeps its latency
+promises for the requests it *does* admit, while one that queues
+without bound answers nobody.  The controller is a plain
+condition-variable construction (stdlib only, no asyncio) and exposes a
+snapshot — inflight, queue depth, peaks, admitted/shed totals — that
+the metrics exposition and the dashboard render.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.engine.telemetry import default_clock
+
+
+class SaturatedError(Exception):
+    """The service is at capacity and this request was shed.
+
+    Attributes:
+        retry_after_s: The backoff hint handed to the client in the
+            ``Retry-After`` header, in seconds.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded waiting, everything else shed.
+
+    Args:
+        max_inflight: Requests allowed to execute concurrently.
+        max_queue: Requests allowed to wait for an execution slot.
+        queue_timeout: Longest a queued request waits before being shed,
+            seconds.  A request with a tighter deadline waits only as
+            long as its deadline allows.
+        retry_after: Base ``Retry-After`` hint for shed requests,
+            seconds; scaled by how deep the queue was at shed time so
+            clients back off harder the more saturated the service is.
+        clock: Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        queue_timeout: float = 1.0,
+        retry_after: float = 1.0,
+        clock: Callable[[], float] = default_clock,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must not be negative")
+        if queue_timeout <= 0:
+            raise ValueError("queue_timeout must be positive")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self.retry_after = retry_after
+        self._clock = clock
+        self._condition = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        # Cumulative accounting, guarded by the same condition lock.
+        self._admitted = 0
+        self._shed = 0
+        self._peak_inflight = 0
+        self._peak_queue = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, max_wait: "float | None" = None) -> None:
+        """Take an execution slot, waiting in the bounded queue if needed.
+
+        Args:
+            max_wait: Cap on the queue wait, seconds.  The effective
+                wait is ``min(queue_timeout, max_wait)`` — a request
+                whose deadline is nearly spent must not out-wait it.
+
+        Raises:
+            SaturatedError: The queue was full, or the wait timed out.
+        """
+        wait = self.queue_timeout if max_wait is None else min(
+            self.queue_timeout, max_wait
+        )
+        with self._condition:
+            if self._inflight < self.max_inflight:
+                self._admit_locked()
+                return
+            if self._queued >= self.max_queue or wait <= 0:
+                self._shed += 1
+                raise SaturatedError(
+                    f"saturated: {self._inflight} in flight, "
+                    f"{self._queued}/{self.max_queue} queued",
+                    retry_after_s=self._retry_after_locked(),
+                )
+            self._queued += 1
+            self._peak_queue = max(self._peak_queue, self._queued)
+            deadline = self._clock() + wait
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or not self._condition.wait(remaining):
+                        if self._inflight < self.max_inflight:
+                            break  # woken at the last instant: admit
+                        self._shed += 1
+                        raise SaturatedError(
+                            f"queue wait exceeded {wait:.3f}s",
+                            retry_after_s=self._retry_after_locked(),
+                        )
+            finally:
+                self._queued -= 1
+            self._admit_locked()
+
+    def release(self) -> None:
+        """Return an execution slot and wake one queued waiter."""
+        with self._condition:
+            self._inflight -= 1
+            self._condition.notify()
+
+    def _admit_locked(self) -> None:
+        self._inflight += 1
+        self._admitted += 1
+        self._peak_inflight = max(self._peak_inflight, self._inflight)
+
+    def _retry_after_locked(self) -> float:
+        # The deeper the queue, the longer the hint: a client told to
+        # come back sooner than the backlog can drain will only be shed
+        # again.
+        if self.max_queue <= 0:
+            return self.retry_after
+        return self.retry_after * (1.0 + self._queued / self.max_queue)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-compatible admission accounting."""
+        with self._condition:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "queue_depth": self._queued,
+                "max_queue": self.max_queue,
+                "admitted_total": self._admitted,
+                "shed_total": self._shed,
+                "peak_inflight": self._peak_inflight,
+                "peak_queue_depth": self._peak_queue,
+            }

@@ -1,0 +1,518 @@
+"""The annotation-as-a-service HTTP layer.
+
+:class:`AnnotationServer` extends the stdlib ``ThreadingHTTPServer``
+pattern of :class:`repro.obs.metrics.MetricsServer` into a full
+concurrent service.  Every connection gets a handler thread; every
+*work* request (anything under ``/v1/``) then passes three gates before
+it touches the engine:
+
+1. **Rate limiting** — a per-tenant token bucket keyed on the
+   ``X-Api-Key`` header.  Over-budget tenants get ``429`` with
+   ``{"reason": "rate-limited"}`` and a ``Retry-After`` header; other
+   tenants are unaffected.
+2. **Admission control** — a bounded inflight + queue gate.  A
+   saturated service sheds with ``429`` / ``{"reason": "saturated"}``
+   instead of queueing without bound.
+3. **Deadline propagation** — an ``X-Deadline-Ms`` header (or the
+   configured default) is armed as an ambient
+   :func:`repro.engine.deadline_scope`; the engine's watchdog clamps
+   every invocation budget to whatever remains, and an exhausted
+   deadline surfaces as ``504``.
+
+``/healthz``, ``/metrics`` and ``/metrics.json`` bypass all three gates
+— a saturated server must stay observable.  Each request gets a trace
+id that is returned in ``X-Trace-Id``, written to the structured access
+log, and attached ambiently to every engine span opened on its behalf
+(:func:`repro.obs.ambient_span_attributes`), so a slow request joins
+its span tree in the journal.
+
+Routes::
+
+    GET  /healthz                    liveness + registration count
+    GET  /metrics                    Prometheus exposition (engine + http + slo)
+    GET  /metrics.json               the merged stats snapshot as JSON
+    POST /v1/modules                 register a catalog module   {"module_id": ...}
+    GET  /v1/modules                 registered module ids
+    POST /v1/generate                §3 example generation        {"module_id": ...}
+    POST /v1/match                   §6 behavior comparison       {"module_id": ...}
+    GET  /v1/campaigns/{id}          journaled campaign progress
+    GET  /v1/campaigns/{id}/alerts   journaled alert history
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler
+from urllib.parse import urlsplit
+
+from repro.campaign.journal import (
+    CampaignJournal,
+    UnknownCampaignError,
+    campaign_progress,
+)
+from repro.engine import deadline_scope, remaining_deadline
+from repro.engine.telemetry import default_clock
+from repro.modules.errors import ModuleTimeoutError, ModuleUnavailableError
+from repro.obs import ambient_span_attributes
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    ServeError,
+    bind_threading_server,
+    render_prometheus,
+)
+from repro.serve.admission import AdmissionController, SaturatedError
+from repro.serve.httpmetrics import HttpMetrics, normalize_endpoint
+from repro.serve.ratelimit import ANONYMOUS_TENANT, TenantRateLimiter
+from repro.serve.sampling import DEFAULT_CAMPAIGN_ID, ServeSampler
+from repro.serve.service import (
+    AnnotationService,
+    UnknownModuleError,
+    UnregisteredModuleError,
+)
+
+#: Requests recorded in the in-memory access-log ring.
+ACCESS_LOG_CAPACITY = 1024
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of one :class:`AnnotationServer`.
+
+    Attributes:
+        host / port: Bind address (port 0 picks a free ephemeral port).
+        max_inflight / max_queue / queue_timeout / retry_after:
+            Admission control (:class:`~repro.serve.admission.AdmissionController`).
+        rate / burst: Per-tenant token-bucket budget; ``rate=None``
+            disables rate limiting.
+        default_deadline_s: Deadline applied when the client sends no
+            ``X-Deadline-Ms`` header (``None`` = no default deadline;
+            the watchdog budget still bounds each invocation).
+        journal_db: Path of a campaign journal.  Enables the
+            ``/v1/campaigns/*`` endpoints and, together with
+            ``sample_interval``, journals HTTP samples + SLO alerts
+            under ``campaign_id`` so ``repro-cli top`` / ``alerts``
+            cover the server.
+        campaign_id: Synthetic campaign id for journaled HTTP samples.
+        sample_interval: Seconds between background SLO samples
+            (0 disables the background thread; sampling can still be
+            driven manually via ``server.sampler.sample()``).
+        log_stream: Stream for structured JSON access-log lines
+            (``None`` keeps the log in-memory only).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 8
+    max_queue: int = 32
+    queue_timeout: float = 1.0
+    retry_after: float = 0.25
+    rate: "float | None" = 50.0
+    burst: float = 100.0
+    default_deadline_s: "float | None" = None
+    journal_db: "str | None" = None
+    campaign_id: str = DEFAULT_CAMPAIGN_ID
+    sample_interval: float = 0.0
+    log_stream: "object | None" = None
+
+
+class _ClientError(Exception):
+    """A request the client got wrong, carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class AnnotationServer:
+    """Concurrent HTTP service over an :class:`AnnotationService`.
+
+    Args:
+        service: The annotation service to expose (built from
+            ``config``-independent defaults when omitted).
+        config: The serving knobs.
+        clock: Monotonic clock, injectable for tests.
+
+    Usage::
+
+        with AnnotationServer(service) as server:
+            print(f"listening on http://{server.host}:{server.port}")
+            ...
+
+    Raises:
+        ServeError: The configured port is already bound.
+    """
+
+    def __init__(
+        self,
+        service: "AnnotationService | None" = None,
+        config: "ServeConfig | None" = None,
+        clock=default_clock,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.service = service if service is not None else AnnotationService()
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            queue_timeout=self.config.queue_timeout,
+            retry_after=self.config.retry_after,
+            clock=clock,
+        )
+        self.limiter = TenantRateLimiter(
+            rate=self.config.rate, burst=self.config.burst, clock=clock
+        )
+        self.metrics = HttpMetrics()
+        self._clock = clock
+        self._trace_lock = threading.Lock()
+        self._trace_seq = 0
+        self.access_log: "deque[dict]" = deque(maxlen=ACCESS_LOG_CAPACITY)
+        self.journal: "CampaignJournal | None" = None
+        if self.config.journal_db is not None:
+            self.journal = CampaignJournal(self.config.journal_db)
+        self.sampler = ServeSampler(
+            self.http_snapshot,
+            journal=self.journal,
+            campaign_id=self.config.campaign_id,
+            seed=self.service.seed,
+        )
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Keep-alive matters here: the load harness reuses one
+            # connection per simulated client, and HTTP/1.1 + explicit
+            # Content-Length on every response is what makes that safe.
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                server._handle(self, "GET")
+
+            def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+                server._handle(self, "POST")
+
+            def log_message(self, *args) -> None:
+                pass  # the structured access log replaces stdlib logging
+
+        self._httpd = bind_threading_server(
+            Handler, self.config.host, self.config.port, "annotation server"
+        )
+        self._httpd.daemon_threads = True
+        self._thread: "threading.Thread | None" = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "AnnotationServer":
+        """Serve on a daemon thread; start background sampling if
+        configured (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-annotation-server",
+                daemon=True,
+            )
+            self._thread.start()
+            if self.config.sample_interval > 0:
+                self.sampler.start(self.config.sample_interval)
+        return self
+
+    def stop(self) -> None:
+        """Stop serving, sampling, and close the journal."""
+        self.sampler.stop()
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+
+    def __enter__(self) -> "AnnotationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def http_snapshot(self) -> dict:
+        """Merged HTTP accounting: request metrics + admission +
+        per-tenant rate-limit buckets.  This is the ``http`` section of
+        the stats snapshot and the sampler's raw material."""
+        snapshot = self.metrics.snapshot()
+        snapshot.update(self.admission.snapshot())
+        snapshot["tenants"] = self.limiter.snapshot()
+        return snapshot
+
+    def stats(self) -> dict:
+        """Engine stats merged with the ``http`` and ``slo`` sections."""
+        stats = self.service.stats()
+        stats["http"] = self.http_snapshot()
+        stats["slo"] = self.sampler.evaluator.snapshot()
+        return stats
+
+    def to_prometheus(self) -> str:
+        return render_prometheus(self.stats())
+
+    def to_json(self) -> str:
+        return json.dumps(self.stats(), indent=2, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    def _next_trace_id(self) -> str:
+        with self._trace_lock:
+            self._trace_seq += 1
+            return f"req-{self._trace_seq:06d}"
+
+    def _handle(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        started = self._clock()
+        path = urlsplit(handler.path).path
+        tenant = handler.headers.get("X-Api-Key") or ANONYMOUS_TENANT
+        trace_id = self._next_trace_id()
+        headers: "dict[str, str]" = {}
+        try:
+            body = self._read_body(handler)
+            if path == "/healthz":
+                status, payload = 200, {
+                    "status": "ok",
+                    "registered_modules": len(self.service.modules()),
+                }
+            elif path in ("/metrics", "/"):
+                status, payload = 200, self.to_prometheus()
+            elif path == "/metrics.json":
+                status, payload = 200, self.stats()
+            elif path.startswith("/v1/"):
+                status, payload = self._governed(
+                    method, path, body, handler.headers, tenant, trace_id, headers
+                )
+            else:
+                raise _ClientError(404, f"no route {path!r}")
+        except _ClientError as error:
+            status, payload = error.status, {"error": str(error)}
+        except SaturatedError as error:
+            self.metrics.record_shed()
+            headers["Retry-After"] = str(math.ceil(error.retry_after_s))
+            status, payload = 429, {
+                "error": str(error),
+                "reason": "saturated",
+                "retry_after_s": round(error.retry_after_s, 3),
+            }
+        except ModuleTimeoutError as error:
+            self.metrics.record_deadline_exceeded()
+            status, payload = 504, {"error": str(error), "reason": "deadline"}
+        except ModuleUnavailableError as error:
+            status, payload = 503, {"error": str(error), "reason": "unavailable"}
+        except Exception as error:  # noqa: BLE001 - the 500 boundary
+            status, payload = 500, {
+                "error": f"{type(error).__name__}: {error}"
+            }
+        elapsed_ms = (self._clock() - started) * 1000.0
+        endpoint = normalize_endpoint(path)
+        self.metrics.observe(endpoint, method, status, elapsed_ms)
+        self._log_access(trace_id, tenant, method, path, status, elapsed_ms)
+        self._respond(handler, status, payload, trace_id, headers)
+
+    # ------------------------------------------------------------------
+    def _governed(
+        self,
+        method: str,
+        path: str,
+        body: "dict | None",
+        request_headers,
+        tenant: str,
+        trace_id: str,
+        headers: "dict[str, str]",
+    ) -> "tuple[int, dict]":
+        """The gated work path: rate limit, admission, deadline, dispatch."""
+        allowed, retry_after = self.limiter.check(tenant)
+        if not allowed:
+            self.metrics.record_rate_limited(tenant)
+            headers["Retry-After"] = str(math.ceil(retry_after))
+            return 429, {
+                "error": f"tenant {tenant!r} over its request budget",
+                "reason": "rate-limited",
+                "retry_after_s": round(retry_after, 3),
+            }
+        deadline_s = self._deadline_seconds(request_headers)
+        self.admission.acquire(max_wait=deadline_s)
+        try:
+            with deadline_scope(deadline_s), ambient_span_attributes(
+                http_trace_id=trace_id, http_tenant=tenant
+            ):
+                result = self._dispatch(method, path, body)
+                # The engine degrades gracefully on a spent deadline
+                # (clipped invocations become quarantined combinations,
+                # not exceptions), so the transport must check for
+                # itself: a client whose deadline has passed has given
+                # up — a late 200 with clipped results would be
+                # indistinguishable from a good answer.
+                remaining = remaining_deadline()
+                if remaining is not None and remaining <= 0:
+                    raise ModuleTimeoutError(
+                        "request deadline exceeded while handling "
+                        f"{method} {path}",
+                        budget=deadline_s or 0.0,
+                    )
+                return result
+        finally:
+            self.admission.release()
+
+    def _deadline_seconds(self, request_headers) -> "float | None":
+        deadline_ms = request_headers.get("X-Deadline-Ms")
+        if deadline_ms is None:
+            return self.config.default_deadline_s
+        try:
+            value = float(deadline_ms)
+        except ValueError:
+            raise _ClientError(
+                400, f"X-Deadline-Ms must be a number, got {deadline_ms!r}"
+            ) from None
+        if value <= 0:
+            raise _ClientError(400, "X-Deadline-Ms must be positive")
+        return value / 1000.0
+
+    def _dispatch(
+        self, method: str, path: str, body: "dict | None"
+    ) -> "tuple[int, dict]":
+        if path == "/v1/modules":
+            if method == "POST":
+                result = self._translate(
+                    lambda: self.service.register(self._module_id(body))
+                )
+                return (201 if result["registered"] else 200), result
+            if method == "GET":
+                return 200, {"modules": self.service.modules()}
+            raise _ClientError(405, f"{method} not allowed on {path}")
+        if path == "/v1/generate":
+            if method != "POST":
+                raise _ClientError(405, f"{method} not allowed on {path}")
+            return 200, self._translate(
+                lambda: self.service.generate(self._module_id(body))
+            )
+        if path == "/v1/match":
+            if method != "POST":
+                raise _ClientError(405, f"{method} not allowed on {path}")
+            return 200, self._translate(
+                lambda: self.service.match(self._module_id(body))
+            )
+        if path.startswith("/v1/campaigns/"):
+            if method != "GET":
+                raise _ClientError(405, f"{method} not allowed on {path}")
+            return self._campaign(path)
+        raise _ClientError(404, f"no route {path!r}")
+
+    def _translate(self, call):
+        try:
+            return call()
+        except UnknownModuleError as error:
+            raise _ClientError(404, str(error.args[0])) from None
+        except UnregisteredModuleError as error:
+            raise _ClientError(409, str(error.args[0])) from None
+
+    @staticmethod
+    def _module_id(body: "dict | None") -> str:
+        if not isinstance(body, dict) or not isinstance(
+            body.get("module_id"), str
+        ):
+            raise _ClientError(
+                400, 'request body must be {"module_id": "<id>"}'
+            )
+        return body["module_id"]
+
+    def _campaign(self, path: str) -> "tuple[int, dict]":
+        if self.journal is None:
+            raise _ClientError(
+                404, "no campaign journal configured (start with --db)"
+            )
+        parts = path.rstrip("/").split("/")
+        campaign_id = parts[3]
+        tail = parts[4:]
+        try:
+            meta = self.journal.meta(campaign_id)
+        except UnknownCampaignError:
+            raise _ClientError(
+                404, f"no campaign {campaign_id!r} in the journal"
+            ) from None
+        if not tail:
+            return 200, campaign_progress(self.journal, meta)
+        if tail == ["alerts"]:
+            return 200, {
+                "campaign_id": campaign_id,
+                "alerts": self.journal.alerts(campaign_id),
+            }
+        raise _ClientError(404, f"no route {path!r}")
+
+    # ------------------------------------------------------------------
+    def _read_body(self, handler: BaseHTTPRequestHandler) -> "dict | None":
+        length = int(handler.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        raw = handler.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _ClientError(400, f"request body is not JSON: {error}") from None
+
+    def _respond(
+        self,
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        payload,
+        trace_id: str,
+        headers: "dict[str, str]",
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            if isinstance(payload, dict) and "trace_id" not in payload:
+                payload = {**payload, "trace_id": trace_id}
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", content_type)
+            handler.send_header("Content-Length", str(len(body)))
+            handler.send_header("X-Trace-Id", trace_id)
+            for name, value in headers.items():
+                handler.send_header(name, value)
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client hung up; nothing to answer anymore
+
+    def _log_access(
+        self,
+        trace_id: str,
+        tenant: str,
+        method: str,
+        path: str,
+        status: int,
+        elapsed_ms: float,
+    ) -> None:
+        entry = {
+            "trace_id": trace_id,
+            "tenant": tenant,
+            "method": method,
+            "path": path,
+            "status": status,
+            "elapsed_ms": round(elapsed_ms, 3),
+        }
+        self.access_log.append(entry)
+        stream = self.config.log_stream
+        if stream is not None:
+            try:
+                stream.write(json.dumps(entry, sort_keys=True) + "\n")
+                stream.flush()
+            except ValueError:
+                pass  # stream already closed (shutdown race)
+
+
+__all__ = ["AnnotationServer", "ServeConfig", "ServeError"]

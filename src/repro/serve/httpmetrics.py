@@ -1,0 +1,120 @@
+"""Request-level accounting for the serving layer.
+
+One :class:`HttpMetrics` instance per server collects everything the
+``repro_http_*`` Prometheus series and the ``repro-cli top`` HTTP panel
+need: per-``(endpoint, method, status)`` request counts, an end-to-end
+latency histogram (reusing the engine's fixed-bound
+:class:`~repro.engine.telemetry.LatencyHistogram` so SLO evaluation
+works unchanged over HTTP samples), and the shed / rate-limited /
+deadline-exceeded counters that make saturation visible.
+
+Endpoint labels are *normalized* — ``/v1/campaigns/cmp-1234`` becomes
+``/v1/campaigns/{id}`` — so cardinality stays bounded no matter how many
+campaigns a journal holds.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.telemetry import LatencyHistogram
+
+
+def normalize_endpoint(path: str) -> str:
+    """Collapse path parameters so metric label cardinality stays fixed.
+
+    >>> normalize_endpoint("/v1/campaigns/cmp-0042")
+    '/v1/campaigns/{id}'
+    >>> normalize_endpoint("/v1/campaigns/cmp-0042/alerts")
+    '/v1/campaigns/{id}/alerts'
+    >>> normalize_endpoint("/v1/generate")
+    '/v1/generate'
+    """
+    parts = path.rstrip("/").split("/")
+    if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "campaigns":
+        tail = parts[4:]
+        return "/v1/campaigns/{id}" + ("/" + "/".join(tail) if tail else "")
+    return path if path == "/" else path.rstrip("/")
+
+
+class HttpMetrics:
+    """Thread-safe request accounting with bounded label cardinality."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: "dict[tuple[str, str, int], int]" = {}
+        self._latency = LatencyHistogram()
+        self._shed = 0
+        self._rate_limited = 0
+        self._rate_limited_by_tenant: "dict[str, int]" = {}
+        self._deadline_exceeded = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, endpoint: str, method: str, status: int, elapsed_ms: float) -> None:
+        """Record one finished request (endpoint already normalized)."""
+        with self._lock:
+            key = (endpoint, method, status)
+            self._requests[key] = self._requests.get(key, 0) + 1
+            self._latency.record(elapsed_ms)
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self._shed += 1
+
+    def record_rate_limited(self, tenant: str) -> None:
+        with self._lock:
+            self._rate_limited += 1
+            self._rate_limited_by_tenant[tenant] = (
+                self._rate_limited_by_tenant.get(tenant, 0) + 1
+            )
+
+    def record_deadline_exceeded(self) -> None:
+        with self._lock:
+            self._deadline_exceeded += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-compatible rollup, shaped for ``render_prometheus``'s
+        ``http`` section and the dashboard panel."""
+        with self._lock:
+            requests = [
+                {
+                    "endpoint": endpoint,
+                    "method": method,
+                    "status": status,
+                    "count": count,
+                }
+                for (endpoint, method, status), count in sorted(
+                    self._requests.items(),
+                    key=lambda item: (item[0][0], item[0][1], item[0][2]),
+                )
+            ]
+            classes = {"2xx": 0, "3xx": 0, "4xx": 0, "5xx": 0}
+            total = 0
+            for entry in requests:
+                total += entry["count"]
+                bucket = f"{entry['status'] // 100}xx"
+                if bucket in classes:
+                    classes[bucket] += entry["count"]
+            return {
+                "requests": requests,
+                "requests_total": total,
+                "status_classes": classes,
+                "latency": {
+                    "count": self._latency.count,
+                    "sum_ms": self._latency.sum_ms,
+                    "mean_ms": self._latency.mean_ms,
+                    "p50_ms": self._latency.quantile(0.5),
+                    "p95_ms": self._latency.quantile(0.95),
+                    "p99_ms": self._latency.quantile(0.99),
+                    "max_ms": self._latency.max_ms,
+                    "cumulative_buckets": [
+                        list(pair)
+                        for pair in self._latency.cumulative_buckets()
+                    ],
+                },
+                "shed_total": self._shed,
+                "rate_limited_total": self._rate_limited,
+                "rate_limited_by_tenant": dict(self._rate_limited_by_tenant),
+                "deadline_exceeded_total": self._deadline_exceeded,
+            }

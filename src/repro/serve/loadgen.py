@@ -1,0 +1,326 @@
+"""A stdlib load harness for the annotation service.
+
+Thousands of simulated clients, one thread + one keep-alive
+``http.client.HTTPConnection`` each, all released together through a
+:class:`threading.Barrier` so the server sees a genuine concurrent
+wavefront rather than a staggered trickle.  Each client draws requests
+from a seeded, weighted endpoint mix, so a run is reproducible
+request-for-request given the same profile.
+
+The report separates the three ways a request can "fail" under
+pressure, because they mean opposite things:
+
+* ``5xx`` — the server broke.  The acceptance bar is **zero**.
+* ``429 saturated`` — admission control shed load *by design*; during
+  a deliberate overload phase this is the success criterion.
+* ``429 rate-limited`` — a tenant exceeded its own budget; other
+  tenants must be unaffected.
+
+Latency percentiles are exact (computed from the full sorted sample
+list, not a histogram), since the harness holds every observation in
+memory anyway.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.engine.telemetry import default_clock
+
+#: The request mix a profile chooses from: logical name -> (method,
+#: path, needs_module).
+ENDPOINTS = {
+    "generate": ("POST", "/v1/generate"),
+    "match": ("POST", "/v1/match"),
+    "modules": ("GET", "/v1/modules"),
+    "healthz": ("GET", "/healthz"),
+}
+
+
+@dataclass
+class LoadProfile:
+    """One load scenario.
+
+    Attributes:
+        clients: Concurrent simulated clients (threads).
+        requests_per_client: Requests each client issues.
+        mix: Endpoint weights (keys from :data:`ENDPOINTS`).
+        module_ids: Modules the work requests draw from; registered
+            with the server before the wavefront starts.
+        tenants: Distinct ``X-Api-Key`` values, assigned round-robin
+            over clients (1 = everyone shares one tenant).
+        deadline_ms: Optional ``X-Deadline-Ms`` header per request.
+        seed: Base seed; client ``i`` uses ``seed + i``.
+        timeout: Socket timeout per request, seconds.
+    """
+
+    clients: int = 100
+    requests_per_client: int = 10
+    mix: "dict[str, float]" = field(
+        default_factory=lambda: {"generate": 0.6, "match": 0.2, "modules": 0.2}
+    )
+    module_ids: "tuple[str, ...]" = ()
+    tenants: int = 1
+    deadline_ms: "float | None" = None
+    seed: int = 2014
+    timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1 or self.requests_per_client < 1:
+            raise ValueError("clients and requests_per_client must be >= 1")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        unknown = set(self.mix) - set(ENDPOINTS)
+        if unknown:
+            raise ValueError(f"unknown endpoints in mix: {sorted(unknown)}")
+        if not self.mix or sum(self.mix.values()) <= 0:
+            raise ValueError("mix must have positive total weight")
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run."""
+
+    clients: int
+    total: int
+    by_status: "dict[int, int]"
+    shed: int
+    rate_limited: int
+    rate_limited_by_tenant: "dict[str, int]"
+    transport_errors: int
+    missing_retry_after: int
+    wall_s: float
+    latency_ms: "dict[str, float]"
+
+    @property
+    def n_5xx(self) -> int:
+        return sum(n for status, n in self.by_status.items() if status >= 500)
+
+    @property
+    def n_2xx(self) -> int:
+        return sum(
+            n for status, n in self.by_status.items() if 200 <= status < 300
+        )
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.total / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "total_requests": self.total,
+            "by_status": {str(k): v for k, v in sorted(self.by_status.items())},
+            "n_2xx": self.n_2xx,
+            "n_5xx": self.n_5xx,
+            "shed": self.shed,
+            "shed_rate": round(self.shed_rate, 4),
+            "rate_limited": self.rate_limited,
+            "rate_limited_by_tenant": dict(
+                sorted(self.rate_limited_by_tenant.items())
+            ),
+            "transport_errors": self.transport_errors,
+            "missing_retry_after": self.missing_retry_after,
+            "wall_s": round(self.wall_s, 3),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "latency_ms": {k: round(v, 3) for k, v in self.latency_ms.items()},
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen — {self.clients} clients, {self.total} requests "
+            f"in {self.wall_s:.2f}s ({self.throughput_rps:.0f} req/s)",
+            "  status     "
+            + "  ".join(
+                f"{status}:{count}" for status, count in sorted(self.by_status.items())
+            ),
+            f"  outcomes   {self.n_2xx} ok, {self.shed} shed "
+            f"({self.shed_rate:.1%}), {self.rate_limited} rate-limited, "
+            f"{self.n_5xx} server errors, {self.transport_errors} transport errors",
+            f"  latency    p50 {self.latency_ms['p50']:.1f}ms  "
+            f"p95 {self.latency_ms['p95']:.1f}ms  "
+            f"p99 {self.latency_ms['p99']:.1f}ms  "
+            f"max {self.latency_ms['max']:.1f}ms",
+        ]
+        return "\n".join(lines)
+
+
+def _percentile(ordered: "list[float]", q: float) -> float:
+    """Exact nearest-rank percentile over a pre-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = max(1, int(-(-q * len(ordered) // 1)))  # ceil without math
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class _Client(threading.Thread):
+    """One simulated client: keep-alive connection, seeded mix."""
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        profile: LoadProfile,
+        barrier: threading.Barrier,
+        clock,
+    ) -> None:
+        super().__init__(name=f"loadgen-{index}", daemon=True)
+        self.host = host
+        self.port = port
+        self.profile = profile
+        self.barrier = barrier
+        self.clock = clock
+        self.rng = random.Random(profile.seed + index)
+        self.tenant = f"tenant-{index % profile.tenants:03d}"
+        self.names = sorted(profile.mix)
+        self.weights = [profile.mix[name] for name in self.names]
+        self.latencies: "list[float]" = []
+        self.statuses: "dict[int, int]" = {}
+        self.shed = 0
+        self.rate_limited = 0
+        self.transport_errors = 0
+        self.missing_retry_after = 0
+
+    def _request(self, connection, name: str) -> None:
+        method, path = ENDPOINTS[name]
+        body = None
+        headers = {"X-Api-Key": self.tenant}
+        if self.profile.deadline_ms is not None:
+            headers["X-Deadline-Ms"] = str(self.profile.deadline_ms)
+        if method == "POST":
+            module_id = self.rng.choice(self.profile.module_ids)
+            body = json.dumps({"module_id": module_id})
+            headers["Content-Type"] = "application/json"
+        started = self.clock()
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        payload = response.read()
+        self.latencies.append((self.clock() - started) * 1000.0)
+        self.statuses[response.status] = self.statuses.get(response.status, 0) + 1
+        if response.status == 429:
+            if response.getheader("Retry-After") is None:
+                # The backpressure contract: a shed client must always
+                # be told when to come back.
+                self.missing_retry_after += 1
+            try:
+                reason = json.loads(payload).get("reason")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                reason = None
+            if reason == "rate-limited":
+                self.rate_limited += 1
+            else:
+                self.shed += 1
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.profile.timeout
+        )
+        self.barrier.wait()
+        try:
+            for _ in range(self.profile.requests_per_client):
+                name = self.rng.choices(self.names, weights=self.weights)[0]
+                try:
+                    self._request(connection, name)
+                except (OSError, http.client.HTTPException):
+                    self.transport_errors += 1
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.profile.timeout
+                    )
+        finally:
+            connection.close()
+
+
+def register_modules(host: str, port: int, module_ids, timeout: float = 30.0) -> None:
+    """Register every module with the server (idempotent)."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        for module_id in module_ids:
+            connection.request(
+                "POST",
+                "/v1/modules",
+                body=json.dumps({"module_id": module_id}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status not in (200, 201):
+                raise RuntimeError(
+                    f"registering {module_id!r} failed with "
+                    f"{response.status}: {payload[:200]!r}"
+                )
+    finally:
+        connection.close()
+
+
+def run_loadgen(
+    host: str, port: int, profile: LoadProfile, clock=default_clock
+) -> LoadReport:
+    """Drive one load scenario against a running server.
+
+    Modules in the profile are registered first (sequentially, outside
+    the measured window); then every client thread is released through
+    a barrier and the wall clock covers only the concurrent phase.
+    """
+    needs_modules = any(
+        ENDPOINTS[name][0] == "POST" and weight > 0
+        for name, weight in profile.mix.items()
+    )
+    if needs_modules and not profile.module_ids:
+        raise ValueError("profile mixes POST endpoints but lists no module_ids")
+    if profile.module_ids:
+        register_modules(host, port, profile.module_ids, timeout=profile.timeout)
+    barrier = threading.Barrier(profile.clients + 1)
+    clients = [
+        _Client(index, host, port, profile, barrier, clock)
+        for index in range(profile.clients)
+    ]
+    for client in clients:
+        client.start()
+    barrier.wait()  # release the wavefront
+    started = clock()
+    for client in clients:
+        client.join()
+    wall_s = clock() - started
+    latencies = sorted(
+        latency for client in clients for latency in client.latencies
+    )
+    by_status: "dict[int, int]" = {}
+    rate_limited_by_tenant: "dict[str, int]" = {}
+    for client in clients:
+        for status, count in client.statuses.items():
+            by_status[status] = by_status.get(status, 0) + count
+        if client.rate_limited:
+            rate_limited_by_tenant[client.tenant] = (
+                rate_limited_by_tenant.get(client.tenant, 0) + client.rate_limited
+            )
+    return LoadReport(
+        clients=profile.clients,
+        total=sum(by_status.values()),
+        by_status=by_status,
+        shed=sum(client.shed for client in clients),
+        rate_limited=sum(client.rate_limited for client in clients),
+        rate_limited_by_tenant=rate_limited_by_tenant,
+        transport_errors=sum(client.transport_errors for client in clients),
+        missing_retry_after=sum(
+            client.missing_retry_after for client in clients
+        ),
+        wall_s=wall_s,
+        latency_ms={
+            "mean": (sum(latencies) / len(latencies)) if latencies else 0.0,
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "p99": _percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+    )
+

@@ -1,0 +1,134 @@
+"""Per-tenant token-bucket rate limiting.
+
+Tenancy is deliberately lightweight: the tenant is whatever the client
+sends in the ``X-Api-Key`` header (``anonymous`` when absent).  Each
+tenant gets an independent token bucket, so one chatty client exhausts
+*its own* budget and starts seeing ``429 rate-limited`` responses while
+every other tenant is completely unaffected — the isolation property the
+concurrent stress test pins down.
+
+A token bucket is the classic shape: capacity ``burst`` tokens,
+refilled continuously at ``rate`` tokens/second.  A request costs one
+token; an empty bucket yields the time until the next token, which the
+server surfaces as ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.engine.telemetry import default_clock
+
+#: Tenant used when the client sends no ``X-Api-Key`` header.
+ANONYMOUS_TENANT = "anonymous"
+
+
+class TokenBucket:
+    """One tenant's budget: ``burst`` capacity, ``rate`` tokens/second.
+
+    Args:
+        rate: Sustained tokens per second.
+        burst: Bucket capacity (momentary burst allowance).
+        clock: Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = default_clock,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+        self.allowed = 0
+        self.limited = 0
+
+    def try_acquire(self) -> "tuple[bool, float]":
+        """Spend one token if available.
+
+        Returns:
+            ``(True, 0.0)`` when admitted; ``(False, retry_after_s)``
+            when the bucket is empty, with the wait until one token has
+            refilled.
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled_at) * self.rate
+            )
+            self._refilled_at = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.allowed += 1
+                return True, 0.0
+            self.limited += 1
+            return False, (1.0 - self._tokens) / self.rate
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "allowed": self.allowed,
+                "limited": self.limited,
+                "tokens": round(self._tokens, 3),
+                "rate": self.rate,
+                "burst": self.burst,
+            }
+
+
+class TenantRateLimiter:
+    """A lazily-populated registry of per-tenant token buckets.
+
+    Every previously-unseen tenant key gets a fresh bucket with the
+    default ``rate``/``burst``; named tenants can be given bespoke
+    budgets via :meth:`configure` (e.g. a bigger allowance for an
+    internal batch client).  ``rate=None`` disables limiting entirely —
+    useful for trusted single-tenant deployments and for the load
+    harness's capacity phase.
+    """
+
+    def __init__(
+        self,
+        rate: "float | None" = 50.0,
+        burst: float = 100.0,
+        clock: Callable[[], float] = default_clock,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: "dict[str, TokenBucket]" = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def configure(self, tenant: str, rate: float, burst: float) -> None:
+        """Give ``tenant`` a bespoke bucket, replacing any existing one."""
+        with self._lock:
+            self._buckets[tenant] = TokenBucket(rate, burst, clock=self._clock)
+
+    def check(self, tenant: str) -> "tuple[bool, float]":
+        """Charge ``tenant`` one token; see :meth:`TokenBucket.try_acquire`."""
+        if not self.enabled:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+        return bucket.try_acquire()
+
+    def snapshot(self) -> dict:
+        """``{tenant: bucket snapshot}`` for every tenant seen so far."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {tenant: bucket.snapshot() for tenant, bucket in buckets.items()}

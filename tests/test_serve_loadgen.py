@@ -1,0 +1,154 @@
+"""Tests of the load harness: profile validation, exact percentiles,
+and full runs against in-process servers — including the two 429
+flavors the report must keep apart (admission shed vs tenant
+rate-limited) and the Retry-After contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    AnnotationServer,
+    AnnotationService,
+    LoadProfile,
+    LoadReport,
+    ServeConfig,
+    run_loadgen,
+)
+from repro.serve.loadgen import _percentile
+
+MODULES = ("xf.uniprot_to_fasta", "xf.uniprot_to_xml")
+
+
+@pytest.fixture(scope="module")
+def service():
+    return AnnotationService(memoize=True)
+
+
+class TestLoadProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="clients"):
+            LoadProfile(clients=0)
+        with pytest.raises(ValueError, match="clients"):
+            LoadProfile(requests_per_client=0)
+        with pytest.raises(ValueError, match="tenants"):
+            LoadProfile(tenants=0)
+        with pytest.raises(ValueError, match="unknown endpoints"):
+            LoadProfile(mix={"teleport": 1.0})
+        with pytest.raises(ValueError, match="positive total weight"):
+            LoadProfile(mix={})
+        with pytest.raises(ValueError, match="positive total weight"):
+            LoadProfile(mix={"generate": 0.0})
+
+    def test_post_mix_requires_module_ids(self, service):
+        with AnnotationServer(service, ServeConfig(rate=None)) as server:
+            with pytest.raises(ValueError, match="module_ids"):
+                run_loadgen(
+                    server.host,
+                    server.port,
+                    LoadProfile(clients=1, requests_per_client=1),
+                )
+
+
+class TestPercentile:
+    def test_nearest_rank_is_exact(self):
+        ordered = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert _percentile(ordered, 0.50) == 5.0
+        assert _percentile(ordered, 0.95) == 10.0
+        assert _percentile(ordered, 0.99) == 10.0
+        assert _percentile([42.0], 0.5) == 42.0
+        assert _percentile([], 0.5) == 0.0
+
+
+class TestRunLoadgen:
+    def test_clean_run_accounts_every_request(self, service):
+        config = ServeConfig(max_inflight=16, max_queue=128, rate=None)
+        with AnnotationServer(service, config) as server:
+            profile = LoadProfile(
+                clients=8,
+                requests_per_client=4,
+                mix={"generate": 0.5, "modules": 0.3, "healthz": 0.2},
+                module_ids=MODULES,
+                tenants=2,
+                timeout=30.0,
+            )
+            report = run_loadgen(server.host, server.port, profile)
+        assert isinstance(report, LoadReport)
+        assert report.total == 8 * 4
+        assert report.n_5xx == 0
+        assert report.transport_errors == 0
+        assert report.shed == 0
+        assert report.rate_limited == 0
+        assert report.missing_retry_after == 0
+        assert report.n_2xx == report.total
+        assert report.throughput_rps > 0
+        latency = report.latency_ms
+        assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+        rendered = report.render()
+        assert "8 clients" in rendered
+        assert "p95" in rendered
+        as_dict = report.to_dict()
+        assert as_dict["total_requests"] == report.total
+        assert as_dict["by_status"]["200"] + as_dict["by_status"].get("201", 0) == 32
+
+    def test_same_profile_same_request_sequence(self, service):
+        """A seeded profile is reproducible request-for-request."""
+        config = ServeConfig(max_inflight=16, max_queue=128, rate=None)
+        profile = LoadProfile(
+            clients=4,
+            requests_per_client=6,
+            mix={"modules": 0.5, "healthz": 0.5},
+            tenants=2,
+        )
+        with AnnotationServer(service, config) as server:
+            first = run_loadgen(server.host, server.port, profile)
+            second = run_loadgen(server.host, server.port, profile)
+        assert first.by_status == second.by_status
+        assert first.total == second.total
+
+    def test_saturation_is_classified_as_shed(self):
+        # 8 simultaneous clients vs 1 slot, no queue, slow providers:
+        # most of the wavefront must be shed — and every shed answer
+        # must carry Retry-After.
+        service = AnnotationService(memoize=False, latency_ms=20.0)
+        config = ServeConfig(
+            max_inflight=1, max_queue=0, queue_timeout=0.01, rate=None
+        )
+        with AnnotationServer(service, config) as server:
+            profile = LoadProfile(
+                clients=8,
+                requests_per_client=2,
+                mix={"generate": 1.0},
+                module_ids=MODULES[:1],
+                timeout=30.0,
+            )
+            report = run_loadgen(server.host, server.port, profile)
+            snapshot = server.http_snapshot()
+        assert report.n_5xx == 0
+        assert report.shed > 0
+        assert report.rate_limited == 0
+        assert report.missing_retry_after == 0
+        assert snapshot["shed_total"] == report.shed
+        assert report.by_status[429] == report.shed
+
+    def test_rate_limiting_is_classified_per_tenant(self, service):
+        # A near-zero refill rate: each tenant gets its burst and then
+        # nothing but 429 "rate-limited" for the rest of the run.
+        config = ServeConfig(max_inflight=16, max_queue=128, rate=0.001, burst=2)
+        with AnnotationServer(service, config) as server:
+            profile = LoadProfile(
+                clients=4,
+                requests_per_client=4,
+                mix={"modules": 1.0},
+                tenants=2,
+                timeout=30.0,
+            )
+            report = run_loadgen(server.host, server.port, profile)
+        assert report.n_5xx == 0
+        assert report.shed == 0
+        assert report.rate_limited > 0
+        assert report.missing_retry_after == 0
+        assert set(report.rate_limited_by_tenant) <= {"tenant-000", "tenant-001"}
+        assert sum(report.rate_limited_by_tenant.values()) == report.rate_limited
+        # 2 tenants x burst 2 = 4 admitted, everything else limited.
+        assert report.rate_limited == report.total - 4

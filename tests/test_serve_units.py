@@ -1,0 +1,398 @@
+"""Unit tests of the serving layer's building blocks: admission
+control, per-tenant token buckets, HTTP request accounting, endpoint
+normalization, and the ambient request deadline (deadline_scope +
+watchdog clamp)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import WatchdogInvoker, WatchdogPolicy, deadline_scope, remaining_deadline
+from repro.modules.errors import ModuleTimeoutError
+from repro.serve import (
+    ANONYMOUS_TENANT,
+    AdmissionController,
+    HttpMetrics,
+    SaturatedError,
+    TenantRateLimiter,
+    TokenBucket,
+    normalize_endpoint,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def module(catalog_by_id):
+    return catalog_by_id["ret.get_uniprot_record"]
+
+
+@pytest.fixture
+def good_bindings(ctx, pool, module):
+    value = pool.get_instance(
+        module.inputs[0].concept, module.inputs[0].structural
+    )
+    assert value is not None
+    return {module.inputs[0].name: value}
+
+
+class BlockingInvoker:
+    """An invoker that blocks until released, then succeeds."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.calls = 0
+
+    def invoke(self, module, ctx, bindings):
+        self.calls += 1
+        self.release.wait(30.0)
+        return {}
+
+
+# ----------------------------------------------------------------------
+# AdmissionController
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def test_argument_validation(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(ValueError, match="queue_timeout"):
+            AdmissionController(queue_timeout=0.0)
+        with pytest.raises(ValueError, match="retry_after"):
+            AdmissionController(retry_after=0.0)
+
+    def test_admits_up_to_max_inflight(self):
+        controller = AdmissionController(max_inflight=3, max_queue=0)
+        for _ in range(3):
+            controller.acquire()
+        snap = controller.snapshot()
+        assert snap["inflight"] == 3
+        assert snap["admitted_total"] == 3
+        assert snap["shed_total"] == 0
+
+    def test_full_queue_sheds_immediately(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        controller.acquire()
+        started = time.monotonic()
+        with pytest.raises(SaturatedError) as excinfo:
+            controller.acquire()
+        # Shedding is the fast path: no queue slot means no waiting.
+        assert time.monotonic() - started < 0.5
+        assert excinfo.value.retry_after_s > 0
+        assert controller.snapshot()["shed_total"] == 1
+
+    def test_release_frees_a_slot(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        controller.acquire()
+        controller.release()
+        controller.acquire()  # does not raise
+        snap = controller.snapshot()
+        assert snap["inflight"] == 1
+        assert snap["admitted_total"] == 2
+
+    def test_queue_wait_timeout_sheds(self):
+        controller = AdmissionController(
+            max_inflight=1, max_queue=4, queue_timeout=0.05
+        )
+        controller.acquire()
+        with pytest.raises(SaturatedError, match="queue wait exceeded"):
+            controller.acquire()
+        snap = controller.snapshot()
+        assert snap["shed_total"] == 1
+        assert snap["queue_depth"] == 0  # the waiter left the queue
+
+    def test_zero_max_wait_sheds_without_queueing(self):
+        # A request whose deadline is already spent must not wait at all.
+        controller = AdmissionController(max_inflight=1, max_queue=8)
+        controller.acquire()
+        with pytest.raises(SaturatedError):
+            controller.acquire(max_wait=0.0)
+        assert controller.snapshot()["queue_depth"] == 0
+
+    def test_queued_waiter_admitted_on_release(self):
+        controller = AdmissionController(
+            max_inflight=1, max_queue=2, queue_timeout=5.0
+        )
+        controller.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            controller.acquire()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while controller.snapshot()["queue_depth"] < 1:
+            assert time.monotonic() < deadline, "waiter never queued"
+            time.sleep(0.005)
+        assert not admitted.is_set()
+        controller.release()
+        assert admitted.wait(5.0)
+        thread.join(5.0)
+        snap = controller.snapshot()
+        assert snap["admitted_total"] == 2
+        assert snap["shed_total"] == 0
+        assert snap["peak_queue_depth"] == 1
+
+    def test_retry_after_scales_with_queue_depth(self):
+        controller = AdmissionController(
+            max_inflight=1, max_queue=2, queue_timeout=5.0, retry_after=1.0
+        )
+        controller.acquire()
+        threads = [
+            threading.Thread(target=controller.acquire, daemon=True)
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5.0
+        while controller.snapshot()["queue_depth"] < 2:
+            assert time.monotonic() < deadline, "waiters never queued"
+            time.sleep(0.005)
+        # Queue full at depth 2/2: the hint doubles the base value.
+        with pytest.raises(SaturatedError) as excinfo:
+            controller.acquire()
+        assert excinfo.value.retry_after_s == pytest.approx(2.0)
+        controller.release()
+        controller.release()
+        for thread in threads:
+            thread.join(5.0)
+        snap = controller.snapshot()
+        assert snap["peak_queue_depth"] == 2
+        assert snap["peak_inflight"] == 1
+        assert snap["shed_total"] == 1
+        assert snap["admitted_total"] == 3
+
+
+# ----------------------------------------------------------------------
+# Token buckets / tenant isolation
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_argument_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0)
+
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True] * 3
+        allowed, retry_after = bucket.try_acquire()
+        assert not allowed
+        assert retry_after == pytest.approx(1.0)
+        snap = bucket.snapshot()
+        assert snap["allowed"] == 3
+        assert snap["limited"] == 1
+
+    def test_refill_restores_budget(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        assert bucket.try_acquire()[0]
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        allowed, retry_after = bucket.try_acquire()
+        assert allowed
+        assert retry_after == 0.0
+
+    def test_refill_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_acquire()[0]
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+
+class TestTenantRateLimiter:
+    def test_tenant_isolation(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(rate=1.0, burst=2, clock=clock)
+        assert limiter.check("alice")[0]
+        assert limiter.check("alice")[0]
+        allowed, retry_after = limiter.check("alice")
+        assert not allowed and retry_after > 0
+        # alice being broke costs bob nothing.
+        assert limiter.check("bob")[0]
+        snap = limiter.snapshot()
+        assert snap["alice"]["limited"] == 1
+        assert snap["bob"]["limited"] == 0
+
+    def test_rate_none_disables_limiting(self):
+        limiter = TenantRateLimiter(rate=None)
+        assert not limiter.enabled
+        for _ in range(1000):
+            assert limiter.check(ANONYMOUS_TENANT) == (True, 0.0)
+        assert limiter.snapshot() == {}
+
+    def test_configure_gives_bespoke_budget(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(rate=1.0, burst=1, clock=clock)
+        limiter.configure("batch", rate=100.0, burst=50)
+        for _ in range(50):
+            assert limiter.check("batch")[0]
+        assert not limiter.check("batch")[0]
+        snap = limiter.snapshot()
+        assert snap["batch"]["burst"] == 50.0
+        assert snap["batch"]["rate"] == 100.0
+
+
+# ----------------------------------------------------------------------
+# Endpoint normalization + request accounting
+# ----------------------------------------------------------------------
+class TestNormalizeEndpoint:
+    @pytest.mark.parametrize(
+        ("path", "expected"),
+        [
+            ("/healthz", "/healthz"),
+            ("/v1/generate", "/v1/generate"),
+            ("/v1/generate/", "/v1/generate"),
+            ("/v1/campaigns/nightly", "/v1/campaigns/{id}"),
+            ("/v1/campaigns/nightly/", "/v1/campaigns/{id}"),
+            ("/v1/campaigns/http-server/alerts", "/v1/campaigns/{id}/alerts"),
+            ("/", "/"),
+        ],
+    )
+    def test_normalize(self, path, expected):
+        assert normalize_endpoint(path) == expected
+
+
+class TestHttpMetrics:
+    def test_observe_and_snapshot(self):
+        metrics = HttpMetrics()
+        metrics.observe("/v1/generate", "POST", 200, 12.0)
+        metrics.observe("/v1/generate", "POST", 200, 8.0)
+        metrics.observe("/v1/generate", "POST", 404, 1.0)
+        metrics.observe("/healthz", "GET", 200, 0.5)
+        snap = metrics.snapshot()
+        assert snap["requests_total"] == 4
+        assert snap["status_classes"] == {"2xx": 3, "3xx": 0, "4xx": 1, "5xx": 0}
+        assert snap["requests"] == [
+            {"endpoint": "/healthz", "method": "GET", "status": 200, "count": 1},
+            {"endpoint": "/v1/generate", "method": "POST", "status": 200, "count": 2},
+            {"endpoint": "/v1/generate", "method": "POST", "status": 404, "count": 1},
+        ]
+        latency = snap["latency"]
+        assert latency["count"] == 4
+        assert latency["sum_ms"] == pytest.approx(21.5)
+        # Quantiles are histogram-bucket upper bounds: monotone in q,
+        # but possibly above the exact max.
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert latency["max_ms"] == pytest.approx(12.0)
+        buckets = latency["cumulative_buckets"]
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == 4
+
+    def test_pressure_counters(self):
+        metrics = HttpMetrics()
+        metrics.record_shed()
+        metrics.record_shed()
+        metrics.record_rate_limited("alice")
+        metrics.record_rate_limited("alice")
+        metrics.record_rate_limited("bob")
+        metrics.record_deadline_exceeded()
+        snap = metrics.snapshot()
+        assert snap["shed_total"] == 2
+        assert snap["rate_limited_total"] == 3
+        assert snap["rate_limited_by_tenant"] == {"alice": 2, "bob": 1}
+        assert snap["deadline_exceeded_total"] == 1
+
+    def test_empty_snapshot_shape(self):
+        snap = HttpMetrics().snapshot()
+        assert snap["requests"] == []
+        assert snap["requests_total"] == 0
+        assert snap["latency"]["count"] == 0
+
+
+# ----------------------------------------------------------------------
+# Deadline propagation: scope semantics + watchdog clamp
+# ----------------------------------------------------------------------
+class TestDeadlineScope:
+    def test_no_scope_means_no_deadline(self):
+        assert remaining_deadline() is None
+
+    def test_none_scope_is_a_noop(self):
+        with deadline_scope(None):
+            assert remaining_deadline() is None
+
+    def test_remaining_tracks_the_clock(self):
+        clock = FakeClock()
+        with deadline_scope(2.0, clock=clock):
+            assert remaining_deadline(clock=clock) == pytest.approx(2.0)
+            clock.advance(1.5)
+            assert remaining_deadline(clock=clock) == pytest.approx(0.5)
+            clock.advance(1.0)
+            # Past the deadline the remainder goes negative, not None.
+            assert remaining_deadline(clock=clock) == pytest.approx(-0.5)
+        assert remaining_deadline(clock=clock) is None
+
+    def test_nested_scopes_take_the_tighter_deadline(self):
+        clock = FakeClock()
+        with deadline_scope(1.0, clock=clock):
+            with deadline_scope(5.0, clock=clock):
+                # A looser inner scope cannot extend the outer deadline.
+                assert remaining_deadline(clock=clock) == pytest.approx(1.0)
+            with deadline_scope(0.25, clock=clock):
+                assert remaining_deadline(clock=clock) == pytest.approx(0.25)
+            # Inner scopes restore the outer deadline on exit.
+            assert remaining_deadline(clock=clock) == pytest.approx(1.0)
+
+    def test_scope_restores_on_exception(self):
+        clock = FakeClock()
+        with pytest.raises(RuntimeError):
+            with deadline_scope(1.0, clock=clock):
+                raise RuntimeError("boom")
+        assert remaining_deadline(clock=clock) is None
+
+
+class TestWatchdogDeadlineClamp:
+    def test_deadline_clamps_the_watchdog_budget(
+        self, module, ctx, good_bindings
+    ):
+        inner = BlockingInvoker()
+        watchdog = WatchdogInvoker(inner, WatchdogPolicy(budget=10.0))
+        try:
+            started = time.monotonic()
+            with deadline_scope(0.05):
+                with pytest.raises(ModuleTimeoutError) as excinfo:
+                    watchdog.invoke(module, ctx, good_bindings)
+            elapsed = time.monotonic() - started
+        finally:
+            inner.release.set()
+        # The 10s policy budget was clamped to the 50ms deadline.
+        assert excinfo.value.budget <= 0.05
+        assert elapsed < 5.0
+        assert watchdog.stats.timeouts == 1
+
+    def test_exhausted_deadline_preempts_before_any_work(
+        self, module, ctx, good_bindings
+    ):
+        inner = BlockingInvoker()
+        watchdog = WatchdogInvoker(inner, WatchdogPolicy(budget=10.0))
+        with deadline_scope(0.005):
+            time.sleep(0.02)
+            with pytest.raises(ModuleTimeoutError, match="deadline exhausted"):
+                watchdog.invoke(module, ctx, good_bindings)
+        # No worker thread was ever spawned.
+        assert inner.calls == 0
+        assert watchdog.stats.deadline_preempted == 1
+        assert watchdog.stats.timeouts == 0
+        assert watchdog.snapshot()["deadline_preempted"] == 1

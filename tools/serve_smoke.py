@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CI smoke for the serving layer (the ``serve-smoke`` job).
+
+Starts a real ``repro-cli serve`` process on an ephemeral port, fires a
+short concurrent loadgen burst at it, scrapes ``/metrics``, and asserts
+the exposition carries what operators depend on:
+
+* zero 5xx during the burst,
+* the ``repro_http_*`` request/latency/admission series,
+* the SLO gauges (``repro_slo_alerts_firing`` and friends) produced by
+  the serving-path sampler.
+
+Exits nonzero with a diagnostic on any miss; stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+
+def fail(message: str, server: "subprocess.Popen | None" = None) -> "int":
+    print(f"serve-smoke: FAIL — {message}", file=sys.stderr)
+    if server is not None:
+        server.terminate()
+        stderr = server.stderr.read().decode(errors="replace")
+        print(f"--- server stderr ---\n{stderr}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--serve-for", "120", "--register-all",
+            "--rate", "0", "--sample", "0.2",
+        ],
+        stderr=subprocess.PIPE,
+    )
+    try:
+        banner = server.stderr.readline().decode(errors="replace")
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if match is None:
+            return fail(f"no address in server banner: {banner!r}", server)
+        host, port = match.group(1), int(match.group(2))
+        print(f"serve-smoke: server up on {host}:{port}")
+
+        burst = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "loadgen",
+                "--host", host, "--port", str(port),
+                "--clients", "40", "--requests", "5", "--json",
+            ],
+            capture_output=True,
+        )
+        print(burst.stdout.decode(errors="replace"))
+        if burst.returncode != 0:
+            return fail(
+                f"loadgen exited {burst.returncode}: "
+                f"{burst.stderr.decode(errors='replace')}",
+                server,
+            )
+
+        time.sleep(0.6)  # let the sampler take post-burst samples
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=10
+        ) as response:
+            exposition = response.read().decode()
+
+        required = [
+            "repro_http_requests_total{",
+            "repro_http_request_latency_ms_bucket{",
+            "repro_http_inflight_limit",
+            "repro_http_queue_depth",
+            "repro_http_shed_total",
+            "repro_slo_alerts_firing",
+            "# TYPE repro_slo_burn_rate gauge",
+            "# TYPE repro_slo_alert_firing gauge",
+        ]
+        missing = [needle for needle in required if needle not in exposition]
+        if missing:
+            return fail(f"exposition missing {missing}", server)
+        for line in exposition.splitlines():
+            if re.match(r'repro_http_requests_total\{.*status="5\d\d"', line):
+                return fail(f"5xx served during the burst: {line}", server)
+        print("serve-smoke: OK — http series + SLO gauges present, no 5xx")
+        return 0
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
