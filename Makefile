@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-hangs slo-smoke serve-smoke bench bench-engine bench-serve serve report engine-stats campaign examples docs-check all clean
+.PHONY: install test test-faults test-hangs slo-smoke serve-smoke chaos-smoke bench bench-engine bench-serve bench-campaign serve report engine-stats campaign examples docs-check all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -49,11 +49,25 @@ bench-engine:
 bench-serve:
 	$(PYTHON) benchmarks/bench_serve.py
 
+# Sharded-campaign benchmark: the same whole-catalog campaign serial vs
+# --workers 4 under injected provider latency.  Accepts only if the
+# sharded report is byte-identical to the serial one and faster.
+# Writes the wall-clock + per-shard breakdown to BENCH_campaign.json.
+bench-campaign:
+	$(PYTHON) benchmarks/bench_campaign.py
+
 # Serving acceptance smoke (the CI serve-smoke job): start a real
 # `repro-cli serve` process, fire a concurrent loadgen burst, scrape
 # /metrics, and assert the repro_http_* series and SLO gauges are there.
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
+
+# Sharded-campaign acceptance smoke (the CI chaos-matrix job): a
+# --workers 4 campaign under --chaos-kill-rate, the supervisor itself
+# SIGKILLed mid-run, resumed from the surviving journals, and the
+# resumed report demanded byte-identical to a serial run.
+chaos-smoke:
+	$(PYTHON) tools/chaos_smoke.py
 
 # The annotation service itself, journaled so `repro-cli top http-server
 # --db serve.sqlite` can watch it live.

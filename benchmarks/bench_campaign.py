@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Sharded-campaign benchmark: serial vs multi-process wall-clock.
+
+``make bench-campaign`` runs the same whole-catalog generation campaign
+twice — once through the serial :class:`CampaignRunner`, once sharded
+across worker processes under the :class:`CampaignSupervisor` — with
+identical injected provider latency, and writes the measured numbers to
+``BENCH_campaign.json``:
+
+* **serial** — one process, one journal, wall-clock and invocation
+  count.
+* **sharded** — ``WORKERS`` spawned workers, per-shard wall-clock
+  breakdown (modules, invocations, heartbeats) reconstructed from the
+  journals.
+
+Acceptance: the sharded report must be **byte-identical** to the serial
+one (same ``CampaignResult.digest()``, same rendered report) — the
+speedup is only admissible if the answer is exactly the same.
+
+The injected latency models remote providers; without it the catalog
+completes in well under a second and process spawn overhead would
+drown the signal.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignJournal,
+    CampaignRunner,
+    CampaignSupervisor,
+    build_world,
+    render_campaign_report,
+    worker_rows,
+)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+WORKERS = 4
+LATENCY_MS = 15.0
+
+
+def run_serial(tmp, config) -> dict:
+    ctx, catalog, pool = build_world(config.seed)
+    journal = CampaignJournal(tmp / "serial.sqlite")
+    started = time.perf_counter()
+    try:
+        runner = CampaignRunner(ctx, catalog, pool, journal, config)
+        result = runner.run("bench")
+    finally:
+        journal.close()
+    elapsed = time.perf_counter() - started
+    return {
+        "wall_s": round(elapsed, 3),
+        "modules_done": len(result.reports),
+        "modules_skipped": len(result.skipped),
+        "result": result,
+        "rendered": render_campaign_report(result),
+    }
+
+
+def run_sharded(tmp, config) -> dict:
+    _ctx, catalog, _pool = build_world(config.seed)
+    db = tmp / "sharded.sqlite"
+    supervisor = CampaignSupervisor(
+        db, [m.module_id for m in catalog], config
+    )
+    started = time.perf_counter()
+    result = supervisor.run("bench")
+    elapsed = time.perf_counter() - started
+    shards = []
+    for row in worker_rows(db, "bench"):
+        shards.append(
+            {
+                "shard": row["shard"],
+                "modules_done": row["n_done"],
+                "modules_planned": row["n_planned"],
+                "invocations": row["invocations"],
+                "restarts": row["restarts"],
+                "phase": row["phase"],
+            }
+        )
+    return {
+        "wall_s": round(elapsed, 3),
+        "workers": config.workers,
+        "modules_done": len(result.reports),
+        "modules_skipped": len(result.skipped),
+        "shards": shards,
+        "result": result,
+        "rendered": render_campaign_report(result),
+    }
+
+
+def main() -> int:
+    base = dict(latency_ms=LATENCY_MS, heartbeat_interval=0.5)
+    with TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        print(f"serial campaign (latency {LATENCY_MS:g}ms/call) ...",
+              file=sys.stderr)
+        serial = run_serial(tmp, CampaignConfig(**base))
+        print(f"  {serial['wall_s']}s, {serial['modules_done']} modules",
+              file=sys.stderr)
+        print(f"sharded campaign ({WORKERS} workers) ...", file=sys.stderr)
+        sharded = run_sharded(tmp, CampaignConfig(**base, workers=WORKERS))
+        print(f"  {sharded['wall_s']}s, {sharded['modules_done']} modules",
+              file=sys.stderr)
+
+    byte_identical = (
+        serial["result"].digest() == sharded["result"].digest()
+        and serial["rendered"] == sharded["rendered"]
+    )
+    speedup = serial["wall_s"] / sharded["wall_s"] if sharded["wall_s"] else 0.0
+    payload = {
+        "benchmark": "campaign-sharding",
+        "accepted": bool(byte_identical and speedup > 1.0),
+        "byte_identical": byte_identical,
+        "digest": serial["result"].digest(),
+        "latency_ms_per_call": LATENCY_MS,
+        "speedup": round(speedup, 2),
+        "serial": {
+            key: serial[key]
+            for key in ("wall_s", "modules_done", "modules_skipped")
+        },
+        "sharded": {
+            key: sharded[key]
+            for key in (
+                "wall_s", "workers", "modules_done", "modules_skipped",
+                "shards",
+            )
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(
+        f"\nspeedup {speedup:.2f}x, byte-identical: {byte_identical} "
+        f"-> {OUTPUT.name}",
+        file=sys.stderr,
+    )
+    return 0 if payload["accepted"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,13 @@ snapshot timeline and SLO alert history (:mod:`repro.obs.timeseries`,
 report reassembly, so byte-identity is unaffected.  ``baseline`` diffs
 every fresh report against an earlier campaign's examples and raises
 behavior-drift alerts (:mod:`repro.obs.drift`).
+
+With ``workers > 1`` the campaign runs sharded across supervised worker
+*processes* (:mod:`repro.campaign.supervisor`): each shard writes its
+own journal, crashed or wedged workers are restarted with exponential
+backoff, and a deterministic journal-merge reconstructs the exact
+single-process report — byte-identical even after SIGKILLing workers
+and the supervisor itself (:mod:`repro.campaign.sharding`).
 """
 
 from repro.campaign.journal import (
@@ -43,8 +50,21 @@ from repro.campaign.runner import (
     CampaignConfig,
     CampaignResult,
     CampaignRunner,
+    evaluate_drift,
     render_campaign_report,
 )
+from repro.campaign.sharding import (
+    assemble_result,
+    merge_shard_journal,
+    merged_worker_stats,
+    shard_campaign_id,
+    shard_journal_path,
+    shard_plan,
+    shard_statuses,
+    worker_rows,
+)
+from repro.campaign.supervisor import CampaignSupervisor
+from repro.campaign.worker import build_world, shard_worker_main, worker_config
 
 __all__ = [
     "COMPLETE",
@@ -55,10 +75,23 @@ __all__ = [
     "CampaignMeta",
     "CampaignResult",
     "CampaignRunner",
+    "CampaignSupervisor",
     "JournalEntry",
     "UnknownCampaignError",
+    "assemble_result",
+    "build_world",
     "campaign_progress",
+    "evaluate_drift",
+    "merge_shard_journal",
+    "merged_worker_stats",
     "render_campaign_report",
     "report_from_dict",
     "report_to_dict",
+    "shard_campaign_id",
+    "shard_journal_path",
+    "shard_plan",
+    "shard_statuses",
+    "shard_worker_main",
+    "worker_config",
+    "worker_rows",
 ]

@@ -80,6 +80,29 @@ CREATE TABLE IF NOT EXISTS campaign_alerts (
 );
 CREATE INDEX IF NOT EXISTS campaign_alerts_by_campaign
     ON campaign_alerts (campaign_id);
+CREATE TABLE IF NOT EXISTS worker_events (
+    event_seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id TEXT NOT NULL,
+    t_wall REAL NOT NULL,
+    worker INTEGER NOT NULL,
+    shard INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    detail TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS worker_events_by_campaign
+    ON worker_events (campaign_id);
+CREATE TABLE IF NOT EXISTS shard_status (
+    campaign_id TEXT NOT NULL,
+    shard INTEGER NOT NULL,
+    worker INTEGER NOT NULL,
+    pid INTEGER NOT NULL,
+    attempt INTEGER NOT NULL,
+    invocations INTEGER NOT NULL,
+    phase TEXT NOT NULL,
+    heartbeat_wall REAL NOT NULL,
+    stats_json TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, shard)
+);
 """
 
 
@@ -213,13 +236,38 @@ class CampaignJournal:
     One connection is shared across threads (the batch scheduler journals
     from workers) behind a lock; every record is its own committed
     transaction, so a SIGKILL at any point leaves a consistent journal.
+
+    The database is opened in **WAL mode with an explicit busy timeout**:
+    sharded campaigns have one writer per shard journal plus concurrent
+    readers (the supervisor's heartbeat poll, ``repro-cli top`` in
+    another process, the merge step).  WAL lets readers proceed while a
+    writer commits, and the busy timeout makes the rare writer-vs-writer
+    collision wait instead of surfacing a spurious ``database is
+    locked`` error.
+
+    Args:
+        path: The SQLite file.
+        busy_timeout: Seconds a blocked statement waits for a lock
+            before erroring (applied both as the connect timeout and as
+            ``PRAGMA busy_timeout``).
     """
 
-    def __init__(self, path: "str | Path") -> None:
+    def __init__(self, path: "str | Path", busy_timeout: float = 10.0) -> None:
         self.path = str(path)
         self._lock = threading.Lock()
-        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        self._connection = sqlite3.connect(
+            self.path, timeout=busy_timeout, check_same_thread=False
+        )
         with self._lock, self._connection:
+            self._connection.execute(
+                f"PRAGMA busy_timeout = {int(busy_timeout * 1000)}"
+            )
+            # WAL survives in the database file; synchronous=NORMAL is
+            # the WAL-recommended durability level — commits survive a
+            # process kill (the case campaigns defend against), and only
+            # an OS crash can lose the tail of the log.
+            self._connection.execute("PRAGMA journal_mode = WAL")
+            self._connection.execute("PRAGMA synchronous = NORMAL")
             self._connection.executescript(_SCHEMA)
 
     def close(self) -> None:
@@ -470,6 +518,127 @@ class CampaignJournal:
             }
             for row in rows
         ]
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle (sharded multi-process campaigns)
+    # ------------------------------------------------------------------
+    def record_worker_event(
+        self,
+        campaign_id: str,
+        worker: int,
+        shard: int,
+        kind: str,
+        detail: str = "",
+        t_wall: "float | None" = None,
+    ) -> None:
+        """Commit one worker lifecycle event (``spawn`` /
+        ``heartbeat-miss`` / ``crash`` / ``restart`` / ``shard-reassign``
+        / ``shard-done`` / ``shard-degraded``).
+
+        Each event is its own committed transaction, exactly like report
+        entries, so a SIGKILLed supervisor leaves a complete post-mortem
+        timeline: the whole worker history reconstructs from the journal
+        file alone.
+        """
+        import time as _time
+
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT INTO worker_events "
+                "(campaign_id, t_wall, worker, shard, kind, detail) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    t_wall if t_wall is not None else _time.time(),
+                    worker,
+                    shard,
+                    kind,
+                    detail,
+                ),
+            )
+
+    def worker_events(self, campaign_id: str) -> "list[dict]":
+        """The worker lifecycle timeline of one campaign, recording order."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT t_wall, worker, shard, kind, detail "
+                "FROM worker_events WHERE campaign_id = ? ORDER BY event_seq",
+                (campaign_id,),
+            ).fetchall()
+        return [
+            {
+                "t_wall": row[0],
+                "worker": row[1],
+                "shard": row[2],
+                "kind": row[3],
+                "detail": row[4],
+            }
+            for row in rows
+        ]
+
+    # ------------------------------------------------------------------
+    # Shard heartbeats (written by workers into their shard journal)
+    # ------------------------------------------------------------------
+    def record_shard_status(
+        self,
+        campaign_id: str,
+        shard: int,
+        worker: int,
+        pid: int,
+        attempt: int,
+        invocations: int,
+        phase: str,
+        stats: "dict | None" = None,
+        heartbeat_wall: "float | None" = None,
+    ) -> None:
+        """Commit the worker's current heartbeat row (last write wins).
+
+        The row carries the worker's full engine-stats snapshot: this is
+        how per-worker telemetry leaves the process without shared
+        memory — the supervisor merges the journaled snapshots at
+        checkpoint boundaries
+        (:func:`repro.engine.telemetry.merge_stats_snapshots`).
+        """
+        import time as _time
+
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO shard_status VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    shard,
+                    worker,
+                    pid,
+                    attempt,
+                    invocations,
+                    phase,
+                    heartbeat_wall if heartbeat_wall is not None else _time.time(),
+                    json.dumps(stats or {}, sort_keys=True),
+                ),
+            )
+
+    def shard_status(self, campaign_id: str, shard: int) -> "dict | None":
+        """The latest heartbeat row of one shard, or ``None``."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT worker, pid, attempt, invocations, phase, "
+                "heartbeat_wall, stats_json FROM shard_status "
+                "WHERE campaign_id = ? AND shard = ?",
+                (campaign_id, shard),
+            ).fetchone()
+        if row is None:
+            return None
+        return {
+            "shard": shard,
+            "worker": row[0],
+            "pid": row[1],
+            "attempt": row[2],
+            "invocations": row[3],
+            "phase": row[4],
+            "heartbeat_wall": row[5],
+            "stats": json.loads(row[6]),
+        }
 
     # ------------------------------------------------------------------
     def progress_counts(self, campaign_id: str) -> "dict[str, int]":

@@ -106,6 +106,23 @@ class CampaignConfig:
             the behavioral baseline; at finalize, each fresh report is
             diffed against it (:mod:`repro.obs.drift`) and drifting
             modules raise drift alerts.  Empty disables.
+        workers: Worker *processes* to shard the catalog across
+            (:mod:`repro.campaign.supervisor`); 1 runs in-process.
+        heartbeat_interval: Seconds between worker heartbeat commits
+            into the shard journal.
+        heartbeat_timeout: Heartbeat staleness past which the supervisor
+            declares a worker wedged and kills it.
+        max_restarts: Restarts allowed per shard before it is declared
+            degraded and its remaining modules are journaled skipped.
+        restart_backoff: Base delay before a shard restart, doubled per
+            restart (exponential backoff).
+        chaos_kill_at: Kill the worker process at its Nth invocation
+            (process-chaos testing; 0 disables).
+        chaos_kill_rate: Per-invocation probability of killing the
+            worker process (seeded; testing).
+        chaos_stall_after: Stop heartbeating (while staying alive) from
+            the Nth invocation on — exercises the supervisor's wedged-
+            worker detection (testing; 0 disables).
     """
 
     seed: int = 2014
@@ -133,6 +150,14 @@ class CampaignConfig:
     trace: bool = False
     sample_interval: float = 0.0
     baseline: str = ""
+    workers: int = 1
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 10.0
+    max_restarts: int = 3
+    restart_backoff: float = 0.1
+    chaos_kill_at: int = 0
+    chaos_kill_rate: float = 0.0
+    chaos_stall_after: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -161,6 +186,14 @@ class CampaignConfig:
             "trace": self.trace,
             "sample_interval": self.sample_interval,
             "baseline": self.baseline,
+            "workers": self.workers,
+            "heartbeat_interval": self.heartbeat_interval,
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "max_restarts": self.max_restarts,
+            "restart_backoff": self.restart_backoff,
+            "chaos_kill_at": self.chaos_kill_at,
+            "chaos_kill_rate": self.chaos_kill_rate,
+            "chaos_stall_after": self.chaos_stall_after,
         }
 
     @classmethod
@@ -190,6 +223,9 @@ class CampaignConfig:
             or self.stall_ms > 0
             or self.corrupt_providers
             or self.nondeterministic_providers
+            or self.chaos_kill_at > 0
+            or self.chaos_kill_rate > 0
+            or self.chaos_stall_after > 0
         ):
             fault_plan = FaultPlan(
                 seed=self.seed,
@@ -205,6 +241,9 @@ class CampaignConfig:
                 nondeterministic_providers=frozenset(
                     self.nondeterministic_providers
                 ),
+                kill_at_invocation=self.chaos_kill_at,
+                kill_rate=self.chaos_kill_rate,
+                stall_heartbeat_after=self.chaos_stall_after,
             )
         return EngineConfig(
             parallelism=self.parallelism,
@@ -509,34 +548,55 @@ class CampaignRunner:
     def _evaluate_drift(
         self, campaign_id: str, reports: "dict[str, GenerationReport]"
     ) -> "list":
-        """Diff fresh reports against the configured baseline campaign
-        and journal drift-alert transitions.
-
-        Alert events are deduplicated against the journal's current
-        fold, so a resumed campaign re-running finalize does not append
-        a second ``firing`` event for an already-firing module.
-        """
-        if not self.config.baseline:
-            return []
-        from repro.obs.drift import campaign_drift
-        from repro.obs.slo import SLOEvaluator, alert_states
-
-        drift = campaign_drift(self.journal, self.config.baseline, reports)
-        evaluator = (
-            self.sampler.evaluator
-            if self.sampler is not None and self.sampler.evaluator is not None
-            else SLOEvaluator()
+        return evaluate_drift(
+            self.journal,
+            campaign_id,
+            self.config.baseline,
+            reports,
+            sampler=self.sampler,
         )
-        t_ms = self.sampler.elapsed_ms() if self.sampler is not None else 0.0
-        existing = alert_states(self.journal.alerts(campaign_id))
-        for report in drift:
-            event = evaluator.register_drift(report, t_ms)
-            if event is None:
-                continue
-            prior = existing.get((event["slo"], event["subject"]))
-            if prior is None or prior["state"] != event["state"]:
-                self.journal.record_alert(campaign_id, event)
-        return drift
+
+
+# ----------------------------------------------------------------------
+def evaluate_drift(
+    journal: CampaignJournal,
+    campaign_id: str,
+    baseline: str,
+    reports: "dict[str, GenerationReport]",
+    sampler=None,
+) -> "list":
+    """Diff fresh reports against a baseline campaign in the same
+    journal and journal drift-alert transitions.
+
+    Standalone (not a runner method) so the sharded supervisor — which
+    finalizes a merged campaign without ever building an engine — shares
+    the exact drift semantics of the in-process runner.
+
+    Alert events are deduplicated against the journal's current fold,
+    so a resumed campaign re-running finalize does not append a second
+    ``firing`` event for an already-firing module.
+    """
+    if not baseline:
+        return []
+    from repro.obs.drift import campaign_drift
+    from repro.obs.slo import SLOEvaluator, alert_states
+
+    drift = campaign_drift(journal, baseline, reports)
+    evaluator = (
+        sampler.evaluator
+        if sampler is not None and sampler.evaluator is not None
+        else SLOEvaluator()
+    )
+    t_ms = sampler.elapsed_ms() if sampler is not None else 0.0
+    existing = alert_states(journal.alerts(campaign_id))
+    for report in drift:
+        event = evaluator.register_drift(report, t_ms)
+        if event is None:
+            continue
+        prior = existing.get((event["slo"], event["subject"]))
+        if prior is None or prior["state"] != event["state"]:
+            journal.record_alert(campaign_id, event)
+    return drift
 
 
 # ----------------------------------------------------------------------

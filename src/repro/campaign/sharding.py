@@ -1,0 +1,280 @@
+"""Deterministic catalog sharding and shard-journal merging.
+
+The sharded campaign (:mod:`repro.campaign.supervisor`) splits the
+planned module list across N worker processes.  Everything in this
+module is a pure function of journal state, which is what makes the
+whole scheme crash-tolerant:
+
+* **The shard plan is deterministic.**  :func:`shard_plan` is a fixed
+  round-robin over the planned module ids, so a resumed supervisor —
+  even one SIGKILLed mid-merge — re-derives exactly the same shards
+  from the main journal's ``module_ids`` row.  No placement state needs
+  to survive the crash.
+* **Shard journals are derived paths.**  Shard *i* of ``campaign.db``
+  lives in ``campaign.db.shard-0i``; the per-shard campaign id is
+  ``<campaign_id>::shard-0i``.  Any subset of these files plus the main
+  journal is enough to resume.
+* **The merge is idempotent.**  :func:`merge_shard_journal` copies
+  per-module entries into the main journal via the same
+  ``INSERT OR REPLACE`` discipline the serial runner uses, so duplicate
+  rows from a restarted worker — or a merge re-run after the supervisor
+  was killed halfway through — converge to the same final table.
+* **Assembly is planned-order.**  :func:`assemble_result` rebuilds the
+  :class:`~repro.campaign.runner.CampaignResult` by walking the main
+  journal's planned module ids, exactly like the serial runner's
+  ``finalize`` — which is why the merged report of a sharded campaign
+  is byte-identical to the single-process run (witnessed by
+  ``CampaignResult.digest()``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign.journal import (
+    COMPLETE,
+    DEGRADED,
+    CampaignJournal,
+    CampaignMeta,
+    UnknownCampaignError,
+)
+from repro.campaign.runner import CampaignResult
+from repro.core.generation import GenerationReport
+
+
+def shard_plan(module_ids: "list[str]", n_shards: int) -> "list[list[str]]":
+    """Round-robin the planned module ids across ``n_shards``.
+
+    Deterministic in the input order, so the supervisor and any resumer
+    derive identical shards from the journaled plan.  Shards may be
+    empty when there are more workers than modules — the merge
+    tolerates zero-row shard journals.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+    shards: "list[list[str]]" = [[] for _ in range(n_shards)]
+    for index, module_id in enumerate(module_ids):
+        shards[index % n_shards].append(module_id)
+    return shards
+
+
+def shard_journal_path(db_path: "str | os.PathLike", shard: int) -> str:
+    """The derived per-shard SQLite file of shard ``shard``."""
+    return f"{db_path}.shard-{shard:02d}"
+
+
+def shard_campaign_id(campaign_id: str, shard: int) -> str:
+    """The campaign id a worker runs its shard under (in its own
+    journal), namespaced so shard rows can never collide with the main
+    campaign even if both tables land in one file."""
+    return f"{campaign_id}::shard-{shard:02d}"
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def merge_shard_journal(
+    main: CampaignJournal,
+    campaign_id: str,
+    shard_path: "str | os.PathLike",
+    shard_cid: str,
+) -> int:
+    """Copy one shard journal's entries into the main journal.
+
+    Idempotent and tolerant by construction:
+
+    * A missing shard file, or one whose campaign row was never created
+      (the worker died before its first commit), contributes nothing.
+    * ``record_done`` / ``record_skipped`` are keyed
+      ``(campaign_id, module_id)`` upserts, so merging the same shard
+      twice — or merging duplicate rows left by a restarted worker —
+      lands on the same final table.
+
+    Returns:
+        Entries copied (0 for absent/empty shards).
+    """
+    if not os.path.exists(str(shard_path)):
+        return 0
+    shard_journal = CampaignJournal(shard_path)
+    try:
+        try:
+            shard_journal.meta(shard_cid)
+        except UnknownCampaignError:
+            return 0
+        entries = shard_journal.entries(shard_cid)
+        for entry in entries.values():
+            if entry.status == "done":
+                main.record_done(campaign_id, entry.report)
+            else:
+                main.record_skipped(campaign_id, entry.module_id, entry.detail)
+        return len(entries)
+    finally:
+        shard_journal.close()
+
+
+def assemble_result(
+    journal: CampaignJournal,
+    campaign_id: str,
+    breaker_states: "dict[str, dict] | None" = None,
+    drift: "list | None" = None,
+) -> CampaignResult:
+    """Rebuild the campaign result from the merged main journal.
+
+    The exact planned-order reassembly of the serial runner's
+    ``finalize``: walk ``meta.module_ids``, collect done reports and
+    skip reasons, persist the terminal status.  Because per-module
+    reports are deterministic and the walk order is the journaled plan,
+    this renders and digests byte-identically to the single-process run.
+    """
+    meta = journal.meta(campaign_id)
+    entries = journal.entries(campaign_id)
+    reports: "dict[str, GenerationReport]" = {}
+    skipped: "dict[str, str]" = {}
+    for module_id in meta.module_ids:
+        entry = entries.get(module_id)
+        if entry is not None and entry.status == "done":
+            reports[module_id] = entry.report
+        else:
+            detail = entry.detail if entry is not None else "never attempted"
+            skipped[module_id] = detail
+    status = COMPLETE if not skipped else DEGRADED
+    journal.set_status(campaign_id, status)
+    return CampaignResult(
+        campaign_id=campaign_id,
+        seed=meta.seed,
+        status=status,
+        reports=reports,
+        skipped=skipped,
+        breaker_states=breaker_states or {},
+        n_planned=len(meta.module_ids),
+        drift=drift or [],
+    )
+
+
+# ----------------------------------------------------------------------
+# Read-only worker views (CLI `campaign workers`, `top`, Prometheus)
+# ----------------------------------------------------------------------
+def shard_statuses(
+    db_path: "str | os.PathLike", campaign_id: str, n_shards: int
+) -> "list[dict | None]":
+    """The latest heartbeat row of every shard (``None`` where a shard
+    journal does not exist yet or holds no heartbeat)."""
+    statuses: "list[dict | None]" = []
+    for shard in range(n_shards):
+        path = shard_journal_path(db_path, shard)
+        if not os.path.exists(str(path)):
+            statuses.append(None)
+            continue
+        shard_journal = CampaignJournal(path)
+        try:
+            statuses.append(
+                shard_journal.shard_status(
+                    shard_campaign_id(campaign_id, shard), shard
+                )
+            )
+        finally:
+            shard_journal.close()
+    return statuses
+
+
+def worker_rows(
+    db_path: "str | os.PathLike",
+    campaign_id: str,
+    meta: "CampaignMeta | None" = None,
+    events: "list[dict] | None" = None,
+    now: "float | None" = None,
+) -> "list[dict]":
+    """Per-shard worker rows for dashboards and metrics.
+
+    Everything is read from the journals alone — the supervisor may be
+    alive in another process, or long dead — so ``repro-cli top`` and
+    ``campaign workers`` reconstruct the worker fleet post-mortem.
+
+    Args:
+        db_path: The main journal file (shard paths derive from it).
+        campaign_id: The campaign.
+        meta: Pre-fetched main-journal meta (opened on demand if None).
+        events: Pre-fetched worker-event timeline (fetched if None).
+        now: Wall clock for heartbeat ages, injectable for tests.
+    """
+    import time as _time
+
+    if meta is None or events is None:
+        main = CampaignJournal(db_path)
+        try:
+            if meta is None:
+                meta = main.meta(campaign_id)
+            if events is None:
+                events = main.worker_events(campaign_id)
+        finally:
+            main.close()
+    config = meta.config or {}
+    n_shards = max(1, int(config.get("workers", 1) or 1))
+    heartbeat_timeout = float(config.get("heartbeat_timeout", 10.0) or 10.0)
+    plan = shard_plan(list(meta.module_ids), n_shards)
+    now = now if now is not None else _time.time()
+
+    restarts = [0] * n_shards
+    degraded = [False] * n_shards
+    for event in events:
+        if 0 <= event["shard"] < n_shards:
+            if event["kind"] == "restart":
+                restarts[event["shard"]] += 1
+            elif event["kind"] == "shard-degraded":
+                degraded[event["shard"]] = True
+
+    rows: "list[dict]" = []
+    for shard, status in enumerate(
+        shard_statuses(db_path, campaign_id, n_shards)
+    ):
+        n_done = n_skipped = 0
+        path = shard_journal_path(db_path, shard)
+        if os.path.exists(str(path)):
+            shard_journal = CampaignJournal(path)
+            try:
+                counts = shard_journal.progress_counts(
+                    shard_campaign_id(campaign_id, shard)
+                )
+                n_done, n_skipped = counts["n_done"], counts["n_skipped"]
+            finally:
+                shard_journal.close()
+        heartbeat_age = (
+            max(0.0, now - status["heartbeat_wall"])
+            if status is not None
+            else None
+        )
+        phase = status["phase"] if status is not None else "pending"
+        if degraded[shard]:
+            phase = "degraded"
+        rows.append(
+            {
+                "shard": shard,
+                "worker": status["worker"] if status is not None else shard,
+                "pid": status["pid"] if status is not None else 0,
+                "attempt": status["attempt"] if status is not None else 0,
+                "phase": phase,
+                "invocations": (
+                    status["invocations"] if status is not None else 0
+                ),
+                "n_planned": len(plan[shard]),
+                "n_done": n_done,
+                "n_skipped": n_skipped,
+                "restarts": restarts[shard],
+                "heartbeat_age": heartbeat_age,
+                "alive": (
+                    phase == "running"
+                    and heartbeat_age is not None
+                    and heartbeat_age <= heartbeat_timeout
+                ),
+                "stats": status["stats"] if status is not None else {},
+            }
+        )
+    return rows
+
+
+def merged_worker_stats(rows: "list[dict]") -> dict:
+    """Fold the per-worker journaled snapshots into one campaign-wide
+    engine-stats view (:func:`repro.engine.telemetry.merge_stats_snapshots`)."""
+    from repro.engine.telemetry import merge_stats_snapshots
+
+    return merge_stats_snapshots([row["stats"] for row in rows])

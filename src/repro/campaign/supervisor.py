@@ -1,0 +1,388 @@
+"""The campaign supervisor: spawn, watch, restart, merge.
+
+Drives a sharded multi-process campaign end to end:
+
+1. **Plan.**  Round-robin the planned modules into ``config.workers``
+   shards (:func:`repro.campaign.sharding.shard_plan`) and journal the
+   campaign row in the *main* journal — the single durable record a
+   resumed supervisor needs to re-derive everything.
+2. **Spawn.**  One ``spawn``-context process per shard
+   (:func:`repro.campaign.worker.shard_worker_main`), each writing its
+   own per-shard journal.  Process chaos (kill-at-invocation-K,
+   kill-rate, stall-heartbeat) is armed only on a shard's first
+   attempt, so recovery always converges.
+3. **Supervise.**  A poll loop watches exit codes and heartbeat rows.
+   A worker that died (crash, chaos kill, OOM-kill) or went mute past
+   ``heartbeat_timeout`` (wedged) is SIGKILLed and its shard is
+   reassigned to a fresh worker after exponential backoff — up to
+   ``max_restarts`` times, after which the shard is declared degraded
+   and its unfinished modules are journaled skipped.  Every lifecycle
+   event (spawn, heartbeat-miss, crash, restart, shard-reassign,
+   shard-done, shard-degraded) is committed to the main journal, so the
+   post-mortem timeline reconstructs from the file alone.
+4. **Merge + finalize.**  Shard entries are upserted into the main
+   journal (idempotent), degraded shards' gaps are journaled skipped,
+   and the result is assembled in planned order — byte-identical to the
+   serial runner's report, including after the supervisor itself was
+   SIGKILLed at *any* point (``resume`` re-derives the plan, respawns
+   unfinished shards, and re-merges).
+
+The supervisor never builds an invocation engine: all telemetry is
+merged from the per-worker snapshots journaled at heartbeat boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.campaign.journal import CampaignJournal
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignResult,
+    evaluate_drift,
+)
+from repro.campaign.sharding import (
+    assemble_result,
+    merge_shard_journal,
+    shard_campaign_id,
+    shard_journal_path,
+    shard_plan,
+)
+from repro.campaign.worker import shard_worker_main, worker_config
+
+
+@dataclass
+class _ShardState:
+    """Supervision bookkeeping of one shard (in-memory only — nothing
+    here needs to survive a supervisor crash)."""
+
+    shard: int
+    module_ids: "list[str]"
+    worker: int
+    attempt: int = 0
+    restarts: int = 0
+    process: "multiprocessing.process.BaseProcess | None" = None
+    spawned_at: float = 0.0
+    restart_at: float = 0.0
+    done: bool = False
+    degraded: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.done or self.degraded
+
+
+class CampaignSupervisor:
+    """Runs and resumes sharded campaigns over worker processes.
+
+    Args:
+        db_path: The main journal SQLite file (shard journal paths
+            derive from it).
+        module_ids: The planned module ids, catalog order
+            (``config.limit`` truncates; only consulted by ``run`` —
+            ``resume`` replans from the journal).
+        config: Campaign knobs; ``config.workers`` is the shard count.
+        wall_clock: Wall-clock source for heartbeat ages, injectable.
+        sleep: Poll-loop sleep, injectable.
+    """
+
+    def __init__(
+        self,
+        db_path: str,
+        module_ids: "list[str]",
+        config: CampaignConfig = CampaignConfig(),
+        wall_clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if config.workers < 1:
+            raise ValueError(f"workers must be at least 1, got {config.workers}")
+        self.db_path = str(db_path)
+        self.module_ids = list(module_ids)
+        self.config = config
+        self._wall = wall_clock
+        self._sleep = sleep
+        self._mp = multiprocessing.get_context("spawn")
+        self._next_worker = 0
+
+    # ------------------------------------------------------------------
+    def run(self, campaign_id: str) -> CampaignResult:
+        """Start a fresh sharded campaign and drive it to a result.
+
+        Raises:
+            ValueError: The campaign id is already journaled (use
+                ``resume``).
+        """
+        planned = (
+            self.module_ids[: self.config.limit]
+            if self.config.limit
+            else self.module_ids
+        )
+        journal = CampaignJournal(self.db_path)
+        try:
+            journal.create(
+                campaign_id, self.config.seed, planned, self.config.to_dict()
+            )
+            return self._drive(journal, campaign_id, planned, chaos_armed=True)
+        finally:
+            journal.close()
+
+    def resume(self, campaign_id: str) -> CampaignResult:
+        """Continue after the supervisor itself died (or was killed).
+
+        The shard plan re-derives deterministically from the journaled
+        module ids; workers resume their shard journals (any subset of
+        which may exist); the merge is idempotent.  Chaos is never
+        re-armed on resume, so a chaos-killed campaign converges.
+
+        Raises:
+            UnknownCampaignError: No such campaign in the main journal.
+        """
+        journal = CampaignJournal(self.db_path)
+        try:
+            meta = journal.meta(campaign_id)
+            self.config = CampaignConfig.from_dict(meta.config)
+            journal.set_status(campaign_id, "running")
+            return self._drive(
+                journal, campaign_id, list(meta.module_ids), chaos_armed=False
+            )
+        finally:
+            journal.close()
+
+    # ------------------------------------------------------------------
+    def _drive(
+        self,
+        journal: CampaignJournal,
+        campaign_id: str,
+        planned: "list[str]",
+        chaos_armed: bool,
+    ) -> CampaignResult:
+        shards = shard_plan(planned, self.config.workers)
+        states = [
+            _ShardState(shard=index, module_ids=ids, worker=index)
+            for index, ids in enumerate(shards)
+        ]
+        self._next_worker = len(states)
+        for state in states:
+            self._spawn(journal, campaign_id, state, chaos_armed, kind="spawn")
+        self._supervise(journal, campaign_id, states, chaos_armed)
+        return self._merge(journal, campaign_id, states)
+
+    def _spawn(
+        self,
+        journal: CampaignJournal,
+        campaign_id: str,
+        state: _ShardState,
+        chaos_armed: bool,
+        kind: str,
+    ) -> None:
+        state.attempt += 1
+        # Chaos is armed only on the shard's very first attempt of a
+        # fresh run: a restarted (or resumed) worker must be allowed to
+        # finish, or a kill-at-invocation plan would loop forever.
+        has_chaos = (
+            self.config.chaos_kill_at > 0
+            or self.config.chaos_kill_rate > 0
+            or self.config.chaos_stall_after > 0
+        )
+        armed = chaos_armed and state.attempt == 1 and has_chaos
+        spec = {
+            "worker": state.worker,
+            "shard": state.shard,
+            "attempt": state.attempt,
+            "journal_path": shard_journal_path(self.db_path, state.shard),
+            "campaign_id": shard_campaign_id(campaign_id, state.shard),
+            "module_ids": state.module_ids,
+            "config": worker_config(self.config, chaos_armed=armed).to_dict(),
+        }
+        process = self._mp.Process(
+            target=shard_worker_main,
+            args=(spec,),
+            name=f"repro-shard-{state.shard:02d}",
+        )
+        process.start()
+        state.process = process
+        state.spawned_at = self._wall()
+        journal.record_worker_event(
+            campaign_id,
+            worker=state.worker,
+            shard=state.shard,
+            kind=kind,
+            detail=(
+                f"pid {process.pid} attempt {state.attempt} "
+                f"({len(state.module_ids)} modules"
+                f"{', chaos armed' if armed else ''})"
+            ),
+            t_wall=state.spawned_at,
+        )
+
+    # ------------------------------------------------------------------
+    def _supervise(
+        self,
+        journal: CampaignJournal,
+        campaign_id: str,
+        states: "list[_ShardState]",
+        chaos_armed: bool,
+    ) -> None:
+        poll = max(0.05, min(0.2, self.config.heartbeat_interval / 2.0))
+        while not all(state.finished for state in states):
+            for state in states:
+                if state.finished:
+                    continue
+                if state.process is None:
+                    # Waiting out restart backoff.
+                    if self._wall() >= state.restart_at:
+                        self._spawn(
+                            journal, campaign_id, state, chaos_armed,
+                            kind="restart",
+                        )
+                    continue
+                exitcode = state.process.exitcode
+                if exitcode is not None:
+                    state.process.join()
+                    if exitcode == 0:
+                        state.done = True
+                        journal.record_worker_event(
+                            campaign_id,
+                            worker=state.worker,
+                            shard=state.shard,
+                            kind="shard-done",
+                            detail=f"attempt {state.attempt}",
+                        )
+                    else:
+                        journal.record_worker_event(
+                            campaign_id,
+                            worker=state.worker,
+                            shard=state.shard,
+                            kind="crash",
+                            detail=f"exit code {exitcode}",
+                        )
+                        self._schedule_restart(journal, campaign_id, state)
+                    continue
+                if self._heartbeat_stale(campaign_id, state):
+                    journal.record_worker_event(
+                        campaign_id,
+                        worker=state.worker,
+                        shard=state.shard,
+                        kind="heartbeat-miss",
+                        detail=(
+                            f"no heartbeat for "
+                            f">{self.config.heartbeat_timeout:g}s — killing "
+                            f"pid {state.process.pid}"
+                        ),
+                    )
+                    state.process.kill()
+                    state.process.join()
+                    self._schedule_restart(journal, campaign_id, state)
+            if not all(state.finished for state in states):
+                self._sleep(poll)
+
+    def _heartbeat_stale(self, campaign_id: str, state: _ShardState) -> bool:
+        """Is the shard's latest journaled heartbeat older than the
+        timeout?  Before the first beat lands, staleness is measured
+        from the spawn instant (world rebuild takes a moment)."""
+        shard_path = shard_journal_path(self.db_path, state.shard)
+        last = state.spawned_at
+        if os.path.exists(shard_path):
+            shard_journal = CampaignJournal(shard_path)
+            try:
+                status = shard_journal.shard_status(
+                    shard_campaign_id(campaign_id, state.shard), state.shard
+                )
+            finally:
+                shard_journal.close()
+            if status is not None and status["attempt"] == state.attempt:
+                last = max(last, status["heartbeat_wall"])
+        return self._wall() - last > self.config.heartbeat_timeout
+
+    def _schedule_restart(
+        self, journal: CampaignJournal, campaign_id: str, state: _ShardState
+    ) -> None:
+        state.process = None
+        if state.restarts >= self.config.max_restarts:
+            state.degraded = True
+            journal.record_worker_event(
+                campaign_id,
+                worker=state.worker,
+                shard=state.shard,
+                kind="shard-degraded",
+                detail=(
+                    f"restart budget exhausted "
+                    f"({self.config.max_restarts} restarts)"
+                ),
+            )
+            return
+        backoff = self.config.restart_backoff * (2 ** state.restarts)
+        state.restarts += 1
+        state.restart_at = self._wall() + backoff
+        old_worker, state.worker = state.worker, self._next_worker
+        self._next_worker += 1
+        journal.record_worker_event(
+            campaign_id,
+            worker=state.worker,
+            shard=state.shard,
+            kind="shard-reassign",
+            detail=(
+                f"worker {old_worker} -> {state.worker}, "
+                f"restart {state.restarts}/{self.config.max_restarts} "
+                f"after {backoff:g}s backoff"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        journal: CampaignJournal,
+        campaign_id: str,
+        states: "list[_ShardState]",
+    ) -> CampaignResult:
+        """Deterministic journal-merge: upsert every shard's entries,
+        fill degraded shards' gaps with skip rows, assemble planned-
+        order.  Idempotent end to end — a supervisor SIGKILLed anywhere
+        in here re-merges to the same table on resume."""
+        for state in states:
+            merge_shard_journal(
+                journal,
+                campaign_id,
+                shard_journal_path(self.db_path, state.shard),
+                shard_campaign_id(campaign_id, state.shard),
+            )
+        entries = journal.entries(campaign_id)
+        for state in states:
+            if not state.degraded:
+                continue
+            for module_id in state.module_ids:
+                if module_id not in entries:
+                    journal.record_skipped(
+                        campaign_id,
+                        module_id,
+                        f"shard {state.shard:02d} degraded "
+                        f"(restart budget exhausted after "
+                        f"{self.config.max_restarts} restarts)",
+                    )
+        breaker_states = self._merged_breaker(campaign_id, len(states))
+        result = assemble_result(
+            journal, campaign_id, breaker_states=breaker_states
+        )
+        result.drift = evaluate_drift(
+            journal, campaign_id, self.config.baseline, result.reports
+        )
+        return result
+
+    def _merged_breaker(
+        self, campaign_id: str, n_shards: int
+    ) -> "dict[str, dict]":
+        """Fold the per-worker breaker snapshots (from the journaled
+        heartbeat stats) into one per-provider view for the degradation
+        manifest."""
+        from repro.campaign.sharding import shard_statuses
+        from repro.engine.telemetry import merge_stats_snapshots
+
+        statuses = shard_statuses(self.db_path, campaign_id, n_shards)
+        merged = merge_stats_snapshots(
+            [status["stats"] for status in statuses if status is not None]
+        )
+        return merged.get("breaker", {})

@@ -19,8 +19,10 @@ Subcommands::
     repro-cli top ID --db FILE [--once]             live campaign dashboard
     repro-cli alerts ID --db FILE [--firing]        journaled SLO / drift alerts
     repro-cli campaign run --db FILE ID [--trace]   crash-safe catalog campaign
+    repro-cli campaign run ... --workers N          sharded multi-process run
     repro-cli campaign resume --db FILE ID          continue a killed campaign
     repro-cli campaign status --db FILE [ID]        journal progress
+    repro-cli campaign workers --db FILE ID         worker fleet + event timeline
 
 All state is rebuilt deterministically from the seed; the one thing kept
 on disk is the campaign journal (``campaign --db``), which is exactly
@@ -40,22 +42,14 @@ from repro.core.metrics import evaluate_module
 from repro.core.partitioning import module_partitions
 from repro.core.description import BehaviorDescriber
 from repro.core.redundancy import RedundancyDetector
-from repro.modules.catalog import (
-    DECAYED_PROVIDERS,
-    build_decayed_modules,
-    default_catalog,
-    default_context,
-)
-from repro.ontology import build_mygrid_ontology
-from repro.pool import InstancePool, default_factory
+from repro.modules.catalog import DECAYED_PROVIDERS, build_decayed_modules
 from repro.workflow import shut_down_providers
 
 
 def _world(seed: int = 2014):
-    ctx = default_context(seed)
-    catalog = list(default_catalog())
-    pool = InstancePool.bootstrap(default_factory(seed), build_mygrid_ontology())
-    return ctx, catalog, pool
+    from repro.campaign.worker import build_world
+
+    return build_world(seed)
 
 
 def _find_module(module_id: str, modules) -> "object":
@@ -578,6 +572,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         CampaignConfig,
         CampaignJournal,
         CampaignRunner,
+        CampaignSupervisor,
         render_campaign_report,
     )
 
@@ -605,7 +600,30 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         trace=args.trace,
         sample_interval=args.sample,
         baseline=args.baseline,
+        workers=args.workers,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_restarts=args.max_restarts,
+        restart_backoff=args.restart_backoff,
+        chaos_kill_at=args.chaos_kill_at,
+        chaos_kill_rate=args.chaos_kill_rate,
+        chaos_stall_after=args.chaos_stall_after,
     )
+    if config.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if config.workers > 1:
+        _ctx, catalog, _pool = _world(args.seed)
+        supervisor = CampaignSupervisor(
+            args.db, [m.module_id for m in catalog], config
+        )
+        try:
+            result = supervisor.run(args.campaign_id)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(render_campaign_report(result))
+        return 0
     ctx, catalog, pool = _world(args.seed)
     journal = CampaignJournal(args.db)
     try:
@@ -626,6 +644,7 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         CampaignConfig,
         CampaignJournal,
         CampaignRunner,
+        CampaignSupervisor,
         UnknownCampaignError,
         render_campaign_report,
     )
@@ -642,12 +661,22 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
             )
             return 2
         config = CampaignConfig.from_dict(meta.config)
+        if config.workers > 1:
+            journal.close()
+            journal = None
+            supervisor = CampaignSupervisor(
+                args.db, list(meta.module_ids), config
+            )
+            result = supervisor.resume(args.campaign_id)
+            print(render_campaign_report(result))
+            return 0
         ctx, catalog, pool = _world(meta.seed)
         runner = CampaignRunner(ctx, catalog, pool, journal, config)
         result = runner.resume(args.campaign_id)
         print(render_campaign_report(result))
     finally:
-        journal.close()
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -693,9 +722,98 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
                 f"  timed_out {entry['timed_out_combinations']}  "
                 f"quarantined {entry['quarantined_combinations']}"
             )
+        if not entry["n_done"] and not entry["n_skipped"]:
+            line += "  (no results journaled yet)"
         print(line)
         for module_id, reason in entry["skipped"].items():
             print(f"    skipped {module_id:<30} {reason}")
+    return 0
+
+
+def cmd_campaign_workers(args: argparse.Namespace) -> int:
+    """Per-shard worker fleet of a sharded campaign, plus its lifecycle
+    event timeline — reconstructed from the journals alone, so it works
+    while the supervisor is alive and post-mortem."""
+    from repro.campaign import (
+        CampaignJournal,
+        UnknownCampaignError,
+        merged_worker_stats,
+        worker_rows,
+    )
+
+    journal = CampaignJournal(args.db)
+    try:
+        try:
+            meta = journal.meta(args.campaign_id)
+        except UnknownCampaignError:
+            print(
+                f"error: no campaign {args.campaign_id!r} in {args.db} "
+                "(try `repro-cli campaign status`)",
+                file=sys.stderr,
+            )
+            return 2
+        events = journal.worker_events(args.campaign_id)
+    finally:
+        journal.close()
+    workers = int((meta.config or {}).get("workers", 1) or 1)
+    if workers < 2:
+        print(
+            f"error: campaign {args.campaign_id!r} was not sharded "
+            "(ran with workers=1)",
+            file=sys.stderr,
+        )
+        return 2
+    rows = worker_rows(args.db, args.campaign_id, meta=meta, events=events)
+    if args.prometheus:
+        from repro.obs import render_prometheus
+
+        print(render_prometheus({"workers": rows}), end="")
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workers": [
+                        {k: v for k, v in row.items() if k != "stats"}
+                        for row in rows
+                    ],
+                    "events": events,
+                    "merged_stats": merged_worker_stats(rows),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"{'SHARD':<6}{'WORKER':<8}{'PID':<8}{'PHASE':<10}{'ATT':<5}"
+        f"{'DONE':<12}{'INVOC':<7}{'RESTARTS':<10}{'HB AGE':<8}"
+    )
+    for row in rows:
+        done = f"{row['n_done']}/{row['n_planned']}"
+        if row["n_skipped"]:
+            done += f"+{row['n_skipped']}s"
+        heartbeat_age = (
+            f"{row['heartbeat_age']:.1f}s"
+            if row["heartbeat_age"] is not None
+            else "-"
+        )
+        print(
+            f"{row['shard']:<6}{row['worker']:<8}{row['pid'] or '-':<8}"
+            f"{row['phase']:<10}{row['attempt']:<5}{done:<12}"
+            f"{row['invocations']:<7}{row['restarts']:<10}{heartbeat_age:<8}"
+        )
+    if not events:
+        print("\nno worker events journaled yet")
+        return 0
+    print(f"\nEVENTS ({len(events)}):")
+    t0 = events[0]["t_wall"]
+    for event in events:
+        detail = f"  {event['detail']}" if event["detail"] else ""
+        print(
+            f"  +{event['t_wall'] - t0:7.2f}s  worker {event['worker']:<3} "
+            f"shard {event['shard']:<3} {event['kind']}{detail}"
+        )
     return 0
 
 
@@ -973,6 +1091,28 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--baseline", default="",
                    help="campaign id whose reports are the behavioral "
                         "baseline; drifted modules raise drift alerts")
+    c.add_argument("--workers", type=int, default=1,
+                   help="shard the catalog across N supervised worker "
+                        "processes (1 = serial in-process run)")
+    c.add_argument("--heartbeat-interval", type=float, default=0.5,
+                   help="seconds between worker heartbeat commits")
+    c.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   help="heartbeat silence after which a worker is declared "
+                        "wedged and killed")
+    c.add_argument("--max-restarts", type=int, default=3,
+                   help="restarts per shard before it is declared degraded")
+    c.add_argument("--restart-backoff", type=float, default=0.1,
+                   help="base of the exponential restart backoff, seconds")
+    c.add_argument("--chaos-kill-at", type=int, default=0, metavar="K",
+                   help="chaos: SIGKILL each first-attempt worker at its "
+                        "K-th invocation (0 disables)")
+    c.add_argument("--chaos-kill-rate", type=float, default=0.0, metavar="R",
+                   help="chaos: per-invocation SIGKILL probability for "
+                        "first-attempt workers (0 disables)")
+    c.add_argument("--chaos-stall-after", type=int, default=0, metavar="K",
+                   help="chaos: stall a first-attempt worker's heartbeat "
+                        "after K invocations, leaving the process alive "
+                        "(0 disables)")
     c.set_defaults(func=cmd_campaign_run)
 
     c = campaign_commands.add_parser(
@@ -988,6 +1128,18 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--json", action="store_true",
                    help="print progress as JSON")
     c.set_defaults(func=cmd_campaign_status)
+
+    c = campaign_commands.add_parser(
+        "workers",
+        help="worker fleet + lifecycle event timeline of a sharded campaign",
+    )
+    c.add_argument("campaign_id")
+    c.add_argument("--db", required=True, help="journal SQLite file")
+    c.add_argument("--json", action="store_true",
+                   help="rows, events and merged stats as JSON")
+    c.add_argument("--prometheus", action="store_true",
+                   help="per-worker gauges in Prometheus text format")
+    c.set_defaults(func=cmd_campaign_workers)
 
     return parser
 

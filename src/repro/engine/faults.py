@@ -27,9 +27,23 @@ wraps any invoker and manufactures the same weather from a seed:
   counter is keyed by ``(module_id, canonical bindings)`` — *not* a
   global sequence — so the first answer for a combination is identical
   across call orders, retries and campaign resumes.
+* *process chaos* — faults at the granularity sharded multi-process
+  campaigns care about: ``kill_at_invocation`` terminates the *whole
+  worker process* after serving K calls (an OOM-kill stand-in),
+  ``kill_rate`` is its seeded per-call coin flip, and
+  ``stall_heartbeat_after`` wedges the worker's heartbeat (the process
+  stays alive but stops reporting) so a supervisor's hang detection is
+  itself fault-injectable.  Termination goes through an injectable
+  ``terminate`` callable (default :func:`os._exit` with status 137) so
+  unit tests can observe the kill without dying.
 
 Because the RNG is seeded and consulted under a lock in call order, a
 serial run of a fault plan is reproducible; tests assert exact outcomes.
+
+The injector is **picklable**: locks, events and callbacks are dropped
+at pickle time and rebuilt on unpickle (RNG state, blackout ledgers and
+call nonces survive), so an engine configuration can cross a
+``multiprocessing`` spawn boundary into a shard worker.
 """
 
 from __future__ import annotations
@@ -79,6 +93,17 @@ class FaultPlan:
         nondeterministic_providers: Providers whose successful outputs
             are perturbed by a per-combination call counter, so repeat
             invocations on identical bindings disagree.
+        kill_at_invocation: Terminate the whole process after serving
+            this many invocations (0 disables) — the deterministic
+            "worker OOM-killed at invocation K" chaos a supervisor's
+            restart path must contain.
+        kill_rate: Probability in [0, 1] that any given invocation
+            terminates the process (seeded coin flip; 0 disables).
+        stall_heartbeat_after: After this many invocations, raise the
+            :attr:`heartbeat_stalled` flag (0 disables).  The injector
+            itself keeps answering — a worker's heartbeat loop is
+            expected to consult the flag and go silent, so supervisor
+            hang detection (not crash detection) has to fire.
     """
 
     seed: int = 2014
@@ -94,6 +119,9 @@ class FaultPlan:
     stall_ms: float = 0.0
     corrupt_output_providers: frozenset = frozenset()
     nondeterministic_providers: frozenset = frozenset()
+    kill_at_invocation: int = 0
+    kill_rate: float = 0.0
+    stall_heartbeat_after: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.transient_failure_rate <= 1.0:
@@ -104,6 +132,27 @@ class FaultPlan:
             raise ValueError("hang_duration_s must be positive")
         if self.stall_ms < 0:
             raise ValueError("stall_ms must be non-negative")
+        if not 0.0 <= self.kill_rate <= 1.0:
+            raise ValueError("kill_rate must lie in [0, 1]")
+        if self.kill_at_invocation < 0:
+            raise ValueError("kill_at_invocation must be non-negative")
+        if self.stall_heartbeat_after < 0:
+            raise ValueError("stall_heartbeat_after must be non-negative")
+
+    @property
+    def process_chaos(self) -> bool:
+        """Whether any process-level chaos is armed."""
+        return bool(
+            self.kill_at_invocation or self.kill_rate
+            or self.stall_heartbeat_after
+        )
+
+
+def _default_terminate() -> None:  # pragma: no cover - kills the process
+    """The real process-chaos kill: immediate, no cleanup, like SIGKILL."""
+    import os
+
+    os._exit(137)
 
 
 class FaultInjectingInvoker:
@@ -115,11 +164,13 @@ class FaultInjectingInvoker:
         plan: FaultPlan,
         sleep: Callable[[float], None] = time.sleep,
         on_fault: "Callable[[Module, str], None] | None" = None,
+        terminate: "Callable[[], None] | None" = None,
     ) -> None:
         self.inner = inner
         self.plan = plan
         self._sleep = sleep
         self._on_fault = on_fault
+        self._terminate = terminate if terminate is not None else _default_terminate
         self._rng = random.Random(plan.seed)
         self._lock = threading.Lock()
         self._blackout_remaining = {
@@ -133,11 +184,50 @@ class FaultInjectingInvoker:
         # Hung calls wait on this real-time event; tests set it in
         # teardown so abandoned watchdog workers drain promptly.
         self._hang_release = threading.Event()
+        #: Invocations this injector has admitted (process-chaos clock).
+        self.invocations = 0
+        #: Raised once ``stall_heartbeat_after`` invocations have been
+        #: served; heartbeat loops consult it and go silent.
+        self.heartbeat_stalled = threading.Event()
 
     def blackout_remaining(self, provider: str) -> int:
         """Failing calls the blackout on ``provider`` still has to serve."""
         with self._lock:
             return self._blackout_remaining.get(provider, 0)
+
+    # ------------------------------------------------------------------
+    # Pickling: locks / events / callbacks cannot cross a spawn
+    # boundary; everything deterministic (RNG state, blackout ledgers,
+    # call nonces, the invocation clock) does.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_rng"] = self._rng.getstate()
+        state["heartbeat_stalled"] = self.heartbeat_stalled.is_set()
+        del state["_lock"]
+        del state["_hang_release"]
+        # Callbacks and injected callables are process-local wiring; the
+        # receiving engine re-installs its own.
+        state["_sleep"] = None
+        state["_on_fault"] = None
+        state["_terminate"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        rng_state = state.pop("_rng")
+        stalled = state.pop("heartbeat_stalled")
+        self.__dict__.update(state)
+        self._rng = random.Random()
+        self._rng.setstate(rng_state)
+        self._lock = threading.Lock()
+        self._hang_release = threading.Event()
+        self.heartbeat_stalled = threading.Event()
+        if stalled:
+            self.heartbeat_stalled.set()
+        if self._sleep is None:
+            self._sleep = time.sleep
+        if self._terminate is None:
+            self._terminate = _default_terminate
 
     def release_hangs(self) -> None:
         """Unblock every in-flight and future hung call immediately.
@@ -158,6 +248,18 @@ class FaultInjectingInvoker:
         """
         plan = self.plan
         with self._lock:
+            self.invocations += 1
+            killed = (
+                plan.kill_at_invocation
+                and self.invocations == plan.kill_at_invocation
+            ) or (
+                plan.kill_rate and self._rng.random() < plan.kill_rate
+            )
+            if (
+                plan.stall_heartbeat_after
+                and self.invocations >= plan.stall_heartbeat_after
+            ):
+                self.heartbeat_stalled.set()
             latency_s = 0.0
             if plan.latency_ms:
                 jitter = 1.0 + plan.latency_jitter * self._rng.uniform(-1.0, 1.0)
@@ -174,6 +276,14 @@ class FaultInjectingInvoker:
                 fault = "injected transient failure"
             else:
                 fault = None
+        if killed:
+            # The process dies *before* the call reaches the module and
+            # before any journal write — the worst moment for a worker
+            # to vanish.  No exception propagates: like a real SIGKILL,
+            # nothing downstream gets to clean up.
+            if self._on_fault is not None:
+                self._on_fault(module, "process chaos kill")
+            self._terminate()
         if latency_s:
             self._sleep(latency_s)
         if module.provider in plan.hang_providers:

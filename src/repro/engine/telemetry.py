@@ -114,6 +114,36 @@ class LatencyHistogram:
         cumulative.append(("+Inf", self.count))
         return cumulative
 
+    @classmethod
+    def from_snapshot(cls, latency: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from a snapshot's ``latency`` section.
+
+        The per-bucket counts are recovered by differencing the
+        cumulative buckets, so a histogram round-trips through
+        ``snapshot()`` exactly — the basis for merging per-worker
+        telemetry snapshots without shared memory.
+        """
+        histogram = cls()
+        cumulative = latency.get("cumulative_buckets") or []
+        previous = 0
+        for index, (_bound, seen) in enumerate(cumulative):
+            histogram._counts[index] = seen - previous
+            previous = seen
+        # The +Inf entry equals the total count; the overflow bucket is
+        # whatever the bounded buckets did not absorb.
+        histogram.count = latency.get("count", previous)
+        histogram.sum_ms = latency.get("sum_ms", 0.0)
+        histogram.max_ms = latency.get("max_ms", 0.0)
+        return histogram
+
+    def absorb(self, other: "LatencyHistogram") -> None:
+        """Add another histogram's samples into this one."""
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.sum_ms += other.sum_ms
+        self.max_ms = max(self.max_ms, other.max_ms)
+
 
 class Telemetry:
     """Counters + latency histogram + a bounded structured event log.
@@ -238,3 +268,161 @@ class Telemetry:
                 f"max {latency['max_ms']:.3f}ms"
             )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Per-worker snapshot merging (sharded multi-process campaigns)
+# ----------------------------------------------------------------------
+#: Circuit-state severity for merging per-worker breaker snapshots: a
+#: provider reported open by any worker is open in the merged view.
+_BREAKER_SEVERITY = {"closed": 0, "half-open": 1, "open": 2}
+
+
+def merge_stats_snapshots(snapshots: "list[dict]") -> dict:
+    """Merge per-worker ``InvocationEngine.stats()`` snapshots.
+
+    Sharded campaigns keep no shared-memory telemetry: every worker
+    process accounts into its own engine and journals the snapshot at
+    checkpoint boundaries (heartbeats).  The supervisor — and any
+    read-only consumer such as ``repro-cli campaign workers`` — calls
+    this to fold the per-worker dicts into one campaign-wide view with
+    the exact shape ``stats()`` produces, so the existing renderers
+    (``render_prometheus``, the dashboard) work unchanged.
+
+    Counters, histograms and layer tallies are summed; breaker circuits
+    take the worst reported state per provider; provider health is
+    re-weighted by call volume.  Shards partition the catalog, so
+    per-module sums (``n_modules``, ``dead_modules``) are disjoint and
+    add exactly.
+    """
+    merged: dict = {
+        "counters": {},
+        "n_events": 0,
+        "max_events": 0,
+        "dropped_events": 0,
+    }
+    histogram = LatencyHistogram()
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in snapshot.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        latency = snapshot.get("latency")
+        if latency:
+            histogram.absorb(LatencyHistogram.from_snapshot(latency))
+        merged["n_events"] += snapshot.get("n_events", 0)
+        merged["max_events"] = max(
+            merged["max_events"], snapshot.get("max_events", 0)
+        )
+        merged["dropped_events"] += snapshot.get("dropped_events", 0)
+        _merge_cache(merged, snapshot.get("cache"))
+        _merge_breaker(merged, snapshot.get("breaker"))
+        _merge_watchdog(merged, snapshot.get("watchdog"))
+        _merge_conformance(merged, snapshot.get("conformance"))
+        _merge_health(merged, snapshot.get("health"))
+    merged["latency"] = {
+        "count": histogram.count,
+        "sum_ms": histogram.sum_ms,
+        "mean_ms": histogram.mean_ms,
+        "p50_ms": histogram.quantile(0.5),
+        "p95_ms": histogram.quantile(0.95),
+        "max_ms": histogram.max_ms,
+        "buckets": histogram.buckets(),
+        "cumulative_buckets": [
+            list(pair) for pair in histogram.cumulative_buckets()
+        ],
+    }
+    return merged
+
+
+def _merge_cache(merged: dict, cache: "dict | None") -> None:
+    if cache is None:
+        return
+    into = merged.setdefault(
+        "cache",
+        {
+            "size": 0, "maxsize": 0, "hits": 0, "negative_hits": 0,
+            "misses": 0, "evictions": 0, "negative_expired": 0,
+        },
+    )
+    for key in (
+        "size", "maxsize", "hits", "negative_hits", "misses",
+        "evictions", "negative_expired",
+    ):
+        into[key] += cache.get(key, 0)
+    lookups = into["hits"] + into["negative_hits"] + into["misses"]
+    into["hit_rate"] = (
+        (into["hits"] + into["negative_hits"]) / lookups if lookups else 0.0
+    )
+
+
+def _merge_breaker(merged: dict, breaker: "dict | None") -> None:
+    if breaker is None:
+        return
+    into = merged.setdefault("breaker", {})
+    for provider, circuit in breaker.items():
+        entry = into.setdefault(
+            provider,
+            {
+                "state": "closed", "consecutive_failures": 0,
+                "times_opened": 0, "fast_failures": 0,
+            },
+        )
+        if _BREAKER_SEVERITY.get(circuit.get("state", "closed"), 0) > (
+            _BREAKER_SEVERITY.get(entry["state"], 0)
+        ):
+            entry["state"] = circuit["state"]
+        entry["consecutive_failures"] = max(
+            entry["consecutive_failures"],
+            circuit.get("consecutive_failures", 0),
+        )
+        entry["times_opened"] += circuit.get("times_opened", 0)
+        entry["fast_failures"] += circuit.get("fast_failures", 0)
+
+
+def _merge_watchdog(merged: dict, watchdog: "dict | None") -> None:
+    if watchdog is None:
+        return
+    into = merged.setdefault(
+        "watchdog", {"budget_s": 0.0, "timeouts": 0, "abandoned_in_flight": 0}
+    )
+    into["budget_s"] = max(into["budget_s"], watchdog.get("budget_s", 0.0))
+    into["timeouts"] += watchdog.get("timeouts", 0)
+    into["abandoned_in_flight"] += watchdog.get("abandoned_in_flight", 0)
+
+
+def _merge_conformance(merged: dict, conformance: "dict | None") -> None:
+    if conformance is None:
+        return
+    into = merged.setdefault("conformance", {})
+    for key, value in conformance.items():
+        if isinstance(value, (int, float)):
+            into[key] = into.get(key, 0) + value
+
+
+def _merge_health(merged: dict, health: "dict | None") -> None:
+    if health is None:
+        return
+    into = merged.setdefault(
+        "health", {"n_modules": 0, "dead_modules": [], "providers": {}}
+    )
+    into["n_modules"] += health.get("n_modules", 0)
+    into["dead_modules"] = sorted(
+        set(into["dead_modules"]) | set(health.get("dead_modules", []))
+    )
+    for provider, entry in health.get("providers", {}).items():
+        rollup = into["providers"].setdefault(
+            provider,
+            {
+                "calls": 0, "answered": 0, "timeouts": 0, "malformed": 0,
+                "modules": 0, "dead_modules": 0,
+            },
+        )
+        for key in (
+            "calls", "answered", "timeouts", "malformed", "modules",
+            "dead_modules",
+        ):
+            rollup[key] += entry.get(key, 0)
+        rollup["availability"] = (
+            rollup["answered"] / rollup["calls"] if rollup["calls"] else 1.0
+        )

@@ -40,6 +40,7 @@ def render_dashboard(
     samples: "list[dict]",
     alert_events: "list[dict]",
     width: int = DEFAULT_WIDTH,
+    workers: "list[dict] | None" = None,
 ) -> str:
     """One dashboard frame, pure over journal-derived state.
 
@@ -49,6 +50,9 @@ def render_dashboard(
         samples: Journaled snapshot timeline (oldest first).
         alert_events: Journaled alert history (recording order).
         width: Total frame width.
+        workers: Per-shard worker rows of a sharded campaign
+            (:func:`repro.campaign.sharding.worker_rows`), or None for
+            a serial run.
     """
     planned = len(meta.module_ids)
     done = progress.get("n_done", 0)
@@ -61,6 +65,33 @@ def render_dashboard(
         f"{done}/{planned} done",
         f"             {skipped} skipped, {pending} pending",
     ]
+    if done == 0 and skipped == 0:
+        lines.append("  results    no results journaled yet")
+    if workers:
+        alive = sum(1 for row in workers if row["alive"])
+        total_restarts = sum(row["restarts"] for row in workers)
+        degraded = sum(1 for row in workers if row["phase"] == "degraded")
+        summary = f"  workers    {alive}/{len(workers)} alive"
+        if total_restarts:
+            summary += f", {total_restarts} restarts"
+        if degraded:
+            summary += f", {degraded} degraded"
+        lines.append(summary)
+        for row in workers:
+            heartbeat = (
+                f"hb {row['heartbeat_age']:.1f}s"
+                if row["heartbeat_age"] is not None
+                else "hb -"
+            )
+            shard_done = f"{row['n_done']}/{row['n_planned']}"
+            if row["n_skipped"]:
+                shard_done += f"+{row['n_skipped']}s"
+            lines.append(
+                f"    shard {row['shard']:<3} worker {row['worker']:<3} "
+                f"{row['phase']:<9} {shard_done:<9} "
+                f"inv {row['invocations']:<5} "
+                f"restarts {row['restarts']:<3} {heartbeat}"
+            )
     last = samples[-1] if samples else None
     if last is None:
         lines.append("  samples    none journaled yet")
@@ -191,7 +222,17 @@ class Dashboard:
         progress = self.journal.progress_counts(self.campaign_id)
         samples = self.journal.snapshots(self.campaign_id)
         alerts = self.journal.alerts(self.campaign_id)
-        return render_dashboard(meta, progress, samples, alerts)
+        workers = None
+        if int((meta.config or {}).get("workers", 1) or 1) > 1:
+            # Imported lazily: obs must not depend on campaign at import
+            # time (campaign imports obs for drift/SLO evaluation).
+            from repro.campaign.sharding import worker_rows
+
+            events = self.journal.worker_events(self.campaign_id)
+            workers = worker_rows(
+                self.journal.path, self.campaign_id, meta=meta, events=events
+            )
+        return render_dashboard(meta, progress, samples, alerts, workers=workers)
 
     def render_once(self) -> str:
         """The ``--once`` path: one frame, no escapes, returned and

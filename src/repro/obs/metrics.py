@@ -35,6 +35,12 @@ Metric naming follows the Prometheus conventions:
     Burn-rate gauges and the alert lifecycle from
     :class:`repro.obs.slo.SLOEvaluator`, present when the stats snapshot
     carries an ``slo`` section (merged in by the campaign sampler).
+``repro_campaign_worker_*{worker=...,shard=...}``
+    The sharded-campaign worker fleet (liveness, invocations, restarts,
+    heartbeat age, per-shard progress), present when the snapshot
+    carries a ``workers`` section of
+    :func:`repro.campaign.sharding.worker_rows` rows
+    (``repro-cli campaign workers --prometheus``).
 """
 
 from __future__ import annotations
@@ -412,6 +418,45 @@ def render_prometheus(stats: dict, namespace: str = "repro") -> str:
                         "Alerts currently firing."),
             slo.get("n_firing", 0),
         )
+
+    workers = stats.get("workers")
+    if workers is not None:
+        up_metric = out.declare(
+            "campaign_worker_up", "gauge",
+            "1 while the shard's worker is running with a fresh heartbeat.",
+        )
+        invocations_metric = out.declare(
+            "campaign_worker_invocations_total", "counter",
+            "Provider invocations issued by the shard's current worker.",
+        )
+        restarts_metric = out.declare(
+            "campaign_worker_restarts_total", "counter",
+            "Times the supervisor restarted the shard's worker.",
+        )
+        heartbeat_metric = out.declare(
+            "campaign_worker_heartbeat_age_seconds", "gauge",
+            "Seconds since the shard's last journaled heartbeat.",
+        )
+        done_metric = out.declare(
+            "campaign_worker_modules_done", "gauge",
+            "Modules the shard has journaled done, against its plan.",
+        )
+        planned_metric = out.declare(
+            "campaign_worker_modules_planned", "gauge",
+            "Modules planned for the shard.",
+        )
+        for row in workers:
+            labels = {
+                "worker": str(row["worker"]),
+                "shard": str(row["shard"]),
+            }
+            out.sample(up_metric, 1 if row.get("alive") else 0, labels)
+            out.sample(invocations_metric, row.get("invocations", 0), labels)
+            out.sample(restarts_metric, row.get("restarts", 0), labels)
+            if row.get("heartbeat_age") is not None:
+                out.sample(heartbeat_metric, row["heartbeat_age"], labels)
+            out.sample(done_metric, row.get("n_done", 0), labels)
+            out.sample(planned_metric, row.get("n_planned", 0), labels)
 
     return out.text()
 

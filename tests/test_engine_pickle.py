@@ -1,0 +1,199 @@
+"""Tests of what must cross the spawn boundary into shard workers:
+pickling of the fault plan / engine config / fault injector, the
+process-chaos knobs, and the injectable terminate hook."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    ConformancePolicy,
+    EngineConfig,
+    FaultPlan,
+    RetryPolicy,
+    WatchdogPolicy,
+)
+from repro.engine.faults import FaultInjectingInvoker
+
+
+class _EchoInvoker:
+    """Answers every call with empty outputs; counts the calls."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def invoke(self, module, ctx, bindings):
+        self.calls += 1
+        return {}
+
+
+def _chaos_injector(module, plan, **kwargs):
+    return FaultInjectingInvoker(_EchoInvoker(), plan, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Chaos plan validation + arming
+# ----------------------------------------------------------------------
+class TestChaosPlan:
+    def test_defaults_are_chaos_free(self):
+        assert not FaultPlan().process_chaos
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kill_at_invocation": 3},
+            {"kill_rate": 0.25},
+            {"stall_heartbeat_after": 1},
+        ],
+    )
+    def test_any_chaos_knob_arms_the_plan(self, kwargs):
+        assert FaultPlan(**kwargs).process_chaos
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kill_rate": -0.1},
+            {"kill_rate": 1.5},
+            {"kill_at_invocation": -1},
+            {"stall_heartbeat_after": -1},
+        ],
+    )
+    def test_invalid_chaos_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+
+class TestProcessChaos:
+    def test_kill_at_invocation_fires_exactly_once(self, ctx, catalog):
+        killed = []
+        injector = _chaos_injector(
+            catalog[0],
+            FaultPlan(kill_at_invocation=2),
+            terminate=lambda: killed.append(True),
+        )
+        injector.invoke(catalog[0], ctx, {})
+        assert not killed
+        injector.invoke(catalog[0], ctx, {})
+        assert killed == [True]
+        # Past the kill point the worker (had it survived, as unit tests
+        # do) keeps serving.
+        injector.invoke(catalog[0], ctx, {})
+        assert killed == [True]
+        assert injector.invocations == 3
+
+    def test_kill_rate_is_seeded_and_deterministic(self, ctx, catalog):
+        def run():
+            killed = []
+            injector = _chaos_injector(
+                catalog[0],
+                FaultPlan(seed=7, kill_rate=0.3),
+                terminate=lambda: killed.append(injector.invocations),
+            )
+            for _ in range(20):
+                injector.invoke(catalog[0], ctx, {})
+            return killed
+
+        first, second = run(), run()
+        assert first == second
+        assert first  # 20 draws at 0.3 kill at least once
+
+    def test_zero_kill_rate_consumes_no_rng(self, ctx, catalog):
+        """The short-circuit matters: a disabled kill coin must not
+        shift the RNG draws of other fault features between serial and
+        sharded configurations."""
+        injector = _chaos_injector(catalog[0], FaultPlan(kill_rate=0.0))
+        before = injector._rng.getstate()
+        injector.invoke(catalog[0], ctx, {})
+        assert injector._rng.getstate() == before
+
+    def test_stall_heartbeat_raises_the_flag_but_keeps_serving(
+        self, ctx, catalog
+    ):
+        injector = _chaos_injector(
+            catalog[0], FaultPlan(stall_heartbeat_after=2)
+        )
+        injector.invoke(catalog[0], ctx, {})
+        assert not injector.heartbeat_stalled.is_set()
+        injector.invoke(catalog[0], ctx, {})
+        assert injector.heartbeat_stalled.is_set()
+        assert injector.invoke(catalog[0], ctx, {}) == {}
+
+
+# ----------------------------------------------------------------------
+# Pickling across the spawn boundary
+# ----------------------------------------------------------------------
+class TestPickling:
+    def test_fault_plan_round_trips(self):
+        plan = FaultPlan(
+            seed=42,
+            transient_failure_rate=0.1,
+            latency_ms=5.0,
+            blackout_providers=frozenset({"EBI"}),
+            kill_at_invocation=9,
+            kill_rate=0.05,
+            stall_heartbeat_after=4,
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_engine_config_round_trips(self):
+        config = EngineConfig(
+            parallelism=2,
+            cache_size=128,
+            retry=RetryPolicy(seed=1),
+            fault_plan=FaultPlan(seed=1, latency_ms=2.0),
+            conformance=ConformancePolicy(probe_rate=0.5, probe_seed=1),
+            watchdog=WatchdogPolicy(budget=1.0),
+        )
+        rebuilt = pickle.loads(pickle.dumps(config))
+        assert rebuilt.parallelism == config.parallelism
+        assert rebuilt.fault_plan == config.fault_plan
+        assert rebuilt.retry == config.retry
+
+    def test_injector_preserves_rng_and_counters(self, ctx, catalog):
+        plan = FaultPlan(seed=11, transient_failure_rate=0.4)
+        original = _chaos_injector(catalog[0], plan)
+
+        def outcomes(injector, n):
+            results = []
+            for _ in range(n):
+                try:
+                    injector.invoke(catalog[0], ctx, {})
+                    results.append("ok")
+                except Exception:
+                    results.append("fault")
+            return results
+
+        prefix = outcomes(original, 5)
+        clone = pickle.loads(pickle.dumps(original))
+        clone.inner = _EchoInvoker()  # inner is rebuilt by the engine
+        assert clone.invocations == original.invocations
+        # The clone continues the seeded fault sequence exactly where
+        # the original would have.
+        assert outcomes(clone, 5) == outcomes(original, 5)
+        assert prefix  # the prefix actually exercised the RNG
+
+    def test_injector_pickle_preserves_stalled_flag(self, ctx, catalog):
+        injector = _chaos_injector(
+            catalog[0], FaultPlan(stall_heartbeat_after=1)
+        )
+        injector.invoke(catalog[0], ctx, {})
+        assert injector.heartbeat_stalled.is_set()
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.heartbeat_stalled.is_set()
+
+    def test_unpickled_injector_restores_default_wiring(self, ctx, catalog):
+        injector = _chaos_injector(
+            catalog[0],
+            FaultPlan(),
+            terminate=lambda: None,
+            on_fault=lambda module, detail: None,
+        )
+        clone = pickle.loads(pickle.dumps(injector))
+        # Process-local callables are dropped and replaced by the real
+        # defaults (os._exit for terminate, time.sleep for sleep).
+        assert clone._terminate is not injector._terminate
+        assert clone._on_fault is None
+        clone.inner = _EchoInvoker()
+        assert clone.invoke(catalog[0], ctx, {}) == {}

@@ -51,7 +51,28 @@ class TestRenderDashboard:
         assert "campaign c" in frame and "status running" in frame
         assert "0/4 done" in frame
         assert "none journaled yet" in frame
+        assert "no results journaled yet" in frame
         assert "0 firing / 0 tracked" in frame
+
+    def test_no_results_line_disappears_once_rows_land(self):
+        frame = render_dashboard(meta(), {"n_done": 1, "n_skipped": 0}, [], [])
+        assert "no results journaled yet" not in frame
+
+    def test_worker_rows_render_fleet_summary(self):
+        workers = [
+            {"shard": 0, "worker": 0, "phase": "running", "n_done": 1,
+             "n_skipped": 0, "n_planned": 2, "invocations": 3, "restarts": 0,
+             "heartbeat_age": 0.4, "alive": True},
+            {"shard": 1, "worker": 3, "phase": "degraded", "n_done": 0,
+             "n_skipped": 2, "n_planned": 2, "invocations": 1, "restarts": 2,
+             "heartbeat_age": None, "alive": False},
+        ]
+        frame = render_dashboard(
+            meta(), {"n_done": 1, "n_skipped": 0}, [], [], workers=workers
+        )
+        assert "workers    1/2 alive, 2 restarts, 1 degraded" in frame
+        assert "shard 0" in frame and "hb 0.4s" in frame
+        assert "worker 3" in frame and "0/2+2s" in frame and "hb -" in frame
 
     def test_frame_with_samples_rates_and_alerts(self):
         first = make_sample(

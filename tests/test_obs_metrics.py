@@ -241,8 +241,30 @@ def test_bare_snapshot_skips_unconfigured_layers():
     types, _ = parse_exposition(text)
     assert "repro_invocations_total" in types
     for absent in ("repro_cache_entries", "repro_breaker_state",
-                   "repro_watchdog_timeouts_total", "repro_tracing_traces_kept"):
+                   "repro_watchdog_timeouts_total", "repro_tracing_traces_kept",
+                   "repro_campaign_worker_up"):
         assert absent not in types
+
+
+def test_workers_section_renders_per_shard_gauges():
+    rows = [
+        {"shard": 0, "worker": 0, "alive": True, "invocations": 12,
+         "restarts": 0, "heartbeat_age": 0.5, "n_done": 3, "n_planned": 5},
+        {"shard": 1, "worker": 4, "alive": False, "invocations": 7,
+         "restarts": 2, "heartbeat_age": None, "n_done": 1, "n_planned": 5},
+    ]
+    text = render_prometheus({"workers": rows})
+    types, samples = parse_exposition(text)
+    assert types["repro_campaign_worker_up"] == "gauge"
+    assert types["repro_campaign_worker_restarts_total"] == "counter"
+    assert ('repro_campaign_worker_up{worker="0",shard="0"} 1') in text
+    assert ('repro_campaign_worker_up{worker="4",shard="1"} 0') in text
+    assert ('repro_campaign_worker_invocations_total{worker="4",shard="1"} 7'
+            ) in text
+    # A shard with no heartbeat row has no age sample at all, rather
+    # than a misleading zero.
+    assert 'repro_campaign_worker_heartbeat_age_seconds{worker="4"' not in text
+    assert 'repro_campaign_worker_heartbeat_age_seconds{worker="0"' in text
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI smoke for the sharded campaign (the ``chaos-matrix`` job).
+
+The acceptance scenario of the crash-tolerant sharding work, end to end
+at the CLI surface:
+
+1. Start ``repro-cli campaign run --workers 4 --chaos-kill-rate R`` —
+   every first-attempt worker plays Russian roulette on each
+   invocation, so some (usually all) get SIGKILLed mid-shard and the
+   supervisor must restart them.
+2. While it runs, SIGKILL the **supervisor process itself** as soon as
+   the shard journals show real progress — the worst crash the design
+   promises to survive.
+3. ``repro-cli campaign resume`` from whatever subset of journals the
+   massacre left behind.
+4. Run the identical campaign serially (workers=1, no chaos) in a
+   fresh journal and demand the resumed report is **byte-identical**
+   (same rendered bytes, same content digest line).
+5. Assert the post-mortem surfaces work: ``campaign workers`` renders
+   the fleet + event timeline, ``top --once`` renders worker rows.
+
+Exits nonzero with a diagnostic on any miss; stdlib only.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+WORKERS = 4
+LIMIT = 12
+KILL_RATE = 0.25
+FLAGS = [
+    "--limit", str(LIMIT),
+    "--latency-ms", "40",
+    "--heartbeat-interval", "0.2",
+    "--restart-backoff", "0.05",
+]
+
+
+def fail(message: str) -> int:
+    print(f"chaos-smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def cli(*args: str) -> "subprocess.CompletedProcess":
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def shard_done_count(db: Path) -> int:
+    done = 0
+    for shard in range(WORKERS):
+        path = Path(f"{db}.shard-{shard:02d}")
+        if not path.exists():
+            continue
+        try:
+            done += sqlite3.connect(path).execute(
+                "SELECT COUNT(*) FROM campaign_entries WHERE status = 'done'"
+            ).fetchone()[0]
+        except sqlite3.OperationalError:
+            pass  # shard schema not committed yet
+    return done
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    db = tmp / "chaos.sqlite"
+    print(
+        f"chaos-smoke: {WORKERS} workers, kill-rate {KILL_RATE}, "
+        f"supervisor SIGKILL pending ...",
+    )
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "campaign", "run", "chaos",
+         "--db", str(db), "--workers", str(WORKERS),
+         "--chaos-kill-rate", str(KILL_RATE), *FLAGS],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if shard_done_count(db) >= 2 or victim.poll() is not None:
+                break
+            time.sleep(0.02)
+        else:
+            return fail("sharded campaign never journaled progress")
+    finally:
+        victim.kill()  # SIGKILL the supervisor; workers are orphaned
+        victim.wait()
+    print(
+        f"chaos-smoke: supervisor killed with "
+        f"{shard_done_count(db)}/{LIMIT} modules journaled"
+    )
+
+    resumed = cli("campaign", "resume", "chaos", "--db", str(db))
+    if resumed.returncode != 0:
+        return fail(f"resume failed: {resumed.stderr}")
+    if "status: complete" not in resumed.stdout:
+        return fail(f"resumed campaign not complete:\n{resumed.stdout}")
+
+    reference = cli(
+        "campaign", "run", "chaos", "--db", str(tmp / "serial.sqlite"),
+        *FLAGS,
+    )
+    if reference.returncode != 0:
+        return fail(f"serial reference failed: {reference.stderr}")
+    if resumed.stdout != reference.stdout:
+        return fail(
+            "resumed report is not byte-identical to the serial run\n"
+            f"--- resumed ---\n{resumed.stdout}\n"
+            f"--- serial ---\n{reference.stdout}"
+        )
+    digest = next(
+        line for line in resumed.stdout.splitlines() if "content digest" in line
+    )
+    print(f"chaos-smoke: byte-identical after resume ({digest.strip()})")
+
+    fleet = cli("campaign", "workers", "chaos", "--db", str(db))
+    if fleet.returncode != 0 or "EVENTS" not in fleet.stdout:
+        return fail(f"campaign workers did not render: {fleet.stderr}")
+    if "spawn" not in fleet.stdout:
+        return fail("worker event timeline is missing spawn events")
+    gauges = cli("campaign", "workers", "chaos", "--db", str(db),
+                 "--prometheus")
+    if "repro_campaign_worker_up{" not in gauges.stdout:
+        return fail("per-worker Prometheus gauges missing")
+    top = cli("top", "chaos", "--db", str(db), "--once")
+    if top.returncode != 0 or "workers" not in top.stdout:
+        return fail(f"top --once did not render worker rows: {top.stderr}")
+
+    events = [
+        line for line in fleet.stdout.splitlines()
+        if any(k in line for k in ("crash", "restart", "heartbeat-miss"))
+    ]
+    print(f"chaos-smoke: OK — {len(events)} chaos lifecycle events survived")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
