@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-hangs slo-smoke serve-smoke chaos-smoke bench bench-engine bench-serve bench-campaign serve report engine-stats campaign examples docs-check all clean
+.PHONY: install test test-faults test-hangs slo-smoke serve-smoke serve-chaos chaos-smoke bench bench-engine bench-serve bench-campaign serve report engine-stats campaign examples docs-check all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -61,6 +61,14 @@ bench-campaign:
 # /metrics, and assert the repro_http_* series and SLO gauges are there.
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
+
+# Fleet chaos acceptance (the CI serve-chaos job): a 4-replica
+# SO_REUSEPORT fleet under the 1000-client loadgen with two replicas
+# SIGKILLed mid-load (zero 5xx, bounded stranded-work errors,
+# reconvergence, graceful drain), then an armed --chaos-kill-replica
+# fleet self-healing, then a restart serving the memoized state.
+serve-chaos:
+	$(PYTHON) tools/serve_chaos.py
 
 # Sharded-campaign acceptance smoke (the CI chaos-matrix job): a
 # --workers 4 campaign under --chaos-kill-rate, the supervisor itself

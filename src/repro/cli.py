@@ -14,6 +14,8 @@ Subcommands::
     repro-cli engine-stats [--parallelism N] ...    invocation-engine telemetry
     repro-cli metrics [--json] [--serve]            Prometheus / JSON export
     repro-cli serve [--port P] [--db FILE]          annotation HTTP service
+    repro-cli serve --replicas N --db FILE          supervised SO_REUSEPORT fleet
+    repro-cli serve fleet --db FILE                 replica fleet + event timeline
     repro-cli loadgen --port P [--clients N]        concurrent load harness
     repro-cli trace ID --db FILE [--slowest N]      campaign span timeline
     repro-cli top ID --db FILE [--once]             live campaign dashboard
@@ -363,10 +365,12 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the annotation-as-a-service HTTP server."""
+    """Run the annotation-as-a-service HTTP server (or a replica fleet)."""
     from repro.obs.metrics import ServeError
     from repro.serve import AnnotationService, AnnotationServer, ServeConfig
 
+    if args.replicas > 1:
+        return _serve_fleet(args)
     service = AnnotationService(
         seed=args.seed,
         memoize=not args.no_memoize,
@@ -417,6 +421,170 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 threading.Event().wait()
         except KeyboardInterrupt:  # pragma: no cover - interactive
             pass
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace) -> int:
+    """Run the supervised SO_REUSEPORT replica fleet (serve --replicas N)."""
+    import signal
+    import threading
+
+    from repro.serve import FleetConfig, ServeConfig, ServeSupervisor
+
+    if args.db is None:
+        print(
+            "error: --replicas > 1 needs --db — replicas share "
+            "registrations, memoized reports and tenant budgets through it",
+            file=sys.stderr,
+        )
+        return 2
+    if args.access_log:
+        print(
+            "error: --access-log is unavailable in fleet mode "
+            "(a stream cannot cross the spawn boundary)",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        rate=args.rate if args.rate > 0 else None,
+        burst=args.burst,
+        default_deadline_s=(
+            args.default_deadline_ms / 1000.0
+            if args.default_deadline_ms is not None
+            else None
+        ),
+        journal_db=args.db,
+        sample_interval=args.sample,
+        state_db=args.db,
+    )
+    service = {
+        "seed": args.seed,
+        "memoize": not args.no_memoize,
+        "watchdog_budget": args.watchdog_budget,
+        "latency_ms": args.latency_ms,
+        "fault_rate": args.fault_rate,
+    }
+    try:
+        fleet = FleetConfig(
+            replicas=args.replicas,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_restarts=args.max_restarts,
+            restart_backoff=args.restart_backoff,
+            drain_timeout=args.drain_timeout,
+            chaos_kill_replica=args.chaos_kill_replica,
+        )
+        supervisor = ServeSupervisor(
+            config, fleet, service=service, register_all=args.register_all
+        )
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stop = threading.Event()
+    rolling = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    if hasattr(signal, "SIGHUP"):  # rolling restart on SIGHUP
+        signal.signal(signal.SIGHUP, lambda *_: rolling.set())
+    if args.serve_for is not None:
+        timer = threading.Timer(args.serve_for, stop.set)
+        timer.daemon = True
+        timer.start()
+    print(
+        f"serving annotations on http://{supervisor.host}:{supervisor.port} "
+        f"({fleet.replicas} replicas, inflight {config.max_inflight} each, "
+        f"queue {config.max_queue}, "
+        f"rate {config.rate if config.rate else 'unlimited'}/s per tenant)",
+        file=sys.stderr,
+    )
+    try:
+        graceful = supervisor.run(stop, rolling)
+    finally:
+        supervisor.close()
+    return 0 if graceful else 1
+
+
+def cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """Replica fleet status + lifecycle event timeline of a serving
+    fleet, reconstructed from the shared state store alone — works while
+    the supervisor is alive and post-mortem."""
+    import time as _time
+
+    from repro.serve import ServeStateStore, has_serve_state
+    from repro.serve.fleet import FLEET
+
+    if not has_serve_state(args.db):
+        print(
+            f"error: no serving-fleet state in {args.db} "
+            "(run `repro-cli serve --replicas N --db ...` first)",
+            file=sys.stderr,
+        )
+        return 2
+    store = ServeStateStore(args.db)
+    try:
+        rows = store.replica_rows(
+            now=_time.time(), heartbeat_timeout=args.heartbeat_timeout
+        )
+        events = store.events()
+        tenants = store.tenant_snapshot()
+        reports = store.report_count()
+        modules = len(store.module_ids())
+    finally:
+        store.close()
+    if args.prometheus:
+        from repro.obs import render_prometheus
+
+        print(render_prometheus({"replicas": rows}), end="")
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "replicas": rows,
+                    "events": events,
+                    "tenants": tenants,
+                    "reports": reports,
+                    "modules": modules,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"{'REPLICA':<9}{'PID':<8}{'PHASE':<15}{'ATT':<5}{'REQS':<8}"
+        f"{'RESTARTS':<10}{'HB AGE':<8}"
+    )
+    for row in rows:
+        print(
+            f"{row['replica']:<9}{row['pid']:<8}{row['phase']:<15}"
+            f"{row['attempt']:<5}{row['requests_total']:<8}"
+            f"{row['restarts']:<10}{row['heartbeat_age']:<8.1f}"
+        )
+    print(
+        f"\nshared state: {modules} modules, {reports} memoized reports, "
+        f"{len(tenants)} tenants"
+    )
+    if not events:
+        print("\nno fleet events journaled yet")
+        return 0
+    print(f"\nEVENTS ({len(events)}):")
+    t0 = events[0]["t_wall"]
+    for event in events:
+        who = (
+            "fleet" if event["replica"] == FLEET
+            else f"replica {event['replica']}"
+        )
+        detail = f"  {event['detail']}" if event["detail"] else ""
+        print(
+            f"  +{event['t_wall'] - t0:7.2f}s  {who:<11} "
+            f"{event['kind']}{detail}"
+        )
     return 0
 
 
@@ -963,7 +1131,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write JSON access-log lines to stderr")
     p.add_argument("--serve-for", type=float, default=None,
                    help="serve for N seconds, then exit (default: forever)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replica processes behind one SO_REUSEPORT port "
+                        "(>1 runs the supervised fleet; needs --db)")
+    p.add_argument("--heartbeat-interval", type=float, default=0.5,
+                   help="seconds between replica heartbeats (fleet mode)")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   help="heartbeat age past which a replica is killed and "
+                        "respawned")
+    p.add_argument("--max-restarts", type=int, default=3,
+                   help="restart budget per replica before it is degraded")
+    p.add_argument("--restart-backoff", type=float, default=0.1,
+                   help="base seconds of the exponential restart backoff")
+    p.add_argument("--drain-timeout", type=float, default=5.0,
+                   help="seconds a draining replica gets to finish its "
+                        "in-flight requests")
+    p.add_argument("--chaos-kill-replica", type=int, default=0, metavar="K",
+                   help="fault injection: each replica's first process dies "
+                        "mid-request at its Kth request (0 disables)")
     p.set_defaults(func=cmd_serve)
+    serve_commands = p.add_subparsers(
+        dest="serve_command", metavar="{fleet}", required=False
+    )
+    f = serve_commands.add_parser(
+        "fleet",
+        help="replica fleet + lifecycle timeline from the shared state "
+             "store (post-mortem safe)",
+    )
+    f.add_argument("--db", required=True,
+                   help="the fleet's shared state store (serve --db FILE)")
+    f.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   help="heartbeat age past which a replica counts as down")
+    f.add_argument("--json", action="store_true",
+                   help="machine-readable fleet snapshot")
+    f.add_argument("--prometheus", action="store_true",
+                   help="repro_serve_replica_* series in exposition format")
+    f.set_defaults(func=cmd_serve_fleet)
 
     p = commands.add_parser(
         "loadgen",

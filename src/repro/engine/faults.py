@@ -99,6 +99,13 @@ class FaultPlan:
             restart path must contain.
         kill_rate: Probability in [0, 1] that any given invocation
             terminates the process (seeded coin flip; 0 disables).
+        kill_at_request: Terminate the whole process when it admits this
+            many *HTTP requests* (0 disables).  The serving-fleet
+            counterpart of ``kill_at_invocation``: the request clock
+            ticks via :meth:`FaultInjectingInvoker.note_request` on
+            every governed request, cached answers included, so a
+            replica can be killed mid-traffic even when every response
+            is memoized and no module invocation happens.
         stall_heartbeat_after: After this many invocations, raise the
             :attr:`heartbeat_stalled` flag (0 disables).  The injector
             itself keeps answering — a worker's heartbeat loop is
@@ -121,6 +128,7 @@ class FaultPlan:
     nondeterministic_providers: frozenset = frozenset()
     kill_at_invocation: int = 0
     kill_rate: float = 0.0
+    kill_at_request: int = 0
     stall_heartbeat_after: int = 0
 
     def __post_init__(self) -> None:
@@ -136,6 +144,8 @@ class FaultPlan:
             raise ValueError("kill_rate must lie in [0, 1]")
         if self.kill_at_invocation < 0:
             raise ValueError("kill_at_invocation must be non-negative")
+        if self.kill_at_request < 0:
+            raise ValueError("kill_at_request must be non-negative")
         if self.stall_heartbeat_after < 0:
             raise ValueError("stall_heartbeat_after must be non-negative")
 
@@ -144,7 +154,7 @@ class FaultPlan:
         """Whether any process-level chaos is armed."""
         return bool(
             self.kill_at_invocation or self.kill_rate
-            or self.stall_heartbeat_after
+            or self.kill_at_request or self.stall_heartbeat_after
         )
 
 
@@ -186,6 +196,9 @@ class FaultInjectingInvoker:
         self._hang_release = threading.Event()
         #: Invocations this injector has admitted (process-chaos clock).
         self.invocations = 0
+        #: HTTP requests noted via :meth:`note_request` (serving-chaos
+        #: clock — ticks even for memoized answers).
+        self.requests = 0
         #: Raised once ``stall_heartbeat_after`` invocations have been
         #: served; heartbeat loops consult it and go silent.
         self.heartbeat_stalled = threading.Event()
@@ -228,6 +241,25 @@ class FaultInjectingInvoker:
             self._sleep = time.sleep
         if self._terminate is None:
             self._terminate = _default_terminate
+
+    def note_request(self) -> None:
+        """Tick the serving-chaos request clock; kill at the Kth tick.
+
+        Serving replicas call this once per governed HTTP request.  When
+        ``kill_at_request`` is armed and this is exactly the Kth request,
+        the process dies through the injectable ``terminate`` — mid-
+        request, before a response is written, so the client on that
+        connection sees the raw connection drop a real replica crash
+        produces.
+        """
+        plan = self.plan
+        if not plan.kill_at_request:
+            return
+        with self._lock:
+            self.requests += 1
+            killed = self.requests == plan.kill_at_request
+        if killed:
+            self._terminate()
 
     def release_hangs(self) -> None:
         """Unblock every in-flight and future hung call immediately.

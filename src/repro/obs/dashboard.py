@@ -41,6 +41,7 @@ def render_dashboard(
     alert_events: "list[dict]",
     width: int = DEFAULT_WIDTH,
     workers: "list[dict] | None" = None,
+    replicas: "list[dict] | None" = None,
 ) -> str:
     """One dashboard frame, pure over journal-derived state.
 
@@ -53,6 +54,9 @@ def render_dashboard(
         workers: Per-shard worker rows of a sharded campaign
             (:func:`repro.campaign.sharding.worker_rows`), or None for
             a serial run.
+        replicas: Serving-fleet replica rows
+            (:meth:`repro.serve.state.ServeStateStore.replica_rows`)
+            when the journal also carries fleet state, or None.
     """
     planned = len(meta.module_ids)
     done = progress.get("n_done", 0)
@@ -91,6 +95,20 @@ def render_dashboard(
                 f"{row['phase']:<9} {shard_done:<9} "
                 f"inv {row['invocations']:<5} "
                 f"restarts {row['restarts']:<3} {heartbeat}"
+            )
+    if replicas:
+        alive = sum(1 for row in replicas if row["alive"])
+        total_restarts = sum(row["restarts"] for row in replicas)
+        summary = f"  replicas   {alive}/{len(replicas)} alive"
+        if total_restarts:
+            summary += f", {total_restarts} restarts"
+        lines.append(summary)
+        for row in replicas:
+            lines.append(
+                f"    replica {row['replica']:<3} pid {row['pid']:<8} "
+                f"{row['phase']:<14} att {row['attempt']:<3} "
+                f"reqs {row['requests_total']:<6} "
+                f"hb {row['heartbeat_age']:.1f}s"
             )
     last = samples[-1] if samples else None
     if last is None:
@@ -232,7 +250,19 @@ class Dashboard:
             workers = worker_rows(
                 self.journal.path, self.campaign_id, meta=meta, events=events
             )
-        return render_dashboard(meta, progress, samples, alerts, workers=workers)
+        replicas = None
+        # Same lazy-import rule: serve imports obs, not the reverse.
+        from repro.serve.state import ServeStateStore, has_serve_state
+
+        if has_serve_state(self.journal.path):
+            store = ServeStateStore(self.journal.path)
+            try:
+                replicas = store.replica_rows()
+            finally:
+                store.close()
+        return render_dashboard(
+            meta, progress, samples, alerts, workers=workers, replicas=replicas
+        )
 
     def render_once(self) -> str:
         """The ``--once`` path: one frame, no escapes, returned and

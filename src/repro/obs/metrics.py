@@ -41,6 +41,11 @@ Metric naming follows the Prometheus conventions:
     carries a ``workers`` section of
     :func:`repro.campaign.sharding.worker_rows` rows
     (``repro-cli campaign workers --prometheus``).
+``repro_serve_replica_*{replica=...}``
+    The serving-fleet replicas (liveness, requests served, restarts,
+    heartbeat age), present when the snapshot carries a ``replicas``
+    section of :meth:`repro.serve.state.ServeStateStore.replica_rows`
+    rows (``repro-cli serve fleet --prometheus``).
 """
 
 from __future__ import annotations
@@ -65,7 +70,8 @@ class ServeError(RuntimeError):
 
 
 def bind_threading_server(
-    handler, host: str, port: int, what: str, backlog: int = 1024
+    handler, host: str, port: int, what: str, backlog: int = 1024,
+    reuse_port: bool = False,
 ):
     """Bind a :class:`ThreadingHTTPServer`, translating bind failures.
 
@@ -78,16 +84,37 @@ def bind_threading_server(
             connections under a concurrent connect wavefront; a server
             meant to shed load *explicitly* (429) must first accept the
             connection.
+        reuse_port: Set ``SO_REUSEPORT`` before binding, so several
+            replica processes share one port and the kernel balances
+            incoming connections across them.  Requires a concrete port
+            (the replicas must agree on it) and a platform that has the
+            option.
 
     Raises:
         ServeError: The address is already in use or not bindable —
             the message names the server, host and port so the operator
-            can find the squatter or pick another port.
+            can find the squatter or pick another port; or
+            ``reuse_port`` was requested on a platform without
+            ``SO_REUSEPORT``.
     """
     import errno
+    import socket
+
+    if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+        raise ServeError(
+            f"{what}: SO_REUSEPORT is not available on this platform — "
+            "multi-replica serving needs kernel support for shared ports"
+        )
 
     class _Server(ThreadingHTTPServer):
         request_queue_size = backlog
+
+        def server_bind(self) -> None:
+            if reuse_port:
+                self.socket.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                )
+            super().server_bind()
 
     try:
         return _Server((host, port), handler)
@@ -457,6 +484,37 @@ def render_prometheus(stats: dict, namespace: str = "repro") -> str:
                 out.sample(heartbeat_metric, row["heartbeat_age"], labels)
             out.sample(done_metric, row.get("n_done", 0), labels)
             out.sample(planned_metric, row.get("n_planned", 0), labels)
+
+    replicas = stats.get("replicas")
+    if replicas is not None:
+        up_metric = out.declare(
+            "serve_replica_up", "gauge",
+            "1 while the replica is running with a fresh heartbeat.",
+        )
+        requests_metric = out.declare(
+            "serve_replica_requests_total", "counter",
+            "HTTP requests served by the replica's current process.",
+        )
+        restarts_metric = out.declare(
+            "serve_replica_restarts_total", "counter",
+            "Times the supervisor restarted the replica.",
+        )
+        heartbeat_metric = out.declare(
+            "serve_replica_heartbeat_age_seconds", "gauge",
+            "Seconds since the replica's last journaled heartbeat.",
+        )
+        attempt_metric = out.declare(
+            "serve_replica_attempt", "gauge",
+            "Spawn attempt of the replica's current process (1 = original).",
+        )
+        for row in replicas:
+            labels = {"replica": str(row["replica"])}
+            out.sample(up_metric, 1 if row.get("alive") else 0, labels)
+            out.sample(requests_metric, row.get("requests_total", 0), labels)
+            out.sample(restarts_metric, row.get("restarts", 0), labels)
+            if row.get("heartbeat_age") is not None:
+                out.sample(heartbeat_metric, row["heartbeat_age"], labels)
+            out.sample(attempt_metric, row.get("attempt", 0), labels)
 
     return out.text()
 

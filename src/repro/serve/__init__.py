@@ -8,17 +8,21 @@ The serving stack, bottom-up::
     HttpMetrics           repro_http_* series (requests, latency, shed, ...)
     ServeSampler          SLO burn-rate evaluation + journaling of HTTP samples
     AnnotationServer      the ThreadingHTTPServer tying the gates together
+    ServeStateStore       durable fleet-shared state (reports, tenants, replicas)
+    ServeSupervisor       N SO_REUSEPORT replicas: restart, drain, roll
     loadgen               barrier-released concurrent load harness + report
 
 Request deadlines (``X-Deadline-Ms``) propagate ambiently into the
 engine's watchdog budget; HTTP trace ids join engine span trees via
-ambient span attributes.  ``repro-cli serve`` runs the server,
-``repro-cli loadgen`` drives it.
+ambient span attributes.  ``repro-cli serve`` runs the server (or, with
+``--replicas N``, the supervised fleet), ``repro-cli loadgen`` drives
+it.
 """
 
 from repro.obs.metrics import ServeError, bind_threading_server
 from repro.serve.admission import AdmissionController, SaturatedError
 from repro.serve.app import AnnotationServer, ServeConfig
+from repro.serve.fleet import FleetConfig, ServeSupervisor, serve_replica_main
 from repro.serve.httpmetrics import HttpMetrics, normalize_endpoint
 from repro.serve.loadgen import (
     ENDPOINTS,
@@ -33,6 +37,7 @@ from repro.serve.ratelimit import (
     TokenBucket,
 )
 from repro.serve.sampling import HTTP_SLOS, ServeSampler, http_sample
+from repro.serve.state import ServeStateStore, has_serve_state
 from repro.serve.service import (
     AnnotationService,
     UnknownModuleError,
@@ -46,6 +51,7 @@ __all__ = [
     "AdmissionController",
     "AnnotationServer",
     "AnnotationService",
+    "FleetConfig",
     "HttpMetrics",
     "LoadProfile",
     "LoadReport",
@@ -53,13 +59,17 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "ServeSampler",
+    "ServeStateStore",
+    "ServeSupervisor",
     "TenantRateLimiter",
     "TokenBucket",
     "UnknownModuleError",
     "UnregisteredModuleError",
     "bind_threading_server",
+    "has_serve_state",
     "http_sample",
     "normalize_endpoint",
     "register_modules",
     "run_loadgen",
+    "serve_replica_main",
 ]

@@ -23,6 +23,7 @@ the metrics exposition and the dashboard render.
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import Callable
 
@@ -54,6 +55,12 @@ class AdmissionController:
         retry_after: Base ``Retry-After`` hint for shed requests,
             seconds; scaled by how deep the queue was at shed time so
             clients back off harder the more saturated the service is.
+        jitter: Fractional random spread on the hint: each shed request
+            gets ``hint * uniform(1, 1 + jitter)``.  A shed wavefront of
+            synchronized clients all told the *same* number re-arrives
+            in lockstep and is shed again as one wave; the jitter
+            de-synchronizes the retry herd (0 disables).
+        seed: Seed of the jitter RNG, so tests can pin the spread.
         clock: Monotonic clock, injectable for tests.
     """
 
@@ -63,6 +70,8 @@ class AdmissionController:
         max_queue: int = 32,
         queue_timeout: float = 1.0,
         retry_after: float = 1.0,
+        jitter: float = 0.5,
+        seed: int = 2014,
         clock: Callable[[], float] = default_clock,
     ) -> None:
         if max_inflight < 1:
@@ -73,10 +82,14 @@ class AdmissionController:
             raise ValueError("queue_timeout must be positive")
         if retry_after <= 0:
             raise ValueError("retry_after must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.queue_timeout = queue_timeout
         self.retry_after = retry_after
+        self.jitter = jitter
+        self._rng = random.Random(seed)
         self._clock = clock
         self._condition = threading.Condition()
         self._inflight = 0
@@ -147,8 +160,12 @@ class AdmissionController:
         # come back sooner than the backlog can drain will only be shed
         # again.
         if self.max_queue <= 0:
-            return self.retry_after
-        return self.retry_after * (1.0 + self._queued / self.max_queue)
+            base = self.retry_after
+        else:
+            base = self.retry_after * (1.0 + self._queued / self.max_queue)
+        if self.jitter:
+            base *= 1.0 + self.jitter * self._rng.random()
+        return base
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

@@ -68,6 +68,7 @@ from repro.serve.admission import AdmissionController, SaturatedError
 from repro.serve.httpmetrics import HttpMetrics, normalize_endpoint
 from repro.serve.ratelimit import ANONYMOUS_TENANT, TenantRateLimiter
 from repro.serve.sampling import DEFAULT_CAMPAIGN_ID, ServeSampler
+from repro.serve.state import ServeStateStore
 from repro.serve.service import (
     AnnotationService,
     UnknownModuleError,
@@ -102,6 +103,17 @@ class ServeConfig:
             driven manually via ``server.sampler.sample()``).
         log_stream: Stream for structured JSON access-log lines
             (``None`` keeps the log in-memory only).
+        retry_jitter: Fractional random spread on shed ``Retry-After``
+            hints (:class:`~repro.serve.admission.AdmissionController`).
+        reuse_port: Bind with ``SO_REUSEPORT`` so several replica
+            processes share this (concrete) port and the kernel balances
+            connections across them.
+        state_db: Path of a :class:`~repro.serve.state.ServeStateStore`
+            SQLite file (may be the journal itself).  Makes module
+            registrations, memoized reports and tenant budgets durable
+            and fleet-shared.
+        replica: This process's replica index in a fleet (``None`` for a
+            standalone server); stamped on HTTP samples.
     """
 
     host: str = "127.0.0.1"
@@ -117,6 +129,10 @@ class ServeConfig:
     campaign_id: str = DEFAULT_CAMPAIGN_ID
     sample_interval: float = 0.0
     log_stream: "object | None" = None
+    retry_jitter: float = 0.5
+    reuse_port: bool = False
+    state_db: "str | None" = None
+    replica: "int | None" = None
 
 
 class _ClientError(Exception):
@@ -154,15 +170,26 @@ class AnnotationServer:
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self.service = service if service is not None else AnnotationService()
+        # Durable serving state: reuse the service's store when it came
+        # wired (the fleet replica path), else open the configured one
+        # and thread it through the service so registrations and
+        # memoized reports are shared/durable too.
+        self.state: "ServeStateStore | None" = self.service.state
+        if self.state is None and self.config.state_db is not None:
+            self.state = ServeStateStore(self.config.state_db)
+            self.service.state = self.state
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             max_queue=self.config.max_queue,
             queue_timeout=self.config.queue_timeout,
             retry_after=self.config.retry_after,
+            jitter=self.config.retry_jitter,
+            seed=self.service.seed,
             clock=clock,
         )
         self.limiter = TenantRateLimiter(
-            rate=self.config.rate, burst=self.config.burst, clock=clock
+            rate=self.config.rate, burst=self.config.burst, clock=clock,
+            store=self.state,
         )
         self.metrics = HttpMetrics()
         self._clock = clock
@@ -177,7 +204,15 @@ class AnnotationServer:
             journal=self.journal,
             campaign_id=self.config.campaign_id,
             seed=self.service.seed,
+            replica=self.config.replica,
         )
+        # Graceful-drain machinery: a draining server answers in-flight
+        # requests, closes keep-alive connections, and accepts nothing
+        # new.  ``_active`` counts requests between header parse and
+        # response write; drain() waits for it to reach zero.
+        self._draining = threading.Event()
+        self._active = 0
+        self._active_cond = threading.Condition()
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -196,7 +231,8 @@ class AnnotationServer:
                 pass  # the structured access log replaces stdlib logging
 
         self._httpd = bind_threading_server(
-            Handler, self.config.host, self.config.port, "annotation server"
+            Handler, self.config.host, self.config.port, "annotation server",
+            reuse_port=self.config.reuse_port,
         )
         self._httpd.daemon_threads = True
         self._thread: "threading.Thread | None" = None
@@ -225,7 +261,7 @@ class AnnotationServer:
         return self
 
     def stop(self) -> None:
-        """Stop serving, sampling, and close the journal."""
+        """Stop serving, sampling, and close the journal + state."""
         self.sampler.stop()
         if self._thread is not None:
             self._httpd.shutdown()
@@ -235,6 +271,65 @@ class AnnotationServer:
         if self.journal is not None:
             self.journal.close()
             self.journal = None
+        if self.state is not None:
+            self.state.close()
+            self.state = None
+            self.service.state = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def active_requests(self) -> int:
+        with self._active_cond:
+            return self._active
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight work.
+
+        The sequence a SIGTERM'd replica must walk:
+
+        1. flip the draining flag — every response written from now on
+           carries ``Connection: close``, so keep-alive clients are told
+           to reconnect (the kernel routes their next connection to a
+           sibling replica);
+        2. stop the accept loop and **close the listening socket** —
+           with ``SO_REUSEPORT`` the port stays served by the rest of
+           the fleet the instant this socket closes;
+        3. wait up to ``timeout`` seconds for the in-flight request
+           counter to reach zero, then release the rest of the server
+           (sampler, journal, state).
+
+        Idle keep-alive connections (no request currently in flight) are
+        *not* waited for: their handler threads are daemon threads that
+        die with the process, and a client reusing such a socket sees a
+        reset on a connection that never carried an unanswered request —
+        the retry-once-on-fresh-connection rule every keep-alive client
+        needs anyway.
+
+        Returns:
+            True when every in-flight request finished inside the
+            deadline; False when the drain timed out with requests still
+            running.
+        """
+        self._draining.set()
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        deadline = self._clock() + timeout
+        drained = True
+        with self._active_cond:
+            while self._active > 0:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    drained = False
+                    break
+                self._active_cond.wait(remaining)
+        self.stop()
+        return drained
 
     def __enter__(self) -> "AnnotationServer":
         return self.start()
@@ -272,6 +367,19 @@ class AnnotationServer:
             return f"req-{self._trace_seq:06d}"
 
     def _handle(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        with self._active_cond:
+            self._active += 1
+        try:
+            self._handle_counted(handler, method)
+        finally:
+            with self._active_cond:
+                self._active -= 1
+                if self._active == 0:
+                    self._active_cond.notify_all()
+
+    def _handle_counted(
+        self, handler: BaseHTTPRequestHandler, method: str
+    ) -> None:
         started = self._clock()
         path = urlsplit(handler.path).path
         tenant = handler.headers.get("X-Api-Key") or ANONYMOUS_TENANT
@@ -342,6 +450,11 @@ class AnnotationServer:
             }
         deadline_s = self._deadline_seconds(request_headers)
         self.admission.acquire(max_wait=deadline_s)
+        # The serving-chaos clock ticks here — request admitted, no
+        # response written — so an armed --chaos-kill-replica dies at
+        # the worst moment: mid-request, the client left with a dropped
+        # connection, exactly like a real replica crash.
+        self.service.note_request()
         try:
             with deadline_scope(deadline_s), ambient_span_attributes(
                 http_trace_id=trace_id, http_tenant=tenant
@@ -483,6 +596,12 @@ class AnnotationServer:
             handler.send_header("X-Trace-Id", trace_id)
             for name, value in headers.items():
                 handler.send_header(name, value)
+            if self._draining.is_set():
+                # Tell keep-alive clients this connection is done; the
+                # stdlib handler sees the header and closes after the
+                # body, so the client's next request reconnects (and,
+                # under SO_REUSEPORT, lands on a sibling replica).
+                handler.send_header("Connection", "close")
             handler.end_headers()
             handler.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):

@@ -16,6 +16,16 @@ pressure, because they mean opposite things:
 * ``429 rate-limited`` — a tenant exceeded its own budget; other
   tenants must be unaffected.
 
+Keep-alive has one inherent race the harness must not misreport: a
+server is always free to close an idle persistent connection between
+requests (a draining replica does exactly that), and the client only
+finds out when its *next* request on the reused socket fails.  That is
+not a failed request — the server never saw it — so the client retries
+it exactly once on a fresh connection (counted as ``stale_retries``);
+only a failure on a fresh connection, or a second consecutive failure,
+is a real ``transport_error``.  Without this rule a perfectly graceful
+fleet drain would read as a wall of client-visible failures.
+
 Latency percentiles are exact (computed from the full sorted sample
 list, not a histogram), since the harness holds every observation in
 memory anyway.
@@ -95,6 +105,11 @@ class LoadReport:
     missing_retry_after: int
     wall_s: float
     latency_ms: "dict[str, float]"
+    stale_retries: int = 0
+    #: Transport failures by exception class (e.g. ``ConnectionResetError``),
+    #: split into ``fresh:`` (first use of a connection) and ``retry:``
+    #: (the one allowed retry after a stale keep-alive socket) prefixes.
+    errors_by_kind: "dict[str, int]" = field(default_factory=dict)
 
     @property
     def n_5xx(self) -> int:
@@ -128,6 +143,8 @@ class LoadReport:
                 sorted(self.rate_limited_by_tenant.items())
             ),
             "transport_errors": self.transport_errors,
+            "errors_by_kind": dict(sorted(self.errors_by_kind.items())),
+            "stale_retries": self.stale_retries,
             "missing_retry_after": self.missing_retry_after,
             "wall_s": round(self.wall_s, 3),
             "throughput_rps": round(self.throughput_rps, 1),
@@ -144,12 +161,21 @@ class LoadReport:
             ),
             f"  outcomes   {self.n_2xx} ok, {self.shed} shed "
             f"({self.shed_rate:.1%}), {self.rate_limited} rate-limited, "
-            f"{self.n_5xx} server errors, {self.transport_errors} transport errors",
+            f"{self.n_5xx} server errors, {self.transport_errors} transport "
+            f"errors, {self.stale_retries} stale-connection retries",
             f"  latency    p50 {self.latency_ms['p50']:.1f}ms  "
             f"p95 {self.latency_ms['p95']:.1f}ms  "
             f"p99 {self.latency_ms['p99']:.1f}ms  "
             f"max {self.latency_ms['max']:.1f}ms",
         ]
+        if self.errors_by_kind:
+            lines.append(
+                "  errors     "
+                + "  ".join(
+                    f"{kind}:{count}"
+                    for kind, count in sorted(self.errors_by_kind.items())
+                )
+            )
         return "\n".join(lines)
 
 
@@ -188,7 +214,13 @@ class _Client(threading.Thread):
         self.shed = 0
         self.rate_limited = 0
         self.transport_errors = 0
+        self.stale_retries = 0
         self.missing_retry_after = 0
+        self.errors_by_kind: "dict[str, int]" = {}
+
+    def _record_error(self, where: str, error: Exception) -> None:
+        kind = f"{where}:{type(error).__name__}"
+        self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
 
     def _request(self, connection, name: str) -> None:
         method, path = ENDPOINTS[name]
@@ -220,22 +252,46 @@ class _Client(threading.Thread):
             else:
                 self.shed += 1
 
-    def run(self) -> None:
-        connection = http.client.HTTPConnection(
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
             self.host, self.port, timeout=self.profile.timeout
         )
+
+    def run(self) -> None:
+        connection = self._connect()
+        # Requests already answered on the current connection.  A
+        # failure on a *reused* socket is the keep-alive race (the
+        # server closed the idle connection between requests, e.g. a
+        # draining replica) — the request never reached a server, so it
+        # is retried once on a fresh connection.  A failure on a fresh
+        # connection, or on the retry itself, is a real client-visible
+        # transport error.
+        served_here = 0
         self.barrier.wait()
         try:
             for _ in range(self.profile.requests_per_client):
                 name = self.rng.choices(self.names, weights=self.weights)[0]
                 try:
                     self._request(connection, name)
-                except (OSError, http.client.HTTPException):
-                    self.transport_errors += 1
+                    served_here += 1
+                except (OSError, http.client.HTTPException) as error:
+                    reused = served_here > 0
                     connection.close()
-                    connection = http.client.HTTPConnection(
-                        self.host, self.port, timeout=self.profile.timeout
-                    )
+                    connection = self._connect()
+                    served_here = 0
+                    if not reused:
+                        self.transport_errors += 1
+                        self._record_error("fresh", error)
+                        continue
+                    self.stale_retries += 1
+                    try:
+                        self._request(connection, name)
+                        served_here += 1
+                    except (OSError, http.client.HTTPException) as retry_error:
+                        self.transport_errors += 1
+                        self._record_error("retry", retry_error)
+                        connection.close()
+                        connection = self._connect()
         finally:
             connection.close()
 
@@ -296,9 +352,12 @@ def run_loadgen(
     )
     by_status: "dict[int, int]" = {}
     rate_limited_by_tenant: "dict[str, int]" = {}
+    errors_by_kind: "dict[str, int]" = {}
     for client in clients:
         for status, count in client.statuses.items():
             by_status[status] = by_status.get(status, 0) + count
+        for kind, count in client.errors_by_kind.items():
+            errors_by_kind[kind] = errors_by_kind.get(kind, 0) + count
         if client.rate_limited:
             rate_limited_by_tenant[client.tenant] = (
                 rate_limited_by_tenant.get(client.tenant, 0) + client.rate_limited
@@ -311,6 +370,8 @@ def run_loadgen(
         rate_limited=sum(client.rate_limited for client in clients),
         rate_limited_by_tenant=rate_limited_by_tenant,
         transport_errors=sum(client.transport_errors for client in clients),
+        stale_retries=sum(client.stale_retries for client in clients),
+        errors_by_kind=errors_by_kind,
         missing_retry_after=sum(
             client.missing_retry_after for client in clients
         ),

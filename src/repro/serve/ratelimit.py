@@ -11,6 +11,13 @@ A token bucket is the classic shape: capacity ``burst`` tokens,
 refilled continuously at ``rate`` tokens/second.  A request costs one
 token; an empty bucket yields the time until the next token, which the
 server surfaces as ``Retry-After``.
+
+Buckets live in process memory by default.  Handing the limiter a
+:class:`~repro.serve.state.ServeStateStore` moves them into the durable
+SQLite journal instead: every replica of a fleet charges the *same*
+bucket (one tenant cannot multiply its budget by the replica count), and
+a restarted fleet resumes tenant accounting from exactly the journaled
+balances.
 """
 
 from __future__ import annotations
@@ -93,6 +100,12 @@ class TenantRateLimiter:
     internal batch client).  ``rate=None`` disables limiting entirely —
     useful for trusted single-tenant deployments and for the load
     harness's capacity phase.
+
+    With ``store`` set, buckets are journal-backed (see module docs):
+    charges go through the store's atomic read-modify-write transaction
+    on the wall clock instead of in-memory buckets on the monotonic
+    clock, so they are shared across replica processes and survive
+    restarts.
     """
 
     def __init__(
@@ -100,10 +113,12 @@ class TenantRateLimiter:
         rate: "float | None" = 50.0,
         burst: float = 100.0,
         clock: Callable[[], float] = default_clock,
+        store=None,
     ) -> None:
         self.rate = rate
         self.burst = burst
         self._clock = clock
+        self._store = store
         self._buckets: "dict[str, TokenBucket]" = {}
         self._lock = threading.Lock()
 
@@ -111,8 +126,16 @@ class TenantRateLimiter:
     def enabled(self) -> bool:
         return self.rate is not None
 
+    @property
+    def durable(self) -> bool:
+        """Whether budgets live in the journal rather than this process."""
+        return self._store is not None
+
     def configure(self, tenant: str, rate: float, burst: float) -> None:
         """Give ``tenant`` a bespoke bucket, replacing any existing one."""
+        if self._store is not None:
+            self._store.configure_tenant(tenant, rate, burst)
+            return
         with self._lock:
             self._buckets[tenant] = TokenBucket(rate, burst, clock=self._clock)
 
@@ -120,6 +143,8 @@ class TenantRateLimiter:
         """Charge ``tenant`` one token; see :meth:`TokenBucket.try_acquire`."""
         if not self.enabled:
             return True, 0.0
+        if self._store is not None:
+            return self._store.charge_tenant(tenant, self.rate, self.burst)
         with self._lock:
             bucket = self._buckets.get(tenant)
             if bucket is None:
@@ -129,6 +154,8 @@ class TenantRateLimiter:
 
     def snapshot(self) -> dict:
         """``{tenant: bucket snapshot}`` for every tenant seen so far."""
+        if self._store is not None:
+            return self._store.tenant_snapshot()
         with self._lock:
             buckets = dict(self._buckets)
         return {tenant: bucket.snapshot() for tenant, bucket in buckets.items()}

@@ -95,6 +95,9 @@ class ServeSampler:
         evaluator: SLO evaluator (a fresh :data:`HTTP_SLOS` one otherwise).
         ring: Sample ring (a fresh default-sized one otherwise).
         clock: Monotonic clock, injectable for tests.
+        replica: Fleet replica index stamped on every sample (``None``
+            for a standalone server), so a shared journal's HTTP
+            timeline says which replica produced each sample.
     """
 
     def __init__(
@@ -106,10 +109,12 @@ class ServeSampler:
         evaluator: "SLOEvaluator | None" = None,
         ring: "TimeSeriesRing | None" = None,
         clock: Callable[[], float] = default_clock,
+        replica: "int | None" = None,
     ) -> None:
         self._snapshot = snapshot
         self.journal = journal
         self.campaign_id = campaign_id
+        self.replica = replica
         self.evaluator = evaluator if evaluator is not None else SLOEvaluator(HTTP_SLOS)
         self.ring = ring if ring is not None else TimeSeriesRing()
         self._clock = clock
@@ -137,6 +142,8 @@ class ServeSampler:
             run=0,
             seq=self._seq,
         )
+        if self.replica is not None:
+            sample["replica"] = self.replica
         self._seq += 1
         self.ring.append(sample)
         if self.journal is not None:

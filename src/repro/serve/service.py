@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.campaign.journal import report_to_dict
+from repro.campaign.journal import report_from_dict, report_to_dict
 from repro.core.generation import ExampleGenerator
 from repro.core.matching import find_matches
 from repro.engine import (
@@ -78,6 +78,17 @@ class AnnotationService:
         tracing: Record a span tree per invocation; HTTP trace ids join
             these via ambient span attributes.
         parallelism: Engine scheduler worker threads.
+        state: A :class:`~repro.serve.state.ServeStateStore` making
+            registration and memoized reports durable and fleet-shared:
+            registrations write through to the journal and are honored
+            by every replica, and memoized ``generate`` answers are
+            served from the shared ``serve_reports`` table before any
+            regeneration.
+        kill_at_request: Arm serving process-chaos — the whole process
+            dies at the Kth governed HTTP request (0 disables).  Folded
+            into the engine's :class:`FaultPlan`; the supervisor only
+            arms it on a replica's first spawn so the restarted replica
+            serves normally.
     """
 
     def __init__(
@@ -90,9 +101,12 @@ class AnnotationService:
         cache_size: "int | None" = 4096,
         tracing: bool = True,
         parallelism: int = 1,
+        state=None,
+        kill_at_request: int = 0,
     ) -> None:
         self.seed = seed
         self.memoize = memoize
+        self.state = state
         self.ctx = default_context(seed)
         self.catalog = list(default_catalog())
         self.pool = InstancePool.bootstrap(
@@ -102,11 +116,12 @@ class AnnotationService:
         for module in build_decayed_modules():
             self._by_id.setdefault(module.module_id, module)
         fault_plan = None
-        if latency_ms > 0 or fault_rate > 0:
+        if latency_ms > 0 or fault_rate > 0 or kill_at_request > 0:
             fault_plan = FaultPlan(
                 seed=seed,
                 transient_failure_rate=fault_rate,
                 latency_ms=latency_ms,
+                kill_at_request=kill_at_request,
             )
         self.engine = InvocationEngine(
             EngineConfig(
@@ -136,6 +151,13 @@ class AnnotationService:
     def _registered_module(self, module_id: str):
         with self._lock:
             module = self._registered.get(module_id)
+        if module is None and self.state is not None:
+            # Another replica may have registered it — honor the shared
+            # set and hydrate this process's memory.
+            if self.state.has_module(module_id):
+                module = self._lookup(module_id)
+                with self._lock:
+                    self._registered[module_id] = module
         if module is None:
             self._lookup(module_id)  # distinguish unknown from unregistered
             raise UnregisteredModuleError(
@@ -156,6 +178,11 @@ class AnnotationService:
         with self._lock:
             fresh = module_id not in self._registered
             self._registered[module_id] = module
+        if self.state is not None:
+            # Fleet-wide freshness: the journal row decides whether any
+            # replica (this one included, before a restart) already
+            # registered the module.
+            fresh = self.state.register_module(module_id)
         return {
             "module_id": module.module_id,
             "name": module.name,
@@ -167,9 +194,44 @@ class AnnotationService:
         }
 
     def modules(self) -> "list[str]":
-        """Registered module ids, sorted."""
+        """Registered module ids, sorted (fleet-wide when durable)."""
         with self._lock:
-            return sorted(self._registered)
+            local = set(self._registered)
+        if self.state is not None:
+            local.update(self.state.module_ids())
+        return sorted(local)
+
+    def note_request(self) -> None:
+        """Tick the serving-chaos request clock (no-op unless armed)."""
+        injector = self.engine.fault_injector
+        if injector is not None:
+            injector.note_request()
+
+    def _memoized_report(self, module_id: str):
+        """The memoized report from memory, else the shared store.
+
+        A store hit is hydrated into this process's memory, so a replica
+        pays the JSON round-trip once per module.  Returns ``(report,
+        cached)`` with ``report=None`` on a full miss.
+        """
+        with self._lock:
+            report = self._reports.get(module_id)
+        if report is not None:
+            return report, True
+        if self.state is not None:
+            payload = self.state.load_report(module_id)
+            if payload is not None:
+                report = report_from_dict(payload)
+                with self._lock:
+                    self._reports[module_id] = report
+                return report, True
+        return None, False
+
+    def _memoize_report(self, module_id: str, report) -> None:
+        with self._lock:
+            self._reports[module_id] = report
+        if self.state is not None:
+            self.state.store_report(module_id, report_to_dict(report))
 
     # ------------------------------------------------------------------
     def generate(self, module_id: str) -> dict:
@@ -182,14 +244,12 @@ class AnnotationService:
         """
         module = self._registered_module(module_id)
         if self.memoize:
-            with self._lock:
-                report = self._reports.get(module_id)
-            if report is not None:
+            report, cached = self._memoized_report(module_id)
+            if cached:
                 return self._generation_payload(report, cached=True)
         report = self.generator.generate(module)
         if self.memoize:
-            with self._lock:
-                self._reports[module_id] = report
+            self._memoize_report(module_id, report)
         return self._generation_payload(report, cached=False)
 
     @staticmethod
@@ -208,14 +268,12 @@ class AnnotationService:
     def _examples_for(self, module_id: str):
         module = self._registered_module(module_id)
         if self.memoize:
-            with self._lock:
-                report = self._reports.get(module_id)
-            if report is not None:
+            report, cached = self._memoized_report(module_id)
+            if cached:
                 return report.examples
         report = self.generator.generate(module)
         if self.memoize:
-            with self._lock:
-                self._reports[module_id] = report
+            self._memoize_report(module_id, report)
         return report.examples
 
     def match(self, module_id: str) -> dict:

@@ -17,6 +17,7 @@ from repro.engine import (
     WatchdogPolicy,
 )
 from repro.engine.breaker import BreakerPolicy, CircuitOpenError
+from repro.engine.watchdog import deadline_scope, remaining_deadline
 from repro.modules.errors import (
     InvalidInputError,
     ModuleTimeoutError,
@@ -146,6 +147,72 @@ class TestWatchdogInvoker:
         finally:
             inner.release.set()
         assert seen == [(module.module_id, BUDGET)]
+
+
+class FakeClock:
+    """A hand-advanced clock for deadline arithmetic."""
+
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadlineScope:
+    def test_no_scope_means_no_ambient_deadline(self):
+        assert remaining_deadline() is None
+
+    def test_scope_arms_and_exit_disarms(self):
+        clock = FakeClock()
+        with deadline_scope(10.0, clock=clock):
+            assert remaining_deadline(clock) == pytest.approx(10.0)
+            clock.advance(4.0)
+            assert remaining_deadline(clock) == pytest.approx(6.0)
+        assert remaining_deadline(clock) is None
+
+    def test_nested_tighter_inner_wins_then_outer_is_restored(self):
+        clock = FakeClock()
+        with deadline_scope(10.0, clock=clock):
+            with deadline_scope(2.0, clock=clock):
+                assert remaining_deadline(clock) == pytest.approx(2.0)
+            # Leaving the inner scope restores the outer deadline — the
+            # tightening must not outlive its own block.
+            assert remaining_deadline(clock) == pytest.approx(10.0)
+
+    def test_nested_looser_inner_cannot_extend_the_outer(self):
+        clock = FakeClock()
+        with deadline_scope(1.0, clock=clock):
+            with deadline_scope(60.0, clock=clock):
+                # Nested scopes take the tighter of the two: an inner
+                # scope never buys more time than the request has.
+                assert remaining_deadline(clock) == pytest.approx(1.0)
+            assert remaining_deadline(clock) == pytest.approx(1.0)
+
+    def test_exhausted_deadline_goes_negative_not_none(self):
+        clock = FakeClock()
+        with deadline_scope(1.0, clock=clock):
+            clock.advance(3.0)
+            assert remaining_deadline(clock) == pytest.approx(-2.0)
+        assert remaining_deadline(clock) is None
+
+    def test_scope_disarms_even_when_the_body_raises(self):
+        clock = FakeClock()
+        with pytest.raises(RuntimeError, match="boom"):
+            with deadline_scope(5.0, clock=clock):
+                raise RuntimeError("boom")
+        assert remaining_deadline(clock) is None
+
+    def test_none_deadline_is_a_transparent_no_op(self):
+        clock = FakeClock()
+        with deadline_scope(None, clock=clock):
+            assert remaining_deadline(clock) is None
+        with deadline_scope(7.0, clock=clock):
+            with deadline_scope(None, clock=clock):
+                assert remaining_deadline(clock) == pytest.approx(7.0)
 
 
 class TestEngineTimeoutPath:

@@ -74,6 +74,25 @@ class TestRenderDashboard:
         assert "shard 0" in frame and "hb 0.4s" in frame
         assert "worker 3" in frame and "0/2+2s" in frame and "hb -" in frame
 
+    def test_replica_rows_render_serving_fleet_panel(self):
+        replicas = [
+            {"replica": 0, "pid": 41, "phase": "running", "attempt": 1,
+             "requests_total": 120, "restarts": 0, "heartbeat_age": 0.3,
+             "alive": True},
+            {"replica": 1, "pid": 57, "phase": "drained", "attempt": 3,
+             "requests_total": 9, "restarts": 2, "heartbeat_age": 42.0,
+             "alive": False},
+        ]
+        frame = render_dashboard(
+            meta(), {"n_done": 0, "n_skipped": 0}, [], [], replicas=replicas
+        )
+        assert "replicas   1/2 alive, 2 restarts" in frame
+        assert "replica 0" in frame and "reqs 120" in frame
+        assert "replica 1" in frame and "drained" in frame
+        # No replicas given — a plain campaign journal — no panel.
+        frame = render_dashboard(meta(), {"n_done": 0, "n_skipped": 0}, [], [])
+        assert "replicas " not in frame
+
     def test_frame_with_samples_rates_and_alerts(self):
         first = make_sample(
             seq=0,

@@ -242,7 +242,7 @@ def test_bare_snapshot_skips_unconfigured_layers():
     assert "repro_invocations_total" in types
     for absent in ("repro_cache_entries", "repro_breaker_state",
                    "repro_watchdog_timeouts_total", "repro_tracing_traces_kept",
-                   "repro_campaign_worker_up"):
+                   "repro_campaign_worker_up", "repro_serve_replica_up"):
         assert absent not in types
 
 
@@ -265,6 +265,47 @@ def test_workers_section_renders_per_shard_gauges():
     # than a misleading zero.
     assert 'repro_campaign_worker_heartbeat_age_seconds{worker="4"' not in text
     assert 'repro_campaign_worker_heartbeat_age_seconds{worker="0"' in text
+
+
+def test_replicas_section_renders_per_replica_gauges():
+    rows = [
+        {"replica": 0, "alive": True, "requests_total": 41, "restarts": 0,
+         "heartbeat_age": 0.4, "attempt": 1},
+        {"replica": 1, "alive": False, "requests_total": 7, "restarts": 2,
+         "heartbeat_age": None, "attempt": 3},
+    ]
+    text = render_prometheus({"replicas": rows})
+    types, _ = parse_exposition(text)
+    assert types["repro_serve_replica_up"] == "gauge"
+    assert types["repro_serve_replica_restarts_total"] == "counter"
+    assert 'repro_serve_replica_up{replica="0"} 1' in text
+    assert 'repro_serve_replica_up{replica="1"} 0' in text
+    assert 'repro_serve_replica_requests_total{replica="0"} 41' in text
+    assert 'repro_serve_replica_restarts_total{replica="1"} 2' in text
+    assert 'repro_serve_replica_attempt{replica="1"} 3' in text
+    assert 'repro_serve_replica_heartbeat_age_seconds{replica="1"' not in text
+    assert 'repro_serve_replica_heartbeat_age_seconds{replica="0"} 0.4' in text
+
+
+def test_reuse_port_lets_two_servers_share_one_port():
+    import http.server
+
+    from repro.obs import bind_threading_server
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        pass
+
+    first = bind_threading_server(
+        Handler, "127.0.0.1", 0, "test", reuse_port=True
+    )
+    try:
+        port = first.server_address[1]
+        second = bind_threading_server(
+            Handler, "127.0.0.1", port, "test", reuse_port=True
+        )
+        second.server_close()
+    finally:
+        first.server_close()
 
 
 # ----------------------------------------------------------------------

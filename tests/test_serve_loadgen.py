@@ -1,9 +1,14 @@
 """Tests of the load harness: profile validation, exact percentiles,
 and full runs against in-process servers — including the two 429
 flavors the report must keep apart (admission shed vs tenant
-rate-limited) and the Retry-After contract."""
+rate-limited), the Retry-After contract, and the keep-alive race rule
+(a reset on a reused idle socket is retried once, not misreported as a
+client-visible failure)."""
 
 from __future__ import annotations
+
+import socket
+import threading
 
 import pytest
 
@@ -152,3 +157,87 @@ class TestRunLoadgen:
         assert sum(report.rate_limited_by_tenant.values()) == report.rate_limited
         # 2 tenants x burst 2 = 4 admitted, everything else limited.
         assert report.rate_limited == report.total - 4
+
+
+class _HangUpServer(threading.Thread):
+    """A raw-socket HTTP/1.1 server distilling the keep-alive race.
+
+    ``answer_first=True``: every connection gets exactly one valid
+    keep-alive response, then the server hangs up without warning — the
+    draining-replica behavior.  ``answer_first=False``: every connection
+    is closed before any response — a genuinely broken server.
+    """
+
+    def __init__(self, answer_first=True):
+        super().__init__(daemon=True)
+        self.answer_first = answer_first
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+        self._halt = threading.Event()
+
+    def run(self):
+        while not self._halt.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            with connection:
+                if not self.answer_first:
+                    continue  # immediate hang-up, no response
+                try:
+                    connection.recv(65536)
+                    connection.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: 2\r\n\r\n{}"
+                    )
+                except OSError:
+                    pass
+                # No Connection: close was advertised — the client will
+                # reuse the socket and discover the hang-up only on its
+                # next request.
+
+    def close(self):
+        self._halt.set()
+        self._listener.close()
+
+
+class TestKeepAliveRace:
+    def test_reset_on_reused_socket_is_retried_not_counted(self):
+        # 4 requests against a server that hangs up after every answer:
+        # requests 2..4 each hit a dead reused socket, retry once on a
+        # fresh connection, and succeed.  Client-visible failures: zero.
+        server = _HangUpServer(answer_first=True)
+        server.start()
+        try:
+            profile = LoadProfile(
+                clients=1, requests_per_client=4,
+                mix={"healthz": 1.0}, timeout=10.0,
+            )
+            report = run_loadgen(server.host, server.port, profile)
+        finally:
+            server.close()
+        assert report.by_status == {200: 4}
+        assert report.transport_errors == 0
+        assert report.stale_retries == 3
+        assert "3 stale-connection retries" in report.render()
+        assert report.to_dict()["stale_retries"] == 3
+
+    def test_failure_on_fresh_connection_is_a_real_transport_error(self):
+        # A server that never answers: every failure happens on a fresh
+        # connection, so the retry rule must not excuse any of them.
+        server = _HangUpServer(answer_first=False)
+        server.start()
+        try:
+            profile = LoadProfile(
+                clients=1, requests_per_client=3,
+                mix={"healthz": 1.0}, timeout=10.0,
+            )
+            report = run_loadgen(server.host, server.port, profile)
+        finally:
+            server.close()
+        assert report.by_status == {}
+        assert report.transport_errors == 3
+        assert report.stale_retries == 0

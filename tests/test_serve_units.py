@@ -153,7 +153,8 @@ class TestAdmissionController:
 
     def test_retry_after_scales_with_queue_depth(self):
         controller = AdmissionController(
-            max_inflight=1, max_queue=2, queue_timeout=5.0, retry_after=1.0
+            max_inflight=1, max_queue=2, queue_timeout=5.0, retry_after=1.0,
+            jitter=0.0,
         )
         controller.acquire()
         threads = [
@@ -179,6 +180,28 @@ class TestAdmissionController:
         assert snap["peak_inflight"] == 1
         assert snap["shed_total"] == 1
         assert snap["admitted_total"] == 3
+
+    def test_retry_after_jitter_spreads_the_herd(self):
+        # A shed wavefront all told the same Retry-After re-arrives in
+        # lockstep; the jitter must spread the hints without ever
+        # *shortening* them below the queue-depth-scaled base.
+        def shed_hints(seed, n=6):
+            controller = AdmissionController(
+                max_inflight=1, max_queue=0, retry_after=1.0,
+                jitter=0.5, seed=seed,
+            )
+            controller.acquire()
+            hints = []
+            for _ in range(n):
+                with pytest.raises(SaturatedError) as excinfo:
+                    controller.acquire(max_wait=0.0)
+                hints.append(excinfo.value.retry_after_s)
+            return hints
+
+        hints = shed_hints(seed=2014)
+        assert all(1.0 <= hint <= 1.5 for hint in hints)
+        assert len(set(hints)) > 1, "jitter left the herd synchronized"
+        assert shed_hints(seed=7) == shed_hints(seed=7)  # seeded, reproducible
 
 
 # ----------------------------------------------------------------------

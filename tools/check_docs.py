@@ -44,7 +44,7 @@ _PATH_REF = re.compile(
     r"`((?:docs|examples|benchmarks|tests|tools|src|\.github)/[A-Za-z0-9_./\-]+)`"
 )
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_CLI_MENTION = re.compile(r"repro-cli (?:campaign )?([a-z][a-z-]*)")
+_CLI_MENTION = re.compile(r"repro-cli (?:campaign |serve )?([a-z][a-z-]*)")
 _CLI_BRACES = re.compile(r"repro-cli \{([^}]*)\}")
 _FENCE = re.compile(r"^```(\w*)\s*$")
 
