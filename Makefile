@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-hangs slo-smoke serve-smoke serve-chaos chaos-smoke bench bench-engine bench-serve bench-campaign serve report engine-stats campaign examples docs-check all clean
+.PHONY: install test test-faults test-hangs slo-smoke serve-smoke serve-chaos chaos-smoke bench bench-engine bench-serve bench-campaign bench-match match-smoke serve report engine-stats campaign examples docs-check all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -55,6 +55,23 @@ bench-serve:
 # Writes the wall-clock + per-shard breakdown to BENCH_campaign.json.
 bench-campaign:
 	$(PYTHON) benchmarks/bench_campaign.py
+
+# Repository-scale matching benchmark: exhaustive vs index-pruned §6
+# matching on the paper catalog (digests must be byte-identical) and a
+# 5000-module synthetic all-pairs run (>=10x fewer invocations than the
+# analytic exhaustive estimate).  Writes BENCH_match.json.  Override the
+# synthetic size with BENCH_MATCH_SYNTH=N (the CI smoke uses 600).
+bench-match:
+	$(PYTHON) benchmarks/bench_match.py
+
+# Matching acceptance smoke (the CI match-smoke job): the match/ unit
+# and property tests plus a downsized benchmark run writing to a temp
+# file (the committed BENCH_match.json stays untouched).
+match-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_match_signature.py \
+		tests/test_match_index.py tests/test_match_synth.py \
+		tests/test_match_builder.py tests/test_match_repair.py \
+		tests/test_match_cli.py tests/test_match_exactness.py
 
 # Serving acceptance smoke (the CI serve-smoke job): start a real
 # `repro-cli serve` process, fire a concurrent loadgen burst, scrape

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Repository-scale matching benchmark: exact-vs-pruned accounting.
+
+``make bench-match`` measures the signature index two ways and writes
+``BENCH_match.json``:
+
+* **paper** — the 252-module catalog with its 72 decayed modules: both
+  the exhaustive §6 baseline and the index-pruned matcher are actually
+  run, their invocation counts recorded, and their classification
+  digests asserted **byte-identical** (the exactness guarantee of
+  ``docs/MATCHING.md`` — pruning may only save work, never change an
+  answer).
+* **synthetic** — a generated catalog (``BENCH_MATCH_SYNTH`` modules,
+  default 5000): index build and candidate-query wall-clock, then a
+  full all-pairs pruned matching run.  The exhaustive baseline at this
+  scale would take tens of millions of invocations, so its invocation
+  count is computed analytically instead: modules are grouped by
+  parameter-concept signature, :func:`map_parameters` is evaluated once
+  per group pair, and every mapped query×candidate pair is charged the
+  query's example count — exactly what
+  :func:`repro.match.matcher.exhaustive_match_all` would spend.
+
+Acceptance: identical paper digests, and the synthetic all-pairs run
+must spend at least ``MIN_SPEEDUP``× (10×) fewer engine invocations
+than the exhaustive estimate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections import defaultdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.matching import map_parameters
+from repro.experiments.setup import default_setup
+from repro.match import (
+    CandidateMatcher,
+    SignatureIndex,
+    build_synthetic_catalog,
+    classification_digest,
+    exhaustive_match_all,
+)
+from repro.match.synth import SyntheticCatalogConfig
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_match.json"
+
+SYNTH_N = int(os.environ.get("BENCH_MATCH_SYNTH", "5000"))
+MIN_SPEEDUP = 10.0
+
+
+def bench_paper() -> dict:
+    """Exact vs pruned over the real catalog — digests must agree."""
+    print("paper catalog (252 modules, 72 decayed) ...", file=sys.stderr)
+    setup = default_setup()
+    setup.repository  # fire the §6 decay event
+
+    started = time.perf_counter()
+    index = SignatureIndex()
+    for module in setup.catalog:
+        index.add_module(module, setup.reports[module.module_id].examples)
+    build_s = time.perf_counter() - started
+
+    matcher = CandidateMatcher(
+        setup.ctx, setup.modules_by_id, setup.decayed_examples, index
+    )
+    started = time.perf_counter()
+    pruned = matcher.match_all([m.module_id for m in setup.decayed])
+    pruned_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    exhaustive = exhaustive_match_all(
+        setup.ctx, setup.decayed, setup.decayed_examples, setup.catalog
+    )
+    exhaustive_s = time.perf_counter() - started
+
+    pruned_digest = classification_digest(pruned.matches)
+    exhaustive_digest = classification_digest(exhaustive.matches)
+    if pruned_digest != exhaustive_digest:
+        raise AssertionError(
+            "pruned matching changed a classification on the paper catalog: "
+            f"{pruned_digest} != {exhaustive_digest}"
+        )
+    print(
+        f"  identical digests; invocations "
+        f"{exhaustive.accounting.invocations} exhaustive -> "
+        f"{pruned.accounting.invocations} pruned",
+        file=sys.stderr,
+    )
+    return {
+        "n_catalog": len(setup.catalog),
+        "n_decayed": len(setup.decayed),
+        "index_build_s": round(build_s, 3),
+        "classification_digest": pruned_digest,
+        "digests_identical": True,
+        "pruned": dict(pruned.accounting.as_dict(), wall_s=round(pruned_s, 3)),
+        "exhaustive": dict(
+            exhaustive.accounting.as_dict(), wall_s=round(exhaustive_s, 3)
+        ),
+        "invocation_reduction": round(
+            exhaustive.accounting.invocations
+            / max(1, pruned.accounting.invocations),
+            2,
+        ),
+    }
+
+
+def estimate_exhaustive_invocations(world) -> int:
+    """What :func:`exhaustive_match_all` would spend over ``world``,
+    without running it: group modules by parameter-concept signature,
+    decide mapping viability once per group pair, and charge every
+    mapped ordered pair the query's example count."""
+    groups: "dict[tuple, list[str]]" = defaultdict(list)
+    representative = {}
+    for module in world.modules:
+        key = (
+            tuple((p.structural, p.concept) for p in module.inputs),
+            tuple((p.structural, p.concept) for p in module.outputs),
+        )
+        groups[key].append(module.module_id)
+        representative.setdefault(key, module)
+
+    examples = world.config.examples_per_module
+    total = 0
+    for query_key, query_ids in groups.items():
+        for candidate_key, candidate_ids in groups.items():
+            mapping = map_parameters(
+                world.ctx.ontology,
+                representative[query_key],
+                representative[candidate_key],
+            )
+            if mapping is None:
+                continue
+            pairs = len(query_ids) * len(candidate_ids)
+            if query_key == candidate_key:
+                pairs -= len(query_ids)  # no self-pairs
+            total += pairs * examples
+    return total
+
+
+def bench_synthetic(n_modules: int) -> dict:
+    print(f"synthetic catalog ({n_modules} modules) ...", file=sys.stderr)
+    started = time.perf_counter()
+    world = build_synthetic_catalog(
+        SyntheticCatalogConfig(n_modules=n_modules)
+    )
+    generate_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    index = SignatureIndex()
+    for module in world.modules:
+        index.add_module(module, world.examples_by_id[module.module_id])
+    build_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for module_id in index.module_ids():
+        index.candidates(module_id)
+    query_s = time.perf_counter() - started
+
+    matcher = CandidateMatcher(
+        world.ctx, world.modules_by_id, world.examples_by_id, index
+    )
+    started = time.perf_counter()
+    run = matcher.match_all()
+    match_s = time.perf_counter() - started
+
+    estimated = estimate_exhaustive_invocations(world)
+    reduction = estimated / max(1, run.accounting.invocations)
+    print(
+        f"  index build {build_s:.2f}s, all-pairs match {match_s:.2f}s, "
+        f"invocations {run.accounting.invocations} vs ~{estimated} "
+        f"exhaustive ({reduction:.0f}x)",
+        file=sys.stderr,
+    )
+    n_matched = sum(
+        1 for reports in run.matches.values() for _ in reports
+    )
+    return {
+        "n_modules": n_modules,
+        "generate_s": round(generate_s, 3),
+        "index_build_s": round(build_s, 3),
+        "query_all_s": round(query_s, 3),
+        "query_mean_ms": round(1000 * query_s / max(1, len(index)), 4),
+        "match_all_s": round(match_s, 3),
+        "n_match_reports": n_matched,
+        "accounting": run.accounting.as_dict(),
+        "exhaustive_invocations_estimate": estimated,
+        "invocation_reduction": round(reduction, 2),
+        "index_stats": index.stats().as_dict(),
+    }
+
+
+def main() -> int:
+    paper = bench_paper()
+    synthetic = bench_synthetic(SYNTH_N)
+    accepted = (
+        paper["digests_identical"]
+        and synthetic["invocation_reduction"] >= MIN_SPEEDUP
+    )
+    payload = {
+        "benchmark": "match-index",
+        "accepted": bool(accepted),
+        "min_invocation_reduction": MIN_SPEEDUP,
+        "paper": paper,
+        "synthetic": synthetic,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(
+        f"\n{'ACCEPTED' if accepted else 'REJECTED'}: wrote {OUTPUT.name}",
+        file=sys.stderr,
+    )
+    return 0 if accepted else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

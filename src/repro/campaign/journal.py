@@ -91,6 +91,12 @@ CREATE TABLE IF NOT EXISTS worker_events (
 );
 CREATE INDEX IF NOT EXISTS worker_events_by_campaign
     ON worker_events (campaign_id);
+CREATE TABLE IF NOT EXISTS match_signatures (
+    campaign_id TEXT NOT NULL,
+    module_id TEXT NOT NULL,
+    signature_json TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, module_id)
+);
 CREATE TABLE IF NOT EXISTS shard_status (
     campaign_id TEXT NOT NULL,
     shard INTEGER NOT NULL,
@@ -639,6 +645,46 @@ class CampaignJournal:
             "heartbeat_wall": row[5],
             "stats": json.loads(row[6]),
         }
+
+    # ------------------------------------------------------------------
+    # Match signatures (the signature-index build campaign, PR 9)
+    # ------------------------------------------------------------------
+    def record_signature(
+        self, campaign_id: str, module_id: str, record: dict
+    ) -> None:
+        """Commit one module's computed behavior signature.
+
+        Exactly the report-entry discipline: each signature is its own
+        committed transaction *before* the index build moves on, so a
+        killed ``repro-cli match index`` run resumes by re-loading the
+        journaled signatures and sketching only the remainder.  Re-adds
+        replace (last write wins) — re-sketching a module is idempotent.
+        """
+        payload = json.dumps(record, sort_keys=True)
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO match_signatures VALUES (?, ?, ?)",
+                (campaign_id, module_id, payload),
+            )
+
+    def signatures(self, campaign_id: str) -> "dict[str, dict]":
+        """All journaled signature records of one campaign, by module id."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT module_id, signature_json FROM match_signatures "
+                "WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchall()
+        return {module_id: json.loads(payload) for module_id, payload in rows}
+
+    def signature_count(self, campaign_id: str) -> int:
+        """Journaled signatures of one campaign (cheap, no JSON parse)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM match_signatures WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
+        return row[0]
 
     # ------------------------------------------------------------------
     def progress_counts(self, campaign_id: str) -> "dict[str, int]":

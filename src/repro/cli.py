@@ -5,7 +5,9 @@ Subcommands::
     repro-cli list [--category C] [--interface I]   browse the catalog
     repro-cli show MODULE_ID                        signature + partitions
     repro-cli annotate MODULE_ID [--max N]          generate data examples
-    repro-cli match MODULE_ID                       match a decayed module
+    repro-cli match candidates MODULE_ID            match a decayed module
+    repro-cli match index [--db FILE]               journaled signature index
+    repro-cli match repair [--synthetic N]          indexed decay repair
     repro-cli suggest MODULE_ID [--limit N]         composition suggestions
     repro-cli redundancy MODULE_ID [--threshold T]  estimate redundancy
     repro-cli describe MODULE_ID                    guess the task from examples
@@ -114,19 +116,160 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_match(args: argparse.Namespace) -> int:
+def cmd_match_candidates(args: argparse.Namespace) -> int:
     ctx, catalog, pool = _world(args.seed)
     decayed = build_decayed_modules()
     module = _find_module(args.module_id, decayed)
     examples = ExampleGenerator(ctx, pool).generate(module).examples
     shut_down_providers(decayed, DECAYED_PROVIDERS)
-    reports = find_matches(ctx, module, examples, catalog)
+    if args.db and not args.exhaustive:
+        from repro.campaign.journal import CampaignJournal
+        from repro.match import CandidateMatcher, MatchAccounting, load_index
+
+        index = load_index(CampaignJournal(args.db), args.campaign)
+        modules_by_id = {m.module_id: m for m in list(catalog) + decayed}
+        matcher = CandidateMatcher(
+            ctx, modules_by_id, {module.module_id: examples}, index
+        )
+        accounting = MatchAccounting(n_queries=1, n_catalog=len(index))
+        accounting.exhaustive_pairs = len(index) - (
+            1 if module.module_id in index else 0
+        )
+        reports = matcher.match_module(module.module_id, accounting)
+        print(f"index: {accounting.candidate_pairs} candidates of "
+              f"{accounting.exhaustive_pairs} catalog modules "
+              f"({accounting.pruning_ratio:.0%} pruned)")
+    else:
+        reports = find_matches(ctx, module, examples, catalog)
     if not reports:
         print("no candidate shares a compatible signature")
         return 1
     for report in reports:
         print(f"{report.kind.value:<12} {report.candidate_id:<34} "
               f"agreed {report.n_agreeing}/{report.n_examples}")
+    return 0
+
+
+class _LazyExamples:
+    """An ``examples_by_id`` view that generates on first use, so a
+    resumed ``match index`` build never pays example generation for a
+    module whose signature is already journaled."""
+
+    def __init__(self, generator: ExampleGenerator, modules) -> None:
+        self._generator = generator
+        self._modules = {m.module_id: m for m in modules}
+
+    def get(self, module_id: str, default=None):
+        module = self._modules.get(module_id)
+        if module is None:
+            return default
+        return self._generator.generate(module).examples
+
+
+def cmd_match_index(args: argparse.Namespace) -> int:
+    from repro.campaign.journal import CampaignJournal
+    from repro.match import IndexBuilder, SignatureConfig
+
+    config = SignatureConfig(
+        width=args.width, bands=args.bands, seed=args.seed
+    )
+    if args.synthetic:
+        from repro.match import SyntheticCatalogConfig, build_synthetic_catalog
+
+        world = build_synthetic_catalog(
+            SyntheticCatalogConfig(seed=args.seed, n_modules=args.synthetic)
+        )
+        modules = list(world.modules)
+        examples_by_id = world.examples_by_id
+    else:
+        ctx, catalog, pool = _world(args.seed)
+        modules = list(catalog)
+        if args.limit is not None:
+            modules = modules[: args.limit]
+        examples_by_id = _LazyExamples(ExampleGenerator(ctx, pool), modules)
+
+    def progress(done: int, total: int, module_id: str) -> None:
+        if done % 50 == 0 or done == total:
+            print(f"  sketched {done}/{total} ({module_id})", file=sys.stderr)
+
+    journal = CampaignJournal(args.db or ":memory:")
+    builder = IndexBuilder(journal, campaign_id=args.campaign, config=config)
+    index = builder.build(modules, examples_by_id, progress=progress)
+
+    n = len(index)
+    pairs = len(index.candidate_pairs())
+    exhaustive = n * (n - 1) // 2
+    payload = {
+        "campaign": args.campaign,
+        "db": args.db or ":memory:",
+        "n_modules": n,
+        "config": {"width": builder.config.width,
+                   "bands": builder.config.bands,
+                   "seed": builder.config.seed},
+        "stats": index.stats().as_dict(),
+        "candidate_pairs": pairs,
+        "exhaustive_pairs": exhaustive,
+        "pruning_ratio": round(1 - pairs / exhaustive, 6) if exhaustive else 0.0,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"indexed {n} modules into campaign {args.campaign!r} "
+              f"({payload['db']})")
+        stats = payload["stats"]
+        print(f"  buckets: {stats['n_band_buckets']} band, "
+              f"{stats['n_token_buckets']} token, "
+              f"{stats['n_input_buckets']} input "
+              f"({stats['n_empty']} empty signatures)")
+        print(f"  candidate pairs: {pairs} of {exhaustive} exhaustive "
+              f"({payload['pruning_ratio']:.0%} pruned)")
+    return 0
+
+
+def cmd_match_repair(args: argparse.Namespace) -> int:
+    from repro.match import IndexedRepairPlanner, render_repair_plan
+
+    if args.synthetic:
+        from repro.match import (
+            SignatureIndex,
+            SyntheticCatalogConfig,
+            build_synthetic_catalog,
+        )
+        from repro.workflow.decay import decay_fraction
+
+        world = build_synthetic_catalog(
+            SyntheticCatalogConfig(seed=args.seed, n_modules=args.synthetic)
+        )
+        index = SignatureIndex()
+        for module in world.modules:
+            index.add_module(module, world.examples_by_id[module.module_id])
+        downed = decay_fraction(
+            world.modules, args.decay_fraction, seed=args.seed
+        )
+        for module in world.modules:
+            if not module.available:
+                index.remove(module.module_id)
+        print(f"decay event: {len(downed)} providers down")
+        planner = IndexedRepairPlanner(
+            world.ctx, world.modules_by_id, world.examples_by_id,
+            index, world.pool,
+        )
+        plan = planner.plan(world.workflows)
+    else:
+        from repro.experiments.setup import default_setup
+
+        setup = default_setup(args.seed)
+        setup.repository  # fire the §6 decay event
+        planner = IndexedRepairPlanner(
+            setup.ctx, setup.modules_by_id, setup.decayed_examples,
+            setup.match_index, setup.pool, engine=setup.engine,
+        )
+        plan = planner.plan(
+            setup.repository.workflows, setup.historical_traces
+        )
+    print(render_repair_plan(plan))
+    if args.json:
+        print(json.dumps(plan.summary(), indent=2, sort_keys=True))
     return 0
 
 
@@ -1009,9 +1152,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max", type=int, default=5, help="examples to print")
     p.set_defaults(func=cmd_annotate)
 
-    p = commands.add_parser("match", help="match a decayed module (§6)")
-    p.add_argument("module_id")
-    p.set_defaults(func=cmd_match)
+    p = commands.add_parser(
+        "match",
+        help="repository-scale §6 matching: signature index, candidate "
+             "queries, indexed repair",
+    )
+    match_commands = p.add_subparsers(dest="match_command", required=True)
+
+    m = match_commands.add_parser(
+        "candidates", help="match one decayed module (§6)"
+    )
+    m.add_argument("module_id")
+    m.add_argument("--db", default=None,
+                   help="journaled signature index to prune candidates with "
+                        "(build it with `match index --db FILE`)")
+    m.add_argument("--campaign", default="match-index",
+                   help="index-build campaign id inside --db")
+    m.add_argument("--exhaustive", action="store_true",
+                   help="ignore any index and compare against the whole "
+                        "catalog")
+    m.set_defaults(func=cmd_match_candidates)
+
+    m = match_commands.add_parser(
+        "index",
+        help="build (or resume) a journaled signature index over a catalog",
+    )
+    m.add_argument("--db", default=None,
+                   help="campaign journal file (omit for an in-memory build)")
+    m.add_argument("--campaign", default="match-index",
+                   help="campaign id for the build journal")
+    m.add_argument("--synthetic", type=int, default=0, metavar="N",
+                   help="index an N-module synthetic catalog instead of the "
+                        "paper catalog")
+    m.add_argument("--limit", type=int, default=None,
+                   help="only index the first N paper-catalog modules")
+    m.add_argument("--width", type=int, default=64,
+                   help="minhash signature rows")
+    m.add_argument("--bands", type=int, default=16,
+                   help="LSH bands (must divide --width)")
+    m.add_argument("--json", action="store_true",
+                   help="print the build report as JSON")
+    m.set_defaults(func=cmd_match_index)
+
+    m = match_commands.add_parser(
+        "repair",
+        help="detect decay, match replacements through the index, patch "
+             "workflows",
+    )
+    m.add_argument("--synthetic", type=int, default=0, metavar="N",
+                   help="run over an N-module synthetic world instead of "
+                        "the paper repository")
+    m.add_argument("--decay-fraction", type=float, default=0.15,
+                   help="fraction of the synthetic catalog the decay event "
+                        "takes down")
+    m.add_argument("--json", action="store_true",
+                   help="print the plan summary as JSON too")
+    m.set_defaults(func=cmd_match_repair)
 
     p = commands.add_parser("suggest", help="composition suggestions (§8)")
     p.add_argument("module_id")

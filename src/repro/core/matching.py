@@ -144,13 +144,26 @@ def compare_behavior(
     examples: "list[DataExample]",
     candidate: Module,
     mapping: ParameterMapping,
+    invoker=None,
 ) -> MatchReport | None:
     """Invoke the candidate on the examples' inputs and classify.
+
+    Args:
+        invoker: Optional ``(module, bindings) -> outputs`` callable used
+            to run the candidate — pass an
+            :meth:`repro.engine.invoker.InvocationEngine.invoke` bound
+            method to route the comparison through the resilient engine
+            (cache, retries, watchdog).  Defaults to the bare interface
+            invocation.
 
     Returns ``None`` when there are no examples to compare.
     """
     if not examples:
         return None
+    if invoker is None:
+        invoker = lambda module, bindings: invoke_via_interface(  # noqa: E731
+            module, ctx, bindings
+        )
     agreement_domain: dict[str, set[str]] = {}
     n_agreeing = 0
     for example in examples:
@@ -158,7 +171,7 @@ def compare_behavior(
             mapping.inputs[b.parameter]: b.value for b in example.inputs
         }
         try:
-            outputs = invoke_via_interface(candidate, ctx, bindings)
+            outputs = invoker(candidate, bindings)
         except ModuleInvocationError:
             continue
         agrees = all(
@@ -194,6 +207,7 @@ def find_matches(
     unavailable: Module,
     examples: "list[DataExample]",
     candidates: "list[Module] | tuple[Module, ...]",
+    invoker=None,
 ) -> "list[MatchReport]":
     """Compare ``unavailable`` against every candidate with a compatible
     signature; equivalents first, then overlaps by agreement count."""
@@ -204,7 +218,9 @@ def find_matches(
         mapping = map_parameters(ctx.ontology, unavailable, candidate)
         if mapping is None:
             continue
-        report = compare_behavior(ctx, unavailable, examples, candidate, mapping)
+        report = compare_behavior(
+            ctx, unavailable, examples, candidate, mapping, invoker=invoker
+        )
         if report is not None:
             reports.append(report)
     order = {MatchKind.EQUIVALENT: 0, MatchKind.OVERLAPPING: 1, MatchKind.DISJOINT: 2}

@@ -32,6 +32,8 @@ from repro.engine import (
 )
 from repro.core.metrics import ModuleEvaluation, evaluate_module
 from repro.core.repair import RepairResult, WorkflowRepairer
+from repro.match.index import SignatureIndex
+from repro.match.matcher import CandidateMatcher, MatchRun
 from repro.modules.catalog.decayed import DECAYED_PROVIDERS, build_decayed_modules
 from repro.modules.catalog.factory import build_catalog, default_context
 from repro.modules.model import Module, ModuleContext
@@ -63,6 +65,8 @@ class ExperimentSetup:
     _historical: dict[str, ProvenanceTrace] | None = None
     _matches: dict[str, list[MatchReport]] | None = None
     _repairs: list[RepairResult] | None = None
+    _match_index: SignatureIndex | None = None
+    _indexed_matches: MatchRun | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -110,6 +114,38 @@ class ExperimentSetup:
                 for m in self.decayed
             }
         return self._matches
+
+    @property
+    def match_index(self) -> SignatureIndex:
+        """The signature index over the available catalog, sketched from
+        the generated data examples (built on first access)."""
+        if self._match_index is None:
+            index = SignatureIndex()
+            for module in self.catalog:
+                index.add_module(
+                    module, self.reports[module.module_id].examples
+                )
+            self._match_index = index
+        return self._match_index
+
+    @property
+    def indexed_matches(self) -> MatchRun:
+        """Index-pruned §6 matches of the decayed modules — the same
+        classifications as :attr:`matches` (the exactness property test
+        pins this), at a fraction of the invocations."""
+        if self._indexed_matches is None:
+            self.repository  # ensure decay happened
+            matcher = CandidateMatcher(
+                self.ctx,
+                self.modules_by_id,
+                self.decayed_examples,
+                self.match_index,
+                engine=self.engine,
+            )
+            self._indexed_matches = matcher.match_all(
+                [m.module_id for m in self.decayed]
+            )
+        return self._indexed_matches
 
     @property
     def repairs(self) -> "list[RepairResult]":

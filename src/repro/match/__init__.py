@@ -1,0 +1,63 @@
+"""Repository-scale module matching: signatures, index, pruned §6 matching.
+
+See ``docs/MATCHING.md`` for the design and the exactness guarantee.
+"""
+
+from repro.match.builder import IndexBuilder, entry_from_record, entry_to_record, load_index
+from repro.match.index import IndexedModule, IndexStats, SignatureIndex
+from repro.match.matcher import (
+    CandidateMatcher,
+    MatchAccounting,
+    MatchRun,
+    classification_digest,
+    exhaustive_match_all,
+)
+from repro.match.repair import IndexedRepairPlanner, RepairPlan, render_repair_plan
+from repro.match.signature import (
+    MinHashSignature,
+    SignatureConfig,
+    band_keys,
+    behavior_token,
+    behavior_tokens,
+    compute_signature,
+    input_token,
+    input_tokens,
+)
+from repro.match.synth import (
+    SyntheticCatalog,
+    SyntheticCatalogConfig,
+    SyntheticPool,
+    build_synthetic_catalog,
+    synthetic_ontology,
+)
+
+__all__ = [
+    "CandidateMatcher",
+    "IndexBuilder",
+    "IndexStats",
+    "IndexedModule",
+    "IndexedRepairPlanner",
+    "MatchAccounting",
+    "MatchRun",
+    "MinHashSignature",
+    "RepairPlan",
+    "SignatureConfig",
+    "SignatureIndex",
+    "SyntheticCatalog",
+    "SyntheticCatalogConfig",
+    "SyntheticPool",
+    "band_keys",
+    "behavior_token",
+    "behavior_tokens",
+    "build_synthetic_catalog",
+    "classification_digest",
+    "compute_signature",
+    "entry_from_record",
+    "entry_to_record",
+    "exhaustive_match_all",
+    "input_token",
+    "input_tokens",
+    "load_index",
+    "render_repair_plan",
+    "synthetic_ontology",
+]

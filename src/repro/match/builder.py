@@ -1,0 +1,162 @@
+"""Journaled signature-index builds: checkpoint/resume for the catalog sweep.
+
+Sketching a 10k-module catalog is a long sweep of pure computation —
+long enough to die, exactly like a generation campaign.  The builder
+reuses the campaign journal's write-ahead discipline: every computed
+signature is committed (``match_signatures`` table) *before* the sweep
+moves to the next module, so a killed ``repro-cli match index`` run
+resumes from the journal and sketches only the remainder.  The
+journaled records also let any later process (``match candidates``,
+``match repair``, the benchmark) rebuild the full
+:class:`~repro.match.index.SignatureIndex` without touching a single
+data example again.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.journal import (
+    COMPLETE,
+    RUNNING,
+    CampaignJournal,
+    UnknownCampaignError,
+)
+from repro.core.examples import DataExample
+from repro.match.index import IndexedModule, SignatureIndex
+from repro.match.signature import MinHashSignature, SignatureConfig
+from repro.modules.model import Module
+
+
+def entry_to_record(entry: IndexedModule) -> dict:
+    """Serialize one index entry to its journal JSON form."""
+    return {
+        "module_id": entry.module_id,
+        "shape": list(entry.shape),
+        "values": list(entry.signature.values),
+        "n_tokens": entry.signature.n_tokens,
+        "tokens": sorted(entry.tokens),
+        "input_tokens": sorted(entry.input_tokens),
+    }
+
+
+def entry_from_record(record: dict) -> IndexedModule:
+    """Rebuild one index entry from its journaled form."""
+    return IndexedModule(
+        module_id=record["module_id"],
+        shape=tuple(record["shape"]),
+        signature=MinHashSignature(
+            values=tuple(record["values"]), n_tokens=record["n_tokens"]
+        ),
+        tokens=frozenset(record["tokens"]),
+        input_tokens=frozenset(record.get("input_tokens", ())),
+    )
+
+
+def config_to_dict(config: SignatureConfig) -> dict:
+    return {"width": config.width, "bands": config.bands, "seed": config.seed}
+
+
+def config_from_dict(data: dict) -> SignatureConfig:
+    return SignatureConfig(
+        width=data["width"], bands=data["bands"], seed=data["seed"]
+    )
+
+
+class IndexBuilder:
+    """Build (or resume building) a journaled signature index.
+
+    Args:
+        journal: The campaign journal holding the ``match_signatures``
+            table.
+        campaign_id: The build's campaign id (``match-index`` by
+            convention; the CLI default).
+        config: The sketch shape.  On resume the journaled config wins —
+            mixing signature widths inside one campaign would corrupt
+            the index — and a conflicting explicit config raises.
+    """
+
+    def __init__(
+        self,
+        journal: CampaignJournal,
+        campaign_id: str = "match-index",
+        config: "SignatureConfig | None" = None,
+    ) -> None:
+        self.journal = journal
+        self.campaign_id = campaign_id
+        self.config = config
+
+    def build(
+        self,
+        modules: "list[Module] | tuple[Module, ...]",
+        examples_by_id: "dict[str, list[DataExample]]",
+        progress=None,
+    ) -> SignatureIndex:
+        """Sweep the catalog, journaling each signature before moving on.
+
+        Already-journaled modules are loaded, not re-sketched — a
+        resumed build costs only the remainder.  Ends by marking the
+        campaign ``complete``.
+
+        Args:
+            modules: The catalog to index.
+            examples_by_id: Each module's data examples (missing or
+                empty entries index as empty signatures, which never
+                bucket).
+            progress: Optional ``(done, total, module_id)`` callback per
+                newly sketched module.
+
+        Returns:
+            The fully populated index.
+        """
+        try:
+            meta = self.journal.meta(self.campaign_id)
+            journaled_config = config_from_dict(meta.config["signature"])
+            if self.config is not None and self.config != journaled_config:
+                raise ValueError(
+                    f"campaign {self.campaign_id!r} was journaled with "
+                    f"{journaled_config}, cannot resume with {self.config}"
+                )
+            config = journaled_config
+            self.journal.set_status(self.campaign_id, RUNNING)
+        except UnknownCampaignError:
+            config = self.config or SignatureConfig()
+            self.journal.create(
+                self.campaign_id,
+                seed=config.seed,
+                module_ids=sorted(m.module_id for m in modules),
+                config={"signature": config_to_dict(config)},
+            )
+        self.config = config
+
+        index = SignatureIndex(config=config)
+        already = self.journal.signatures(self.campaign_id)
+        for record in already.values():
+            index.add(entry_from_record(record))
+
+        todo = [m for m in modules if m.module_id not in already]
+        for done, module in enumerate(todo, 1):
+            entry = index.add_module(
+                module, examples_by_id.get(module.module_id, [])
+            )
+            self.journal.record_signature(
+                self.campaign_id, module.module_id, entry_to_record(entry)
+            )
+            if progress is not None:
+                progress(done, len(todo), module.module_id)
+        self.journal.set_status(self.campaign_id, COMPLETE)
+        return index
+
+
+def load_index(
+    journal: CampaignJournal, campaign_id: str = "match-index"
+) -> SignatureIndex:
+    """Rebuild a signature index from its journaled signatures alone.
+
+    Raises:
+        UnknownCampaignError: No such build campaign in this journal.
+    """
+    meta = journal.meta(campaign_id)
+    config = config_from_dict(meta.config["signature"])
+    index = SignatureIndex(config=config)
+    for record in journal.signatures(campaign_id).values():
+        index.add(entry_from_record(record))
+    return index

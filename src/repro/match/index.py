@@ -1,0 +1,268 @@
+"""The signature index: sub-quadratic candidate pruning for §6 matching.
+
+All-pairs behavior matching invokes O(n²) module pairs; over a 10k
+catalog that is ~50M comparisons before the first real match is found.
+The :class:`SignatureIndex` prunes that space with three tiers, each
+cheaper than an invocation:
+
+1. **Shape blocking** (sound): two modules can only map their
+   parameters (:func:`repro.core.matching.map_parameters`) when their
+   input and output counts are equal, so modules are partitioned by
+   ``(n_inputs, n_outputs)`` and cross-shape pairs are never candidates.
+   This tier can never lose a true match.
+2. **Exact-token buckets** (deterministic floor): any two modules
+   sharing at least one identical behavior token
+   (:func:`repro.match.signature.behavior_token`) are *always*
+   candidates, regardless of minhash band luck.  Agreeing §6 pairs in a
+   catalog whose examples are drawn from a shared instance pool share
+   tokens, so this tier alone preserves their candidacy.
+3. **Shared-input buckets** (deterministic floor for overlaps): any two
+   modules exercised on at least one identical example *input*
+   (:func:`repro.match.signature.input_token`) are always candidates —
+   this keeps pairs that *disagree* on some shared inputs (the
+   OVERLAPPING case) in the candidate set even when their agreeing
+   examples do not coincide.
+4. **LSH band buckets** (probabilistic recall): modules whose minhash
+   signatures agree on every row of at least one band are candidates —
+   the classic banding S-curve, tuned by
+   :class:`repro.match.signature.SignatureConfig`.  This catches
+   similar-but-not-identical behavior the exact tier would miss.
+
+Pruning affects *candidate recall only*: every surviving pair is still
+classified by the exact §6 comparison (invoking the candidate on the
+query's example inputs), so the index can never change the
+classification of a verified pair — see ``docs/MATCHING.md`` for the
+full guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.examples import DataExample
+from repro.match.signature import (
+    MinHashSignature,
+    SignatureConfig,
+    band_keys,
+    behavior_tokens,
+    compute_signature,
+    input_tokens,
+)
+from repro.modules.model import Module
+
+#: A module's blocking shape: (input count, output count).
+Shape = "tuple[int, int]"
+
+
+@dataclass(frozen=True)
+class IndexedModule:
+    """One module's entry in the index: everything needed to answer
+    candidate queries (and to serialize through the campaign journal —
+    see :mod:`repro.match.builder`) without re-reading its examples.
+
+    Attributes:
+        module_id: The indexed module.
+        shape: ``(len(inputs), len(outputs))`` blocking key.
+        signature: The minhash sketch of its behavior tokens.
+        tokens: The exact behavior-token set (for the deterministic
+            exact-match tier).
+        input_tokens: The input-only token set (for the deterministic
+            shared-input tier that keeps disagreeing-but-overlapping
+            pairs candidates).
+    """
+
+    module_id: str
+    shape: "tuple[int, int]"
+    signature: MinHashSignature
+    tokens: "frozenset[int]"
+    input_tokens: "frozenset[int]" = frozenset()
+
+
+@dataclass
+class IndexStats:
+    """Size accounting of one index."""
+
+    n_modules: int = 0
+    n_empty: int = 0
+    n_band_buckets: int = 0
+    n_token_buckets: int = 0
+    n_input_buckets: int = 0
+    largest_band_bucket: int = 0
+    largest_token_bucket: int = 0
+    largest_input_bucket: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_modules": self.n_modules,
+            "n_empty": self.n_empty,
+            "n_band_buckets": self.n_band_buckets,
+            "n_token_buckets": self.n_token_buckets,
+            "n_input_buckets": self.n_input_buckets,
+            "largest_band_bucket": self.largest_band_bucket,
+            "largest_token_bucket": self.largest_token_bucket,
+            "largest_input_bucket": self.largest_input_bucket,
+        }
+
+
+@dataclass
+class SignatureIndex:
+    """The inverted index over behavior signatures.
+
+    Queries are deterministic: candidate lists are sorted, and the same
+    sequence of :meth:`add` calls (any order) yields the same answers.
+
+    Attributes:
+        config: The signature/banding shape; all entries must be
+            sketched with the same config (``add`` recomputes or
+            validates widths).
+    """
+
+    config: SignatureConfig = field(default_factory=SignatureConfig)
+    _entries: "dict[str, IndexedModule]" = field(default_factory=dict)
+    _band_buckets: "dict[tuple, set[str]]" = field(
+        default_factory=lambda: defaultdict(set)
+    )
+    _token_buckets: "dict[tuple, set[str]]" = field(
+        default_factory=lambda: defaultdict(set)
+    )
+    _input_buckets: "dict[tuple, set[str]]" = field(
+        default_factory=lambda: defaultdict(set)
+    )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, module_id: str) -> bool:
+        return module_id in self._entries
+
+    # ------------------------------------------------------------------
+    def add_module(
+        self, module: Module, examples: "list[DataExample] | tuple[DataExample, ...]"
+    ) -> IndexedModule:
+        """Sketch ``module``'s examples and index the entry."""
+        shape = (len(module.inputs), len(module.outputs))
+        signature = compute_signature(examples, self.config)
+        tokens = behavior_tokens(examples)
+        entry = IndexedModule(
+            module_id=module.module_id,
+            shape=shape,
+            signature=signature,
+            tokens=tokens,
+            input_tokens=input_tokens(examples),
+        )
+        self.add(entry)
+        return entry
+
+    def add(self, entry: IndexedModule) -> None:
+        """Index a pre-computed entry (the journaled-resume path).
+
+        Re-adding a module id replaces its entry (buckets are rebuilt
+        for it), so resumed builds are idempotent.
+        """
+        if len(entry.signature.values) != self.config.width:
+            raise ValueError(
+                f"entry {entry.module_id!r} has signature width "
+                f"{len(entry.signature.values)}, index expects {self.config.width}"
+            )
+        if entry.module_id in self._entries:
+            self.remove(entry.module_id)
+        self._entries[entry.module_id] = entry
+        for band, key in enumerate(band_keys(entry.signature, self.config)):
+            self._band_buckets[(entry.shape, band, key)].add(entry.module_id)
+        for token in entry.tokens:
+            self._token_buckets[(entry.shape, token)].add(entry.module_id)
+        for token in entry.input_tokens:
+            self._input_buckets[(entry.shape, token)].add(entry.module_id)
+
+    def remove(self, module_id: str) -> None:
+        """Drop a module from the index (no-op when absent)."""
+        entry = self._entries.pop(module_id, None)
+        if entry is None:
+            return
+        for band, key in enumerate(band_keys(entry.signature, self.config)):
+            bucket = self._band_buckets.get((entry.shape, band, key))
+            if bucket is not None:
+                bucket.discard(module_id)
+                if not bucket:
+                    del self._band_buckets[(entry.shape, band, key)]
+        for token in entry.tokens:
+            bucket = self._token_buckets.get((entry.shape, token))
+            if bucket is not None:
+                bucket.discard(module_id)
+                if not bucket:
+                    del self._token_buckets[(entry.shape, token)]
+        for token in entry.input_tokens:
+            bucket = self._input_buckets.get((entry.shape, token))
+            if bucket is not None:
+                bucket.discard(module_id)
+                if not bucket:
+                    del self._input_buckets[(entry.shape, token)]
+
+    def entry(self, module_id: str) -> "IndexedModule | None":
+        return self._entries.get(module_id)
+
+    def module_ids(self) -> "list[str]":
+        return sorted(self._entries)
+
+    # ------------------------------------------------------------------
+    def candidates(self, module_id: str) -> "list[str]":
+        """Module ids sharing a bucket with ``module_id`` (sorted;
+        never includes the query itself).
+
+        Raises:
+            KeyError: ``module_id`` was never indexed.
+        """
+        entry = self._entries.get(module_id)
+        if entry is None:
+            raise KeyError(module_id)
+        return sorted(self._candidate_set(entry))
+
+    def candidates_for_entry(self, entry: IndexedModule) -> "list[str]":
+        """Candidates for an entry that need not be in the index (the
+        query-without-insert path used for decayed modules)."""
+        return sorted(self._candidate_set(entry))
+
+    def _candidate_set(self, entry: IndexedModule) -> "set[str]":
+        found: "set[str]" = set()
+        for band, key in enumerate(band_keys(entry.signature, self.config)):
+            found.update(self._band_buckets.get((entry.shape, band, key), ()))
+        for token in entry.tokens:
+            found.update(self._token_buckets.get((entry.shape, token), ()))
+        for token in entry.input_tokens:
+            found.update(self._input_buckets.get((entry.shape, token), ()))
+        found.discard(entry.module_id)
+        return found
+
+    def candidate_pairs(self) -> "list[tuple[str, str]]":
+        """Every unordered candidate pair in the index, deduplicated and
+        sorted — the all-pairs work list the exact matcher verifies."""
+        pairs: "set[tuple[str, str]]" = set()
+        for bucket in (
+            list(self._band_buckets.values())
+            + list(self._token_buckets.values())
+            + list(self._input_buckets.values())
+        ):
+            if len(bucket) < 2:
+                continue
+            members = sorted(bucket)
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    pairs.add((left, right))
+        return sorted(pairs)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        band_sizes = [len(b) for b in self._band_buckets.values()]
+        token_sizes = [len(b) for b in self._token_buckets.values()]
+        input_sizes = [len(b) for b in self._input_buckets.values()]
+        return IndexStats(
+            n_modules=len(self._entries),
+            n_empty=sum(1 for e in self._entries.values() if e.signature.is_empty),
+            n_band_buckets=len(self._band_buckets),
+            n_token_buckets=len(self._token_buckets),
+            n_input_buckets=len(self._input_buckets),
+            largest_band_bucket=max(band_sizes, default=0),
+            largest_token_bucket=max(token_sizes, default=0),
+            largest_input_bucket=max(input_sizes, default=0),
+        )

@@ -67,6 +67,16 @@ class BehaviorSpec:
             raise ValueError(f"duplicate behavior-class labels: {labels}")
         self.branches: tuple[Branch, ...] = tuple(branches)
 
+    @classmethod
+    def single(cls, label: str, transform: Transform) -> "BehaviorSpec":
+        """A one-branch spec accepting every input combination.
+
+        The common shape for synthetic and stub modules (one class of
+        behavior, total over the input domain) — used heavily by the
+        :mod:`repro.match.synth` catalog generator.
+        """
+        return cls([Branch(label=label, guard=always, transform=transform)])
+
     @property
     def class_labels(self) -> tuple[str, ...]:
         """All ground-truth behavior-class labels, in branch order."""

@@ -41,6 +41,11 @@ Metric naming follows the Prometheus conventions:
     carries a ``workers`` section of
     :func:`repro.campaign.sharding.worker_rows` rows
     (``repro-cli campaign workers --prometheus``).
+``repro_match_*``
+    Candidate-pruning accounting of repository-scale matching
+    (surviving vs. exhaustive pairs, verification invocations, pruning
+    ratio), present when the snapshot carries a ``match`` section of
+    :meth:`repro.match.matcher.MatchAccounting.as_dict`.
 ``repro_serve_replica_*{replica=...}``
     The serving-fleet replicas (liveness, requests served, restarts,
     heartbeat age), present when the snapshot carries a ``replicas``
@@ -484,6 +489,29 @@ def render_prometheus(stats: dict, namespace: str = "repro") -> str:
                 out.sample(heartbeat_metric, row["heartbeat_age"], labels)
             out.sample(done_metric, row.get("n_done", 0), labels)
             out.sample(planned_metric, row.get("n_planned", 0), labels)
+
+    match = stats.get("match")
+    if match is not None:
+        out.sample(
+            out.declare("match_candidate_pairs", "gauge",
+                        "Pairs surviving the signature index."),
+            match.get("candidate_pairs", 0),
+        )
+        out.sample(
+            out.declare("match_exhaustive_pairs", "gauge",
+                        "Pairs the exhaustive matcher would attempt."),
+            match.get("exhaustive_pairs", 0),
+        )
+        out.sample(
+            out.declare("match_invocations_total", "counter",
+                        "Engine invocations spent verifying candidates."),
+            match.get("invocations", 0),
+        )
+        out.sample(
+            out.declare("match_pruning_ratio", "gauge",
+                        "Fraction of the pair space the index discarded."),
+            match.get("pruning_ratio", 0.0),
+        )
 
     replicas = stats.get("replicas")
     if replicas is not None:

@@ -39,6 +39,40 @@ def restore_providers(modules: "Iterable[Module]", providers: "frozenset[str] | 
     return restored
 
 
+def decay_fraction(
+    modules: "Iterable[Module]", fraction: float, seed: int = 2014
+) -> list[str]:
+    """Simulate a seeded decay event hitting roughly ``fraction`` of the
+    catalog, provider by provider.
+
+    Providers are shut down in seeded random order until at least
+    ``fraction`` of the modules have become unavailable — decay stays a
+    *provider* event (the paper's model), so the realized fraction can
+    overshoot by up to one provider's catalog share.  Deterministic for
+    a given (catalog, fraction, seed).
+
+    Returns:
+        The providers shut down (restorable via
+        :func:`restore_providers`).
+    """
+    import random
+
+    if not 0 < fraction < 1:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    modules = list(modules)
+    providers = sorted({m.provider for m in modules if m.available})
+    random.Random(f"decay-{seed}").shuffle(providers)
+    target = fraction * len(modules)
+    downed: list[str] = []
+    lost = 0
+    for provider in providers:
+        if lost >= target:
+            break
+        downed.append(provider)
+        lost += len(shut_down_providers(modules, {provider}))
+    return downed
+
+
 def broken_workflows(workflows, modules_by_id) -> list:
     """The workflows referencing at least one unavailable module (§6:
     ~half of the myExperiment repository)."""

@@ -72,6 +72,13 @@ class DecayReport:
     def broken_fraction(self) -> float:
         return self.n_broken / self.n_workflows if self.n_workflows else 0.0
 
+    def decayed_modules(self) -> "list[str]":
+        """Every module the report holds responsible for a broken
+        workflow, sorted — the work list the repair planner
+        (:class:`repro.match.repair.IndexedRepairPlanner`) feeds into
+        candidate matching."""
+        return sorted(self.by_module)
+
     def top_modules(self, limit: int = 10) -> "list[tuple[str, int]]":
         """The unavailable modules breaking the most workflows."""
         return sorted(self.by_module.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]

@@ -58,14 +58,18 @@ class TestCommands:
         assert out.count("Data example for") == 2
 
     def test_match_decayed_module(self, capsys):
-        assert main(["match", "old.get_kegg_gene_s"]) == 0
+        assert main(["match", "candidates", "old.get_kegg_gene_s"]) == 0
         out = capsys.readouterr().out
         assert "equivalent" in out
         assert "ret.get_kegg_gene" in out
 
     def test_match_incomparable_module_fails(self, capsys):
-        assert main(["match", "old.identify_report"]) == 1
+        assert main(["match", "candidates", "old.identify_report"]) == 1
         assert "no candidate" in capsys.readouterr().out
+
+    def test_match_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match"])
 
     def test_suggest(self, capsys):
         assert main(["suggest", "ret.get_uniprot_record", "--limit", "3"]) == 0

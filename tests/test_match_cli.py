@@ -1,0 +1,91 @@
+"""The `repro-cli match` subcommand group."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestMatchParser:
+    def test_group_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match"])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "frobnicate"])
+
+
+class TestMatchIndexCommand:
+    def test_synthetic_build_reports_pruning(self, capsys):
+        assert main(["match", "index", "--synthetic", "48", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["n_modules"] == 48
+        assert payload["candidate_pairs"] < payload["exhaustive_pairs"]
+        assert payload["stats"]["n_empty"] == 0
+
+    def test_paper_build_with_limit(self, capsys):
+        assert main(["match", "index", "--limit", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 12 modules" in out
+        assert "candidate pairs" in out
+
+    def test_journaled_build_resumes(self, capsys, tmp_path):
+        db = str(tmp_path / "match.sqlite")
+        assert main(["match", "index", "--synthetic", "24", "--db", db]) == 0
+        capsys.readouterr()
+        # The second run resketches nothing (no progress lines on stderr).
+        assert main(["match", "index", "--synthetic", "24", "--db", db]) == 0
+        captured = capsys.readouterr()
+        assert "sketched" not in captured.err
+        assert "indexed 24 modules" in captured.out
+
+    def test_bad_band_config_rejected(self, capsys):
+        with pytest.raises(ValueError, match="divide"):
+            main(["match", "index", "--synthetic", "8", "--bands", "7"])
+
+
+class TestMatchCandidatesCommand:
+    def test_exhaustive_matches_decayed_module(self, capsys):
+        assert main([
+            "match", "candidates", "old.get_kegg_gene_s", "--exhaustive",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "equivalent" in out
+        assert "ret.get_kegg_gene" in out
+
+    def test_indexed_candidates_via_journal(self, capsys, tmp_path):
+        db = str(tmp_path / "match.sqlite")
+        assert main(["match", "index", "--db", db]) == 0
+        capsys.readouterr()
+        assert main([
+            "match", "candidates", "old.get_kegg_gene_s", "--db", db,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "index:" in out
+        assert "pruned" in out
+        assert "ret.get_kegg_gene" in out
+
+
+class TestMatchRepairCommand:
+    def test_synthetic_repair_round_trip(self, capsys):
+        assert main([
+            "match", "repair", "--synthetic", "64", "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Indexed repair plan" in out
+        assert "decay event:" in out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["n_broken"] > 0
+        assert payload["n_full"] > 0
+        assert payload["matching"]["pruned_pairs"] > 0
+
+    def test_decay_fraction_flag(self, capsys):
+        assert main([
+            "match", "repair", "--synthetic", "48",
+            "--decay-fraction", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "providers down" in out

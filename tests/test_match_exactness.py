@@ -1,0 +1,125 @@
+"""The exactness property: pruning never changes a §6 classification.
+
+Banded-LSH candidate pruning followed by exact verification must yield
+byte-identical match classifications to exhaustive pairwise comparison —
+on the 252-module paper catalog (witnessed by a sha256 digest over the
+full match set) and on synthetic catalogs with known ground truth.
+"""
+
+import pytest
+
+from repro.match import (
+    CandidateMatcher,
+    SignatureIndex,
+    build_synthetic_catalog,
+    classification_digest,
+    exhaustive_match_all,
+)
+from repro.match.synth import SyntheticCatalogConfig
+
+
+class TestPaperCatalogExactness:
+    def test_indexed_matches_equal_exhaustive(self, setup):
+        """The digest-pinned witness over the 72 decayed paper modules."""
+        indexed = setup.indexed_matches
+        exhaustive = exhaustive_match_all(
+            setup.ctx,
+            setup.decayed,
+            setup.decayed_examples,
+            setup.catalog,
+            engine=setup.engine,
+        )
+        assert classification_digest(indexed.matches) == classification_digest(
+            exhaustive.matches
+        )
+
+    def test_indexed_matches_equal_legacy_find_matches(self, setup):
+        """The indexed match set agrees with the §6 reference
+        implementation the experiments report on."""
+        assert classification_digest(setup.indexed_matches.matches) == (
+            classification_digest(setup.matches)
+        )
+
+    def test_pruning_saves_work(self, setup):
+        accounting = setup.indexed_matches.accounting
+        assert accounting.candidate_pairs < accounting.exhaustive_pairs
+        assert accounting.pruning_ratio > 0.5
+
+    def test_every_decayed_module_was_matched(self, setup):
+        assert set(setup.indexed_matches.matches) == {
+            m.module_id for m in setup.decayed
+        }
+
+
+class TestSyntheticExactness:
+    @pytest.mark.parametrize("n_modules,seed", [(60, 2014), (90, 7)])
+    def test_digest_equality(self, n_modules, seed):
+        world = build_synthetic_catalog(
+            SyntheticCatalogConfig(n_modules=n_modules, seed=seed)
+        )
+        index = SignatureIndex()
+        for module in world.modules:
+            index.add_module(module, world.examples_by_id[module.module_id])
+        matcher = CandidateMatcher(
+            world.ctx, world.modules_by_id, world.examples_by_id, index
+        )
+        pruned = matcher.match_all()
+        exhaustive = exhaustive_match_all(
+            world.ctx, world.modules, world.examples_by_id, world.modules
+        )
+        assert classification_digest(pruned.matches) == classification_digest(
+            exhaustive.matches
+        )
+        assert pruned.accounting.invocations < (
+            exhaustive.accounting.invocations / 2
+        )
+
+
+class TestEdgeCases:
+    def test_empty_catalog(self):
+        index = SignatureIndex()
+        matcher = CandidateMatcher(None, {}, {}, index)
+        run = matcher.match_all()
+        assert run.matches == {}
+        assert run.accounting.exhaustive_pairs == 0
+        assert run.accounting.pruning_ratio == 0.0
+        assert classification_digest(run.matches) == classification_digest({})
+
+    def test_singleton_catalog_has_no_candidates(self):
+        world = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=1))
+        index = SignatureIndex()
+        module = world.modules[0]
+        index.add_module(module, world.examples_by_id[module.module_id])
+        matcher = CandidateMatcher(
+            world.ctx, world.modules_by_id, world.examples_by_id, index
+        )
+        run = matcher.match_all()
+        assert run.matches == {module.module_id: []}
+        assert run.accounting.invocations == 0
+
+    def test_module_without_examples_matches_nothing(self):
+        world = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=12))
+        index = SignatureIndex()
+        for module in world.modules:
+            index.add_module(module, world.examples_by_id[module.module_id])
+        ghost = world.modules[0]
+        index.remove(ghost.module_id)
+        index.add_module(ghost, [])
+        matcher = CandidateMatcher(
+            world.ctx,
+            world.modules_by_id,
+            dict(world.examples_by_id, **{ghost.module_id: []}),
+            index,
+        )
+        assert matcher.match_module(ghost.module_id) == []
+
+    def test_digest_ignores_disjoint_by_default(self):
+        world = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=24))
+        exhaustive = exhaustive_match_all(
+            world.ctx, world.modules, world.examples_by_id, world.modules
+        )
+        with_disjoint = classification_digest(
+            exhaustive.matches, include_disjoint=True
+        )
+        without = classification_digest(exhaustive.matches)
+        assert with_disjoint != without

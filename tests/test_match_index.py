@@ -1,0 +1,144 @@
+"""Unit tests for the signature index: buckets, candidates, stats."""
+
+import pytest
+
+from repro.match import SignatureConfig, SignatureIndex, build_synthetic_catalog
+from repro.match.synth import SyntheticCatalogConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_synthetic_catalog(SyntheticCatalogConfig(n_modules=48))
+
+
+@pytest.fixture(scope="module")
+def index(world):
+    built = SignatureIndex()
+    for module in world.modules:
+        built.add_module(module, world.examples_by_id[module.module_id])
+    return built
+
+
+class TestIndexBasics:
+    def test_len_and_contains(self, world, index):
+        assert len(index) == len(world.modules)
+        assert world.modules[0].module_id in index
+        assert "no.such" not in index
+
+    def test_module_ids_sorted(self, index):
+        ids = index.module_ids()
+        assert ids == sorted(ids)
+
+    def test_entry_roundtrip(self, world, index):
+        entry = index.entry(world.modules[0].module_id)
+        assert entry is not None
+        assert entry.shape == (1, 1)
+        assert index.entry("no.such") is None
+
+    def test_candidates_of_unknown_module_raises(self, index):
+        with pytest.raises(KeyError):
+            index.candidates("no.such")
+
+    def test_candidates_never_include_self(self, index):
+        for module_id in index.module_ids():
+            assert module_id not in index.candidates(module_id)
+
+    def test_candidates_sorted_and_deterministic(self, index, world):
+        module_id = world.modules[0].module_id
+        first = index.candidates(module_id)
+        assert first == sorted(first)
+        assert first == index.candidates(module_id)
+
+
+class TestFamilyRecall:
+    def test_family_members_are_candidates(self, world, index):
+        # The deterministic tiers (shared tokens / shared inputs)
+        # guarantee every same-family pair survives pruning.
+        for module in world.modules:
+            members = set(world.family_members(module.module_id))
+            found = set(index.candidates(module.module_id))
+            assert members <= found, (
+                f"{module.module_id} lost family members {members - found}"
+            )
+
+    def test_pruning_actually_prunes(self, index):
+        n = len(index)
+        exhaustive = n * (n - 1) // 2
+        assert len(index.candidate_pairs()) < exhaustive / 2
+
+
+class TestRemoveAndReplace:
+    def test_remove_drops_module(self, world):
+        built = SignatureIndex()
+        for module in world.modules:
+            built.add_module(module, world.examples_by_id[module.module_id])
+        victim = world.modules[0].module_id
+        built.remove(victim)
+        assert victim not in built
+        for module_id in built.module_ids():
+            assert victim not in built.candidates(module_id)
+
+    def test_remove_is_idempotent(self, world):
+        built = SignatureIndex()
+        built.add_module(world.modules[0],
+                         world.examples_by_id[world.modules[0].module_id])
+        built.remove("no.such")
+        built.remove(world.modules[0].module_id)
+        built.remove(world.modules[0].module_id)
+        assert len(built) == 0
+
+    def test_readd_replaces(self, world):
+        built = SignatureIndex()
+        module = world.modules[0]
+        examples = world.examples_by_id[module.module_id]
+        built.add_module(module, examples)
+        built.add_module(module, examples)
+        assert len(built) == 1
+
+    def test_width_mismatch_rejected(self, world):
+        built = SignatureIndex(config=SignatureConfig(width=32, bands=8))
+        other = SignatureIndex()
+        module = world.modules[0]
+        entry = other.add_module(
+            module, world.examples_by_id[module.module_id]
+        )
+        with pytest.raises(ValueError, match="width"):
+            built.add(entry)
+
+
+class TestEmptySignatures:
+    def test_module_without_examples_never_buckets(self, world):
+        built = SignatureIndex()
+        for module in world.modules[:8]:
+            built.add_module(module, world.examples_by_id[module.module_id])
+        ghost = world.modules[9]
+        built.add_module(ghost, [])
+        assert built.candidates(ghost.module_id) == []
+        for module_id in built.module_ids():
+            assert ghost.module_id not in built.candidates(module_id) or (
+                module_id == ghost.module_id
+            )
+        assert built.stats().n_empty == 1
+
+    def test_empty_index_stats(self):
+        stats = SignatureIndex().stats()
+        assert stats.n_modules == 0
+        assert stats.as_dict()["n_band_buckets"] == 0
+
+    def test_singleton_index_has_no_pairs(self, world):
+        built = SignatureIndex()
+        module = world.modules[0]
+        built.add_module(module, world.examples_by_id[module.module_id])
+        assert built.candidate_pairs() == []
+        assert built.candidates(module.module_id) == []
+
+
+class TestStats:
+    def test_stats_counts(self, world, index):
+        stats = index.stats()
+        assert stats.n_modules == len(world.modules)
+        assert stats.n_empty == 0
+        assert stats.n_band_buckets > 0
+        assert stats.n_token_buckets > 0
+        assert stats.n_input_buckets > 0
+        assert stats.largest_token_bucket >= 2

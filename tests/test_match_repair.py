@@ -1,0 +1,114 @@
+"""Indexed end-to-end repair over the synthetic world."""
+
+import pytest
+
+from repro.match import (
+    IndexedRepairPlanner,
+    SignatureIndex,
+    build_synthetic_catalog,
+    render_repair_plan,
+)
+from repro.match.synth import SyntheticCatalogConfig
+from repro.workflow.decay import broken_workflows, decay_fraction
+
+
+@pytest.fixture(scope="module")
+def repaired_world():
+    world = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=80))
+    index = SignatureIndex()
+    for module in world.modules:
+        index.add_module(module, world.examples_by_id[module.module_id])
+    downed = decay_fraction(world.modules, 0.15)
+    for module in world.modules:
+        if not module.available:
+            index.remove(module.module_id)
+    planner = IndexedRepairPlanner(
+        world.ctx,
+        world.modules_by_id,
+        world.examples_by_id,
+        index,
+        world.pool,
+    )
+    plan = planner.plan(world.workflows)
+    return world, downed, plan
+
+
+class TestDecayFraction:
+    def test_decay_hits_roughly_the_fraction(self):
+        world = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=80))
+        decay_fraction(world.modules, 0.15)
+        lost = sum(1 for m in world.modules if not m.available)
+        assert 0.15 * len(world.modules) <= lost < 0.5 * len(world.modules)
+
+    def test_decay_is_deterministic(self):
+        a = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=80))
+        b = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=80))
+        assert decay_fraction(a.modules, 0.2) == decay_fraction(b.modules, 0.2)
+
+    def test_fraction_bounds(self):
+        world = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=8))
+        with pytest.raises(ValueError):
+            decay_fraction(world.modules, 0.0)
+        with pytest.raises(ValueError):
+            decay_fraction(world.modules, 1.0)
+
+
+class TestIndexedRepair:
+    def test_detection_finds_the_broken_workflows(self, repaired_world):
+        world, _downed, plan = repaired_world
+        broken = broken_workflows(world.workflows, world.modules_by_id)
+        assert plan.decay.n_broken == len(broken)
+        assert plan.decay.n_workflows == len(world.workflows)
+        assert len(plan.decay.by_module) > 0
+
+    def test_matching_was_pruned(self, repaired_world):
+        _world, _downed, plan = repaired_world
+        assert plan.accounting.candidate_pairs < plan.accounting.exhaustive_pairs
+        assert plan.accounting.invocations > 0
+
+    def test_most_workflows_repair_and_validate(self, repaired_world):
+        _world, _downed, plan = repaired_world
+        assert plan.n_full > 0
+        assert plan.n_validated > 0
+        assert plan.n_full + plan.n_partial + plan.n_unrepaired == len(
+            plan.results
+        )
+
+    def test_substitutes_come_from_the_same_family(self, repaired_world):
+        world, _downed, plan = repaired_world
+        for result in plan.results:
+            for _step, (old, new, _kind) in result.substitutions.items():
+                assert world.family_of[old] == world.family_of[new]
+
+    def test_substitutes_are_available(self, repaired_world):
+        world, _downed, plan = repaired_world
+        by_id = world.modules_by_id
+        for result in plan.results:
+            for _step, (_old, new, _kind) in result.substitutions.items():
+                assert by_id[new].available
+
+    def test_summary_and_render(self, repaired_world):
+        _world, _downed, plan = repaired_world
+        summary = plan.summary()
+        assert summary["n_broken"] == plan.decay.n_broken
+        assert summary["matching"]["invocations"] == plan.accounting.invocations
+        text = render_repair_plan(plan)
+        assert "Indexed repair plan" in text
+        assert "candidate pairs" in text
+
+    def test_no_decay_no_repairs(self):
+        world = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=24))
+        index = SignatureIndex()
+        for module in world.modules:
+            index.add_module(module, world.examples_by_id[module.module_id])
+        planner = IndexedRepairPlanner(
+            world.ctx,
+            world.modules_by_id,
+            world.examples_by_id,
+            index,
+            world.pool,
+        )
+        plan = planner.plan(world.workflows)
+        assert plan.decay.n_broken == 0
+        assert plan.results == []
+        assert plan.accounting.invocations == 0

@@ -1,0 +1,147 @@
+"""The synthetic catalog generator: determinism, ground truth, workflows."""
+
+import pytest
+
+from repro.core.matching import compare_behavior, map_parameters
+from repro.match import build_synthetic_catalog, synthetic_ontology
+from repro.match.synth import LEAF_CONCEPTS, PARENT_CONCEPT, SyntheticCatalogConfig
+from repro.workflow.validation import validate_workflow
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_synthetic_catalog(SyntheticCatalogConfig(n_modules=40))
+
+
+class TestConfigValidation:
+    def test_examples_must_overlap_pool(self):
+        # 2 * examples_per_module must exceed pool_size (pigeonhole:
+        # any two family members then share an example input).
+        with pytest.raises(ValueError, match="overlap"):
+            SyntheticCatalogConfig(examples_per_module=4, pool_size=8)
+
+    def test_examples_bounded_by_pool(self):
+        with pytest.raises(ValueError):
+            SyntheticCatalogConfig(examples_per_module=9, pool_size=8)
+
+    def test_chain_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticCatalogConfig(chain_min=3, chain_max=2)
+
+
+class TestDeterminism:
+    def test_same_config_same_world(self, world):
+        again = build_synthetic_catalog(SyntheticCatalogConfig(n_modules=40))
+        assert [m.module_id for m in again.modules] == [
+            m.module_id for m in world.modules
+        ]
+        assert again.family_of == world.family_of
+        assert again.role_of == world.role_of
+        assert [w.workflow_id for w in again.workflows] == [
+            w.workflow_id for w in world.workflows
+        ]
+        for module in world.modules:
+            mine = world.examples_by_id[module.module_id]
+            theirs = again.examples_by_id[module.module_id]
+            assert [
+                (e.inputs[0].value.payload, e.outputs[0].value.payload)
+                for e in mine
+            ] == [
+                (e.inputs[0].value.payload, e.outputs[0].value.payload)
+                for e in theirs
+            ]
+
+    def test_different_seed_different_examples(self, world):
+        other = build_synthetic_catalog(
+            SyntheticCatalogConfig(n_modules=40, seed=7)
+        )
+        mine = world.examples_by_id[world.modules[0].module_id]
+        theirs = other.examples_by_id[other.modules[0].module_id]
+        assert [e.outputs[0].value.payload for e in mine] != [
+            e.outputs[0].value.payload for e in theirs
+        ]
+
+
+class TestGroundTruth:
+    def test_every_module_has_examples(self, world):
+        for module in world.modules:
+            examples = world.examples_by_id[module.module_id]
+            assert len(examples) == world.config.examples_per_module
+
+    def test_family_members_share_an_example_input(self, world):
+        for module in world.modules:
+            mine = {
+                e.inputs[0].value.payload
+                for e in world.examples_by_id[module.module_id]
+            }
+            for other_id in world.family_members(module.module_id):
+                theirs = {
+                    e.inputs[0].value.payload
+                    for e in world.examples_by_id[other_id]
+                }
+                assert mine & theirs
+
+    def test_equivalent_members_classify_equivalent(self, world):
+        base = world.modules[0]
+        by_id = world.modules_by_id
+        equivalents = [
+            other_id
+            for other_id in world.family_members(base.module_id)
+            if world.role_of[other_id] in ("equivalent", "renamed")
+        ]
+        assert equivalents
+        for other_id in equivalents:
+            mapping = map_parameters(world.ctx.ontology, base, by_id[other_id])
+            assert mapping is not None
+            report = compare_behavior(
+                world.ctx,
+                base,
+                world.examples_by_id[base.module_id],
+                by_id[other_id],
+                mapping,
+            )
+            assert report is not None
+            assert report.kind.value == "equivalent"
+
+    def test_cross_family_modules_disagree(self, world):
+        # Same inputs through two different families never agree.
+        a = world.modules[0]
+        b = next(
+            m
+            for m in world.modules
+            if world.family_of[m.module_id] != world.family_of[a.module_id]
+        )
+        payload = world.examples_by_id[a.module_id][0].inputs[0].value.payload
+        out_a = a.invoke(
+            world.ctx,
+            {a.inputs[0].name: world.examples_by_id[a.module_id][0].inputs[0].value},
+        )
+        out_b = b.invoke(
+            world.ctx,
+            {b.inputs[0].name: world.examples_by_id[a.module_id][0].inputs[0].value},
+        )
+        assert payload  # sanity: the pool payload is non-empty
+        assert [v.payload for v in out_a.values()] != [
+            v.payload for v in out_b.values()
+        ]
+
+
+class TestOntologyAndWorkflows:
+    def test_ontology_shape(self):
+        ontology = synthetic_ontology()
+        for leaf in LEAF_CONCEPTS:
+            assert ontology.subsumes(PARENT_CONCEPT, leaf)
+
+    def test_workflows_validate(self, world):
+        by_id = world.modules_by_id
+        for workflow in world.workflows:
+            report = validate_workflow(workflow, by_id, world.ctx.ontology)
+            assert report.ok, (workflow.workflow_id, report.issues)
+
+    def test_workflow_count_matches_config(self, world):
+        assert len(world.workflows) == world.config.n_workflows
+
+    def test_pool_serves_every_leaf(self, world):
+        for leaf in LEAF_CONCEPTS:
+            value = world.pool.get_instance(leaf, None)
+            assert value is not None

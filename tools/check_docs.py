@@ -44,7 +44,9 @@ _PATH_REF = re.compile(
     r"`((?:docs|examples|benchmarks|tests|tools|src|\.github)/[A-Za-z0-9_./\-]+)`"
 )
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_CLI_MENTION = re.compile(r"repro-cli (?:campaign |serve )?([a-z][a-z-]*)")
+_CLI_MENTION = re.compile(
+    r"repro-cli (?:campaign |serve |match )?([a-z][a-z-]*)"
+)
 _CLI_BRACES = re.compile(r"repro-cli \{([^}]*)\}")
 _FENCE = re.compile(r"^```(\w*)\s*$")
 
@@ -122,8 +124,8 @@ def check_cli() -> "list[str]":
                 word.strip() for word in braces.split(",") if word.strip()
             )
         for name in sorted(found):
-            if name == "campaign":
-                continue  # the group itself; run/resume/status match too
+            if name in ("campaign", "match"):
+                continue  # group names; their subcommands are checked too
             if name not in real:
                 problems.append(
                     f"{doc.relative_to(REPO)}: `repro-cli {name}` is not a "
