@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-hangs slo-smoke serve-smoke serve-chaos chaos-smoke bench bench-engine bench-serve bench-campaign bench-match match-smoke serve report engine-stats campaign examples docs-check all clean
+.PHONY: install test test-faults test-hangs slo-smoke serve-smoke serve-chaos chaos-smoke bench bench-engine bench-serve bench-campaign bench-match bench-obs match-smoke serve report engine-stats campaign examples docs-check all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -63,6 +63,13 @@ bench-campaign:
 # synthetic size with BENCH_MATCH_SYNTH=N (the CI smoke uses 600).
 bench-match:
 	$(PYTHON) benchmarks/bench_match.py
+
+# Observability-plane benchmark: tracing / 50 Hz-profiler overhead on
+# the whole-catalog generation workload (both gated <5%, reports
+# byte-identical) and 4-replica fleet span assembly timed from the
+# journal files alone.  Writes BENCH_obs.json.
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs.py
 
 # Matching acceptance smoke (the CI match-smoke job): the match/ unit
 # and property tests plus a downsized benchmark run writing to a temp

@@ -53,6 +53,7 @@ from repro.campaign.sharding import (
     shard_plan,
 )
 from repro.campaign.worker import shard_worker_main, worker_config
+from repro.obs.propagation import TraceContext, campaign_trace_id
 
 
 @dataclass
@@ -197,6 +198,12 @@ class CampaignSupervisor:
             "campaign_id": shard_campaign_id(campaign_id, state.shard),
             "module_ids": state.module_ids,
             "config": worker_config(self.config, chaos_armed=armed).to_dict(),
+            # The campaign's trace id is *derived* from the campaign id,
+            # so a resumed supervisor (fresh process, journal only)
+            # stamps the same id and the fleet trace stays one trace.
+            "trace_context": TraceContext(
+                trace_id=campaign_trace_id(campaign_id)
+            ).to_dict(),
         }
         process = self._mp.Process(
             target=shard_worker_main,

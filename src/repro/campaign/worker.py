@@ -27,11 +27,14 @@ entry point by qualified name.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 
 from repro.campaign.journal import CampaignJournal
 from repro.campaign.runner import CampaignConfig, CampaignRunner
+from repro.obs.profiler import PROFILE_EVENT_KIND, maybe_start_profiler
+from repro.obs.propagation import TraceContext, propagation_scope
 
 
 def build_world(seed: int = 2014):
@@ -149,6 +152,11 @@ def shard_worker_main(spec: dict) -> int:
     ctx, catalog, pool = build_world(config.seed)
     by_id = {module.module_id: module for module in catalog}
     shard_modules = [by_id[module_id] for module_id in spec["module_ids"]]
+    # The supervisor's trace context crossed the spawn boundary in the
+    # spec; rebuilding it here makes every span this worker journals
+    # carry the campaign-wide trace id plus this process's identity.
+    context = TraceContext.from_dict(spec.get("trace_context"))
+    profiler = maybe_start_profiler()
     journal = CampaignJournal(spec["journal_path"])
     try:
         runner = CampaignRunner(ctx, shard_modules, pool, journal, config)
@@ -164,15 +172,29 @@ def shard_worker_main(spec: dict) -> int:
         heartbeat.beat("running")
         heartbeat.start()
         try:
-            try:
-                runner.run(spec["campaign_id"])
-            except ValueError:
-                # The shard campaign already exists: a previous attempt
-                # journaled it before dying.  Resume re-runs only the
-                # unjournaled remainder.
-                runner.resume(spec["campaign_id"])
+            with propagation_scope(
+                context,
+                "shard-worker",
+                process_id=spec["shard"],
+                worker=spec["worker"],
+            ):
+                try:
+                    runner.run(spec["campaign_id"])
+                except ValueError:
+                    # The shard campaign already exists: a previous
+                    # attempt journaled it before dying.  Resume re-runs
+                    # only the unjournaled remainder.
+                    runner.resume(spec["campaign_id"])
         finally:
             heartbeat.stop(final_phase="done")
+        if profiler is not None:
+            journal.record_worker_event(
+                spec["campaign_id"],
+                worker=spec["worker"],
+                shard=spec["shard"],
+                kind=PROFILE_EVENT_KIND,
+                detail=json.dumps(profiler.stop(), sort_keys=True),
+            )
     finally:
         journal.close()
     return 0

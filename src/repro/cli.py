@@ -15,11 +15,14 @@ Subcommands::
     repro-cli report [--seed S]                     full paper-vs-measured report
     repro-cli engine-stats [--parallelism N] ...    invocation-engine telemetry
     repro-cli metrics [--json] [--serve]            Prometheus / JSON export
+    repro-cli metrics --fleet --db FILE             unified fleet-level scrape
     repro-cli serve [--port P] [--db FILE]          annotation HTTP service
     repro-cli serve --replicas N --db FILE          supervised SO_REUSEPORT fleet
     repro-cli serve fleet --db FILE                 replica fleet + event timeline
     repro-cli loadgen --port P [--clients N]        concurrent load harness
     repro-cli trace ID --db FILE [--slowest N]      campaign span timeline
+    repro-cli trace ID --db FILE --fleet            cross-process fleet trace
+    repro-cli profile [--campaign ID | --serve]     sampling profiler / fleet profiles
     repro-cli top ID --db FILE [--once]             live campaign dashboard
     repro-cli alerts ID --db FILE [--firing]        journaled SLO / drift alerts
     repro-cli campaign run --db FILE ID [--trace]   crash-safe catalog campaign
@@ -474,13 +477,29 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     """Export the engine's telemetry for scraping (Prometheus / JSON)."""
     from repro.obs import MetricsExporter, MetricsServer
 
-    try:
-        engine, _reports = _tuned_generation(args)
-    except _UnknownModuleError as error:
-        print(error, file=sys.stderr)
-        return 2
-    exporter = MetricsExporter(engine)
-    _warn_dropped_events(engine.stats())
+    if args.fleet:
+        if not args.db:
+            print(
+                "error: --fleet needs --db — the fold reads the fleet's "
+                "journal / state-store file",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.obs.aggregate import MetricsAggregator
+
+        exporter = MetricsAggregator(
+            state_db=args.db,
+            journal_db=args.db,
+            campaign_id=args.campaign,
+        )
+    else:
+        try:
+            engine, _reports = _tuned_generation(args)
+        except _UnknownModuleError as error:
+            print(error, file=sys.stderr)
+            return 2
+        exporter = MetricsExporter(engine)
+        _warn_dropped_events(engine.stats())
     if args.serve:
         with MetricsServer(exporter, port=args.port) as server:
             print(
@@ -621,6 +640,7 @@ def _serve_fleet(args: argparse.Namespace) -> int:
             restart_backoff=args.restart_backoff,
             drain_timeout=args.drain_timeout,
             chaos_kill_replica=args.chaos_kill_replica,
+            metrics_port=args.metrics_port,
         )
         supervisor = ServeSupervisor(
             config, fleet, service=service, register_all=args.register_all
@@ -773,11 +793,77 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if report.n_5xx else 0
 
 
+def _fleet_trace(args: argparse.Namespace) -> int:
+    """Assemble one logical trace across every fleet process journaled
+    in ``--db``: replica spans from the serve state store, supervisor
+    and shard-worker spans from the campaign journal and its derived
+    shard journals.  The positional id may be a trace id or a campaign
+    id (a campaign's trace id is derived from its campaign id)."""
+    import os
+
+    from repro.campaign import CampaignJournal
+    from repro.obs.aggregate import (
+        collect_campaign_spans,
+        collect_serve_spans,
+        render_fleet_trace,
+        spans_for_trace,
+        trace_ids,
+    )
+    from repro.obs.propagation import campaign_trace_id, normalize_trace_id
+
+    if not os.path.exists(args.db):
+        print(f"error: no journal {args.db}", file=sys.stderr)
+        return 2
+    spans = list(collect_serve_spans(args.db))
+    journal = CampaignJournal(args.db)
+    try:
+        metas = journal.campaigns()
+    finally:
+        journal.close()
+    for meta in metas:
+        spans.extend(collect_campaign_spans(args.db, meta.campaign_id))
+    known = trace_ids(spans)
+    target = normalize_trace_id(args.campaign_id)
+    if target not in known:
+        # Not a known trace id: maybe it names a campaign.
+        derived = campaign_trace_id(args.campaign_id)
+        if derived in known:
+            target = derived
+    selected = spans_for_trace(target, spans)
+    if not selected:
+        print(
+            f"error: no spans for trace {args.campaign_id!r} in {args.db}",
+            file=sys.stderr,
+        )
+        if known:
+            print("known trace ids:", file=sys.stderr)
+            for trace in known[:20]:
+                print(f"  {trace}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                [span.to_dict() for span in selected],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        render_fleet_trace(
+            target, spans, slowest=args.slowest, limit=args.limit
+        )
+    )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Reconstruct a campaign's span timeline from its journal."""
     from repro.campaign import CampaignJournal, UnknownCampaignError
     from repro.obs import load_spans, render_trace
 
+    if args.fleet:
+        return _fleet_trace(args)
     journal = CampaignJournal(args.db)
     try:
         try:
@@ -831,7 +917,14 @@ def cmd_top(args: argparse.Namespace) -> int:
     if journal is None:
         return 2
     try:
-        dashboard = Dashboard(journal, args.campaign_id, interval=args.interval)
+        dashboard = Dashboard(
+            journal,
+            args.campaign_id,
+            interval=args.interval,
+            # --no-color forces escape-free frames; otherwise the
+            # dashboard auto-detects NO_COLOR / TERM=dumb.
+            no_color=True if args.no_color else None,
+        )
         if args.once:
             dashboard.render_once()
         else:  # pragma: no cover - interactive loop; --once covers rendering
@@ -841,6 +934,124 @@ def cmd_top(args: argparse.Namespace) -> int:
                 pass
     finally:
         journal.close()
+    return 0
+
+
+def _journaled_profiles(args: argparse.Namespace, kind: str) -> "list[dict]":
+    """Load the profile dicts the fleet journaled at drain / shard end.
+
+    ``--serve`` reads the serve state store's event timeline;
+    ``--campaign`` reads the main journal's worker events plus every
+    derived shard journal's — the same discovery rule as span assembly.
+    """
+    import json as _json
+    import os
+
+    profiles: "list[dict]" = []
+    if args.serve:
+        from repro.serve.state import ServeStateStore, has_serve_state
+
+        if not has_serve_state(args.db):
+            return []
+        store = ServeStateStore(args.db)
+        try:
+            events = store.events()
+        finally:
+            store.close()
+        for event in events:
+            if event["kind"] == kind and event["detail"]:
+                profiles.append(_json.loads(event["detail"]))
+        return profiles
+    from repro.campaign import CampaignJournal, UnknownCampaignError
+    from repro.campaign.sharding import shard_campaign_id, shard_journal_path
+
+    journal = CampaignJournal(args.db)
+    try:
+        try:
+            meta = journal.meta(args.campaign)
+        except UnknownCampaignError:
+            return []
+        for event in journal.worker_events(args.campaign):
+            if event["kind"] == kind and event["detail"]:
+                profiles.append(_json.loads(event["detail"]))
+        n_shards = max(1, int((meta.config or {}).get("workers", 1) or 1))
+    finally:
+        journal.close()
+    for shard in range(n_shards):
+        path = shard_journal_path(args.db, shard)
+        if not os.path.exists(path):
+            continue
+        shard_journal = CampaignJournal(path)
+        try:
+            events = shard_journal.worker_events(
+                shard_campaign_id(args.campaign, shard)
+            )
+        finally:
+            shard_journal.close()
+        for event in events:
+            if event["kind"] == kind and event["detail"]:
+                profiles.append(_json.loads(event["detail"]))
+    return profiles
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Sampling profiler: live over the simulator workload, or the
+    merged fleet profile reconstructed from journaled per-process
+    profiles (arm a fleet with ``REPRO_PROFILE_HZ``)."""
+    from repro.obs.profiler import (
+        PROFILE_EVENT_KIND,
+        SamplingProfiler,
+        merge_profiles,
+        render_collapsed,
+        render_flamegraph,
+        render_top,
+    )
+
+    if args.campaign and args.serve:
+        print(
+            "error: --campaign and --serve are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.campaign or args.serve:
+        if not args.db:
+            print(
+                "error: journaled profiles need --db",
+                file=sys.stderr,
+            )
+            return 2
+        profiles = _journaled_profiles(args, PROFILE_EVENT_KIND)
+        if not profiles:
+            where = (
+                f"campaign {args.campaign!r}" if args.campaign else "fleet"
+            )
+            print(
+                f"error: no journaled profiles for {where} in {args.db} "
+                "(run the fleet with REPRO_PROFILE_HZ=50 to arm the "
+                "profiler)",
+                file=sys.stderr,
+            )
+            return 2
+        profile = merge_profiles(profiles)
+    else:
+        profiler = SamplingProfiler(hz=args.hz)
+        with profiler:
+            try:
+                _tuned_generation(args)
+            except _UnknownModuleError as error:
+                print(error, file=sys.stderr)
+                return 2
+        profile = profiler.to_dict()
+    if args.json:
+        print(json.dumps(profile, indent=2, sort_keys=True))
+        return 0
+    if args.flame:
+        print(render_flamegraph(profile, min_percent=args.min_percent))
+        return 0
+    if args.collapsed:
+        print(render_collapsed(profile))
+        return 0
+    print(render_top(profile, limit=args.top))
     return 0
 
 
@@ -1284,6 +1495,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scrape-endpoint port (0 picks a free one)")
     p.add_argument("--serve-for", type=float, default=None,
                    help="serve for N seconds, then exit (default: forever)")
+    p.add_argument("--fleet", action="store_true",
+                   help="fold fleet-level metrics from journals (--db) "
+                        "instead of running a local workload")
+    p.add_argument("--db", default=None,
+                   help="fleet journal / state-store file (--fleet)")
+    p.add_argument("--campaign", default=None, metavar="ID",
+                   help="also fold this sharded campaign's worker "
+                        "heartbeat stats (--fleet)")
     p.set_defaults(func=cmd_metrics)
 
     p = commands.add_parser(
@@ -1345,6 +1564,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-kill-replica", type=int, default=0, metavar="K",
                    help="fault injection: each replica's first process dies "
                         "mid-request at its Kth request (0 disables)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="bind the supervisor's fleet-level /metrics "
+                        "endpoint here (fleet mode; 0 picks a free port)")
     p.set_defaults(func=cmd_serve)
     serve_commands = p.add_subparsers(
         dest="serve_command", metavar="{fleet}", required=False
@@ -1406,7 +1628,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show only the first N span trees (timeline order)")
     p.add_argument("--json", action="store_true",
                    help="print the raw span trees as JSON")
+    p.add_argument("--fleet", action="store_true",
+                   help="assemble one cross-process trace: the id selects "
+                        "by propagated trace id (or names a campaign); "
+                        "spans come from the serve state store and every "
+                        "campaign + shard journal in --db")
     p.set_defaults(func=cmd_trace)
+
+    p = commands.add_parser(
+        "profile",
+        help="sampling profiler: live workload or journaled fleet profiles",
+    )
+    add_engine_args(p)
+    p.add_argument("--hz", type=float, default=50.0,
+                   help="sampling rate for the live workload profile")
+    p.add_argument("--campaign", default=None, metavar="ID",
+                   help="merge the journaled per-worker profiles of this "
+                        "sharded campaign instead of profiling live")
+    p.add_argument("--serve", action="store_true",
+                   help="merge the journaled per-replica profiles of a "
+                        "serving fleet instead of profiling live")
+    p.add_argument("--db", default=None,
+                   help="journal / state-store file the fleet profiled "
+                        "into (--campaign / --serve)")
+    p.add_argument("--top", type=int, default=20, metavar="N",
+                   help="rows in the hottest-frames table (the default "
+                        "view)")
+    p.add_argument("--flame", action="store_true",
+                   help="indented text flame graph instead of the table")
+    p.add_argument("--min-percent", type=float, default=1.0,
+                   help="prune flame-graph subtrees below this percent")
+    p.add_argument("--collapsed", action="store_true",
+                   help="FlameGraph collapsed-stack lines (pipe to "
+                        "external tooling)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw profile dict as JSON")
+    p.set_defaults(func=cmd_profile)
 
     p = commands.add_parser(
         "top",
@@ -1420,6 +1677,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render one frame and exit (CI / scripting)")
     p.add_argument("--iterations", type=int, default=None,
                    help="stop the live loop after N ticks")
+    p.add_argument("--no-color", action="store_true",
+                   help="no ANSI escapes: append frames instead of "
+                        "redrawing in place (dumb terminals, log pipes; "
+                        "also via NO_COLOR / TERM=dumb)")
     p.set_defaults(func=cmd_top)
 
     p = commands.add_parser(

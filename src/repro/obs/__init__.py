@@ -23,9 +23,50 @@ is still running:
   matcher over regenerated data examples;
 * :mod:`repro.obs.dashboard` — a stdlib-only live terminal dashboard
   over the journal (``repro-cli top``).
+
+Fleet views, stitching one logical picture from many processes:
+
+* :mod:`repro.obs.propagation` — W3C-traceparent-style trace contexts
+  carried over HTTP and through the spawn boundary, so every process's
+  spans share a trace id;
+* :mod:`repro.obs.aggregate` — fleet trace assembly and the unified
+  metrics fold over per-replica and per-worker journal rows;
+* :mod:`repro.obs.profiler` — a stdlib sampling profiler with
+  collapsed-stack and flamegraph text export.
 """
 
-from repro.obs.dashboard import Dashboard, render_dashboard
+from repro.obs.aggregate import (
+    MetricsAggregator,
+    collect_campaign_spans,
+    collect_fleet_spans,
+    collect_serve_spans,
+    merge_http_snapshots,
+    render_fleet_trace,
+    span_trace_id,
+    spans_for_trace,
+    trace_ids,
+)
+from repro.obs.dashboard import Dashboard, ansi_disabled, render_dashboard
+from repro.obs.profiler import (
+    PROFILE_EVENT_KIND,
+    SamplingProfiler,
+    maybe_start_profiler,
+    merge_profiles,
+    render_collapsed,
+    render_flamegraph,
+    render_top,
+    top_frames,
+)
+from repro.obs.propagation import (
+    TRACE_ID_MAX_LEN,
+    TraceContext,
+    TraceIdGenerator,
+    campaign_trace_id,
+    extract_trace_context,
+    normalize_trace_id,
+    parse_traceparent,
+    propagation_scope,
+)
 from repro.obs.drift import (
     DriftDetector,
     DriftReport,
@@ -101,5 +142,31 @@ __all__ = [
     "classify_example_sets",
     "render_drift",
     "Dashboard",
+    "ansi_disabled",
     "render_dashboard",
+    "TRACE_ID_MAX_LEN",
+    "TraceContext",
+    "TraceIdGenerator",
+    "campaign_trace_id",
+    "extract_trace_context",
+    "normalize_trace_id",
+    "parse_traceparent",
+    "propagation_scope",
+    "MetricsAggregator",
+    "collect_campaign_spans",
+    "collect_fleet_spans",
+    "collect_serve_spans",
+    "merge_http_snapshots",
+    "render_fleet_trace",
+    "span_trace_id",
+    "spans_for_trace",
+    "trace_ids",
+    "PROFILE_EVENT_KIND",
+    "SamplingProfiler",
+    "maybe_start_profiler",
+    "merge_profiles",
+    "render_collapsed",
+    "render_flamegraph",
+    "render_top",
+    "top_frames",
 ]

@@ -1,0 +1,486 @@
+"""Fleet aggregation: one trace, one scrape, from many journals.
+
+The fleet's observability raw material is scattered by design — every
+replica commits spans and stats snapshots into the shared
+:class:`~repro.serve.state.ServeStateStore`, every shard worker
+heartbeats its ``engine.stats()`` into its own WAL journal and records
+spans under its shard campaign id.  Nothing here talks to a live
+process: both halves of this module are pure functions of journal
+files, so the fleet view works while the fleet runs *and* after any —
+or every — process was SIGKILLed.
+
+**Trace assembly.**  :func:`collect_fleet_spans` gathers span trees
+from a serve-state file and/or a campaign journal (main + derived
+shard journals); :func:`spans_for_trace` selects one logical trace by
+the propagated ``trace_id`` attribute
+(:mod:`repro.obs.propagation`); :func:`render_fleet_trace` renders it
+hop by hop.  One caveat is structural: ``start_ms`` is measured on
+each *process's own* monotonic origin, so spans order within a hop but
+not across hops — the rendering groups by ``(process_role,
+process_id)`` instead of pretending the clocks align.
+
+**Metric folding.**  :class:`MetricsAggregator` builds one fleet-level
+stats snapshot: engine sections folded with
+:func:`~repro.engine.telemetry.merge_stats_snapshots` (replica
+snapshots + shard-worker heartbeat snapshots), HTTP sections folded
+with :func:`merge_http_snapshots`, and the ``workers`` / ``replicas``
+gauge rows attached — the exact shape
+:func:`~repro.obs.metrics.render_prometheus` already renders, so the
+supervisor's fleet ``/metrics`` endpoint is just a
+:class:`~repro.obs.metrics.MetricsServer` pointed at an aggregator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable
+
+from repro.engine.telemetry import LatencyHistogram, merge_stats_snapshots
+from repro.obs.tracing import Span
+
+#: Sections of a journaled replica stats snapshot that are *not* engine
+#: telemetry and must not be handed to ``merge_stats_snapshots``.
+_NON_ENGINE_SECTIONS = ("http", "slo")
+
+
+# ----------------------------------------------------------------------
+# Span collection
+# ----------------------------------------------------------------------
+def _stamp(span: Span, role: str, process_id) -> Span:
+    """Default the process-identity attributes a span should carry.
+
+    Spans recorded inside a :func:`~repro.obs.propagation.propagation_scope`
+    already have them; spans from older journals (or untraced internal
+    work) get the journal-derived identity so the fleet view never shows
+    an anonymous hop.
+    """
+    span.attributes.setdefault("process_role", role)
+    if process_id is not None:
+        span.attributes.setdefault("process_id", process_id)
+    return span
+
+
+def _has_serve_schema(path: str) -> bool:
+    """Whether ``path`` already carries serve tables, checked read-only.
+
+    Opening a :class:`ServeStateStore` creates the serve schema, so the
+    fleet readers probe first rather than grafting serve tables onto a
+    file that is only a campaign journal.  Unlike ``has_serve_state``
+    this does not require registered replicas — a store holding only
+    spans or stats snapshots is still readable.
+    """
+    import sqlite3
+
+    if not path or not os.path.exists(str(path)):
+        return False
+    try:
+        connection = sqlite3.connect(str(path))
+    except sqlite3.Error:
+        return False
+    try:
+        row = connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' "
+            "AND name = 'serve_spans'"
+        ).fetchone()
+        return row is not None
+    except sqlite3.Error:
+        return False
+    finally:
+        connection.close()
+
+
+def collect_serve_spans(state_db: str) -> "list[Span]":
+    """Every replica span tree in a serve-state file, recording order."""
+    from repro.serve.state import ServeStateStore
+
+    if not _has_serve_schema(state_db):
+        return []
+    store = ServeStateStore(state_db)
+    try:
+        spans = []
+        for data in store.spans():
+            replica = data.pop("_replica", None)
+            spans.append(_stamp(Span.from_dict(data), "replica", replica))
+        return spans
+    finally:
+        store.close()
+
+
+def collect_campaign_spans(
+    journal_db: str, campaign_id: str
+) -> "list[Span]":
+    """Every span tree of one campaign: the main journal plus every
+    derived shard journal (``<db>.shard-NN`` under
+    ``<campaign_id>::shard-NN``), exactly the discovery rule the
+    sharded merge uses — missing shard files contribute nothing."""
+    from repro.campaign.journal import CampaignJournal, UnknownCampaignError
+    from repro.campaign.sharding import shard_campaign_id, shard_journal_path
+
+    if not journal_db or not os.path.exists(str(journal_db)):
+        return []
+    journal = CampaignJournal(journal_db)
+    try:
+        try:
+            meta = journal.meta(campaign_id)
+        except UnknownCampaignError:
+            return []
+        spans = [
+            _stamp(Span.from_dict(data), "supervisor", None)
+            for data in journal.spans(campaign_id)
+        ]
+        n_shards = max(1, int((meta.config or {}).get("workers", 1) or 1))
+    finally:
+        journal.close()
+    for shard in range(n_shards):
+        path = shard_journal_path(journal_db, shard)
+        if not os.path.exists(str(path)):
+            continue
+        shard_journal = CampaignJournal(path)
+        try:
+            for data in shard_journal.spans(
+                shard_campaign_id(campaign_id, shard)
+            ):
+                spans.append(
+                    _stamp(Span.from_dict(data), "shard-worker", shard)
+                )
+        finally:
+            shard_journal.close()
+    return spans
+
+
+def collect_fleet_spans(
+    state_db: "str | None" = None,
+    journal_db: "str | None" = None,
+    campaign_id: "str | None" = None,
+) -> "list[Span]":
+    """All journaled spans of the fleet: replicas + campaign processes."""
+    spans: "list[Span]" = []
+    if state_db:
+        spans.extend(collect_serve_spans(state_db))
+    if journal_db and campaign_id:
+        spans.extend(collect_campaign_spans(journal_db, campaign_id))
+    return spans
+
+
+def span_trace_id(span: Span) -> str:
+    """The propagated trace id a span carries (``""`` when none)."""
+    attrs = span.attributes
+    return str(attrs.get("trace_id") or attrs.get("http_trace_id") or "")
+
+
+def trace_ids(spans: "list[Span]") -> "list[str]":
+    """Distinct trace ids present, first-seen order."""
+    seen: "dict[str, None]" = {}
+    for span in spans:
+        trace = span_trace_id(span)
+        if trace:
+            seen.setdefault(trace, None)
+    return list(seen)
+
+
+def spans_for_trace(trace_id: str, spans: "list[Span]") -> "list[Span]":
+    """The subset of ``spans`` belonging to one logical trace."""
+    return [span for span in spans if span_trace_id(span) == trace_id]
+
+
+# ----------------------------------------------------------------------
+# Trace rendering
+# ----------------------------------------------------------------------
+_ROLE_ORDER = {"client": 0, "replica": 1, "supervisor": 2, "shard-worker": 3}
+
+
+def _hop_key(span: Span) -> "tuple[int, str, str]":
+    role = str(span.attributes.get("process_role", "unknown"))
+    process = str(span.attributes.get("process_id", ""))
+    return (_ROLE_ORDER.get(role, 9), role, process)
+
+
+def _render_span_lines(root: Span, lines: "list[str]") -> None:
+    for depth, span in root.walk():
+        label = f"{'  ' * depth}{span.name}"
+        lines.append(
+            f"    {label:<24} {span.outcome:<22} {span.duration_ms:>9.3f}ms"
+        )
+        if span.detail:
+            detail = span.detail
+            if len(detail) > 60:
+                detail = detail[:57] + "..."
+            lines.append(f"    {'  ' * depth}  detail: {detail}")
+
+
+def render_fleet_trace(
+    trace_id: str,
+    spans: "list[Span]",
+    slowest: "int | None" = None,
+    limit: "int | None" = None,
+) -> str:
+    """Render one logical trace, hop by hop.
+
+    Hops are ``(process_role, process_id)`` groups; spans within a hop
+    order by their process-local start time.  ``slowest`` switches to a
+    flat fleet-wide ranking of root spans by duration; ``limit`` caps
+    spans rendered per hop.
+    """
+    selected = spans_for_trace(trace_id, spans)
+    total_ms = sum(span.duration_ms for span in selected)
+    header = (
+        f"trace {trace_id}: {len(selected)} span tree(s), "
+        f"{sum(span.tree_size for span in selected)} spans, "
+        f"{total_ms:.3f}ms total across "
+        f"{len({_hop_key(span) for span in selected})} process hop(s)"
+    )
+    if not selected:
+        return header
+    lines = [header]
+    if slowest is not None:
+        ranked = sorted(
+            selected, key=lambda span: -span.duration_ms
+        )[: max(1, slowest)]
+        lines.append("")
+        lines.append(f"  slowest {len(ranked)} span tree(s), fleet-wide:")
+        for span in ranked:
+            role = span.attributes.get("process_role", "unknown")
+            process = span.attributes.get("process_id", "")
+            hop = f"{role}{f'-{process}' if process != '' else ''}"
+            lines.append(
+                f"    {span.module_id:<32} {hop:<16} "
+                f"{span.outcome:<12} {span.duration_ms:>9.3f}ms"
+            )
+        return "\n".join(lines)
+    by_hop: "dict[tuple, list[Span]]" = {}
+    for span in selected:
+        by_hop.setdefault(_hop_key(span), []).append(span)
+    for key in sorted(by_hop):
+        _, role, process = key
+        hop_spans = sorted(by_hop[key], key=lambda span: span.start_ms)
+        shown = hop_spans[:limit] if limit is not None else hop_spans
+        hop = f"{role}{f' {process}' if process else ''}"
+        hop_ms = sum(span.duration_ms for span in hop_spans)
+        lines.append("")
+        lines.append(
+            f"  [{hop}]  {len(hop_spans)} span tree(s), {hop_ms:.3f}ms"
+        )
+        for span in shown:
+            _render_span_lines(span, lines)
+        if len(shown) < len(hop_spans):
+            lines.append(
+                f"    ... {len(hop_spans) - len(shown)} more span tree(s)"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTTP snapshot folding
+# ----------------------------------------------------------------------
+def merge_http_snapshots(snapshots: "list[dict]") -> dict:
+    """Fold per-replica ``http`` sections into one fleet section.
+
+    Request counts, shed/rate-limit/deadline counters and admission
+    totals sum; the latency histogram is absorbed bucket-wise (the
+    replicas share the engine's fixed bounds); inflight/queue gauges
+    sum (fleet-wide concurrency); per-tenant buckets take the *max* per
+    counter — in a fleet the buckets are durable and shared, so every
+    replica reports the same store-backed row and summing would
+    multiply it by the replica count.
+    """
+    merged: dict = {
+        "requests": [],
+        "requests_total": 0,
+        "status_classes": {"2xx": 0, "3xx": 0, "4xx": 0, "5xx": 0},
+        "shed_total": 0,
+        "rate_limited_total": 0,
+        "rate_limited_by_tenant": {},
+        "deadline_exceeded_total": 0,
+        "inflight": 0,
+        "max_inflight": 0,
+        "queue_depth": 0,
+        "max_queue": 0,
+        "admitted_total": 0,
+        "tenants": {},
+        "replicas_reporting": 0,
+    }
+    requests: "dict[tuple, int]" = {}
+    histogram = LatencyHistogram()
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        merged["replicas_reporting"] += 1
+        for entry in snapshot.get("requests", []):
+            key = (entry["endpoint"], entry["method"], entry["status"])
+            requests[key] = requests.get(key, 0) + entry["count"]
+        merged["requests_total"] += snapshot.get("requests_total", 0)
+        for bucket, count in snapshot.get("status_classes", {}).items():
+            if bucket in merged["status_classes"]:
+                merged["status_classes"][bucket] += count
+        latency = snapshot.get("latency")
+        if latency and latency.get("count"):
+            histogram.absorb(LatencyHistogram.from_snapshot(latency))
+        for key in (
+            "shed_total", "rate_limited_total", "deadline_exceeded_total",
+            "inflight", "max_inflight", "queue_depth", "max_queue",
+            "admitted_total",
+        ):
+            merged[key] += snapshot.get(key, 0)
+        for tenant, count in snapshot.get(
+            "rate_limited_by_tenant", {}
+        ).items():
+            merged["rate_limited_by_tenant"][tenant] = (
+                merged["rate_limited_by_tenant"].get(tenant, 0) + count
+            )
+        for tenant, bucket in snapshot.get("tenants", {}).items():
+            entry = merged["tenants"].setdefault(tenant, dict(bucket))
+            for counter in ("allowed", "limited"):
+                entry[counter] = max(
+                    entry.get(counter, 0), bucket.get(counter, 0)
+                )
+    merged["requests"] = [
+        {
+            "endpoint": endpoint,
+            "method": method,
+            "status": status,
+            "count": count,
+        }
+        for (endpoint, method, status), count in sorted(requests.items())
+    ]
+    merged["latency"] = {
+        "count": histogram.count,
+        "sum_ms": histogram.sum_ms,
+        "mean_ms": histogram.mean_ms,
+        "p50_ms": histogram.quantile(0.5),
+        "p95_ms": histogram.quantile(0.95),
+        "p99_ms": histogram.quantile(0.99),
+        "max_ms": histogram.max_ms,
+        "cumulative_buckets": [
+            list(pair) for pair in histogram.cumulative_buckets()
+        ],
+    }
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The unified scrape
+# ----------------------------------------------------------------------
+class MetricsAggregator:
+    """One fleet-level stats snapshot, folded from journals.
+
+    Sources, all optional and all journal files:
+
+    * ``state`` / ``state_db`` — a live
+      :class:`~repro.serve.state.ServeStateStore` (the fleet
+      supervisor's) or a path to one: contributes per-replica engine
+      stats, the folded ``http`` section, and the ``replicas`` gauge
+      rows.
+    * ``journal_db`` + ``campaign_id`` — a sharded campaign: contributes
+      per-shard-worker engine stats (journaled heartbeats) and the
+      ``workers`` gauge rows.
+
+    The result of :meth:`snapshot` has exactly the section shape
+    ``render_prometheus`` consumes, so the aggregator plugs straight
+    into :class:`~repro.obs.metrics.MetricsServer` — the supervisor's
+    fleet ``/metrics`` endpoint — and into ``repro-cli metrics
+    --fleet`` for the offline view.
+    """
+
+    def __init__(
+        self,
+        state: "object | None" = None,
+        state_db: "str | None" = None,
+        journal_db: "str | None" = None,
+        campaign_id: "str | None" = None,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._state = state
+        self._state_db = state_db
+        self._journal_db = journal_db
+        self._campaign_id = campaign_id
+        self._wall = wall_clock
+
+    # ------------------------------------------------------------------
+    def _replica_sources(self) -> "tuple[list[dict], list[dict]]":
+        """``(per-replica stats snapshots, replica gauge rows)``."""
+        store = self._state
+        opened = False
+        if store is None and self._state_db and os.path.exists(
+            str(self._state_db)
+        ):
+            from repro.serve.state import ServeStateStore
+
+            if not _has_serve_schema(self._state_db):
+                return [], []
+            store = ServeStateStore(self._state_db)
+            opened = True
+        if store is None:
+            return [], []
+        try:
+            stats = [
+                snapshot for _, snapshot in sorted(store.replica_stats().items())
+            ]
+            rows = store.replica_rows(now=self._wall())
+            return stats, rows
+        finally:
+            if opened:
+                store.close()
+
+    def _worker_sources(self) -> "list[dict]":
+        """Per-shard worker gauge rows (their stats ride inside)."""
+        if not self._journal_db or not self._campaign_id:
+            return []
+        if not os.path.exists(str(self._journal_db)):
+            return []
+        from repro.campaign.journal import UnknownCampaignError
+        from repro.campaign.sharding import worker_rows
+
+        try:
+            return worker_rows(
+                self._journal_db, self._campaign_id, now=self._wall()
+            )
+        except UnknownCampaignError:
+            return []
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The folded fleet snapshot, ``render_prometheus`` shaped."""
+        replica_stats, replica_rows = self._replica_sources()
+        workers = self._worker_sources()
+        engine_snapshots = list(replica_stats) + [
+            row["stats"] for row in workers
+        ]
+        merged = merge_stats_snapshots(engine_snapshots)
+        http = merge_http_snapshots(
+            [stats.get("http") or {} for stats in replica_stats]
+        )
+        if http["replicas_reporting"]:
+            merged["http"] = http
+        if replica_rows:
+            merged["replicas"] = replica_rows
+        if workers:
+            merged["workers"] = workers
+        merged["fleet"] = {
+            "replica_snapshots": len(replica_stats),
+            "worker_snapshots": len(workers),
+            "sources": len(engine_snapshots),
+        }
+        return merged
+
+    def to_prometheus(self) -> str:
+        from repro.obs.metrics import render_prometheus
+
+        return render_prometheus(self.snapshot())
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+__all__ = [
+    "MetricsAggregator",
+    "collect_campaign_spans",
+    "collect_fleet_spans",
+    "collect_serve_spans",
+    "merge_http_snapshots",
+    "render_fleet_trace",
+    "span_trace_id",
+    "spans_for_trace",
+    "trace_ids",
+]

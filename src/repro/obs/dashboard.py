@@ -11,18 +11,65 @@ previous frame with ANSI escapes, and **snapshot-diffs** — a tick whose
 rendered frame is identical to the previous one skips the redraw
 entirely, so an idle campaign doesn't flicker.  ``--once`` renders a
 single frame with no escapes at all, which is what CI and tests use.
+
+Dumb terminals are first-class: ``--no-color`` (or a non-empty
+``NO_COLOR`` environment variable, or ``TERM=dumb``) switches the live
+loop to append-only frames with no escape sequences, and the frame
+width is re-measured from the terminal on **every** redraw — resizing
+the window mid-watch reflows the next frame instead of wrapping
+garbage against the startup width.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
 import sys
 import time
 
 from repro.obs.slo import FIRING, alert_states
 from repro.obs.timeseries import sample_rates
 
-#: Frame width the progress bar is fitted to.
+#: Frame width the progress bar is fitted to when the terminal size
+#: cannot be measured.
 DEFAULT_WIDTH = 72
+
+#: Frames narrower than this are unreadable; clamp instead.
+MIN_WIDTH = 40
+
+
+def ansi_disabled(
+    no_color: "bool | None" = None, environ: "dict | None" = None
+) -> bool:
+    """Should escape sequences be suppressed?
+
+    ``no_color=True`` forces plain output; ``None`` defers to the
+    environment — the ``NO_COLOR`` convention (any non-empty value) and
+    ``TERM=dumb`` both disable escapes.
+    """
+    if no_color is not None:
+        return no_color
+    env = environ if environ is not None else os.environ
+    if env.get("NO_COLOR"):
+        return True
+    return env.get("TERM", "").lower() == "dumb"
+
+
+def measure_width(stream=None, fallback: int = DEFAULT_WIDTH) -> int:
+    """The current terminal width, re-measured at call time.
+
+    ``shutil.get_terminal_size`` consults the live window size (and
+    ``COLUMNS``), so calling this per redraw makes mid-session resizes
+    take effect on the next frame.  Non-terminal streams (pipes, test
+    buffers) get the fallback.
+    """
+    try:
+        if stream is not None and not stream.isatty():
+            return fallback
+    except (AttributeError, ValueError):
+        return fallback
+    measured = shutil.get_terminal_size(fallback=(fallback, 24)).columns
+    return max(MIN_WIDTH, measured)
 
 
 def _progress_bar(done: int, skipped: int, planned: int, width: int) -> str:
@@ -213,6 +260,8 @@ class Dashboard:
         stream: Where frames go (stdout).
         interval: Seconds between polls in live mode.
         clock / sleeper: Injectable for tests.
+        no_color: True forces escape-free output, False forces escapes,
+            None (default) auto-detects (``NO_COLOR`` env, ``TERM=dumb``).
     """
 
     def __init__(
@@ -222,6 +271,7 @@ class Dashboard:
         stream=None,
         interval: float = 2.0,
         sleeper=time.sleep,
+        no_color: "bool | None" = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -230,12 +280,18 @@ class Dashboard:
         self.stream = stream if stream is not None else sys.stdout
         self.interval = interval
         self.sleeper = sleeper
+        self.no_color = ansi_disabled(no_color)
         #: Frames actually redrawn (diffing suppresses identical ones).
         self.redraws = 0
 
     # ------------------------------------------------------------------
     def frame(self) -> str:
-        """Render one frame from the journal's current state."""
+        """Render one frame from the journal's current state.
+
+        Width is re-measured here — per redraw, not at startup — so a
+        resized terminal reflows the very next frame.
+        """
+        width = measure_width(self.stream)
         meta = self.journal.meta(self.campaign_id)
         progress = self.journal.progress_counts(self.campaign_id)
         samples = self.journal.snapshots(self.campaign_id)
@@ -261,7 +317,13 @@ class Dashboard:
             finally:
                 store.close()
         return render_dashboard(
-            meta, progress, samples, alerts, workers=workers, replicas=replicas
+            meta,
+            progress,
+            samples,
+            alerts,
+            width=width,
+            workers=workers,
+            replicas=replicas,
         )
 
     def render_once(self) -> str:
@@ -274,16 +336,24 @@ class Dashboard:
 
     def run(self, iterations: "int | None" = None) -> None:
         """Live loop: poll, diff, redraw in place until the campaign
-        leaves the ``running`` state (or ``iterations`` ticks elapse)."""
+        leaves the ``running`` state (or ``iterations`` ticks elapse).
+
+        With escapes disabled (``no_color``), changed frames are simply
+        appended — a dumb terminal or a log pipe gets clean sequential
+        frames instead of cursor-movement garbage."""
         previous: "str | None" = None
         ticks = 0
         while True:
             frame = self.frame()
             if frame != previous:
                 if previous is not None:
-                    # Move up over the previous frame and clear it.
-                    height = previous.count("\n") + 1
-                    self.stream.write(f"\x1b[{height}A\x1b[J")
+                    if self.no_color:
+                        # Append-only: separate frames, no escapes.
+                        self.stream.write("\n")
+                    else:
+                        # Move up over the previous frame and clear it.
+                        height = previous.count("\n") + 1
+                        self.stream.write(f"\x1b[{height}A\x1b[J")
                 self.stream.write(frame + "\n")
                 self.stream.flush()
                 self.redraws += 1

@@ -1,0 +1,366 @@
+"""Continuous sampling profiler: where the fleet spends its wall clock.
+
+Tracing (PR 4) explains a single invocation; the profiler explains the
+*process*.  A timer thread samples every live thread's Python stack via
+``sys._current_frames()`` at a configurable rate (default
+:data:`DEFAULT_HZ`), collapses each stack to a ``frame;frame;...`` key
+— the classic FlameGraph collapsed form — and counts samples per
+distinct stack in a bounded table.  Stdlib only, attachable anywhere a
+process runs hot: the engine (``repro-cli profile`` over the simulator
+workload), serving replicas, and campaign shard workers, both of which
+journal their final profile so ``repro-cli profile --campaign/--serve``
+reconstructs the fleet's time breakdown *post mortem*, from the
+journals alone — the same discipline as spans and heartbeats.
+
+Design constraints, mirroring the tracer's:
+
+* **Cheap.**  Sampling cost is one ``sys._current_frames()`` call plus
+  a bounded frame walk per tick — at the default 50 Hz that is <5 % of
+  wall clock on the simulator workload, pinned by
+  ``benchmarks/test_bench_engine.py::test_engine_profiler_overhead_bounded``
+  exactly like the tracing bound.
+* **Bounded.**  At most ``max_stacks`` distinct collapsed stacks are
+  tracked; samples landing on new stacks past the bound are counted in
+  ``dropped_samples``, never allocated.  Stack depth is capped at
+  ``max_depth`` frames (deepest-first truncation keeps the leaf, which
+  is where the time is).
+* **Self-excluding.**  The sampler thread never samples itself.
+
+Arming is environment-driven (``REPRO_PROFILE_HZ``), like the fault
+weather (``REPRO_FAULT_RATE``): replicas and shard workers call
+:func:`maybe_start_profiler` at startup, so a whole fleet profiles
+itself with one exported variable and zero config-schema churn.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Callable
+
+#: Default sampling rate.  50 Hz (20 ms period) resolves hot paths on
+#: the simulator workload while staying under the 5 % overhead bound.
+DEFAULT_HZ = 50.0
+
+#: Distinct collapsed stacks tracked before new ones are dropped.
+DEFAULT_MAX_STACKS = 4096
+
+#: Frames kept per stack (leaf-most first after collapse).
+DEFAULT_MAX_DEPTH = 64
+
+#: The journal event kind under which processes persist their profile.
+PROFILE_EVENT_KIND = "profile"
+
+
+def _frame_label(frame) -> str:
+    """``module.function`` for one frame, cheap and stable."""
+    code = frame.f_code
+    base = os.path.basename(code.co_filename)
+    if base.endswith(".py"):
+        base = base[:-3]
+    return f"{base}.{code.co_name}"
+
+
+class SamplingProfiler:
+    """A bounded ``sys._current_frames()`` sampling profiler.
+
+    Args:
+        hz: Samples per second (shared across all threads: one tick
+            samples every live thread once).
+        max_stacks: Distinct collapsed stacks kept; further distinct
+            stacks are dropped and counted.
+        max_depth: Frames kept per stack.
+        clock: Monotonic clock, injectable for tests.
+
+    Use as a context manager or via :meth:`start` / :meth:`stop`; the
+    result is :meth:`to_dict` (JSON-compatible, journaled by replicas
+    and shard workers) or the render helpers below.
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        max_stacks: int = DEFAULT_MAX_STACKS,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz}")
+        if max_stacks < 1:
+            raise ValueError("max_stacks must be at least 1")
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.hz = float(hz)
+        self.max_stacks = max_stacks
+        self.max_depth = max_depth
+        self._clock = clock
+        self._interval = 1.0 / self.hz
+        self._stacks: "dict[str, int]" = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self.samples = 0
+        self.dropped_samples = 0
+        self._started_at = 0.0
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._started_at = self._clock()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> dict:
+        """Stop sampling and return :meth:`to_dict`."""
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+            self._elapsed += self._clock() - self._started_at
+        return self.to_dict()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # The sampler thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self._interval):
+            self._sample(own_id)
+
+    def _sample(self, own_id: int) -> None:
+        frames = sys._current_frames()
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id == own_id:
+                    continue
+                labels = []
+                depth = 0
+                while frame is not None and depth < self.max_depth:
+                    labels.append(_frame_label(frame))
+                    frame = frame.f_back
+                    depth += 1
+                if not labels:
+                    continue
+                labels.reverse()  # root first, FlameGraph order
+                key = ";".join(labels)
+                self.samples += 1
+                count = self._stacks.get(key)
+                if count is not None:
+                    self._stacks[key] = count + 1
+                elif len(self._stacks) < self.max_stacks:
+                    self._stacks[key] = 1
+                else:
+                    self.dropped_samples += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible profile: the journaled wire form."""
+        elapsed = self._elapsed
+        if self._thread is not None:  # still running: include live time
+            elapsed += self._clock() - self._started_at
+        with self._lock:
+            stacks = dict(self._stacks)
+            return {
+                "hz": self.hz,
+                "samples": self.samples,
+                "dropped_samples": self.dropped_samples,
+                "duration_s": elapsed,
+                "stacks": stacks,
+            }
+
+
+def maybe_start_profiler(
+    environ: "dict | None" = None,
+) -> "SamplingProfiler | None":
+    """Start a profiler when ``REPRO_PROFILE_HZ`` is set and positive.
+
+    The fleet-wide arming hook: replicas and shard workers call this at
+    startup; an unset/zero/garbage variable means no profiler and no
+    cost.  Returns the *started* profiler or ``None``.
+    """
+    environ = environ if environ is not None else os.environ
+    raw = environ.get("REPRO_PROFILE_HZ", "")
+    try:
+        hz = float(raw)
+    except (TypeError, ValueError):
+        return None
+    if hz <= 0:
+        return None
+    return SamplingProfiler(hz=hz).start()
+
+
+# ----------------------------------------------------------------------
+# Merging + rendering (pure functions over the journaled form, so the
+# CLI reconstructs fleet profiles offline)
+# ----------------------------------------------------------------------
+def merge_profiles(profiles: "list[dict]") -> dict:
+    """Fold per-process profile dicts into one fleet profile.
+
+    Stack counts sum; ``duration_s`` takes the max (processes ran
+    concurrently — summing would double-count wall time); sample and
+    drop counters sum.  Falsy entries are skipped, exactly like
+    :func:`repro.engine.telemetry.merge_stats_snapshots`.
+    """
+    merged: dict = {
+        "hz": 0.0,
+        "samples": 0,
+        "dropped_samples": 0,
+        "duration_s": 0.0,
+        "stacks": {},
+        "processes": 0,
+    }
+    stacks: "dict[str, int]" = merged["stacks"]
+    for profile in profiles:
+        if not profile:
+            continue
+        merged["processes"] += 1
+        merged["hz"] = max(merged["hz"], float(profile.get("hz", 0.0)))
+        merged["samples"] += int(profile.get("samples", 0))
+        merged["dropped_samples"] += int(profile.get("dropped_samples", 0))
+        merged["duration_s"] = max(
+            merged["duration_s"], float(profile.get("duration_s", 0.0))
+        )
+        for key, count in (profile.get("stacks") or {}).items():
+            stacks[key] = stacks.get(key, 0) + int(count)
+    return merged
+
+
+def top_frames(profile: dict, limit: int = 20) -> "list[tuple[str, int, int]]":
+    """``(frame, self_samples, total_samples)`` rows, hottest first.
+
+    ``self`` counts samples where the frame was the leaf; ``total``
+    counts samples where it appeared anywhere on the stack — the two
+    numbers a profiler's "top" view needs.
+    """
+    self_counts: "dict[str, int]" = {}
+    total_counts: "dict[str, int]" = {}
+    for key, count in (profile.get("stacks") or {}).items():
+        frames = key.split(";")
+        self_counts[frames[-1]] = self_counts.get(frames[-1], 0) + count
+        for frame in set(frames):
+            total_counts[frame] = total_counts.get(frame, 0) + count
+    rows = [
+        (frame, self_counts.get(frame, 0), total)
+        for frame, total in total_counts.items()
+    ]
+    rows.sort(key=lambda row: (-row[1], -row[2], row[0]))
+    return rows[:limit]
+
+
+def render_top(profile: dict, limit: int = 20) -> str:
+    """The ``repro-cli profile --top`` view."""
+    samples = int(profile.get("samples", 0))
+    lines = [
+        f"profile: {samples} samples @ {profile.get('hz', 0):g} Hz over "
+        f"{profile.get('duration_s', 0.0):.2f}s"
+        + (
+            f" across {profile['processes']} process(es)"
+            if profile.get("processes")
+            else ""
+        ),
+    ]
+    dropped = int(profile.get("dropped_samples", 0))
+    if dropped:
+        lines.append(f"  ({dropped} samples dropped at the stack bound)")
+    lines.append("")
+    lines.append(f"  {'self%':>6} {'total%':>7}  frame")
+    denominator = max(1, samples)
+    for frame, self_count, total_count in top_frames(profile, limit):
+        lines.append(
+            f"  {100.0 * self_count / denominator:>5.1f}% "
+            f"{100.0 * total_count / denominator:>6.1f}%  {frame}"
+        )
+    return "\n".join(lines)
+
+
+def render_collapsed(profile: dict) -> str:
+    """FlameGraph collapsed-stack lines (``stack count``), sorted.
+
+    Feed straight into external flamegraph tooling, or diff two
+    profiles textually.
+    """
+    stacks = profile.get("stacks") or {}
+    return "\n".join(
+        f"{key} {count}"
+        for key, count in sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0]))
+    )
+
+
+def render_flamegraph(profile: dict, min_percent: float = 1.0) -> str:
+    """An indented text flame graph of the profile.
+
+    Children are merged by frame label and sorted by weight; subtrees
+    below ``min_percent`` of total samples are pruned into a single
+    ``...`` line so deep cold paths don't drown the hot ones.
+    """
+    stacks = profile.get("stacks") or {}
+    total = sum(stacks.values())
+    if not total:
+        return "(no samples)"
+    # Build the prefix tree.
+    root: dict = {}
+    for key, count in stacks.items():
+        node = root
+        for frame in key.split(";"):
+            entry = node.setdefault(frame, {"count": 0, "children": {}})
+            entry["count"] += count
+            node = entry["children"]
+    lines = [f"flame: {total} samples (pruned below {min_percent:g}%)"]
+    threshold = total * min_percent / 100.0
+
+    def emit(children: dict, depth: int) -> None:
+        ordered = sorted(
+            children.items(), key=lambda kv: (-kv[1]["count"], kv[0])
+        )
+        pruned = 0
+        for frame, entry in ordered:
+            if entry["count"] < threshold:
+                pruned += entry["count"]
+                continue
+            percent = 100.0 * entry["count"] / total
+            lines.append(
+                f"{'  ' * depth}{frame}  {percent:.1f}% ({entry['count']})"
+            )
+            emit(entry["children"], depth + 1)
+        if pruned:
+            lines.append(
+                f"{'  ' * depth}...  "
+                f"{100.0 * pruned / total:.1f}% ({pruned})"
+            )
+
+    emit(root, 1)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_HZ",
+    "DEFAULT_MAX_DEPTH",
+    "DEFAULT_MAX_STACKS",
+    "PROFILE_EVENT_KIND",
+    "SamplingProfiler",
+    "maybe_start_profiler",
+    "merge_profiles",
+    "render_collapsed",
+    "render_flamegraph",
+    "render_top",
+    "top_frames",
+]

@@ -21,10 +21,17 @@ it touches the engine:
 
 ``/healthz``, ``/metrics`` and ``/metrics.json`` bypass all three gates
 — a saturated server must stay observable.  Each request gets a trace
-id that is returned in ``X-Trace-Id``, written to the structured access
-log, and attached ambiently to every engine span opened on its behalf
-(:func:`repro.obs.ambient_span_attributes`), so a slow request joins
-its span tree in the journal.
+id — a client-supplied ``traceparent`` or ``X-Trace-Id`` (validated and
+normalized by :func:`repro.obs.propagation.extract_trace_context`, so a
+hostile client cannot bloat journals or labels with unbounded ids), or
+a freshly minted fleet-unique one — that is returned in ``X-Trace-Id``,
+written to the structured access log, and attached ambiently to every
+engine span opened on its behalf
+(:func:`repro.obs.propagation.propagation_scope`), together with this
+process's ``(process_role, process_id)``.  In a fleet, every completed
+span tree is also committed to the shared ``serve_spans`` table, so
+``repro-cli trace ID --fleet`` reconstructs the request across replicas
+from the journal alone.
 
 Routes::
 
@@ -57,7 +64,11 @@ from repro.campaign.journal import (
 from repro.engine import deadline_scope, remaining_deadline
 from repro.engine.telemetry import default_clock
 from repro.modules.errors import ModuleTimeoutError, ModuleUnavailableError
-from repro.obs import ambient_span_attributes
+from repro.obs.propagation import (
+    TraceIdGenerator,
+    extract_trace_context,
+    propagation_scope,
+)
 from repro.obs.metrics import (
     PROMETHEUS_CONTENT_TYPE,
     ServeError,
@@ -193,8 +204,7 @@ class AnnotationServer:
         )
         self.metrics = HttpMetrics()
         self._clock = clock
-        self._trace_lock = threading.Lock()
-        self._trace_seq = 0
+        self._trace_ids = TraceIdGenerator()
         self.access_log: "deque[dict]" = deque(maxlen=ACCESS_LOG_CAPACITY)
         self.journal: "CampaignJournal | None" = None
         if self.config.journal_db is not None:
@@ -206,6 +216,21 @@ class AnnotationServer:
             seed=self.service.seed,
             replica=self.config.replica,
         )
+        # The fleet flight recorder: with durable state attached, every
+        # completed engine span tree is committed to the shared
+        # ``serve_spans`` table — the campaign flight recorder's
+        # discipline, keyed by replica — so fleet trace assembly reads
+        # journals alone.  Standalone servers (no state store) keep the
+        # in-memory ring only, exactly as before.
+        tracer = getattr(self.service.engine, "tracer", None)
+        if self.state is not None and tracer is not None and tracer.sink is None:
+            state = self.state
+            replica = self.config.replica if self.config.replica is not None else 0
+
+            def _record_replica_span(span, _state=state, _replica=replica):
+                _state.record_span(_replica, span.to_dict())
+
+            tracer.sink = _record_replica_span
         # Graceful-drain machinery: a draining server answers in-flight
         # requests, closes keep-alive connections, and accepts nothing
         # new.  ``_active`` counts requests between header parse and
@@ -361,11 +386,6 @@ class AnnotationServer:
         return json.dumps(self.stats(), indent=2, sort_keys=True)
 
     # ------------------------------------------------------------------
-    def _next_trace_id(self) -> str:
-        with self._trace_lock:
-            self._trace_seq += 1
-            return f"req-{self._trace_seq:06d}"
-
     def _handle(self, handler: BaseHTTPRequestHandler, method: str) -> None:
         with self._active_cond:
             self._active += 1
@@ -383,7 +403,14 @@ class AnnotationServer:
         started = self._clock()
         path = urlsplit(handler.path).path
         tenant = handler.headers.get("X-Api-Key") or ANONYMOUS_TENANT
-        trace_id = self._next_trace_id()
+        # Client-supplied trace context (traceparent / X-Trace-Id) is
+        # validated and normalized — hex only, bounded length — before
+        # it can reach a journal or a log line; anything unusable falls
+        # back to a fleet-unique generated id.
+        context, propagated = extract_trace_context(
+            handler.headers, self._trace_ids
+        )
+        trace_id = context.trace_id
         headers: "dict[str, str]" = {}
         try:
             body = self._read_body(handler)
@@ -398,7 +425,8 @@ class AnnotationServer:
                 status, payload = 200, self.stats()
             elif path.startswith("/v1/"):
                 status, payload = self._governed(
-                    method, path, body, handler.headers, tenant, trace_id, headers
+                    method, path, body, handler.headers, tenant, context,
+                    headers,
                 )
             else:
                 raise _ClientError(404, f"no route {path!r}")
@@ -424,7 +452,10 @@ class AnnotationServer:
         elapsed_ms = (self._clock() - started) * 1000.0
         endpoint = normalize_endpoint(path)
         self.metrics.observe(endpoint, method, status, elapsed_ms)
-        self._log_access(trace_id, tenant, method, path, status, elapsed_ms)
+        self._log_access(
+            trace_id, tenant, method, path, status, elapsed_ms,
+            propagated=propagated,
+        )
         self._respond(handler, status, payload, trace_id, headers)
 
     # ------------------------------------------------------------------
@@ -435,10 +466,11 @@ class AnnotationServer:
         body: "dict | None",
         request_headers,
         tenant: str,
-        trace_id: str,
+        context,
         headers: "dict[str, str]",
     ) -> "tuple[int, dict]":
         """The gated work path: rate limit, admission, deadline, dispatch."""
+        trace_id = context.trace_id
         allowed, retry_after = self.limiter.check(tenant)
         if not allowed:
             self.metrics.record_rate_limited(tenant)
@@ -456,8 +488,16 @@ class AnnotationServer:
         # connection, exactly like a real replica crash.
         self.service.note_request()
         try:
-            with deadline_scope(deadline_s), ambient_span_attributes(
-                http_trace_id=trace_id, http_tenant=tenant
+            with deadline_scope(deadline_s), propagation_scope(
+                context,
+                "replica",
+                process_id=(
+                    self.config.replica
+                    if self.config.replica is not None
+                    else 0
+                ),
+                http_trace_id=trace_id,
+                http_tenant=tenant,
             ):
                 result = self._dispatch(method, path, body)
                 # The engine degrades gracefully on a spent deadline
@@ -615,6 +655,7 @@ class AnnotationServer:
         path: str,
         status: int,
         elapsed_ms: float,
+        propagated: bool = False,
     ) -> None:
         entry = {
             "trace_id": trace_id,
@@ -623,6 +664,7 @@ class AnnotationServer:
             "path": path,
             "status": status,
             "elapsed_ms": round(elapsed_ms, 3),
+            "propagated": propagated,
         }
         self.access_log.append(entry)
         stream = self.config.log_stream

@@ -82,6 +82,11 @@ class FleetConfig:
         chaos_kill_replica: Arm each replica's *first* process to die
             mid-request at its Kth governed request (0 disables).
             Never re-armed on restarts, so the fleet converges.
+        metrics_port: Bind the supervisor's fleet-level ``/metrics``
+            endpoint — the unified scrape folding every replica's
+            journaled stats (:class:`repro.obs.aggregate.MetricsAggregator`)
+            — on this port (0 picks an ephemeral one; ``None``
+            disables the endpoint).
     """
 
     replicas: int = 2
@@ -91,6 +96,7 @@ class FleetConfig:
     restart_backoff: float = 0.1
     drain_timeout: float = 5.0
     chaos_kill_replica: int = 0
+    metrics_port: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -107,6 +113,8 @@ class FleetConfig:
             raise ValueError("drain_timeout must be positive")
         if self.chaos_kill_replica < 0:
             raise ValueError("chaos_kill_replica must be non-negative")
+        if self.metrics_port is not None and self.metrics_port < 0:
+            raise ValueError("metrics_port must be non-negative (or None)")
 
 
 class _ReplicaHeartbeat(threading.Thread):
@@ -140,6 +148,12 @@ class _ReplicaHeartbeat(threading.Thread):
             requests_total=self.server.metrics.snapshot()["requests_total"],
             started_wall=self.started_wall,
         )
+        # The full stats snapshot rides every beat (last write wins,
+        # like shard heartbeats): this is how per-replica telemetry
+        # leaves the process, and what the supervisor's fleet /metrics
+        # fold (MetricsAggregator) reads back — journals alone, no
+        # shared memory, no live scrape of each replica.
+        self.store.record_replica_stats(self.replica, self.server.stats())
 
     def run(self) -> None:
         while not self._halt.wait(self.interval):
@@ -169,12 +183,18 @@ def serve_replica_main(spec: dict) -> int:
         0 after a graceful drain; the process never returns from a
         chaos kill (``os._exit``) or a crash.
     """
+    from repro.obs.profiler import PROFILE_EVENT_KIND, maybe_start_profiler
+
     replica = spec["replica"]
     attempt = spec["attempt"]
     config = ServeConfig(**spec["serve_config"])
     store = ServeStateStore(config.state_db)
     service = AnnotationService(state=store, **spec["service"])
     server = AnnotationServer(service, config)
+    # Continuous profiling, armed fleet-wide by REPRO_PROFILE_HZ: the
+    # collected profile is journaled at drain time so `repro-cli
+    # profile --serve` reconstructs the fleet's time breakdown offline.
+    profiler = maybe_start_profiler()
 
     # Signal handlers only bind in the main thread, which then parks on
     # this event: SIGTERM/SIGINT request a graceful drain.
@@ -208,6 +228,14 @@ def serve_replica_main(spec: dict) -> int:
             "drained" if drained else "drain-timeout",
             f"pid {os.getpid()}",
         )
+        if profiler is not None:
+            import json as _json
+
+            final.record_event(
+                replica,
+                PROFILE_EVENT_KIND,
+                _json.dumps(profiler.stop(), sort_keys=True),
+            )
     finally:
         final.close()
     return 0
@@ -295,6 +323,10 @@ class ServeSupervisor:
             _ReplicaState(replica=index) for index in range(fleet.replicas)
         ]
         self._started = False
+        #: The unified scrape: one /metrics on the supervisor folding
+        #: every replica's journaled stats (started with the fleet when
+        #: ``fleet.metrics_port`` is set; read host/port off it).
+        self.metrics_server = None
 
     # ------------------------------------------------------------------
     def start(self) -> "ServeSupervisor":
@@ -317,6 +349,25 @@ class ServeSupervisor:
                 else ""
             ),
         )
+        if self.fleet.metrics_port is not None:
+            from repro.obs.aggregate import MetricsAggregator
+            from repro.obs.metrics import MetricsServer
+
+            aggregator = MetricsAggregator(
+                state=self.store,
+                journal_db=self.serve_config.journal_db,
+                campaign_id=self.serve_config.campaign_id,
+                wall_clock=self._wall,
+            )
+            self.metrics_server = MetricsServer(
+                aggregator, host=self.host, port=self.fleet.metrics_port
+            ).start()
+            self.store.record_event(
+                FLEET,
+                "metrics-start",
+                f"fleet /metrics on {self.metrics_server.host}:"
+                f"{self.metrics_server.port}",
+            )
         for state in self._states:
             self._spawn(state, kind="spawn")
         return self
@@ -551,11 +602,17 @@ class ServeSupervisor:
             FLEET, "fleet-stop",
             "all replicas drained" if graceful else "drain incomplete",
         )
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
         self._reservation.close()
         return graceful
 
     def close(self) -> None:
         """Release the port reservation and the store (post-drain)."""
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
         self._reservation.close()
         self.store.close()
 

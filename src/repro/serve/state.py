@@ -35,6 +35,18 @@ Tables:
     ``repro-cli serve fleet`` and the ``repro_serve_replica_*`` gauges
     reconstruct post-mortem — from the file alone, exactly like
     ``repro-cli campaign workers``.
+``serve_spans``
+    The fleet flight recorder: every engine span tree a replica
+    completes, committed one transaction at a time — the exact
+    ``campaign_spans`` discipline, with a ``replica`` column instead of
+    a campaign id.  This is what lets ``repro-cli trace ID --fleet``
+    stitch one request's trace across replicas after any of them was
+    SIGKILLed.
+``serve_replica_stats``
+    Each replica's latest full ``engine.stats()`` snapshot (last write
+    wins, like shard heartbeats), so the fleet-level ``/metrics`` fold
+    (:class:`repro.obs.aggregate.MetricsAggregator`) reconstructs from
+    the file alone.
 
 The store can live inside the campaign journal's own SQLite file (the
 table namespaces are disjoint), which is what the CLI does: one ``--db``
@@ -84,6 +96,22 @@ CREATE TABLE IF NOT EXISTS serve_events (
     replica INTEGER NOT NULL,
     kind TEXT NOT NULL,
     detail TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS serve_spans (
+    span_seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    replica INTEGER NOT NULL,
+    module_id TEXT NOT NULL,
+    outcome TEXT NOT NULL,
+    start_ms REAL NOT NULL,
+    duration_ms REAL NOT NULL,
+    span_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS serve_spans_by_replica
+    ON serve_spans (replica, module_id);
+CREATE TABLE IF NOT EXISTS serve_replica_stats (
+    replica INTEGER PRIMARY KEY,
+    t_wall REAL NOT NULL,
+    stats_json TEXT NOT NULL
 );
 """
 
@@ -398,6 +426,86 @@ class ServeStateStore:
             }
             for seq, t_wall, replica, kind, detail in rows
         ]
+
+    # ------------------------------------------------------------------
+    # Replica spans (the fleet flight recorder) + stats snapshots
+    # ------------------------------------------------------------------
+    def record_span(self, replica: int, span: dict) -> None:
+        """Commit one completed replica span tree.
+
+        The ``campaign_spans`` discipline verbatim: each span is its own
+        committed transaction, so a SIGKILLed replica keeps every trace
+        that finished before the kill, and fleet trace assembly needs
+        nothing but this file.
+        """
+        with self._lock:
+            self._connection.execute(
+                "INSERT INTO serve_spans "
+                "(replica, module_id, outcome, start_ms, duration_ms, "
+                "span_json) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    replica,
+                    span.get("module_id", ""),
+                    span.get("outcome", "ok"),
+                    span.get("start_ms", 0.0),
+                    span.get("duration_ms", 0.0),
+                    json.dumps(span, sort_keys=True),
+                ),
+            )
+
+    def spans(
+        self,
+        replica: "int | None" = None,
+        module_id: "str | None" = None,
+    ) -> "list[dict]":
+        """Journaled replica span trees, recording order, each dict
+        annotated with its ``replica`` under ``_replica`` (the span
+        payload itself is untouched — attributes carry the trace id)."""
+        query = (
+            "SELECT replica, span_json FROM serve_spans WHERE 1 = 1"
+        )
+        params: tuple = ()
+        if replica is not None:
+            query += " AND replica = ?"
+            params += (replica,)
+        if module_id is not None:
+            query += " AND module_id = ?"
+            params += (module_id,)
+        query += " ORDER BY span_seq"
+        with self._lock:
+            rows = self._connection.execute(query, params).fetchall()
+        spans = []
+        for row_replica, payload in rows:
+            span = json.loads(payload)
+            span["_replica"] = row_replica
+            spans.append(span)
+        return spans
+
+    def span_count(self) -> int:
+        with self._lock:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM serve_spans"
+            ).fetchone()
+        return count
+
+    def record_replica_stats(self, replica: int, stats: dict) -> None:
+        """Upsert one replica's full engine-stats snapshot (last write
+        wins, exactly like shard heartbeat stats)."""
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO serve_replica_stats "
+                "(replica, t_wall, stats_json) VALUES (?, ?, ?)",
+                (replica, self._wall(), json.dumps(stats, sort_keys=True)),
+            )
+
+    def replica_stats(self) -> "dict[int, dict]":
+        """``{replica: stats snapshot}`` for the fleet metrics fold."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT replica, stats_json FROM serve_replica_stats "
+                "ORDER BY replica"
+            ).fetchall()
+        return {replica: json.loads(payload) for replica, payload in rows}
 
     # ------------------------------------------------------------------
     def replica_rows(

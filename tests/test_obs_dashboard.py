@@ -9,7 +9,14 @@ import pytest
 
 from repro.campaign import CampaignConfig, CampaignJournal, CampaignRunner
 from repro.campaign.journal import CampaignMeta
-from repro.obs.dashboard import Dashboard, _progress_bar, render_dashboard
+from repro.obs.dashboard import (
+    MIN_WIDTH,
+    Dashboard,
+    _progress_bar,
+    ansi_disabled,
+    measure_width,
+    render_dashboard,
+)
 from tests.test_obs_timeseries import make_sample, provider_entry
 
 
@@ -222,3 +229,84 @@ class TestDashboard:
         dashboard.run(iterations=2)
         assert dashboard.redraws == 2
         assert "\x1b[" in stream.getvalue()
+
+
+# ----------------------------------------------------------------------
+class _FakeTTY(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestDumbTerminal:
+    """The --no-color / NO_COLOR / TERM=dumb path: append-only frames,
+    no cursor escapes, width re-measured on every redraw."""
+
+    def test_explicit_flag_wins_over_environment(self):
+        assert ansi_disabled(True, {}) is True
+        assert ansi_disabled(False, {"NO_COLOR": "1", "TERM": "dumb"}) is False
+
+    def test_no_color_convention(self):
+        assert ansi_disabled(None, {"NO_COLOR": "1"}) is True
+        # An *empty* NO_COLOR does not disable (the convention is
+        # "present and non-empty").
+        assert ansi_disabled(None, {"NO_COLOR": ""}) is False
+
+    def test_dumb_terminal_disables_escapes(self):
+        assert ansi_disabled(None, {"TERM": "dumb"}) is True
+        assert ansi_disabled(None, {"TERM": "xterm-256color"}) is False
+
+    def test_measure_width_falls_back_for_pipes(self):
+        assert measure_width(io.StringIO(), fallback=97) == 97
+
+    def test_measure_width_tolerates_widthless_streams(self):
+        class NoIsatty:
+            pass
+
+        assert measure_width(NoIsatty(), fallback=80) == 80
+
+    def test_width_is_remeasured_per_call(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "123")
+        assert measure_width(_FakeTTY()) == 123
+        # A mid-session resize is picked up by the very next call.
+        monkeypatch.setenv("COLUMNS", "55")
+        assert measure_width(_FakeTTY()) == 55
+
+    def test_width_never_collapses_below_the_floor(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "10")
+        assert measure_width(_FakeTTY()) == MIN_WIDTH
+
+    def test_no_color_run_appends_frames_without_escapes(
+        self, finished_journal
+    ):
+        stream = io.StringIO()
+
+        class FlippingJournal:
+            def __init__(self, inner):
+                self.inner = inner
+                self.ticks = 0
+
+            def meta(self, campaign_id):
+                row = self.inner.meta(campaign_id)
+                self.ticks += 1
+                status = "running" if self.ticks <= 2 else row.status
+                return CampaignMeta(
+                    campaign_id=row.campaign_id,
+                    seed=row.seed,
+                    status=status,
+                    module_ids=row.module_ids,
+                    config=row.config,
+                )
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        dashboard = Dashboard(
+            FlippingJournal(finished_journal), "c", stream=stream,
+            interval=0.01, sleeper=lambda _s: None, no_color=True,
+        )
+        dashboard.run(iterations=2)
+        out = stream.getvalue()
+        assert dashboard.redraws == 2
+        assert "\x1b" not in out
+        # Frames are separated by a blank line, not cursor movement.
+        assert "\n\n" in out

@@ -1,0 +1,198 @@
+"""Tests of the sampling profiler: sampling a busy thread, the stack
+bound, environment-driven arming, fleet profile merging, and the top /
+collapsed / flame renderings."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    PROFILE_EVENT_KIND,
+    SamplingProfiler,
+    maybe_start_profiler,
+    merge_profiles,
+    render_collapsed,
+    render_flamegraph,
+    render_top,
+    top_frames,
+)
+
+
+def _burn(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+class TestSampling:
+    def test_samples_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_burn, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(hz=200)
+            with profiler:
+                time.sleep(0.25)
+        finally:
+            stop.set()
+            worker.join()
+        profile = profiler.to_dict()
+        assert profile["samples"] > 0
+        assert profile["duration_s"] > 0.1
+        assert profile["stacks"]
+        # The busy loop must appear somewhere in the collapsed stacks.
+        assert any("_burn" in key for key in profile["stacks"])
+
+    def test_samples_are_root_first(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_burn, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            with SamplingProfiler(hz=200) as profiler:
+                time.sleep(0.2)
+        finally:
+            stop.set()
+            worker.join()
+        burn_keys = [
+            key for key in profiler.to_dict()["stacks"] if "_burn" in key
+        ]
+        assert burn_keys
+        for key in burn_keys:
+            frames = key.split(";")
+            # The leaf (deepest frame) is last — FlameGraph order.
+            assert "_burn" in frames[-1] or "_burn" in frames[-2]
+
+    def test_stack_bound_drops_not_grows(self):
+        profiler = SamplingProfiler(hz=1000, max_stacks=1)
+        profiler._stacks["existing.stack"] = 5
+        # Simulate the bookkeeping the sampler applies past the bound.
+        with profiler._lock:
+            profiler.samples += 1
+            if len(profiler._stacks) >= profiler.max_stacks:
+                profiler.dropped_samples += 1
+        profile = profiler.to_dict()
+        assert len(profile["stacks"]) == 1
+        assert profile["dropped_samples"] == 1
+
+    def test_double_start_is_an_error(self):
+        profiler = SamplingProfiler(hz=100).start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(hz=100).start()
+        first = profiler.stop()
+        second = profiler.stop()
+        assert second["samples"] == first["samples"]
+
+    @pytest.mark.parametrize("hz", [0, -1])
+    def test_non_positive_hz_rejected(self, hz):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=hz)
+
+
+# ----------------------------------------------------------------------
+# Environment arming
+# ----------------------------------------------------------------------
+class TestMaybeStart:
+    def test_unset_means_none(self):
+        assert maybe_start_profiler({}) is None
+
+    @pytest.mark.parametrize("raw", ["", "0", "-5", "garbage"])
+    def test_unusable_values_mean_none(self, raw):
+        assert maybe_start_profiler({"REPRO_PROFILE_HZ": raw}) is None
+
+    def test_positive_rate_starts_a_profiler(self):
+        profiler = maybe_start_profiler({"REPRO_PROFILE_HZ": "100"})
+        assert profiler is not None
+        try:
+            assert profiler.hz == 100.0
+            assert profiler._thread is not None
+        finally:
+            profiler.stop()
+
+    def test_event_kind_is_stable(self):
+        # Journal rows are keyed on this; changing it orphans profiles.
+        assert PROFILE_EVENT_KIND == "profile"
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+class TestMergeProfiles:
+    def test_stacks_sum_and_duration_takes_max(self):
+        merged = merge_profiles(
+            [
+                {"hz": 50, "samples": 10, "dropped_samples": 1,
+                 "duration_s": 2.0, "stacks": {"a;b": 6, "a;c": 4}},
+                {"hz": 50, "samples": 5, "dropped_samples": 0,
+                 "duration_s": 3.0, "stacks": {"a;b": 5}},
+            ]
+        )
+        assert merged["samples"] == 15
+        assert merged["dropped_samples"] == 1
+        assert merged["stacks"] == {"a;b": 11, "a;c": 4}
+        # Processes run concurrently: wall time is the max, not the sum.
+        assert merged["duration_s"] == 3.0
+        assert merged["processes"] == 2
+
+    def test_falsy_profiles_are_skipped(self):
+        merged = merge_profiles([None, {}, {"samples": 3, "stacks": {"x": 3}}])
+        assert merged["processes"] == 1
+        assert merged["samples"] == 3
+
+    def test_empty_merge_is_well_formed(self):
+        merged = merge_profiles([])
+        assert merged["samples"] == 0
+        assert merged["stacks"] == {}
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+PROFILE = {
+    "hz": 50.0,
+    "samples": 10,
+    "dropped_samples": 0,
+    "duration_s": 1.0,
+    "stacks": {"main;work;hot": 7, "main;work;cold": 2, "main;idle": 1},
+}
+
+
+class TestRendering:
+    def test_top_frames_self_vs_total(self):
+        rows = {frame: (own, total) for frame, own, total in top_frames(PROFILE)}
+        assert rows["hot"] == (7, 7)
+        assert rows["work"] == (0, 9)
+        assert rows["main"] == (0, 10)
+
+    def test_render_top_is_ranked_by_self_time(self):
+        text = render_top(PROFILE, limit=5)
+        assert "10 samples @ 50 Hz" in text
+        lines = [line for line in text.splitlines() if "%" in line and "frame" not in line]
+        assert "hot" in lines[0]
+
+    def test_render_collapsed_roundtrips_the_stacks(self):
+        text = render_collapsed(PROFILE)
+        assert "main;work;hot 7" in text.splitlines()[0]
+        assert len(text.splitlines()) == 3
+
+    def test_flamegraph_nests_and_prunes(self):
+        text = render_flamegraph(PROFILE, min_percent=15.0)
+        assert "main  100.0% (10)" in text
+        assert "hot  70.0% (7)" in text
+        # cold (20%) survives; idle (10%) is pruned into "...".
+        assert "cold" in text
+        assert "idle" not in text
+        assert "..." in text
+
+    def test_flamegraph_with_no_samples(self):
+        assert render_flamegraph({"stacks": {}}) == "(no samples)"
